@@ -1,0 +1,191 @@
+// Command doppelsim runs one benchmark against one LLC organization and
+// prints its functional statistics and output error.
+//
+// Usage:
+//
+//	doppelsim -bench jpeg -llc split -map 14 -datafrac 0.25 -scale 0.5
+//	doppelsim -bench jmeint+kmeans -llc unified          # multiprogrammed
+//	doppelsim -bench canneal -savetrace canneal.trace    # record a bundle
+//	doppelsim -replay canneal.trace -llc split -map 12   # replay offline
+//
+// LLC organizations: baseline (conventional 2 MB), split (1 MB precise +
+// Doppelgänger, the paper's primary design), unified (uniDoppelgänger).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"doppelganger"
+	"doppelganger/internal/timesim"
+	"doppelganger/internal/workloads"
+)
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func main() {
+	var (
+		bench    = flag.String("bench", "jpeg", "benchmark (join with + to multiprogram): "+strings.Join(doppelganger.Benchmarks(), ", "))
+		llc      = flag.String("llc", "split", "LLC organization: baseline, split, unified")
+		mapBits  = flag.Int("map", 14, "map space size M in bits")
+		dataFrac = flag.Float64("datafrac", 0, "data array fraction (default: 1/4 split, 1/2 unified)")
+		scale    = flag.Float64("scale", 1, "workload scale (1 = paper-size working sets)")
+		cores    = flag.Int("cores", 4, "number of cores")
+		timing   = flag.Bool("timing", false, "also run the cycle-level timing comparison vs the baseline")
+		saveTo   = flag.String("savetrace", "", "record the benchmark on the baseline LLC and save a replayable trace bundle to this file")
+		replay   = flag.String("replay", "", "replay a saved trace bundle against the chosen LLC (skips functional execution)")
+	)
+	flag.Parse()
+
+	var kind doppelganger.LLCKind
+	switch *llc {
+	case "baseline":
+		kind = doppelganger.Baseline
+	case "split":
+		kind = doppelganger.SplitDoppelganger
+	case "unified":
+		kind = doppelganger.UniDoppelganger
+	default:
+		fmt.Fprintf(os.Stderr, "doppelsim: unknown LLC organization %q\n", *llc)
+		os.Exit(2)
+	}
+
+	if *saveTo != "" {
+		if err := saveBundle(*bench, *scale, *cores, *saveTo); err != nil {
+			fmt.Fprintf(os.Stderr, "doppelsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *replay != "" {
+		if err := replayBundle(*replay, *llc, *mapBits, *dataFrac, *cores); err != nil {
+			fmt.Fprintf(os.Stderr, "doppelsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	opts := doppelganger.RunOptions{
+		Scale:    *scale,
+		MapBits:  *mapBits,
+		DataFrac: *dataFrac,
+		Cores:    *cores,
+	}
+	var res *doppelganger.BenchmarkResult
+	var err error
+	if strings.Contains(*bench, "+") {
+		// "a+b" co-schedules programs a and b (multiprogrammed run, §4.1).
+		res, err = doppelganger.RunMultiprogram(strings.Split(*bench, "+"), kind, opts)
+	} else {
+		res, err = doppelganger.RunBenchmark(*bench, kind, opts)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doppelsim: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchmark:       %s\n", *bench)
+	fmt.Printf("llc:             %s (M=%d)\n", *llc, *mapBits)
+	fmt.Printf("output error:    %.4f (%.2f%%)\n", res.Error, 100*res.Error)
+	fmt.Printf("resident tags:   %d\n", res.LLCTags)
+	fmt.Printf("data blocks:     %d\n", res.LLCDataBlocks)
+	if res.LLCDataBlocks > 0 {
+		fmt.Printf("tags per block:  %.2f\n", res.AvgTagsPerData)
+	}
+	if s := res.Stats; s != nil {
+		fmt.Printf("doppel reads:    %d (%.1f%% hits)\n", s.Reads, 100*float64(s.ReadHits)/float64(max64(s.Reads, 1)))
+		fmt.Printf("inserts:         %d (%d linked to similar blocks)\n", s.Inserts, s.ReuseLinks)
+		fmt.Printf("writes:          %d silent, %d remapped, %d allocated\n", s.SilentWrites, s.Remaps, s.WriteAllocs)
+		fmt.Printf("evictions:       %d tags (%.1f%% dirty), %d data entries\n",
+			s.TagEvictions, 100*float64(s.DirtyTagEvictions)/float64(max64(s.TagEvictions, 1)), s.DataEvictions)
+	}
+
+	if *timing {
+		tc, err := doppelganger.RunTiming(*bench, kind, doppelganger.RunOptions{
+			Scale:    *scale,
+			MapBits:  *mapBits,
+			DataFrac: *dataFrac,
+			Cores:    *cores,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doppelsim: timing: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("cycles:          %d (baseline %d)\n", tc.Cycles, tc.BaselineCycles)
+		fmt.Printf("norm. runtime:   %.3f\n", tc.NormalizedRuntime)
+		fmt.Printf("LLC MPKI:        %.2f\n", tc.MPKI)
+		fmt.Printf("norm. traffic:   %.3f\n", tc.NormalizedTraffic)
+	}
+}
+
+// saveBundle records the benchmark on the baseline LLC and writes a
+// self-contained trace bundle (traces + initial memory + annotations).
+func saveBundle(bench string, scale float64, cores int, path string) error {
+	f, err := workloads.ByName(bench)
+	if err != nil {
+		return err
+	}
+	run := workloads.RunFunctional(f.New(scale), workloads.BaselineBuilder(2<<20, 16),
+		workloads.RunOptions{Cores: cores, Record: true})
+	b, err := workloads.BundleOf(run)
+	if err != nil {
+		return err
+	}
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	n, err := b.WriteTo(out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("saved %s: %d accesses, %d bytes\n", path, run.Recorder.Len(), n)
+	return nil
+}
+
+// replayBundle loads a trace bundle and replays it cycle-accurately against
+// the chosen organization.
+func replayBundle(path, llc string, mapBits int, dataFrac float64, cores int) error {
+	in, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	b, err := workloads.ReadBundle(in)
+	if err != nil {
+		return err
+	}
+	if dataFrac == 0 {
+		dataFrac = 0.25
+		if llc == "unified" {
+			dataFrac = 0.5
+		}
+	}
+	builder := workloads.BaselineBuilder(2<<20, 16)
+	switch llc {
+	case "baseline":
+	case "split":
+		builder = workloads.SplitBuilder(mapBits, dataFrac)
+	case "unified":
+		builder = workloads.UnifiedBuilder(mapBits, dataFrac)
+	default:
+		return fmt.Errorf("unknown LLC organization %q", llc)
+	}
+	cfg := timesim.DefaultConfig()
+	cfg.Cores = cores
+	res := timesim.Run(b.Traces, b.InitialMem, b.Annotations, builder, cfg)
+	fmt.Printf("replayed %s against %s (M=%d, data %g)\n", path, llc, mapBits, dataFrac)
+	fmt.Printf("cycles:          %d\n", res.Cycles)
+	fmt.Printf("instructions:    %d (IPC %.2f over %d cores)\n",
+		res.Instructions, float64(res.Instructions)/float64(res.Cycles), cores)
+	fmt.Printf("LLC MPKI:        %.2f\n", res.MPKI())
+	fmt.Printf("off-chip blocks: %d\n", res.MemTraffic())
+	return nil
+}

@@ -1,0 +1,115 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-scale 1] [-only bench1,bench2] [-quiet] [-format text|csv|json|chart] all
+//	experiments table2 fig2 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 table3
+//
+// Each experiment prints the same rows/series the paper reports; see
+// EXPERIMENTS.md for the recorded paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"doppelganger"
+)
+
+func main() {
+	var (
+		scale  = flag.Float64("scale", 1, "workload scale (1 = paper-size working sets)")
+		only   = flag.String("only", "", "comma-separated benchmark subset")
+		quiet  = flag.Bool("quiet", false, "suppress progress logging")
+		format = flag.String("format", "text", "output format: text, csv, json, chart")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"all"}
+	}
+
+	var log io.Writer = os.Stderr
+	if *quiet {
+		log = nil
+	}
+	ev := doppelganger.NewEvaluation(*scale, log)
+	if *only != "" {
+		ev.Restrict(strings.Split(*only, ",")...)
+	}
+
+	order := []string{"table2", "fig2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "table3", "extras"}
+	want := map[string]bool{}
+	for _, a := range args {
+		if a == "all" {
+			// "all" covers the paper's tables and figures; the extras table
+			// is requested explicitly.
+			for _, o := range order {
+				if o != "extras" {
+					want[o] = true
+				}
+			}
+			continue
+		}
+		want[strings.ToLower(a)] = true
+	}
+
+	emit := func(ts ...*doppelganger.Table) {
+		for _, t := range ts {
+			switch *format {
+			case "csv":
+				fmt.Printf("# %s\n%s\n", t.Title, t.FormatCSV())
+			case "json":
+				fmt.Println(t.FormatJSON())
+			case "chart":
+				fmt.Println(t.FormatChart())
+			default:
+				fmt.Println(t.Format())
+			}
+		}
+	}
+	ran := 0
+	for _, name := range order {
+		if !want[name] {
+			continue
+		}
+		ran++
+		switch name {
+		case "table2":
+			emit(ev.Table2())
+		case "fig2":
+			emit(ev.Fig2())
+		case "fig7":
+			emit(ev.Fig7())
+		case "fig8":
+			emit(ev.Fig8())
+		case "fig9":
+			a, b := ev.Fig9()
+			emit(a, b)
+		case "fig10":
+			a, b := ev.Fig10()
+			emit(a, b)
+		case "fig11":
+			a, b := ev.Fig11()
+			emit(a, b)
+		case "fig12":
+			emit(ev.Fig12())
+		case "fig13":
+			emit(ev.Fig13())
+		case "fig14":
+			a, b, c := ev.Fig14()
+			emit(a, b, c)
+		case "table3":
+			emit(ev.Table3())
+		case "extras":
+			emit(ev.Extras())
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "experiments: nothing matched %v (known: %s, all)\n", args, strings.Join(order, ", "))
+		os.Exit(2)
+	}
+}

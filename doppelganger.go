@@ -1,0 +1,414 @@
+// Package doppelganger is a from-scratch reproduction of the Doppelgänger
+// cache — "Doppelgänger: A Cache for Approximate Computing" (San Miguel,
+// Albericio, Moshovos, Enright Jerger; MICRO-48, 2015) — as a Go library.
+//
+// The Doppelgänger cache is a last-level cache for approximate computing
+// that decouples its tag and data arrays and associates the tags of
+// *approximately similar* blocks (blocks whose average/range hash lands in
+// the same map-space bin) with a single data array entry, shrinking the
+// data array several-fold with little application-level error.
+//
+// The package exposes four layers:
+//
+//   - Cache organizations: NewBaselineLLC, NewDoppelganger (with
+//     DoppelgangerConfig / UniDoppelgangerConfig), NewSplitLLC — functional
+//     models that plug into the simulators (§3 of the paper).
+//   - Annotations: Region / NewAnnotations declare which address ranges are
+//     approximable, with element type and expected value range (§4.1).
+//   - Simulation: RunBenchmark executes one of the paper's nine workloads
+//     against an LLC organization and reports output error; RunTiming
+//     replays its traces cycle-accurately (§4).
+//   - Evaluation: NewEvaluation reproduces every table and figure of §5.
+//
+// See README.md for a walkthrough, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-vs-measured results.
+package doppelganger
+
+import (
+	"io"
+
+	"doppelganger/internal/approx"
+	"doppelganger/internal/cache"
+	"doppelganger/internal/core"
+	"doppelganger/internal/energy"
+	"doppelganger/internal/memdata"
+	"doppelganger/internal/sweep"
+	"doppelganger/internal/timesim"
+	"doppelganger/internal/workloads"
+)
+
+// Core value types, re-exported from the internal data plane.
+type (
+	// Addr is a 32-bit physical address.
+	Addr = memdata.Addr
+	// Block is one 64-byte cache block payload.
+	Block = memdata.Block
+	// ElemType is the programmer-declared element type of approximate data.
+	ElemType = memdata.ElemType
+	// Region is one programmer annotation: an approximable address range
+	// with element type and expected min/max values.
+	Region = approx.Region
+	// Annotations is a validated set of Regions.
+	Annotations = approx.Annotations
+	// MapSpec fixes the size of the Doppelgänger map space (the paper's
+	// M-bit design knob).
+	MapSpec = approx.MapSpec
+	// CacheConfig is the geometry of a conventional set-associative array.
+	CacheConfig = cache.Config
+	// DoppelConfig is the geometry of a Doppelgänger cache (decoupled tag
+	// and data arrays plus map space); set Unified for uniDoppelgänger.
+	DoppelConfig = core.Config
+	// LLC is any last-level cache organization accepted by the simulators.
+	LLC = core.LLC
+	// Effects reports the structure-level work of one LLC operation.
+	Effects = core.Effects
+	// TimingConfig is the cycle-level core/memory model configuration.
+	TimingConfig = timesim.Config
+	// TimingResult is the outcome of a cycle-level run.
+	TimingResult = timesim.Result
+	// Table is a formatted experiment result.
+	Table = sweep.Table
+)
+
+// Element types for Region annotations.
+const (
+	U8  = memdata.U8
+	I32 = memdata.I32
+	F32 = memdata.F32
+	F64 = memdata.F64
+)
+
+// BlockSize is the cache block size (64 bytes, Table 1).
+const BlockSize = memdata.BlockSize
+
+// NewAnnotations validates and builds an annotation set.
+func NewAnnotations(regions ...Region) (*Annotations, error) {
+	return approx.NewAnnotations(regions...)
+}
+
+// NewStore returns an empty simulated main memory.
+func NewStore() *memdata.Store { return memdata.NewStore() }
+
+// Store is the simulated main memory backing an LLC.
+type Store = memdata.Store
+
+// --- Table 1 configurations ---
+
+// BaselineLLCConfig is the paper's baseline: 2 MB, 16-way.
+func BaselineLLCConfig() CacheConfig {
+	return CacheConfig{Name: "baseline LLC", SizeBytes: 2 << 20, Ways: 16}
+}
+
+// PreciseCacheConfig is the precise half of the split design: 1 MB, 16-way.
+func PreciseCacheConfig() CacheConfig {
+	return CacheConfig{Name: "precise cache", SizeBytes: 1 << 20, Ways: 16}
+}
+
+// DoppelgangerConfig is the paper's base Doppelgänger: 16 K tags (1 MB
+// tag-equivalent), a 256 KB (1/4) data array, both 16-way, 14-bit map.
+func DoppelgangerConfig() DoppelConfig { return sweep.SplitConfig(14, 0.25) }
+
+// UniDoppelgangerConfig is the paper's base uniDoppelgänger: 32 K tags
+// (2 MB tag-equivalent), a 1 MB (1/2) data array, 14-bit map.
+func UniDoppelgangerConfig() DoppelConfig { return sweep.UnifiedConfig(14, 0.5) }
+
+// --- organizations ---
+
+// NewBaselineLLC builds a conventional inclusive LLC over store. ann may be
+// nil; it only labels storage-analysis snapshots.
+func NewBaselineLLC(cfg CacheConfig, store *Store, ann *Annotations) LLC {
+	return core.NewBaseline(cfg, store, ann)
+}
+
+// NewDoppelganger builds a Doppelgänger (or, with cfg.Unified,
+// uniDoppelgänger) cache over store. Every non-annotated access requires
+// cfg.Unified; the split organization routes instead.
+func NewDoppelganger(cfg DoppelConfig, store *Store, ann *Annotations) (*core.Doppelganger, error) {
+	return core.New(cfg, store, ann)
+}
+
+// NewSplitLLC builds the paper's primary organization: a precise
+// conventional cache alongside a Doppelgänger cache, with annotation-driven
+// routing (§3, §4.1).
+func NewSplitLLC(precise CacheConfig, doppel DoppelConfig, store *Store, ann *Annotations) (LLC, error) {
+	return core.NewSplit(precise, doppel, store, ann)
+}
+
+// --- workloads and simulation ---
+
+// Benchmarks lists the nine-workload suite in the paper's order.
+func Benchmarks() []string {
+	fs := workloads.All()
+	names := make([]string, len(fs))
+	for i, f := range fs {
+		names[i] = f.Name
+	}
+	return names
+}
+
+// DoppelStats are the Doppelgänger cache's event counters (reuse links,
+// silent writes, remaps, evictions, map generations, ...).
+type DoppelStats = core.Stats
+
+// BenchmarkResult reports one functional benchmark run.
+type BenchmarkResult struct {
+	// Output is the application's final output vector.
+	Output []float64
+	// Error is the application output error versus a precise run of the
+	// same benchmark (the paper's metric, §4.1); 0 for precise LLCs.
+	Error float64
+	// LLCTags and LLCDataBlocks are end-of-run occupancies.
+	LLCTags, LLCDataBlocks int
+	// Stats holds the Doppelgänger-side counters (nil for Baseline runs);
+	// AvgTagsPerData is the paper's §3.5 sharing statistic.
+	Stats          *DoppelStats
+	AvgTagsPerData float64
+}
+
+// LLCKind selects an organization for RunBenchmark.
+type LLCKind int
+
+// The three LLC organizations of the evaluation.
+const (
+	Baseline LLCKind = iota
+	SplitDoppelganger
+	UniDoppelganger
+)
+
+// RunOptions configures RunBenchmark.
+type RunOptions struct {
+	// Scale sizes the workload (1 = the paper-scale working sets; small
+	// values run quickly). Default 1.
+	Scale float64
+	// MapBits is the map space size M (default 14).
+	MapBits int
+	// DataFrac is the approximate data array size as a fraction of the tag
+	// capacity (split) or of the baseline LLC (unified). Default 1/4 split,
+	// 1/2 unified.
+	DataFrac float64
+	// Cores is the CMP size (default 4).
+	Cores int
+}
+
+func (o *RunOptions) defaults(kind LLCKind) {
+	if o.Scale == 0 {
+		o.Scale = 1
+	}
+	if o.MapBits == 0 {
+		o.MapBits = 14
+	}
+	if o.DataFrac == 0 {
+		if kind == UniDoppelganger {
+			o.DataFrac = 0.5
+		} else {
+			o.DataFrac = 0.25
+		}
+	}
+	if o.Cores == 0 {
+		o.Cores = 4
+	}
+}
+
+// RunBenchmark executes the named workload functionally against the chosen
+// LLC organization and measures application output error against a precise
+// baseline run (the paper's Pin-style methodology, §4).
+func RunBenchmark(name string, kind LLCKind, opt RunOptions) (*BenchmarkResult, error) {
+	opt.defaults(kind)
+	f, err := workloads.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	builder := workloads.BaselineBuilder(2<<20, 16)
+	switch kind {
+	case SplitDoppelganger:
+		builder = workloads.SplitBuilder(opt.MapBits, opt.DataFrac)
+	case UniDoppelganger:
+		builder = workloads.UnifiedBuilder(opt.MapBits, opt.DataFrac)
+	}
+	run := workloads.RunFunctional(f.New(opt.Scale), builder, workloads.RunOptions{Cores: opt.Cores})
+	res := &BenchmarkResult{
+		Output:         run.Output,
+		LLCTags:        run.TagsAtEnd,
+		LLCDataBlocks:  run.DataBlocksAtEnd,
+		Stats:          run.DoppelStats,
+		AvgTagsPerData: run.AvgTagsPerData,
+	}
+	if kind != Baseline {
+		precise := workloads.RunFunctional(f.New(opt.Scale), workloads.BaselineBuilder(2<<20, 16),
+			workloads.RunOptions{Cores: opt.Cores})
+		res.Error = f.New(opt.Scale).Error(precise.Output, run.Output)
+	}
+	return res, nil
+}
+
+// RunMultiprogram runs several benchmarks side by side on the CMP — each
+// program in its own physical-address slice with its own annotations (the
+// paper's per-application range registers, §4.1) and its own share of the
+// cores. The result's Error averages the per-program errors under each
+// program's own metric.
+func RunMultiprogram(names []string, kind LLCKind, opt RunOptions) (*BenchmarkResult, error) {
+	opt.defaults(kind)
+	build := func() (*workloads.Benchmark, error) {
+		progs := make([]*workloads.Benchmark, len(names))
+		for i, n := range names {
+			f, err := workloads.ByName(n)
+			if err != nil {
+				return nil, err
+			}
+			progs[i] = f.New(opt.Scale)
+		}
+		return workloads.Multiprogram(progs...), nil
+	}
+	mp, err := build()
+	if err != nil {
+		return nil, err
+	}
+	builder := workloads.BaselineBuilder(2<<20, 16)
+	switch kind {
+	case SplitDoppelganger:
+		builder = workloads.SplitBuilder(opt.MapBits, opt.DataFrac)
+	case UniDoppelganger:
+		builder = workloads.UnifiedBuilder(opt.MapBits, opt.DataFrac)
+	}
+	run := workloads.RunFunctional(mp, builder, workloads.RunOptions{Cores: opt.Cores})
+	res := &BenchmarkResult{
+		Output:         run.Output,
+		LLCTags:        run.TagsAtEnd,
+		LLCDataBlocks:  run.DataBlocksAtEnd,
+		Stats:          run.DoppelStats,
+		AvgTagsPerData: run.AvgTagsPerData,
+	}
+	if kind != Baseline {
+		precise := workloads.RunFunctional(mp, workloads.BaselineBuilder(2<<20, 16),
+			workloads.RunOptions{Cores: opt.Cores})
+		res.Error = mp.Error(precise.Output, run.Output)
+	}
+	return res, nil
+}
+
+// DefaultTimingConfig is the paper's Table 1 system: 4 cores, 4-wide,
+// 80-entry ROB, 1/3/6-cycle cache levels, 160-cycle DRAM.
+func DefaultTimingConfig() TimingConfig { return timesim.DefaultConfig() }
+
+// TimingComparison reports one benchmark's cycle-level behaviour under an
+// approximate LLC organization next to the baseline (the paper's Figs.
+// 9b/10b/12 per-benchmark data points).
+type TimingComparison struct {
+	BaselineCycles uint64
+	Cycles         uint64
+	// NormalizedRuntime is Cycles / BaselineCycles (1.0 = no slowdown).
+	NormalizedRuntime float64
+	// MPKI is the organization's LLC misses per thousand instructions.
+	MPKI float64
+	// NormalizedTraffic is off-chip traffic relative to the baseline.
+	NormalizedTraffic float64
+}
+
+// RunTiming records the named benchmark's traces on a precise baseline run
+// and replays them cycle-accurately against both the baseline LLC and the
+// chosen organization (the paper's §4 methodology).
+func RunTiming(name string, kind LLCKind, opt RunOptions) (*TimingComparison, error) {
+	opt.defaults(kind)
+	f, err := workloads.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	run := workloads.RunFunctional(f.New(opt.Scale), workloads.BaselineBuilder(2<<20, 16),
+		workloads.RunOptions{Cores: opt.Cores, Record: true})
+	cfg := timesim.DefaultConfig()
+	cfg.Cores = opt.Cores
+	base := timesim.Run(run.Recorder, run.InitialMem, run.Annotations,
+		workloads.BaselineBuilder(2<<20, 16), cfg)
+	builder := workloads.BaselineBuilder(2<<20, 16)
+	switch kind {
+	case SplitDoppelganger:
+		builder = workloads.SplitBuilder(opt.MapBits, opt.DataFrac)
+	case UniDoppelganger:
+		builder = workloads.UnifiedBuilder(opt.MapBits, opt.DataFrac)
+	}
+	res := timesim.Run(run.Recorder, run.InitialMem, run.Annotations, builder, cfg)
+	return &TimingComparison{
+		BaselineCycles:    base.Cycles,
+		Cycles:            res.Cycles,
+		NormalizedRuntime: float64(res.Cycles) / float64(base.Cycles),
+		MPKI:              res.MPKI(),
+		NormalizedTraffic: float64(res.MemTraffic()) / float64(base.MemTraffic()),
+	}, nil
+}
+
+// --- hardware cost model ---
+
+// HardwareOrg is an LLC organization's silicon cost model (area, leakage,
+// per-access energies), calibrated to the paper's Table 3.
+type HardwareOrg = energy.Org
+
+// BaselineHardware models the baseline 2 MB LLC.
+func BaselineHardware() HardwareOrg { return energy.BaselineOrg(2<<20, 16, 4) }
+
+// SplitHardware models precise + Doppelgänger for a map size and data
+// fraction.
+func SplitHardware(mapBits int, dataFrac float64) HardwareOrg {
+	return energy.SplitOrg(1<<20, 16, sweep.SplitConfig(mapBits, dataFrac), 4)
+}
+
+// UnifiedHardware models uniDoppelgänger for a data fraction of the
+// baseline LLC.
+func UnifiedHardware(mapBits int, dataFrac float64) HardwareOrg {
+	return energy.UnifiedOrg(sweep.UnifiedConfig(mapBits, dataFrac), 4)
+}
+
+// --- evaluation harness ---
+
+// Evaluation regenerates the paper's tables and figures. Experiments share
+// and memoize baseline runs, so asking for several figures in one
+// Evaluation is much cheaper than separate ones.
+type Evaluation struct{ r *sweep.Runner }
+
+// NewEvaluation builds an evaluation at the given workload scale (1 = paper
+// scale). log may be nil.
+func NewEvaluation(scale float64, log io.Writer) *Evaluation {
+	r := sweep.NewRunner(scale)
+	r.Log = log
+	return &Evaluation{r: r}
+}
+
+// Restrict limits the suite to the named benchmarks.
+func (e *Evaluation) Restrict(names ...string) { e.r.Only = names }
+
+// Table2 is the approximate LLC footprint per benchmark.
+func (e *Evaluation) Table2() *Table { return e.r.Table2() }
+
+// Table3 is the hardware cost table.
+func (e *Evaluation) Table3() *Table { return e.r.Table3() }
+
+// Fig2 is storage savings vs element-wise threshold T.
+func (e *Evaluation) Fig2() *Table { return e.r.Fig2() }
+
+// Fig7 is storage savings vs map space size.
+func (e *Evaluation) Fig7() *Table { return e.r.Fig7() }
+
+// Fig8 compares against BΔI and exact deduplication.
+func (e *Evaluation) Fig8() *Table { return e.r.Fig8() }
+
+// Fig9 is output error and normalized runtime vs map space size.
+func (e *Evaluation) Fig9() (errT, runT *Table) { return e.r.Fig9() }
+
+// Fig10 is output error and normalized runtime vs data array size.
+func (e *Evaluation) Fig10() (errT, runT *Table) { return e.r.Fig10() }
+
+// Fig11 is LLC dynamic and leakage energy reduction.
+func (e *Evaluation) Fig11() (dynT, leakT *Table) { return e.r.Fig11() }
+
+// Fig12 is normalized off-chip memory traffic.
+func (e *Evaluation) Fig12() *Table { return e.r.Fig12() }
+
+// Fig13 is LLC area reduction (static).
+func (e *Evaluation) Fig13() *Table { return e.r.Fig13() }
+
+// Fig14 is uniDoppelgänger error, runtime and dynamic energy.
+func (e *Evaluation) Fig14() (errT, runT, dynT *Table) { return e.r.Fig14() }
+
+// Extras evaluates this repository's extensions beyond the paper:
+// alternative similarity hashes, tag-count-aware replacement, and the
+// BΔI-compressed data array.
+func (e *Evaluation) Extras() *Table { return e.r.Extras() }

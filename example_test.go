@@ -1,0 +1,62 @@
+package doppelganger_test
+
+import (
+	"fmt"
+
+	"doppelganger"
+)
+
+// Build a small Doppelgänger cache, insert two approximately similar blocks
+// and observe them sharing one data array entry.
+func ExampleNewDoppelganger() {
+	store := doppelganger.NewStore()
+	const base = doppelganger.Addr(0x100000)
+	ann, _ := doppelganger.NewAnnotations(doppelganger.Region{
+		Name:  "readings",
+		Start: base, End: base + 2*doppelganger.BlockSize,
+		Type: doppelganger.F32, Min: 0, Max: 100,
+	})
+	for i := 0; i < 16; i++ {
+		store.WriteF32(base+doppelganger.Addr(i*4), 42)
+		store.WriteF32(base+doppelganger.Addr(64+i*4), 42.0001) // similar, not identical
+	}
+
+	cache, _ := doppelganger.NewDoppelganger(doppelganger.DoppelConfig{
+		Name:       "example",
+		TagEntries: 64, TagWays: 4,
+		DataEntries: 16, DataWays: 4,
+		MapSpec: doppelganger.MapSpec{M: 14},
+	}, store, ann)
+
+	cache.Read(base)
+	cache.Read(base + 64)
+	fmt.Printf("%d tags share %d data entries\n", cache.TagEntries(), cache.DataBlocks())
+
+	data, eff := cache.Read(base + 64) // hit: returns the representative
+	fmt.Printf("hit=%v value=%.1f\n", eff.Hit, data.Elem(doppelganger.F32, 0))
+	// Output:
+	// 2 tags share 1 data entries
+	// hit=true value=42.0
+}
+
+// Inspect the Table 1 configurations and the calibrated hardware model.
+func ExampleBaselineHardware() {
+	base := doppelganger.BaselineHardware()
+	split := doppelganger.SplitHardware(14, 0.25)
+	fmt.Printf("area reduction: %.2fx\n", base.AreaMM2()/split.AreaMM2())
+	fmt.Printf("leakage reduction: %.2fx\n", base.LeakageMW()/split.LeakageMW())
+	// Output:
+	// area reduction: 1.58x
+	// leakage reduction: 1.43x
+}
+
+// The annotation contract: regions must be block aligned and disjoint.
+func ExampleNewAnnotations() {
+	_, err := doppelganger.NewAnnotations(
+		doppelganger.Region{Name: "a", Start: 0, End: 128, Type: doppelganger.U8, Max: 255},
+		doppelganger.Region{Name: "b", Start: 64, End: 192, Type: doppelganger.U8, Max: 255},
+	)
+	fmt.Println(err != nil)
+	// Output:
+	// true
+}

@@ -1,0 +1,32 @@
+// Clustering: the paper's kmeans workload (pixel clustering from AxBench)
+// under the uniDoppelgänger organization, sweeping the data array size like
+// the paper's Fig. 14 — a single cache serving both the approximate pixel
+// features and the precise centroids/assignments.
+//
+// Run with: go run ./examples/clustering
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"doppelganger"
+)
+
+func main() {
+	const scale = 0.5
+
+	fmt.Println("kmeans under uniDoppelganger (precise + approximate in one cache):")
+	for _, frac := range []float64{0.75, 0.5, 0.25} {
+		res, err := doppelganger.RunBenchmark("kmeans", doppelganger.UniDoppelganger,
+			doppelganger.RunOptions{Scale: scale, DataFrac: frac})
+		if err != nil {
+			log.Fatal(err)
+		}
+		hw := doppelganger.UnifiedHardware(14, frac)
+		baseHW := doppelganger.BaselineHardware()
+		fmt.Printf("  %4.0f%% data array: centroid error %.4f%%, LLC area %.2f mm^2 (%.2fx smaller)\n",
+			100*frac, 100*res.Error, hw.AreaMM2(), baseHW.AreaMM2()/hw.AreaMM2())
+	}
+	fmt.Println("shrinking the unified data array trades area for (slight) clustering error.")
+}

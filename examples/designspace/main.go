@@ -1,0 +1,47 @@
+// Designspace: explore the Doppelgänger hardware design space with the
+// CACTI-surrogate cost model — no simulation, purely the Table 3 / Fig. 13
+// silicon math. For every (map size, data array size) point it prints the
+// LLC area, leakage power, and the worst-case per-access energy, next to
+// the baseline 2 MB LLC.
+//
+// Run with: go run ./examples/designspace
+package main
+
+import (
+	"fmt"
+
+	"doppelganger"
+)
+
+func main() {
+	base := doppelganger.BaselineHardware()
+	baseAccess := base.Precise.TagEnergyPJ() + base.Precise.DataEnergyPJ()
+	fmt.Printf("baseline 2MB LLC: %.2f mm^2, %.1f mW leakage, %.0f pJ/access\n\n",
+		base.AreaMM2(), base.LeakageMW(), baseAccess)
+
+	fmt.Printf("%-8s %-10s %10s %12s %16s %12s\n",
+		"map", "data", "area mm^2", "leakage mW", "approx pJ/acc", "area gain")
+	for _, m := range []int{12, 13, 14} {
+		for _, frac := range []float64{0.5, 0.25, 0.125} {
+			hw := doppelganger.SplitHardware(m, frac)
+			access := hw.DoppelTag.TagEnergyPJ() +
+				hw.DoppelData.TagEnergyPJ() + hw.DoppelData.DataEnergyPJ()
+			fmt.Printf("%-8d %-10s %10.2f %12.1f %16.1f %11.2fx\n",
+				m, fracName(frac), hw.AreaMM2(), hw.LeakageMW(), access,
+				base.AreaMM2()/hw.AreaMM2())
+		}
+	}
+	fmt.Println("\nthe data array size dominates area; the map size only affects tag width.")
+}
+
+func fracName(f float64) string {
+	switch f {
+	case 0.5:
+		return "1/2"
+	case 0.25:
+		return "1/4"
+	case 0.125:
+		return "1/8"
+	}
+	return fmt.Sprintf("%g", f)
+}

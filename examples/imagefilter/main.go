@@ -1,0 +1,45 @@
+// Imagefilter: run the paper's jpeg workload — an image compression
+// pipeline whose input and output images are both annotated approximate —
+// against the baseline LLC and the split Doppelgänger LLC, and report the
+// image-level error the approximation introduces.
+//
+// This is the scenario the paper's Fig. 1 motivates: neighboring image
+// blocks hold approximately similar pixels, so one data entry can stand in
+// for many blocks.
+//
+// Run with: go run ./examples/imagefilter
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"doppelganger"
+)
+
+func main() {
+	const scale = 0.5 // half-size image keeps the example quick
+
+	fmt.Println("running jpeg pipeline against the baseline 2MB LLC...")
+	base, err := doppelganger.RunBenchmark("jpeg", doppelganger.Baseline,
+		doppelganger.RunOptions{Scale: scale})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  baseline: %d resident blocks, exact output\n", base.LLCTags)
+
+	for _, m := range []int{12, 13, 14} {
+		res, err := doppelganger.RunBenchmark("jpeg", doppelganger.SplitDoppelganger,
+			doppelganger.RunOptions{Scale: scale, MapBits: m})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sharing := 0.0
+		if res.LLCDataBlocks > 0 {
+			sharing = float64(res.LLCTags) / float64(res.LLCDataBlocks)
+		}
+		fmt.Printf("  doppelganger M=%d: image error %.2f%%, %.1f tags per data entry\n",
+			m, 100*res.Error, sharing)
+	}
+	fmt.Println("smaller map spaces merge more pixel blocks: more savings, more error.")
+}

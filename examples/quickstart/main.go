@@ -1,0 +1,79 @@
+// Quickstart: build a Doppelgänger cache by hand, feed it approximately
+// similar blocks, and watch multiple tags share one data array entry.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"doppelganger"
+)
+
+func main() {
+	// 1. Simulated main memory and a programmer annotation: one region of
+	// float32 sensor readings expected to stay within [20, 45] (think body
+	// temperatures, as in the paper's §3.7 example).
+	store := doppelganger.NewStore()
+	const base = doppelganger.Addr(0x100000)
+	const blocks = 8
+	ann, err := doppelganger.NewAnnotations(doppelganger.Region{
+		Name:  "temperatures",
+		Start: base,
+		End:   base + blocks*doppelganger.BlockSize,
+		Type:  doppelganger.F32,
+		Min:   20,
+		Max:   45,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Fill memory: blocks 0-3 hold readings near 36.6°C, blocks 4-7 near
+	// 24°C. Within each group the values differ slightly — approximately
+	// similar, not identical.
+	for b := 0; b < blocks; b++ {
+		temp := 36.6
+		if b >= 4 {
+			temp = 24.0
+		}
+		// Perturbations well under one 14-bit map bin (the [20,45] range
+		// divides into bins of 25/2^14 ≈ 0.0015°C), so blocks in a group
+		// are similar but not bit-identical.
+		for i := 0; i < 16; i++ {
+			addr := base + doppelganger.Addr(b*doppelganger.BlockSize+i*4)
+			store.WriteF32(addr, float32(temp)+float32(b%4)*0.0002+float32(i)*0.00003)
+		}
+	}
+
+	// 3. A small Doppelgänger cache: 64 tags but only 16 data blocks, with
+	// the paper's 14-bit map space.
+	cfg := doppelganger.DoppelConfig{
+		Name:       "quickstart",
+		TagEntries: 64, TagWays: 4,
+		DataEntries: 16, DataWays: 4,
+		MapSpec: doppelganger.MapSpec{M: 14},
+	}
+	cache, err := doppelganger.NewDoppelganger(cfg, store, ann)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Read every block once (each read misses and inserts).
+	for b := 0; b < blocks; b++ {
+		cache.Read(base + doppelganger.Addr(b*doppelganger.BlockSize))
+	}
+	fmt.Printf("inserted %d blocks -> %d tags sharing %d data entries (%.1f tags/entry)\n",
+		blocks, cache.TagEntries(), cache.DataBlocks(), cache.AvgTagsPerData())
+
+	// 5. Re-read block 3: it hits, but returns its doppelgänger — the
+	// representative values of the first ~36.6° block.
+	data, eff := cache.Read(base + 3*doppelganger.BlockSize)
+	fmt.Printf("re-read block 3: hit=%v, first element=%.3f (stored %.3f)\n",
+		eff.Hit, data.Elem(doppelganger.F32, 0),
+		store.ReadF32(base+3*doppelganger.BlockSize))
+
+	fmt.Printf("stats: %d reuse links, %d new data blocks, %d map generations\n",
+		cache.Stats.ReuseLinks, cache.Stats.NewDataBlocks, cache.Stats.MapGens)
+}

@@ -1,0 +1,336 @@
+package approx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"doppelganger/internal/memdata"
+)
+
+func region(t memdata.ElemType, min, max float64) *Region {
+	return &Region{Name: "r", Start: 0, End: 1 << 20, Type: t, Min: min, Max: max}
+}
+
+func blockOf(t memdata.ElemType, vals ...float64) *memdata.Block {
+	b := new(memdata.Block)
+	n := t.PerBlock()
+	for i := 0; i < n; i++ {
+		b.SetElem(t, i, vals[i%len(vals)])
+	}
+	return b
+}
+
+func TestAnnotationsValidation(t *testing.T) {
+	if _, err := NewAnnotations(Region{Name: "x", Start: 10, End: 64, Type: memdata.F32}); err == nil {
+		t.Error("unaligned start accepted")
+	}
+	if _, err := NewAnnotations(Region{Name: "x", Start: 64, End: 64, Type: memdata.F32}); err == nil {
+		t.Error("empty region accepted")
+	}
+	if _, err := NewAnnotations(Region{Name: "x", Start: 64, End: 128, Min: 1, Max: 0}); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if _, err := NewAnnotations(
+		Region{Name: "a", Start: 0, End: 128},
+		Region{Name: "b", Start: 64, End: 192},
+	); err == nil {
+		t.Error("overlapping regions accepted")
+	}
+}
+
+func TestAnnotationsLookup(t *testing.T) {
+	a := MustAnnotations(
+		Region{Name: "lo", Start: 0, End: 128, Type: memdata.F32, Max: 1},
+		Region{Name: "hi", Start: 4096, End: 8192, Type: memdata.U8, Max: 255},
+	)
+	cases := []struct {
+		addr memdata.Addr
+		want string
+	}{
+		{0, "lo"}, {127, "lo"}, {128, ""}, {4095, ""}, {4096, "hi"}, {8191, "hi"}, {8192, ""},
+	}
+	for _, c := range cases {
+		r := a.Lookup(c.addr)
+		got := ""
+		if r != nil {
+			got = r.Name
+		}
+		if got != c.want {
+			t.Errorf("Lookup(%v) = %q, want %q", c.addr, got, c.want)
+		}
+	}
+	if a.ApproxBytes() != 128+4096 {
+		t.Errorf("ApproxBytes = %d", a.ApproxBytes())
+	}
+}
+
+func TestNilAnnotationsArePrecise(t *testing.T) {
+	var a *Annotations
+	if a.Lookup(0) != nil || a.Approximate(0) {
+		t.Error("nil annotations must treat everything as precise")
+	}
+}
+
+func TestMapSpecBits(t *testing.T) {
+	s := MapSpec{M: 14}
+	// Floats: 14-bit average map + 7-bit range map = 21 bits (Table 3).
+	if got := s.TotalBits(memdata.F32); got != 21 {
+		t.Errorf("F32 total bits = %d, want 21", got)
+	}
+	// 8-bit pixels: both hashes capped at the element width.
+	if got := s.AvgBits(memdata.U8); got != 8 {
+		t.Errorf("U8 avg bits = %d, want 8", got)
+	}
+	if got := s.RangeBits(memdata.U8); got != 7 {
+		t.Errorf("U8 range bits = %d, want 7", got)
+	}
+	// 13-bit map: ⌈13/2⌉ = 7 range bits.
+	if got := (MapSpec{M: 13}).RangeBits(memdata.F32); got != 7 {
+		t.Errorf("13-bit range bits = %d, want 7", got)
+	}
+}
+
+func TestBlockHashes(t *testing.T) {
+	r := region(memdata.F32, 0, 100)
+	b := blockOf(memdata.F32, 10, 20, 30, 40)
+	avg, rng := BlockHashes(b, r)
+	if avg != 25 {
+		t.Errorf("avg = %v, want 25", avg)
+	}
+	if rng != 30 {
+		t.Errorf("range = %v, want 30", rng)
+	}
+}
+
+func TestBlockHashesClampToDeclaredRange(t *testing.T) {
+	r := region(memdata.F32, 0, 10)
+	b := blockOf(memdata.F32, -5, 50) // outside [0,10]: clamp to 0 and 10
+	avg, rng := BlockHashes(b, r)
+	if avg != 5 || rng != 10 {
+		t.Errorf("clamped avg/range = %v/%v, want 5/10", avg, rng)
+	}
+}
+
+func TestBlockHashesSanitizeNaN(t *testing.T) {
+	r := region(memdata.F32, 0, 10)
+	b := blockOf(memdata.F32, math.NaN(), 10)
+	avg, _ := BlockHashes(b, r)
+	if math.IsNaN(avg) {
+		t.Error("NaN escaped hashing")
+	}
+}
+
+func TestMapValueEndpoints(t *testing.T) {
+	s := MapSpec{M: 14}
+	r := region(memdata.F32, 0, 100)
+	// All elements at min: avg map 0, range 0.
+	if got := s.MapValue(blockOf(memdata.F32, 0), r); got != 0 {
+		t.Errorf("min block map = %#x, want 0", got)
+	}
+	// All elements at max: avg map = 2^14-1 (last bin), range 0.
+	if got := s.MapValue(blockOf(memdata.F32, 100), r); got != (1<<14)-1 {
+		t.Errorf("max block map = %#x, want %#x", got, (1<<14)-1)
+	}
+}
+
+// TestMapValueFigure1 reproduces the paper's Fig. 1 example: blocks 1 and 2
+// of the image are approximately similar and must share a map; block 3 must
+// not. (The paper quotes average 136 / range 95 for blocks 1 and 2.)
+func TestMapValueFigure1(t *testing.T) {
+	mk := func(vals ...float64) *memdata.Block {
+		b := new(memdata.Block)
+		for i, v := range vals {
+			b.SetElem(U8i, i, v)
+		}
+		// Fill the remainder with a repeat of the sample so the hashes stay
+		// those of the sample values.
+		for i := len(vals); i < 64; i++ {
+			b.SetElem(U8i, i, vals[i%len(vals)])
+		}
+		return b
+	}
+	r := region(memdata.U8, 0, 255)
+	s := MapSpec{M: 14}
+	b1 := mk(92, 131, 183, 91, 132, 186)
+	b2 := mk(90, 131, 185, 93, 133, 184)
+	b3 := mk(35, 31, 29, 43, 38, 37)
+	m1, m2, m3 := s.MapValue(b1, r), s.MapValue(b2, r), s.MapValue(b3, r)
+	if m1 != m2 {
+		t.Errorf("blocks 1 and 2 should share a map: %#x vs %#x", m1, m2)
+	}
+	if m3 == m1 {
+		t.Errorf("block 3 should differ: %#x", m3)
+	}
+}
+
+// U8i aliases the element type for the Fig. 1 test readability.
+const U8i = memdata.U8
+
+// TestSimilarBlocksShareMaps is the core similarity property: two blocks
+// whose elements all sit within a *small* threshold of each other usually
+// map together, and the required threshold shrinks as M grows.
+func TestSimilarBlocksShareMaps(t *testing.T) {
+	r := region(memdata.F32, 0, 1)
+	s := MapSpec{M: 12}
+	base := blockOf(memdata.F32, 0.30001, 0.50001, 0.70001)
+	// Perturb by much less than a 12-bit bin (1/4096 ≈ 2.4e-4).
+	pert := blockOf(memdata.F32, 0.30003, 0.50003, 0.70003)
+	if s.MapValue(base, r) != s.MapValue(pert, r) {
+		t.Error("tiny perturbation changed the map")
+	}
+	// A large perturbation must change it.
+	far := blockOf(memdata.F32, 0.9, 0.95, 0.99)
+	if s.MapValue(base, r) == s.MapValue(far, r) {
+		t.Error("distant block shares the map")
+	}
+}
+
+// TestSmallerMapSpaceIsCoarser: if two blocks share a map at M bits they
+// must also share it at M-2 bits for blocks differing only in average (the
+// bins nest for the average map when range bits are equal).
+func TestMapMonotoneInM(t *testing.T) {
+	r := region(memdata.F32, 0, 1)
+	f := func(a, b uint16) bool {
+		// Two uniform blocks (range 0) with averages from a 16-bit lattice.
+		va := float64(a) / 65535
+		vb := float64(b) / 65535
+		ba, bb := blockOf(memdata.F32, va), blockOf(memdata.F32, vb)
+		if (MapSpec{M: 14}).MapValue(ba, r) == (MapSpec{M: 14}).MapValue(bb, r) {
+			return (MapSpec{M: 12}).MapValue(ba, r) == (MapSpec{M: 12}).MapValue(bb, r)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntegralBypass(t *testing.T) {
+	// U8 with M=14 > 8: the mapping step is skipped; the map's low 8 bits
+	// are the rounded average itself.
+	r := region(memdata.U8, 0, 255)
+	s := MapSpec{M: 14}
+	b := blockOf(memdata.U8, 100)
+	m := s.MapValue(b, r)
+	if m&0xFF != 100 {
+		t.Errorf("avg part = %d, want 100", m&0xFF)
+	}
+	// Uniform block: range part zero.
+	if m>>8 != 0 {
+		t.Errorf("range part = %d, want 0", m>>8)
+	}
+}
+
+func TestSimilarWithin(t *testing.T) {
+	r := region(memdata.F32, 0, 100)
+	a := blockOf(memdata.F32, 50, 60)
+	b := blockOf(memdata.F32, 50.5, 60.5)
+	if !SimilarWithin(a, b, r, 0.01) { // 1% of 100 = 1.0 tolerance
+		t.Error("blocks within tolerance judged dissimilar")
+	}
+	if SimilarWithin(a, b, r, 0.001) { // 0.1% = 0.1 tolerance
+		t.Error("blocks outside tolerance judged similar")
+	}
+	if !SimilarWithin(a, a, r, 0) {
+		t.Error("identical blocks dissimilar at T=0")
+	}
+}
+
+// TestSimilarWithinOneBadElement checks the all-elements rule of §2: one
+// pair exceeding T makes the whole block dissimilar.
+func TestSimilarWithinOneBadElement(t *testing.T) {
+	r := region(memdata.F32, 0, 100)
+	a, b := new(memdata.Block), new(memdata.Block)
+	for i := 0; i < 16; i++ {
+		a.SetElem(memdata.F32, i, 50)
+		b.SetElem(memdata.F32, i, 50)
+	}
+	b.SetElem(memdata.F32, 7, 80)
+	if SimilarWithin(a, b, r, 0.1) {
+		t.Error("block with one far element judged similar")
+	}
+}
+
+func TestSimilarityIsSymmetric(t *testing.T) {
+	r := region(memdata.F32, 0, 1)
+	f := func(raw [4]float32, tRaw uint8) bool {
+		a := blockOf(memdata.F32, sane(raw[0]), sane(raw[1]))
+		b := blockOf(memdata.F32, sane(raw[2]), sane(raw[3]))
+		th := float64(tRaw) / 255
+		return SimilarWithin(a, b, r, th) == SimilarWithin(b, a, r, th)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func sane(v float32) float64 {
+	f := float64(v)
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0
+	}
+	return math.Mod(math.Abs(f), 1)
+}
+
+func TestGreedySimilarityGroups(t *testing.T) {
+	r := region(memdata.F32, 0, 100)
+	blocks := []*memdata.Block{
+		blockOf(memdata.F32, 10), blockOf(memdata.F32, 10.2),
+		blockOf(memdata.F32, 50), blockOf(memdata.F32, 50.3),
+		blockOf(memdata.F32, 90),
+	}
+	if got := GreedySimilarityGroups(blocks, r, 0.01); got != 3 {
+		t.Errorf("groups at T=1%% = %d, want 3", got)
+	}
+	if got := GreedySimilarityGroups(blocks, r, 0); got != 5 {
+		t.Errorf("groups at T=0 = %d, want 5", got)
+	}
+	if got := GreedySimilarityGroups(blocks, r, 1); got != 1 {
+		t.Errorf("groups at T=100%% = %d, want 1", got)
+	}
+	if got := GreedySimilarityGroups(nil, r, 0.5); got != 0 {
+		t.Errorf("empty input = %d groups", got)
+	}
+}
+
+func TestHashKindVariants(t *testing.T) {
+	r := region(memdata.F32, 0, 100)
+	flat := blockOf(memdata.F32, 50)
+	ramp := new(memdata.Block)
+	for i := 0; i < 16; i++ {
+		ramp.SetElem(memdata.F32, i, 50+float64(i)-7.5) // same mean, wide spread
+	}
+
+	avgRange := MapSpec{M: 14, Hash: HashAvgRange}
+	avgOnly := MapSpec{M: 14, Hash: HashAvgOnly}
+	minMax := MapSpec{M: 14, Hash: HashMinMax}
+
+	// The combined and min/max hashes must separate flat from ramp; the
+	// average-only hash cannot.
+	if avgRange.MapValue(flat, r) == avgRange.MapValue(ramp, r) {
+		t.Error("avg+range merged flat and ramp")
+	}
+	if minMax.MapValue(flat, r) == minMax.MapValue(ramp, r) {
+		t.Error("min+max merged flat and ramp")
+	}
+	if avgOnly.MapValue(flat, r) != avgOnly.MapValue(ramp, r) {
+		t.Error("avg-only separated blocks with identical means")
+	}
+
+	// Similar blocks still merge under every hash (avg-only has finer bins
+	// because the whole budget goes to one hash, so use a perturbation well
+	// under 100/2^21).
+	near := blockOf(memdata.F32, 50.00001)
+	for _, s := range []MapSpec{avgRange, avgOnly, minMax} {
+		if s.MapValue(flat, r) != s.MapValue(near, r) {
+			t.Errorf("%v split nearly identical blocks", s.Hash)
+		}
+	}
+}
+
+func TestHashKindString(t *testing.T) {
+	if HashAvgRange.String() != "avg+range" || HashAvgOnly.String() != "avg-only" || HashMinMax.String() != "min+max" {
+		t.Error("hash names wrong")
+	}
+}

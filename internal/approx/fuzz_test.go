@@ -1,0 +1,54 @@
+package approx
+
+import (
+	"math"
+	"testing"
+
+	"doppelganger/internal/memdata"
+)
+
+// FuzzMapValue feeds arbitrary block payloads (including NaN/Inf bit
+// patterns in float regions) through map generation for every hash kind and
+// element type: the map must always fit its declared bit budget and never
+// panic.
+func FuzzMapValue(f *testing.F) {
+	f.Add([]byte{0}, uint8(0), uint8(0))
+	f.Add([]byte{0xFF, 0x00, 0x7F, 0xC0}, uint8(2), uint8(1))
+	f.Fuzz(func(t *testing.T, raw []byte, typRaw, hashRaw uint8) {
+		var b memdata.Block
+		copy(b[:], raw)
+		typ := memdata.ElemType(typRaw % 4)
+		hash := HashKind(hashRaw % 3)
+		for _, m := range []int{8, 12, 14, 21} {
+			spec := MapSpec{M: m, Hash: hash}
+			r := &Region{Name: "f", Start: 0, End: 1 << 20, Type: typ, Min: -50, Max: 150}
+			v := spec.MapValue(&b, r)
+			if bits := spec.TotalBits(typ); bits < 32 && v>>uint(bits) != 0 {
+				t.Fatalf("map %#x exceeds %d bits (M=%d, %v, %v)", v, bits, m, typ, hash)
+			}
+			// Determinism.
+			if spec.MapValue(&b, r) != v {
+				t.Fatal("map generation nondeterministic")
+			}
+		}
+	})
+}
+
+// FuzzSimilarityConsistency: exact equality implies similarity at any T, and
+// similarity at T implies similarity at any larger T.
+func FuzzSimilarityConsistency(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, []byte{1, 2, 4}, uint8(10))
+	f.Fuzz(func(t *testing.T, rawA, rawB []byte, tRaw uint8) {
+		var a, b memdata.Block
+		copy(a[:], rawA)
+		copy(b[:], rawB)
+		r := &Region{Name: "f", Start: 0, End: 1 << 20, Type: memdata.U8, Min: 0, Max: 255}
+		th := float64(tRaw) / 255
+		if !SimilarWithin(&a, &a, r, 0) {
+			t.Fatal("block dissimilar to itself at T=0")
+		}
+		if SimilarWithin(&a, &b, r, th) && !SimilarWithin(&a, &b, r, math.Min(1, th*2)) {
+			t.Fatal("similarity not monotone in T")
+		}
+	})
+}

@@ -1,0 +1,197 @@
+package approx
+
+import (
+	"fmt"
+	"math"
+
+	"doppelganger/internal/memdata"
+)
+
+// HashKind selects the pair of block hash functions feeding the map. The
+// paper implements average+range and leaves other hash functions to future
+// work (§3.7); the alternatives here implement that exploration.
+type HashKind uint8
+
+// The implemented hash-function pairs.
+const (
+	// HashAvgRange is the paper's choice: element average (lower map bits)
+	// and element range (upper bits).
+	HashAvgRange HashKind = iota
+	// HashAvgOnly uses only the average, widened to the full map budget.
+	// Cheaper hardware, but cannot tell a flat block from a ramp with the
+	// same mean (see BenchmarkAblationHash).
+	HashAvgOnly
+	// HashMinMax hashes the block's minimum and maximum elements — an
+	// equivalent-cost alternative that distinguishes one-sided outliers
+	// better than average+range.
+	HashMinMax
+)
+
+// String names the hash pair.
+func (h HashKind) String() string {
+	switch h {
+	case HashAvgRange:
+		return "avg+range"
+	case HashAvgOnly:
+		return "avg-only"
+	case HashMinMax:
+		return "min+max"
+	}
+	return fmt.Sprintf("HashKind(%d)", uint8(h))
+}
+
+// MapSpec fixes the size of the Doppelgänger map space, the design-time knob
+// of §3.7. M is the paper's "M-bit map space" (12, 13 or 14 in the
+// evaluation). The full map value concatenates the M-bit primary map with
+// the ⌈M/2⌉ high-order bits of the secondary map (§3.7 and its footnote),
+// which is why Table 3 lists a 21-bit map field for the 14-bit
+// configuration. Hash selects the hash-function pair (zero value: the
+// paper's average+range).
+type MapSpec struct {
+	M    int
+	Hash HashKind
+}
+
+// AvgBits returns the number of map bits contributed by the average hash
+// for elements of type t. Per §3.7, when M exceeds the element width the
+// mapping step is skipped and the hash itself is used, so the contribution
+// is capped at the element width.
+func (s MapSpec) AvgBits(t memdata.ElemType) int {
+	return minInt(s.M, t.Bits())
+}
+
+// RangeBits returns the number of map bits contributed by the range hash:
+// the ⌈M/2⌉ high-order bits of the M-bit range map, again capped at the
+// element width.
+func (s MapSpec) RangeBits(t memdata.ElemType) int {
+	return minInt((s.M+1)/2, t.Bits())
+}
+
+// TotalBits returns the width of the concatenated map value for elements of
+// type t. For floating-point elements at M=14 this is 21 bits (Table 3).
+func (s MapSpec) TotalBits(t memdata.ElemType) int {
+	return s.AvgBits(t) + s.RangeBits(t)
+}
+
+// MapValue computes the Doppelgänger map for a block interpreted under
+// region r: the two-step hash-then-map process of §3.7.
+//
+// Step 1 (hash): two hash values are computed from the block's elements
+// after clamping each into the region's declared [Min, Max] — by default
+// the average and the range (max − min).
+//
+// Step 2 (map): each hash is linearly binned — the primary into 2^AvgBits
+// equally spaced bins over its domain, the secondary into 2^RangeBits bins.
+// The secondary map forms the upper bits and the primary map the lower bits
+// of the returned value.
+func (s MapSpec) MapValue(b *memdata.Block, r *Region) uint32 {
+	avg, rng, lo, hi := blockStats(b, r)
+	avgBits := s.AvgBits(r.Type)
+	rngBits := s.RangeBits(r.Type)
+
+	if s.Hash == HashAvgOnly {
+		// The whole map budget goes to a finer-grained average map.
+		if s.M >= r.Type.Bits() && isIntegral(r.Type) {
+			return uint32(math.Round(avg - r.Min))
+		}
+		return linearMap(avg, r.Min, r.Max, avgBits+rngBits)
+	}
+
+	// Select the hash pair and its domains.
+	var h1, h2, h1lo, h1hi, h2lo, h2hi float64
+	switch s.Hash {
+	case HashMinMax:
+		h1, h1lo, h1hi = lo, r.Min, r.Max
+		h2, h2lo, h2hi = hi, r.Min, r.Max
+	default: // HashAvgRange
+		h1, h1lo, h1hi = avg, r.Min, r.Max
+		h2, h2lo, h2hi = rng, 0, r.Max-r.Min
+	}
+
+	var m1, m2 uint32
+	if s.M >= r.Type.Bits() && isIntegral(r.Type) {
+		// Mapping step omitted: the hash itself (an integral value no wider
+		// than the map space) is the map, avoiding always-zero low bits and
+		// the resulting set conflicts (§3.7).
+		m1 = uint32(math.Round(h1 - h1lo))
+	} else {
+		m1 = linearMap(h1, h1lo, h1hi, avgBits)
+	}
+	if (s.M+1)/2 >= r.Type.Bits() && isIntegral(r.Type) {
+		m2 = uint32(math.Round(h2 - h2lo))
+	} else {
+		m2 = linearMap(h2, h2lo, h2hi, rngBits)
+	}
+	return m2<<uint(avgBits) | m1
+}
+
+// BlockHashes computes the paper's two hash-function outputs (§3.7) for a
+// block: the average of its elements and their range, with each element
+// clamped to the region's declared bounds first.
+func BlockHashes(b *memdata.Block, r *Region) (avg, rng float64) {
+	avg, rng, _, _ = blockStats(b, r)
+	return avg, rng
+}
+
+// blockStats computes average, range, min and max of the clamped elements.
+func blockStats(b *memdata.Block, r *Region) (avg, rng, lo, hi float64) {
+	n := r.Type.PerBlock()
+	sum := 0.0
+	lo = math.Inf(1)
+	hi = math.Inf(-1)
+	for i := 0; i < n; i++ {
+		v := r.Clamp(sanitize(b.Elem(r.Type, i), r))
+		sum += v
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return sum / float64(n), hi - lo, lo, hi
+}
+
+// linearMap bins h into 2^bits equally spaced bins over [lo, hi]: lo maps to
+// bin 0 and hi to bin 2^bits − 1 (§3.7, Fig. 6b).
+func linearMap(h, lo, hi float64, bits int) uint32 {
+	if bits <= 0 || hi <= lo {
+		return 0
+	}
+	if bits > 32 {
+		bits = 32
+	}
+	bins := uint64(1) << uint(bits)
+	frac := (h - lo) / (hi - lo)
+	m := uint64(frac * float64(bins))
+	if m >= bins {
+		m = bins - 1
+	}
+	return uint32(m)
+}
+
+// sanitize guards the hash computation against NaN/Inf payloads (possible in
+// float regions before initialization); they clamp to the region minimum.
+func sanitize(v float64, r *Region) float64 {
+	if math.IsNaN(v) {
+		return r.Min
+	}
+	if math.IsInf(v, 1) {
+		return r.Max
+	}
+	if math.IsInf(v, -1) {
+		return r.Min
+	}
+	return v
+}
+
+func isIntegral(t memdata.ElemType) bool {
+	return t == memdata.U8 || t == memdata.I32
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,123 @@
+// Package approx implements the programmer-facing approximation contract of
+// the Doppelgänger paper: annotated address regions that may be approximated
+// (with declared element type and expected value range, §4.1), the
+// average/range hash functions and the linear mapping into the M-bit map
+// space that together generate Doppelgänger map values (§3.7), and the
+// element-wise approximate-similarity predicate used by the paper's
+// characterization study (§2).
+package approx
+
+import (
+	"fmt"
+	"sort"
+
+	"doppelganger/internal/memdata"
+)
+
+// Region is one programmer annotation: a contiguous range of physical
+// addresses holding approximable data of a single element type, together
+// with the expected minimum and maximum element values. Runtime values
+// outside [Min, Max] are clamped during hashing, as §4.1 prescribes.
+type Region struct {
+	Name  string
+	Start memdata.Addr // inclusive, block aligned
+	End   memdata.Addr // exclusive, block aligned
+	Type  memdata.ElemType
+	Min   float64
+	Max   float64
+}
+
+// Contains reports whether addr falls inside the region.
+func (r *Region) Contains(addr memdata.Addr) bool {
+	return addr >= r.Start && addr < r.End
+}
+
+// Bytes returns the region size in bytes.
+func (r *Region) Bytes() int { return int(r.End - r.Start) }
+
+// Clamp restricts v to the declared [Min, Max] range.
+func (r *Region) Clamp(v float64) float64 {
+	if v < r.Min {
+		return r.Min
+	}
+	if v > r.Max {
+		return r.Max
+	}
+	return v
+}
+
+// Annotations is the set of approximate regions declared by a workload. The
+// paper assumes this information is sent to the LLC once at program start
+// and buffered there (§3.7 footnote, §4.1); Annotations plays that role for
+// both simulators.
+type Annotations struct {
+	regions []Region // sorted by Start, non-overlapping
+}
+
+// NewAnnotations builds an annotation set, validating that regions are block
+// aligned and non-overlapping (approximate data is steered to the
+// Doppelgänger cache at block granularity, so a block cannot be half
+// approximate).
+func NewAnnotations(regions ...Region) (*Annotations, error) {
+	rs := make([]Region, len(regions))
+	copy(rs, regions)
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Start < rs[j].Start })
+	for i := range rs {
+		r := &rs[i]
+		if r.Start%memdata.BlockSize != 0 || r.End%memdata.BlockSize != 0 {
+			return nil, fmt.Errorf("approx: region %q [%v, %v) is not block aligned", r.Name, r.Start, r.End)
+		}
+		if r.End <= r.Start {
+			return nil, fmt.Errorf("approx: region %q is empty or inverted", r.Name)
+		}
+		if r.Max < r.Min {
+			return nil, fmt.Errorf("approx: region %q has Max < Min", r.Name)
+		}
+		if i > 0 && r.Start < rs[i-1].End {
+			return nil, fmt.Errorf("approx: regions %q and %q overlap", rs[i-1].Name, r.Name)
+		}
+	}
+	return &Annotations{regions: rs}, nil
+}
+
+// MustAnnotations is NewAnnotations but panics on error; used by workloads
+// whose layouts are fixed at compile time.
+func MustAnnotations(regions ...Region) *Annotations {
+	a, err := NewAnnotations(regions...)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Lookup returns the region containing addr, or nil if addr is precise.
+func (a *Annotations) Lookup(addr memdata.Addr) *Region {
+	if a == nil {
+		return nil
+	}
+	i := sort.Search(len(a.regions), func(i int) bool { return a.regions[i].End > addr })
+	if i < len(a.regions) && a.regions[i].Contains(addr) {
+		return &a.regions[i]
+	}
+	return nil
+}
+
+// Approximate reports whether addr lies in any annotated region.
+func (a *Annotations) Approximate(addr memdata.Addr) bool { return a.Lookup(addr) != nil }
+
+// Regions returns the annotated regions in address order.
+func (a *Annotations) Regions() []Region {
+	if a == nil {
+		return nil
+	}
+	return a.regions
+}
+
+// ApproxBytes is the total annotated footprint in bytes.
+func (a *Annotations) ApproxBytes() int {
+	total := 0
+	for i := range a.regions {
+		total += a.regions[i].Bytes()
+	}
+	return total
+}

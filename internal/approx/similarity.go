@@ -1,0 +1,52 @@
+package approx
+
+import (
+	"math"
+
+	"doppelganger/internal/memdata"
+)
+
+// SimilarWithin implements the paper's §2 definition of approximate
+// similarity: two blocks are approximately similar under threshold T if each
+// and every element of one block is within T of its corresponding element in
+// the other, where T is expressed as a fraction of the region's declared
+// value range (e.g. T = 0.01 means 1% of Max−Min).
+//
+// T = 0 degenerates to exact element-wise equality, matching the paper's
+// observation that precise representation shows almost no redundancy.
+func SimilarWithin(a, b *memdata.Block, r *Region, t float64) bool {
+	tol := t * (r.Max - r.Min)
+	n := r.Type.PerBlock()
+	for i := 0; i < n; i++ {
+		va := r.Clamp(sanitize(a.Elem(r.Type, i), r))
+		vb := r.Clamp(sanitize(b.Elem(r.Type, i), r))
+		if math.Abs(va-vb) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// GreedySimilarityGroups partitions blocks into groups of mutually
+// approximately similar blocks using a greedy first-fit pass: each block
+// joins the first existing group whose representative it is similar to, else
+// it founds a new group. The number of groups is the number of data entries
+// a threshold-T similarity cache would need, and 1 − groups/blocks is the
+// storage savings reported in Fig. 2.
+//
+// Blocks must all belong to regions with identical Type/Min/Max semantics;
+// the caller groups per region class. The return value is the number of
+// groups (representatives).
+func GreedySimilarityGroups(blocks []*memdata.Block, r *Region, t float64) int {
+	var reps []*memdata.Block
+outer:
+	for _, b := range blocks {
+		for _, rep := range reps {
+			if SimilarWithin(b, rep, r, t) {
+				continue outer
+			}
+		}
+		reps = append(reps, b)
+	}
+	return len(reps)
+}

@@ -1,0 +1,280 @@
+// Package bdi implements Base-Delta-Immediate (BΔI) cache compression
+// (Pekhimenko et al., PACT 2012), the lossless comparator the Doppelgänger
+// paper evaluates against in §5.1/Fig. 8.
+//
+// A 64-byte block is compressed with the best of: all-zeros, repeated
+// 8-byte value, and the six base+delta schemes (8-byte base with 1/2/4-byte
+// deltas, 4-byte base with 1/2-byte deltas, 2-byte base with 1-byte deltas).
+// Each base+delta scheme carries an "immediate" mask: every word is encoded
+// as a narrow delta from either the block's base or from zero, which is what
+// the ∆I in BΔI adds over plain base+delta.
+package bdi
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"doppelganger/internal/memdata"
+)
+
+// Scheme identifies one BΔI encoding.
+type Scheme uint8
+
+// The BΔI schemes in preference order is not fixed; Compress picks the
+// smallest applicable encoding.
+const (
+	Uncompressed Scheme = iota
+	Zeros
+	Repeat
+	B8D1
+	B8D2
+	B8D4
+	B4D1
+	B4D2
+	B2D1
+	numSchemes
+)
+
+// String names the scheme as in the BΔI paper.
+func (s Scheme) String() string {
+	switch s {
+	case Uncompressed:
+		return "uncompressed"
+	case Zeros:
+		return "zeros"
+	case Repeat:
+		return "rep"
+	case B8D1:
+		return "base8-d1"
+	case B8D2:
+		return "base8-d2"
+	case B8D4:
+		return "base8-d4"
+	case B4D1:
+		return "base4-d1"
+	case B4D2:
+		return "base4-d2"
+	case B2D1:
+		return "base2-d1"
+	}
+	return fmt.Sprintf("Scheme(%d)", uint8(s))
+}
+
+type geometry struct {
+	baseBytes  int
+	deltaBytes int
+}
+
+func (s Scheme) geom() (geometry, bool) {
+	switch s {
+	case B8D1:
+		return geometry{8, 1}, true
+	case B8D2:
+		return geometry{8, 2}, true
+	case B8D4:
+		return geometry{8, 4}, true
+	case B4D1:
+		return geometry{4, 1}, true
+	case B4D2:
+		return geometry{4, 2}, true
+	case B2D1:
+		return geometry{2, 1}, true
+	}
+	return geometry{}, false
+}
+
+// PayloadSize returns the compressed payload size in bytes for the scheme
+// (base + immediate mask + deltas; 1 byte for Zeros, 8 for Repeat, 64 for
+// Uncompressed). This is the size the storage-savings analysis charges.
+func (s Scheme) PayloadSize() int {
+	switch s {
+	case Uncompressed:
+		return memdata.BlockSize
+	case Zeros:
+		return 1
+	case Repeat:
+		return 8
+	}
+	g, _ := s.geom()
+	words := memdata.BlockSize / g.baseBytes
+	return g.baseBytes + words/8 + words*g.deltaBytes
+}
+
+// Compressed is an encoded block.
+type Compressed struct {
+	Scheme  Scheme
+	Payload []byte
+}
+
+// Size returns the payload size in bytes.
+func (c Compressed) Size() int { return len(c.Payload) }
+
+// Compress encodes the block with the smallest applicable scheme.
+func Compress(b *memdata.Block) Compressed {
+	best := Compressed{Scheme: Uncompressed, Payload: append([]byte(nil), b[:]...)}
+	for s := Zeros; s < numSchemes; s++ {
+		if p, ok := tryScheme(b, s); ok && len(p) < best.Size() {
+			best = Compressed{Scheme: s, Payload: p}
+		}
+	}
+	return best
+}
+
+// CompressedSize returns the best payload size without materializing it.
+func CompressedSize(b *memdata.Block) int {
+	best := memdata.BlockSize
+	for s := Zeros; s < numSchemes; s++ {
+		if sz := s.PayloadSize(); sz < best {
+			if _, ok := tryScheme(b, s); ok {
+				best = sz
+			}
+		}
+	}
+	return best
+}
+
+func tryScheme(b *memdata.Block, s Scheme) ([]byte, bool) {
+	switch s {
+	case Zeros:
+		for _, v := range b {
+			if v != 0 {
+				return nil, false
+			}
+		}
+		return []byte{0}, true
+	case Repeat:
+		first := binary.LittleEndian.Uint64(b[0:8])
+		for i := 8; i < memdata.BlockSize; i += 8 {
+			if binary.LittleEndian.Uint64(b[i:]) != first {
+				return nil, false
+			}
+		}
+		p := make([]byte, 8)
+		binary.LittleEndian.PutUint64(p, first)
+		return p, true
+	}
+	g, ok := s.geom()
+	if !ok {
+		return nil, false
+	}
+	return tryBaseDelta(b, g)
+}
+
+// tryBaseDelta attempts a base+delta+immediate encoding. The base is the
+// first word that does not itself fit as an immediate (delta from zero); if
+// every word is an immediate the base is that first word anyway.
+func tryBaseDelta(b *memdata.Block, g geometry) ([]byte, bool) {
+	words := memdata.BlockSize / g.baseBytes
+	vals := make([]int64, words)
+	for i := 0; i < words; i++ {
+		vals[i] = readWord(b[i*g.baseBytes:], g.baseBytes)
+	}
+	base := vals[0]
+	for _, v := range vals {
+		if !fitsDelta(v, g.deltaBytes) { // not representable from zero
+			base = v
+			break
+		}
+	}
+	mask := make([]byte, (words+7)/8)
+	deltas := make([]int64, words)
+	for i, v := range vals {
+		switch {
+		case fitsDelta(v-base, g.deltaBytes):
+			mask[i/8] |= 1 << uint(i%8)
+			deltas[i] = v - base
+		case fitsDelta(v, g.deltaBytes):
+			deltas[i] = v // immediate: delta from zero
+		default:
+			return nil, false
+		}
+	}
+	p := make([]byte, 0, g.baseBytes+len(mask)+words*g.deltaBytes)
+	p = appendWord(p, base, g.baseBytes)
+	p = append(p, mask...)
+	for _, d := range deltas {
+		p = appendWord(p, d, g.deltaBytes)
+	}
+	return p, true
+}
+
+// Decompress reconstructs the original block; BΔI is lossless.
+func Decompress(c Compressed) (*memdata.Block, error) {
+	b := new(memdata.Block)
+	switch c.Scheme {
+	case Uncompressed:
+		if len(c.Payload) != memdata.BlockSize {
+			return nil, fmt.Errorf("bdi: bad uncompressed payload size %d", len(c.Payload))
+		}
+		copy(b[:], c.Payload)
+		return b, nil
+	case Zeros:
+		return b, nil
+	case Repeat:
+		if len(c.Payload) != 8 {
+			return nil, fmt.Errorf("bdi: bad repeat payload size %d", len(c.Payload))
+		}
+		v := binary.LittleEndian.Uint64(c.Payload)
+		for i := 0; i < memdata.BlockSize; i += 8 {
+			binary.LittleEndian.PutUint64(b[i:], v)
+		}
+		return b, nil
+	}
+	g, ok := c.Scheme.geom()
+	if !ok {
+		return nil, fmt.Errorf("bdi: unknown scheme %v", c.Scheme)
+	}
+	words := memdata.BlockSize / g.baseBytes
+	want := g.baseBytes + (words+7)/8 + words*g.deltaBytes
+	if len(c.Payload) != want {
+		return nil, fmt.Errorf("bdi: scheme %v payload size %d, want %d", c.Scheme, len(c.Payload), want)
+	}
+	base := readWord(c.Payload, g.baseBytes)
+	mask := c.Payload[g.baseBytes : g.baseBytes+(words+7)/8]
+	dp := c.Payload[g.baseBytes+len(mask):]
+	for i := 0; i < words; i++ {
+		d := readSignedWord(dp[i*g.deltaBytes:], g.deltaBytes)
+		v := d
+		if mask[i/8]&(1<<uint(i%8)) != 0 {
+			v = base + d
+		}
+		writeWord(b[i*g.baseBytes:], v, g.baseBytes)
+	}
+	return b, nil
+}
+
+func fitsDelta(v int64, deltaBytes int) bool {
+	shift := uint(deltaBytes*8 - 1)
+	lo := -(int64(1) << shift)
+	hi := int64(1)<<shift - 1
+	return v >= lo && v <= hi
+}
+
+// readWord reads an unsigned little-endian word of n bytes as int64 (the
+// value domain for base/delta arithmetic; wraparound is handled by the
+// signed delta check).
+func readWord(p []byte, n int) int64 {
+	var v uint64
+	for i := 0; i < n; i++ {
+		v |= uint64(p[i]) << uint(8*i)
+	}
+	// Sign-extend so deltas between nearby negative integers stay small.
+	shift := uint(64 - 8*n)
+	return int64(v<<shift) >> shift
+}
+
+// readSignedWord reads a sign-extended little-endian word of n bytes.
+func readSignedWord(p []byte, n int) int64 { return readWord(p, n) }
+
+func appendWord(p []byte, v int64, n int) []byte {
+	for i := 0; i < n; i++ {
+		p = append(p, byte(uint64(v)>>uint(8*i)))
+	}
+	return p
+}
+
+func writeWord(p []byte, v int64, n int) {
+	for i := 0; i < n; i++ {
+		p[i] = byte(uint64(v) >> uint(8*i))
+	}
+}

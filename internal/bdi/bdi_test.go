@@ -1,0 +1,195 @@
+package bdi
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"doppelganger/internal/memdata"
+)
+
+func blockFromU64(vals ...uint64) *memdata.Block {
+	b := new(memdata.Block)
+	for i := 0; i < 8; i++ {
+		binary.LittleEndian.PutUint64(b[i*8:], vals[i%len(vals)])
+	}
+	return b
+}
+
+func TestZerosScheme(t *testing.T) {
+	c := Compress(new(memdata.Block))
+	if c.Scheme != Zeros || c.Size() != 1 {
+		t.Fatalf("zero block: %v size %d", c.Scheme, c.Size())
+	}
+	d, err := Decompress(c)
+	if err != nil || *d != (memdata.Block{}) {
+		t.Fatalf("roundtrip: %v", err)
+	}
+}
+
+func TestRepeatScheme(t *testing.T) {
+	b := blockFromU64(0xDEADBEEF12345678)
+	c := Compress(b)
+	if c.Scheme != Repeat || c.Size() != 8 {
+		t.Fatalf("repeat block: %v size %d", c.Scheme, c.Size())
+	}
+	d, err := Decompress(c)
+	if err != nil || *d != *b {
+		t.Fatalf("roundtrip failed: %v", err)
+	}
+}
+
+func TestBase8Delta1(t *testing.T) {
+	base := uint64(0x1000_0000_0000)
+	b := blockFromU64(base, base+1, base+5, base-3, base+100, base-100, base+7, base)
+	c := Compress(b)
+	if c.Scheme != B8D1 {
+		t.Fatalf("scheme = %v", c.Scheme)
+	}
+	if want := 8 + 1 + 8; c.Size() != want {
+		t.Fatalf("size = %d, want %d", c.Size(), want)
+	}
+	d, err := Decompress(c)
+	if err != nil || *d != *b {
+		t.Fatalf("roundtrip failed: %v", err)
+	}
+}
+
+func TestImmediates(t *testing.T) {
+	// Words near a large base mixed with words near zero: classic BΔI case
+	// (pointers interleaved with small integers).
+	base := uint64(0x7FFF_0000_1234_0000)
+	b := blockFromU64(base, 3, base+20, 0, base-7, 100, base+1, 50)
+	c := Compress(b)
+	if c.Scheme != B8D1 {
+		t.Fatalf("scheme = %v, want base8-d1 with immediates", c.Scheme)
+	}
+	d, err := Decompress(c)
+	if err != nil || *d != *b {
+		t.Fatalf("roundtrip failed: %v", err)
+	}
+}
+
+func TestBase4Delta1(t *testing.T) {
+	// 16 int32 words near a common value: should use the 4-byte base.
+	b := new(memdata.Block)
+	for i := 0; i < 16; i++ {
+		binary.LittleEndian.PutUint32(b[i*4:], uint32(1_000_000+i*3))
+	}
+	c := Compress(b)
+	if c.Scheme != B4D1 {
+		t.Fatalf("scheme = %v, want base4-d1", c.Scheme)
+	}
+	if want := 4 + 2 + 16; c.Size() != want {
+		t.Fatalf("size = %d, want %d", c.Size(), want)
+	}
+	d, err := Decompress(c)
+	if err != nil || *d != *b {
+		t.Fatalf("roundtrip failed: %v", err)
+	}
+}
+
+func TestIncompressibleRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	b := new(memdata.Block)
+	for i := range b {
+		b[i] = byte(rng.Intn(256))
+	}
+	c := Compress(b)
+	if c.Scheme != Uncompressed && c.Size() >= memdata.BlockSize {
+		t.Fatalf("scheme %v with size %d", c.Scheme, c.Size())
+	}
+	d, err := Decompress(c)
+	if err != nil || *d != *b {
+		t.Fatalf("roundtrip failed: %v", err)
+	}
+}
+
+// TestRoundTripProperty: every block decompresses back to itself — BΔI is
+// lossless by construction.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(raw [64]byte) bool {
+		b := memdata.Block(raw)
+		c := Compress(&b)
+		d, err := Decompress(c)
+		return err == nil && *d == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCompressedSizeMatchesCompress: the fast size probe must agree with
+// the real encoder.
+func TestCompressedSizeMatchesCompress(t *testing.T) {
+	f := func(raw [64]byte, mode uint8) bool {
+		b := memdata.Block(raw)
+		switch mode % 3 {
+		case 1: // bias toward compressible: quantize to a small delta range
+			for i := 0; i < 64; i += 4 {
+				binary.LittleEndian.PutUint32(b[i:], 5000+uint32(b[i])%64)
+			}
+		case 2:
+			for i := range b {
+				b[i] = 0
+			}
+		}
+		return CompressedSize(&b) == Compress(&b).Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSizeNeverExceedsBlock(t *testing.T) {
+	f := func(raw [64]byte) bool {
+		b := memdata.Block(raw)
+		return CompressedSize(&b) <= memdata.BlockSize && CompressedSize(&b) >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPayloadSizes(t *testing.T) {
+	// The canonical BΔI compressed sizes for 64-byte lines (with the
+	// immediate mask included).
+	want := map[Scheme]int{
+		Zeros: 1, Repeat: 8,
+		B8D1: 17, B8D2: 25, B8D4: 41,
+		B4D1: 22, B4D2: 38,
+		B2D1:         38,
+		Uncompressed: 64,
+	}
+	for s, w := range want {
+		if got := s.PayloadSize(); got != w {
+			t.Errorf("%v payload = %d, want %d", s, got, w)
+		}
+	}
+}
+
+func TestDecompressRejectsCorruptPayloads(t *testing.T) {
+	if _, err := Decompress(Compressed{Scheme: Repeat, Payload: []byte{1, 2}}); err == nil {
+		t.Error("short repeat payload accepted")
+	}
+	if _, err := Decompress(Compressed{Scheme: B8D1, Payload: make([]byte, 3)}); err == nil {
+		t.Error("short base-delta payload accepted")
+	}
+	if _, err := Decompress(Compressed{Scheme: Scheme(200), Payload: nil}); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+func TestFloatDataCompressesPoorly(t *testing.T) {
+	// The paper notes BΔI is less effective on floating-point values: the
+	// exponent/mantissa split defeats word deltas.
+	rng := rand.New(rand.NewSource(7))
+	b := new(memdata.Block)
+	for i := 0; i < 16; i++ {
+		b.SetElem(memdata.F32, i, 100+50*rng.Float64())
+	}
+	if sz := CompressedSize(b); sz < memdata.BlockSize/2 {
+		t.Errorf("random floats compressed to %d bytes; expected poor compression", sz)
+	}
+}

@@ -1,0 +1,53 @@
+package bdi
+
+import (
+	"bytes"
+	"testing"
+
+	"doppelganger/internal/memdata"
+)
+
+// FuzzRoundTrip drives the encoder/decoder with arbitrary block payloads:
+// compression must never lose data and never exceed the block size.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(bytes.Repeat([]byte{0}, 64))
+	f.Add(bytes.Repeat([]byte{0xAB}, 64))
+	f.Add([]byte("the quick brown fox jumps over the lazy dog, twice over!!padpad."))
+	seed := make([]byte, 64)
+	for i := range seed {
+		seed[i] = byte(i * 7)
+	}
+	f.Add(seed)
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		var b memdata.Block
+		copy(b[:], raw)
+		c := Compress(&b)
+		if c.Size() > memdata.BlockSize {
+			t.Fatalf("compressed to %d bytes", c.Size())
+		}
+		if got := CompressedSize(&b); got != c.Size() {
+			t.Fatalf("CompressedSize %d != Compress %d", got, c.Size())
+		}
+		d, err := Decompress(c)
+		if err != nil {
+			t.Fatalf("decompress: %v", err)
+		}
+		if *d != b {
+			t.Fatalf("roundtrip mismatch (scheme %v)", c.Scheme)
+		}
+	})
+}
+
+// FuzzDecompressRobustness feeds arbitrary payloads to the decoder: it may
+// reject them but must never panic or return an over-long block.
+func FuzzDecompressRobustness(f *testing.F) {
+	f.Add(uint8(3), []byte{1, 2, 3})
+	f.Add(uint8(1), []byte{})
+	f.Fuzz(func(t *testing.T, scheme uint8, payload []byte) {
+		d, err := Decompress(Compressed{Scheme: Scheme(scheme), Payload: payload})
+		if err == nil && d == nil {
+			t.Fatal("nil block without error")
+		}
+	})
+}

@@ -1,0 +1,76 @@
+// Package coherence defines the MSI protocol vocabulary shared by the
+// functional and timing simulators. The paper's system keeps a directory at
+// the LLC with full-map sharer vectors and maintains coherence state on a
+// per-tag basis in the Doppelgänger cache (§3.6); this package provides the
+// state machine types, while the simulators drive the transitions.
+package coherence
+
+import "fmt"
+
+// State is an MSI coherence state.
+type State uint8
+
+// The three MSI states.
+const (
+	Invalid State = iota
+	Shared
+	Modified
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Modified:
+		return "M"
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// SharerSet is a full-map bit vector of private caches holding a block, as
+// in the paper's Table 3 ("full-map vector", 4 bits for the 4-core CMP).
+type SharerSet uint16
+
+// Add marks core as a sharer.
+func (s SharerSet) Add(core int) SharerSet { return s | 1<<uint(core) }
+
+// Remove clears core from the set.
+func (s SharerSet) Remove(core int) SharerSet { return s &^ (1 << uint(core)) }
+
+// Has reports whether core is a sharer.
+func (s SharerSet) Has(core int) bool { return s&(1<<uint(core)) != 0 }
+
+// Count returns the number of sharers.
+func (s SharerSet) Count() int {
+	n := 0
+	for v := s; v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+// Only reports whether core is the single sharer.
+func (s SharerSet) Only(core int) bool { return s == 1<<uint(core) }
+
+// Empty reports whether no private cache holds the block.
+func (s SharerSet) Empty() bool { return s == 0 }
+
+// ForEach invokes fn for every sharer, lowest core id first.
+func (s SharerSet) ForEach(n int, fn func(core int)) {
+	for c := 0; c < n; c++ {
+		if s.Has(c) {
+			fn(c)
+		}
+	}
+}
+
+// Line is the directory view of one cached block: its MSI state and which
+// private caches hold it. Owner is meaningful only in Modified state.
+type Line struct {
+	State   State
+	Sharers SharerSet
+	Owner   int8
+}

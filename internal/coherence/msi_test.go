@@ -1,0 +1,80 @@
+package coherence
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStateString(t *testing.T) {
+	if Invalid.String() != "I" || Shared.String() != "S" || Modified.String() != "M" {
+		t.Error("state names wrong")
+	}
+}
+
+func TestSharerSetBasics(t *testing.T) {
+	var s SharerSet
+	if !s.Empty() {
+		t.Error("zero set not empty")
+	}
+	s = s.Add(2)
+	if !s.Has(2) || s.Has(1) {
+		t.Error("Add/Has wrong")
+	}
+	if !s.Only(2) {
+		t.Error("Only wrong")
+	}
+	s = s.Add(0)
+	if s.Only(2) || s.Count() != 2 {
+		t.Error("Count/Only after second add wrong")
+	}
+	s = s.Remove(2)
+	if s.Has(2) || !s.Has(0) {
+		t.Error("Remove wrong")
+	}
+	s = s.Remove(2) // idempotent
+	if s.Count() != 1 {
+		t.Error("double remove changed set")
+	}
+}
+
+func TestSharerSetForEachOrder(t *testing.T) {
+	s := SharerSet(0).Add(3).Add(0).Add(1)
+	var got []int
+	s.ForEach(4, func(c int) { got = append(got, c) })
+	want := []int{0, 1, 3}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSharerSetProperties(t *testing.T) {
+	f := func(raw uint16, core uint8) bool {
+		s := SharerSet(raw)
+		c := int(core % 16)
+		added := s.Add(c)
+		removed := added.Remove(c)
+		return added.Has(c) && !removed.Has(c) &&
+			added.Count() >= s.Count() &&
+			s.Remove(c).Add(c) == added
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCountMatchesForEach(t *testing.T) {
+	f := func(raw uint16) bool {
+		s := SharerSet(raw)
+		n := 0
+		s.ForEach(16, func(int) { n++ })
+		return n == s.Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

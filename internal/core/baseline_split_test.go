@@ -1,0 +1,137 @@
+package core
+
+import (
+	"testing"
+
+	"doppelganger/internal/approx"
+	"doppelganger/internal/cache"
+	"doppelganger/internal/memdata"
+)
+
+func baselineSetup() (*Baseline, *memdata.Store) {
+	st := memdata.NewStore()
+	// 8 KB, 4-way: 32 sets.
+	b := NewBaseline(cache.Config{Name: "b", SizeBytes: 8 << 10, Ways: 4}, st, nil)
+	return b, st
+}
+
+func TestBaselineReadMissFetchesMemory(t *testing.T) {
+	b, st := baselineSetup()
+	st.WriteI32(0x1000, 99)
+	data, eff := b.Read(0x1000)
+	if eff.Hit || eff.MemReads != 1 {
+		t.Fatalf("effects: %+v", eff)
+	}
+	if got := data.Elem(memdata.I32, 0); got != 99 {
+		t.Errorf("data = %v", got)
+	}
+	if _, eff := b.Read(0x1000); !eff.Hit {
+		t.Error("re-read missed")
+	}
+}
+
+func TestBaselineWriteBackAndEvict(t *testing.T) {
+	b, st := baselineSetup()
+	b.Read(0x1000)
+	nb := new(memdata.Block)
+	nb.SetElem(memdata.I32, 0, 7)
+	if eff := b.WriteBack(0x1000, nb); !eff.Hit {
+		t.Fatal("writeback missed")
+	}
+	eff := b.EvictFor(0x1000)
+	if len(eff.Evicted) != 1 || !eff.Evicted[0].Dirty || eff.MemWrites != 1 {
+		t.Fatalf("eviction effects: %+v", eff)
+	}
+	if got := st.ReadI32(0x1000); got != 7 {
+		t.Errorf("memory = %d after dirty eviction", got)
+	}
+}
+
+func TestBaselineWriteBackMissGoesToMemory(t *testing.T) {
+	b, st := baselineSetup()
+	nb := new(memdata.Block)
+	nb.SetElem(memdata.I32, 0, 5)
+	eff := b.WriteBack(0x2000, nb)
+	if eff.Hit || eff.MemWrites != 1 {
+		t.Fatalf("effects: %+v", eff)
+	}
+	if st.ReadI32(0x2000) != 5 {
+		t.Error("memory not updated")
+	}
+}
+
+func TestBaselineCapacityEviction(t *testing.T) {
+	b, _ := baselineSetup() // 32 sets × 4 ways; set stride = 32 blocks = 2 KB
+	var evictions int
+	for i := 0; i < 6; i++ {
+		_, eff := b.Read(memdata.Addr(i * 2048)) // all land in set 0
+		evictions += len(eff.Evicted)
+	}
+	if evictions != 2 {
+		t.Errorf("evictions = %d, want 2", evictions)
+	}
+	if b.TagEntries() != 4 || b.DataBlocks() != 4 {
+		t.Errorf("occupancy = %d/%d", b.TagEntries(), b.DataBlocks())
+	}
+}
+
+func splitSetup() (*Split, *memdata.Store, *approx.Annotations) {
+	st := memdata.NewStore()
+	ann := approx.MustAnnotations(approx.Region{
+		Name: "ax", Start: testRegionBase, End: testRegionBase + 1<<16,
+		Type: memdata.F32, Min: 0, Max: 100,
+	})
+	s := MustNewSplit(
+		cache.Config{Name: "precise", SizeBytes: 8 << 10, Ways: 4},
+		smallCfg(), st, ann)
+	return s, st, ann
+}
+
+func TestSplitRouting(t *testing.T) {
+	s, st, _ := splitSetup()
+	fillUniform(st, addrN(0), 42)
+	st.WriteI32(0x4000, 3)
+
+	s.Read(addrN(0)) // approximate: Doppelgänger side
+	s.Read(0x4000)   // precise side
+	if s.Doppel.TagEntries() != 1 {
+		t.Errorf("doppel tags = %d", s.Doppel.TagEntries())
+	}
+	if s.Precise.TagEntries() != 1 {
+		t.Errorf("precise tags = %d", s.Precise.TagEntries())
+	}
+	if !s.Contains(addrN(0)) || !s.Contains(0x4000) || s.Contains(0x9000) {
+		t.Error("Contains routing wrong")
+	}
+	if got := s.TagEntries(); got != 2 {
+		t.Errorf("total tags = %d", got)
+	}
+	snap := s.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot = %d entries", len(snap))
+	}
+}
+
+func TestSplitWriteBackRouting(t *testing.T) {
+	s, st, _ := splitSetup()
+	fillUniform(st, addrN(0), 10)
+	s.Read(addrN(0))
+	b := new(memdata.Block)
+	for i := 0; i < 16; i++ {
+		b.SetElem(memdata.F32, i, 10.0001)
+	}
+	s.WriteBack(addrN(0), b)
+	if s.Doppel.Stats.SilentWrites != 1 {
+		t.Errorf("approx writeback not routed to Doppelgänger: %+v", s.Doppel.Stats)
+	}
+	s.Read(0x4000)
+	s.WriteBack(0x4000, b)
+	if got := s.Precise.Array().Stats.Hits; got != 1 {
+		t.Errorf("precise writeback not routed: hits = %d, want 1", got)
+	}
+	s.EvictFor(addrN(0))
+	s.EvictFor(0x4000)
+	if s.TagEntries() != 0 {
+		t.Errorf("tags after evictions = %d", s.TagEntries())
+	}
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"doppelganger/internal/bdi"
+	"doppelganger/internal/memdata"
+)
+
+// This file implements the Doppelgänger+BΔI combination the paper evaluates
+// analytically in §5.1 (43.9% storage savings) and describes as orthogonal:
+// "compression can be used in conjunction with Doppelgänger to further save
+// space in the data array." With Config.CompressedData set, data array
+// entries hold BΔI-compressed payloads and each data set has a byte budget
+// smaller than its uncompressed capacity; inserting a block that would
+// overflow the budget evicts entries (and their tag lists) until it fits,
+// like segmented compressed caches do.
+
+// compressedSetBudget is the per-set byte budget.
+func (d *Doppelganger) compressedSetBudget() int {
+	frac := d.cfg.CompressBudget
+	return int(float64(d.cfg.DataWays*memdata.BlockSize) * frac)
+}
+
+// payloadOf returns entry de's block data, decompressing when the array is
+// compressed. The returned copy is safe to retain.
+func (d *Doppelganger) payloadOf(de int32) memdata.Block {
+	e := &d.data[de]
+	if !d.cfg.CompressedData {
+		return e.data
+	}
+	blk, err := bdi.Decompress(bdi.Compressed{Scheme: e.scheme, Payload: e.comp})
+	if err != nil {
+		panic("core: corrupt compressed data entry: " + err.Error())
+	}
+	return *blk
+}
+
+// setPayload stores payload into entry de, compressing when enabled and
+// keeping the set's byte usage current. The caller must have ensured the
+// budget accommodates the new size (allocData does).
+func (d *Doppelganger) setPayload(de int32, payload *memdata.Block) {
+	e := &d.data[de]
+	if !d.cfg.CompressedData {
+		e.data = *payload
+		return
+	}
+	set := int(de) / d.cfg.DataWays
+	d.setUsage[set] -= len(e.comp)
+	c := bdi.Compress(payload)
+	e.scheme = c.Scheme
+	e.comp = c.Payload
+	d.setUsage[set] += len(e.comp)
+	d.Stats.CompressedBytes += uint64(len(e.comp))
+	d.Stats.UncompressedBytes += memdata.BlockSize
+}
+
+// clearPayload releases entry de's storage accounting.
+func (d *Doppelganger) clearPayload(de int32) {
+	if !d.cfg.CompressedData {
+		return
+	}
+	e := &d.data[de]
+	set := int(de) / d.cfg.DataWays
+	d.setUsage[set] -= len(e.comp)
+	e.comp = nil
+	e.scheme = bdi.Uncompressed
+}
+
+// ensureBudget evicts valid entries from key's set (per the data
+// replacement policy) until `need` bytes fit within the set budget,
+// skipping entry `keep` (or pass -1). Used before growing an entry or
+// installing a new one.
+func (d *Doppelganger) ensureBudget(key uint32, need int, keep int32, eff *Effects) {
+	if !d.cfg.CompressedData {
+		return
+	}
+	set := int(d.dataSetOf(key))
+	budget := d.compressedSetBudget()
+	for d.setUsage[set]+need > budget {
+		victim := d.budgetVictim(set, keep)
+		if victim < 0 {
+			panic("core: compressed set budget too small for a single block")
+		}
+		d.evictData(victim, eff)
+	}
+}
+
+// budgetVictim picks a valid entry in the set to evict (policy-aware),
+// skipping `keep`.
+func (d *Doppelganger) budgetVictim(set int, keep int32) int32 {
+	base := set * d.cfg.DataWays
+	victim := int32(-1)
+	for w := 0; w < d.cfg.DataWays; w++ {
+		idx := int32(base + w)
+		e := &d.data[idx]
+		if !e.valid || idx == keep {
+			continue
+		}
+		if victim < 0 {
+			victim = idx
+			continue
+		}
+		v := &d.data[victim]
+		switch d.cfg.DataPolicy {
+		case ReplaceTagCountAware:
+			if e.count < v.count || (e.count == v.count && e.lru < v.lru) {
+				victim = idx
+			}
+		default:
+			if e.lru < v.lru {
+				victim = idx
+			}
+		}
+	}
+	return victim
+}
+
+// CompressionRatio reports the achieved compression over all stored
+// payloads (1.0 = incompressible; higher is better). Zero if the array is
+// uncompressed or nothing was stored yet.
+func (d *Doppelganger) CompressionRatio() float64 {
+	if d.Stats.CompressedBytes == 0 {
+		return 0
+	}
+	return float64(d.Stats.UncompressedBytes) / float64(d.Stats.CompressedBytes)
+}

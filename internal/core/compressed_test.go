@@ -1,0 +1,198 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"doppelganger/internal/approx"
+	"doppelganger/internal/memdata"
+)
+
+func compressedCfg() Config {
+	c := smallCfg()
+	c.Name = "compressed-test"
+	c.CompressedData = true
+	c.CompressBudget = 0.5
+	return c
+}
+
+func TestCompressedRoundTrip(t *testing.T) {
+	d, st, _ := testSetup(t, compressedCfg(), 1<<16)
+	fillUniform(st, addrN(0), 42) // uniform: compresses to the repeat scheme
+	data, eff := d.Read(addrN(0))
+	if eff.Hit {
+		t.Fatal("first read hit")
+	}
+	if got := data.Elem(memdata.F32, 5); got != 42 {
+		t.Errorf("forwarded %v", got)
+	}
+	data, eff = d.Read(addrN(0))
+	if !eff.Hit || data.Elem(memdata.F32, 5) != 42 {
+		t.Errorf("hit returned %v (decompression)", data.Elem(memdata.F32, 5))
+	}
+	if d.CompressionRatio() < 2 {
+		t.Errorf("uniform block compression ratio = %v", d.CompressionRatio())
+	}
+	check(t, d)
+}
+
+func TestCompressedSharingStillWorks(t *testing.T) {
+	d, st, _ := testSetup(t, compressedCfg(), 1<<16)
+	fillUniform(st, addrN(0), 42)
+	fillUniform(st, addrN(1), 42.0001)
+	d.Read(addrN(0))
+	d.Read(addrN(1))
+	if d.DataBlocks() != 1 || d.Stats.ReuseLinks != 1 {
+		t.Errorf("occupancy %d, reuse %d", d.DataBlocks(), d.Stats.ReuseLinks)
+	}
+	check(t, d)
+}
+
+// TestCompressedBudgetEviction: filling a set with incompressible blocks
+// must hold fewer entries than the way count, evicting tag lists to stay
+// within the byte budget.
+func TestCompressedBudgetEviction(t *testing.T) {
+	cfg := compressedCfg() // 4 ways/set, budget 2 × 64 B
+	d, st, _ := testSetup(t, cfg, 1<<20)
+	rng := rand.New(rand.NewSource(3))
+	// Incompressible float noise: each block ~64 B compressed.
+	for i := 0; i < 64; i++ {
+		blk := st.Block(addrN(i))
+		for e := 0; e < 16; e++ {
+			blk.SetElem(memdata.F32, e, rng.Float64()*100)
+		}
+		d.Read(addrN(i))
+		check(t, d)
+	}
+	// With a 128 B budget and ~64 B payloads, at most 2 valid entries per
+	// set; 4 sets → at most 8 data blocks.
+	if got := d.DataBlocks(); got > 8 {
+		t.Errorf("data blocks = %d, want ≤ 8 under the byte budget", got)
+	}
+	if d.Stats.DataEvictions == 0 {
+		t.Error("no budget evictions happened")
+	}
+}
+
+// TestCompressedHoldsMoreCompressibleBlocks: compressible payloads fit more
+// entries than incompressible ones in the same budget.
+func TestCompressedHoldsMoreCompressibleBlocks(t *testing.T) {
+	run := func(compressible bool) int {
+		d, st, _ := testSetup(t, compressedCfg(), 1<<20)
+		rng := rand.New(rand.NewSource(4))
+		for i := 0; i < 64; i++ {
+			blk := st.Block(addrN(i))
+			for e := 0; e < 16; e++ {
+				if compressible {
+					blk.SetElem(memdata.F32, e, float64(i)) // uniform per block
+				} else {
+					blk.SetElem(memdata.F32, e, rng.Float64()*100)
+				}
+			}
+			d.Read(addrN(i))
+		}
+		return d.DataBlocks()
+	}
+	c, inc := run(true), run(false)
+	if c <= inc {
+		t.Errorf("compressible blocks resident %d ≤ incompressible %d", c, inc)
+	}
+}
+
+func TestCompressedPreciseWriteGrowth(t *testing.T) {
+	cfg := compressedCfg()
+	cfg.Unified = true
+	d, st, _ := testSetup(t, cfg, 1<<16)
+	// Insert a compressible precise block, then overwrite with noise: the
+	// entry grows and the budget must still hold.
+	st.WriteF32(preciseAddr(0), 7)
+	d.Read(preciseAddr(0))
+	rng := rand.New(rand.NewSource(5))
+	b := new(memdata.Block)
+	for e := 0; e < 16; e++ {
+		b.SetElem(memdata.F32, e, rng.Float64()*1000)
+	}
+	d.WriteBack(preciseAddr(0), b)
+	check(t, d)
+	data, eff := d.Read(preciseAddr(0))
+	if !eff.Hit || data.Elem(memdata.F32, 3) != b.Elem(memdata.F32, 3) {
+		t.Error("precise compressed write lost data")
+	}
+}
+
+// TestCompressedRandomInvariants: random traffic with mixed compressibility
+// keeps all structural and budget invariants.
+func TestCompressedRandomInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		st := memdata.NewStore()
+		ann := approx.MustAnnotations(approx.Region{
+			Name: "data", Start: testRegionBase, End: testRegionBase + 1<<20,
+			Type: memdata.F32, Min: 0, Max: 100,
+		})
+		cfg := compressedCfg()
+		cfg.Unified = true
+		d := MustNew(cfg, st, ann)
+		for op := 0; op < 300; op++ {
+			var addr memdata.Addr
+			if rng.Intn(2) == 0 {
+				addr = addrN(rng.Intn(128))
+			} else {
+				addr = preciseAddr(rng.Intn(128))
+			}
+			switch rng.Intn(4) {
+			case 0, 1:
+				blk := st.Block(addr)
+				if rng.Intn(2) == 0 {
+					v := 100 * rng.Float64()
+					for e := 0; e < 16; e++ {
+						blk.SetElem(memdata.F32, e, v)
+					}
+				} else {
+					for e := 0; e < 16; e++ {
+						blk.SetElem(memdata.F32, e, 100*rng.Float64())
+					}
+				}
+				d.Read(addr)
+			case 2:
+				b := new(memdata.Block)
+				for e := 0; e < 16; e++ {
+					b.SetElem(memdata.F32, e, 100*rng.Float64())
+				}
+				d.WriteBack(addr, b)
+			case 3:
+				d.EvictFor(addr)
+			}
+			if err := d.CheckInvariants(); err != nil {
+				t.Logf("seed %d op %d: %v", seed, op, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompressedLayoutShrinks(t *testing.T) {
+	plain := paperDoppelCfg()
+	comp := paperDoppelCfg()
+	comp.CompressedData = true
+	if comp.DataArrayLayout().KBytes() >= plain.DataArrayLayout().KBytes() {
+		t.Error("compressed data array not smaller")
+	}
+}
+
+func TestCompressedConfigValidation(t *testing.T) {
+	bad := compressedCfg()
+	bad.CompressBudget = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Error("budget > 1 accepted")
+	}
+	bad.CompressBudget = 0.1 // 4 ways × 64 × 0.1 = 25 B < one block
+	if err := bad.Validate(); err == nil {
+		t.Error("sub-block budget accepted")
+	}
+}

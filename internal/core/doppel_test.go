@@ -1,0 +1,419 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"doppelganger/internal/approx"
+	"doppelganger/internal/memdata"
+)
+
+// testRegionBase is where the test annotation region starts.
+const testRegionBase = 0x0010_0000
+
+// testSetup builds a small Doppelgänger over a fresh store with one F32
+// region of the given byte size.
+func testSetup(t *testing.T, cfg Config, regionBytes int) (*Doppelganger, *memdata.Store, *approx.Region) {
+	t.Helper()
+	st := memdata.NewStore()
+	ann := approx.MustAnnotations(approx.Region{
+		Name:  "data",
+		Start: testRegionBase,
+		End:   testRegionBase + memdata.Addr(regionBytes),
+		Type:  memdata.F32,
+		Min:   0,
+		Max:   100,
+	})
+	d, err := New(cfg, st, ann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, st, ann.Lookup(testRegionBase)
+}
+
+func smallCfg() Config {
+	return Config{
+		Name:       "test",
+		TagEntries: 64, TagWays: 4, // 16 sets
+		DataEntries: 16, DataWays: 4, // 4 sets
+		MapSpec: approx.MapSpec{M: 14},
+	}
+}
+
+// fillUniform writes a uniform-valued block (every element = v) at addr.
+func fillUniform(st *memdata.Store, addr memdata.Addr, v float64) {
+	b := st.Block(addr)
+	for i := 0; i < 16; i++ {
+		b.SetElem(memdata.F32, i, v)
+	}
+}
+
+func addrN(i int) memdata.Addr { return testRegionBase + memdata.Addr(i*memdata.BlockSize) }
+
+func check(t *testing.T, d *Doppelganger) {
+	t.Helper()
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatalf("invariant violated: %v", err)
+	}
+}
+
+func TestReadMissInsertsAndForwardsMemoryData(t *testing.T) {
+	d, st, _ := testSetup(t, smallCfg(), 1<<16)
+	fillUniform(st, addrN(0), 42)
+	data, eff := d.Read(addrN(0))
+	if eff.Hit {
+		t.Fatal("first read hit")
+	}
+	if eff.MemReads != 1 {
+		t.Errorf("mem reads = %d", eff.MemReads)
+	}
+	if got := data.Elem(memdata.F32, 3); got != 42 {
+		t.Errorf("forwarded data = %v, want precise memory data 42", got)
+	}
+	if d.TagEntries() != 1 || d.DataBlocks() != 1 {
+		t.Errorf("occupancy = %d tags / %d data", d.TagEntries(), d.DataBlocks())
+	}
+	if eff.MapGens != 1 {
+		t.Errorf("map gens = %d", eff.MapGens)
+	}
+	check(t, d)
+}
+
+func TestReadHitReturnsRepresentative(t *testing.T) {
+	d, st, _ := testSetup(t, smallCfg(), 1<<16)
+	fillUniform(st, addrN(0), 42)
+	fillUniform(st, addrN(1), 42.001) // same map: tiny difference
+	d.Read(addrN(0))
+	d.Read(addrN(1)) // links to block 0's data entry
+	if d.Stats.ReuseLinks != 1 {
+		t.Fatalf("reuse links = %d", d.Stats.ReuseLinks)
+	}
+	if d.DataBlocks() != 1 || d.TagEntries() != 2 {
+		t.Fatalf("occupancy = %d tags / %d data", d.TagEntries(), d.DataBlocks())
+	}
+	// A re-read of block 1 now hits and returns block 0's values.
+	data, eff := d.Read(addrN(1))
+	if !eff.Hit {
+		t.Fatal("expected hit")
+	}
+	if got := data.Elem(memdata.F32, 0); got != 42 {
+		t.Errorf("hit returned %v, want representative 42", got)
+	}
+	check(t, d)
+}
+
+func TestDissimilarBlocksGetOwnEntries(t *testing.T) {
+	d, st, _ := testSetup(t, smallCfg(), 1<<16)
+	fillUniform(st, addrN(0), 10)
+	fillUniform(st, addrN(1), 90)
+	d.Read(addrN(0))
+	d.Read(addrN(1))
+	if d.DataBlocks() != 2 {
+		t.Errorf("data blocks = %d, want 2", d.DataBlocks())
+	}
+	if d.Stats.ReuseLinks != 0 {
+		t.Errorf("reuse links = %d", d.Stats.ReuseLinks)
+	}
+	check(t, d)
+}
+
+func TestTagEvictionKeepsSharedData(t *testing.T) {
+	cfg := smallCfg()
+	d, st, _ := testSetup(t, cfg, 1<<20)
+	// Fill one tag set (16 sets → addresses i*16 blocks apart share a set)
+	// with similar blocks sharing one data entry.
+	setStride := 16                     // blocks
+	for i := 0; i <= cfg.TagWays; i++ { // one more than the ways
+		fillUniform(st, addrN(i*setStride), 42)
+		d.Read(addrN(i * setStride))
+		check(t, d)
+	}
+	if d.Stats.TagEvictions != 1 {
+		t.Fatalf("tag evictions = %d, want 1", d.Stats.TagEvictions)
+	}
+	// The data entry must survive: other tags still point at it.
+	if d.DataBlocks() != 1 {
+		t.Errorf("data blocks = %d, want 1", d.DataBlocks())
+	}
+	if d.Contains(addrN(0)) {
+		t.Error("LRU victim still present")
+	}
+}
+
+func TestSoleTagEvictionFreesData(t *testing.T) {
+	cfg := smallCfg()
+	d, st, _ := testSetup(t, cfg, 1<<20)
+	setStride := 16
+	for i := 0; i <= cfg.TagWays; i++ {
+		fillUniform(st, addrN(i*setStride), float64(i*10)) // all dissimilar
+		d.Read(addrN(i * setStride))
+		check(t, d)
+	}
+	if d.DataBlocks() != cfg.TagWays {
+		t.Errorf("data blocks = %d, want %d (victim's entry freed)", d.DataBlocks(), cfg.TagWays)
+	}
+}
+
+func TestDataEvictionInvalidatesWholeTagList(t *testing.T) {
+	cfg := smallCfg() // data: 4 sets × 4 ways
+	d, st, _ := testSetup(t, cfg, 1<<20)
+	// Two tags share a data entry.
+	fillUniform(st, addrN(0), 42)
+	fillUniform(st, addrN(1), 42.0001)
+	d.Read(addrN(0))
+	d.Read(addrN(1))
+	// Now flood the data array with dissimilar blocks until the shared
+	// entry is evicted.
+	evicted := false
+	for i := 2; i < 200 && !evicted; i++ {
+		fillUniform(st, addrN(i), float64(i%97)+0.5)
+		_, eff := d.Read(addrN(i))
+		check(t, d)
+		for _, ev := range eff.Evicted {
+			if ev.Addr == addrN(0).BlockAddr() || ev.Addr == addrN(1).BlockAddr() {
+				evicted = true
+			}
+		}
+		if evicted {
+			// Both must go together (§3.5: evicting data evicts all tags).
+			if d.Contains(addrN(0)) || d.Contains(addrN(1)) {
+				t.Fatal("data eviction left a stale tag")
+			}
+		}
+	}
+	if !evicted {
+		t.Skip("flood did not reach the shared entry (set mapping)")
+	}
+}
+
+func TestDirtyTagEvictionWritesRepresentativeBack(t *testing.T) {
+	d, st, _ := testSetup(t, smallCfg(), 1<<20)
+	fillUniform(st, addrN(0), 42)
+	d.Read(addrN(0))
+	// Dirty the tag via a writeback whose map stays the same (silent).
+	b := new(memdata.Block)
+	for i := 0; i < 16; i++ {
+		b.SetElem(memdata.F32, i, 42.00001)
+	}
+	eff := d.WriteBack(addrN(0), b)
+	if !eff.Hit || d.Stats.SilentWrites != 1 {
+		t.Fatalf("expected silent write: %+v", d.Stats)
+	}
+	check(t, d)
+	// Evict the tag: the *representative* data (42s) goes to memory.
+	st.WriteBlock(addrN(0), new(memdata.Block)) // clobber memory to observe the writeback
+	eff = d.EvictFor(addrN(0))
+	if len(eff.Evicted) != 1 || !eff.Evicted[0].Dirty {
+		t.Fatalf("eviction effects: %+v", eff)
+	}
+	if eff.MemWrites != 1 {
+		t.Errorf("mem writes = %d", eff.MemWrites)
+	}
+	if got := st.Block(addrN(0)).Elem(memdata.F32, 5); got != 42 {
+		t.Errorf("memory now holds %v, want representative 42", got)
+	}
+	check(t, d)
+}
+
+func TestWriteBackSilent(t *testing.T) {
+	d, st, _ := testSetup(t, smallCfg(), 1<<16)
+	fillUniform(st, addrN(0), 50)
+	d.Read(addrN(0))
+	b := st.Block(addrN(0))
+	eff := d.WriteBack(addrN(0), b)
+	if !eff.Hit {
+		t.Fatal("writeback missed")
+	}
+	if d.Stats.SilentWrites != 1 || d.Stats.Remaps != 0 || d.Stats.WriteAllocs != 0 {
+		t.Errorf("stats = %+v", d.Stats)
+	}
+	check(t, d)
+}
+
+func TestWriteBackRemapOntoExistingEntry(t *testing.T) {
+	d, st, _ := testSetup(t, smallCfg(), 1<<16)
+	fillUniform(st, addrN(0), 10)
+	fillUniform(st, addrN(1), 90)
+	d.Read(addrN(0))
+	d.Read(addrN(1))
+	// Rewrite block 0 with values similar to block 1: its tag must migrate
+	// to block 1's entry and the written values must be DISCARDED (§3.4).
+	b := new(memdata.Block)
+	for i := 0; i < 16; i++ {
+		b.SetElem(memdata.F32, i, 90.0001)
+	}
+	d.WriteBack(addrN(0), b)
+	if d.Stats.Remaps != 1 {
+		t.Fatalf("remaps = %d; stats %+v", d.Stats.Remaps, d.Stats)
+	}
+	if d.DataBlocks() != 1 {
+		t.Errorf("data blocks = %d, want 1 (old entry freed, tag joined new)", d.DataBlocks())
+	}
+	data, eff := d.Read(addrN(0))
+	if !eff.Hit {
+		t.Fatal("read after remap missed")
+	}
+	if got := data.Elem(memdata.F32, 0); got != 90 {
+		t.Errorf("read %v, want 90 (written 90.0001 discarded)", got)
+	}
+	check(t, d)
+}
+
+func TestWriteBackAllocatesNewEntry(t *testing.T) {
+	d, st, _ := testSetup(t, smallCfg(), 1<<16)
+	fillUniform(st, addrN(0), 10)
+	d.Read(addrN(0))
+	b := new(memdata.Block)
+	for i := 0; i < 16; i++ {
+		b.SetElem(memdata.F32, i, 77)
+	}
+	d.WriteBack(addrN(0), b)
+	if d.Stats.WriteAllocs != 1 {
+		t.Fatalf("write allocs = %d", d.Stats.WriteAllocs)
+	}
+	data, eff := d.Read(addrN(0))
+	if !eff.Hit || data.Elem(memdata.F32, 2) != 77 {
+		t.Errorf("new entry holds %v, want 77", data.Elem(memdata.F32, 2))
+	}
+	check(t, d)
+}
+
+func TestWriteBackMissInsertsDirty(t *testing.T) {
+	d, _, _ := testSetup(t, smallCfg(), 1<<16)
+	b := new(memdata.Block)
+	for i := 0; i < 16; i++ {
+		b.SetElem(memdata.F32, i, 33)
+	}
+	eff := d.WriteBack(addrN(0), b)
+	if eff.Hit {
+		t.Fatal("writeback to absent tag reported hit")
+	}
+	if d.Stats.WritebackMisses != 1 {
+		t.Errorf("writeback misses = %d", d.Stats.WritebackMisses)
+	}
+	if !d.Contains(addrN(0)) {
+		t.Error("block not inserted")
+	}
+	check(t, d)
+}
+
+func TestEvictForAbsentIsNoop(t *testing.T) {
+	d, _, _ := testSetup(t, smallCfg(), 1<<16)
+	eff := d.EvictFor(addrN(5))
+	if len(eff.Evicted) != 0 {
+		t.Errorf("evicted %v", eff.Evicted)
+	}
+	check(t, d)
+}
+
+func TestSnapshotReportsRepresentativeData(t *testing.T) {
+	d, st, _ := testSetup(t, smallCfg(), 1<<16)
+	fillUniform(st, addrN(0), 42)
+	fillUniform(st, addrN(1), 42.0001)
+	d.Read(addrN(0))
+	d.Read(addrN(1))
+	snap := d.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot len = %d", len(snap))
+	}
+	for _, sb := range snap {
+		if sb.Region == nil {
+			t.Fatal("snapshot lost region")
+		}
+		if got := sb.Data.Elem(memdata.F32, 0); got != 42 {
+			t.Errorf("snapshot of %v holds %v, want representative 42", sb.Addr, got)
+		}
+	}
+	if got := d.AvgTagsPerData(); got != 2 {
+		t.Errorf("avg tags per data = %v, want 2", got)
+	}
+}
+
+func TestPreciseAddressPanicsWhenNotUnified(t *testing.T) {
+	d, _, _ := testSetup(t, smallCfg(), 1<<16)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for precise address on non-unified Doppelgänger")
+		}
+	}()
+	d.Read(0xF000_0000) // outside the annotated region
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Name: "zero", TagEntries: 0, TagWays: 1, DataEntries: 4, DataWays: 1, MapSpec: approx.MapSpec{M: 14}},
+		{Name: "ways", TagEntries: 10, TagWays: 3, DataEntries: 4, DataWays: 1, MapSpec: approx.MapSpec{M: 14}},
+		{Name: "tagsets", TagEntries: 48, TagWays: 4, DataEntries: 4, DataWays: 1, MapSpec: approx.MapSpec{M: 14}},
+		{Name: "mapm", TagEntries: 64, TagWays: 4, DataEntries: 16, DataWays: 4, MapSpec: approx.MapSpec{M: 0}},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %q accepted", c.Name)
+		}
+	}
+	// Non-power-of-two data sets are allowed (3/4 uniDoppelgänger).
+	ok := Config{Name: "3/4", TagEntries: 64, TagWays: 4, DataEntries: 48, DataWays: 4, MapSpec: approx.MapSpec{M: 14}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("3/4 data array rejected: %v", err)
+	}
+}
+
+// TestRandomOperationInvariants drives a random mix of reads, writebacks
+// and evictions and checks the structural invariants after every step.
+func TestRandomOperationInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := smallCfg()
+		st := memdata.NewStore()
+		ann := approx.MustAnnotations(approx.Region{
+			Name: "data", Start: testRegionBase, End: testRegionBase + 1<<20,
+			Type: memdata.F32, Min: 0, Max: 100,
+		})
+		d := MustNew(cfg, st, ann)
+		for op := 0; op < 400; op++ {
+			addr := addrN(rng.Intn(512))
+			switch rng.Intn(4) {
+			case 0, 1:
+				d.Read(addr)
+			case 2:
+				b := new(memdata.Block)
+				v := 100 * rng.Float64()
+				for i := 0; i < 16; i++ {
+					b.SetElem(memdata.F32, i, v+rng.Float64())
+				}
+				d.WriteBack(addr, b)
+			case 3:
+				d.EvictFor(addr)
+			}
+			if err := d.CheckInvariants(); err != nil {
+				t.Logf("seed %d op %d: %v", seed, op, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStatsConsistency: reads = hits + inserts (every miss inserts), and
+// inserts = reuse links + new data blocks.
+func TestStatsConsistency(t *testing.T) {
+	d, st, _ := testSetup(t, smallCfg(), 1<<20)
+	rng := rand.New(rand.NewSource(5))
+	for op := 0; op < 1000; op++ {
+		a := addrN(rng.Intn(256))
+		fillUniform(st, a, float64(rng.Intn(20)*5))
+		d.Read(a)
+	}
+	s := d.Stats
+	if s.Reads != s.ReadHits+s.Inserts {
+		t.Errorf("reads %d != hits %d + inserts %d", s.Reads, s.ReadHits, s.Inserts)
+	}
+	if s.Inserts != s.ReuseLinks+s.NewDataBlocks {
+		t.Errorf("inserts %d != reuse %d + new %d", s.Inserts, s.ReuseLinks, s.NewDataBlocks)
+	}
+	check(t, d)
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"testing"
+
+	"doppelganger/internal/approx"
+	"doppelganger/internal/memdata"
+)
+
+// FuzzDoppelgangerOps interprets arbitrary byte strings as operation
+// sequences (reads, writebacks, evictions over a mix of approximate and —
+// in unified mode — precise addresses, with varied payload values) and
+// checks every structural invariant after each step. This is the
+// coverage-guided complement to the fixed-seed property tests.
+func FuzzDoppelgangerOps(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5}, true)
+	f.Add([]byte{0x10, 0x85, 0x22, 0xF1, 0x07, 0x99, 0x40, 0x41, 0x42}, false)
+	f.Add([]byte{255, 254, 253, 0, 0, 0, 128, 127}, true)
+
+	f.Fuzz(func(t *testing.T, ops []byte, unified bool) {
+		if len(ops) > 512 {
+			ops = ops[:512]
+		}
+		st := memdata.NewStore()
+		ann := approx.MustAnnotations(approx.Region{
+			Name: "data", Start: testRegionBase, End: testRegionBase + 1<<19,
+			Type: memdata.F32, Min: 0, Max: 100,
+		})
+		cfg := smallCfg()
+		cfg.Unified = unified
+		if unified {
+			cfg.CompressedData = true // exercise the compressed path too
+		}
+		d := MustNew(cfg, st, ann)
+
+		for i := 0; i+2 < len(ops); i += 3 {
+			op, sel, val := ops[i], ops[i+1], ops[i+2]
+			var addr memdata.Addr
+			if unified && op&0x40 != 0 {
+				addr = preciseAddr(int(sel))
+			} else {
+				addr = addrN(int(sel))
+			}
+			switch op % 3 {
+			case 0:
+				blk := st.Block(addr)
+				for e := 0; e < 16; e++ {
+					blk.SetElem(memdata.F32, e, float64(val)/255*100)
+				}
+				d.Read(addr)
+			case 1:
+				b := new(memdata.Block)
+				for e := 0; e < 16; e++ {
+					b.SetElem(memdata.F32, e, float64(val^byte(e))/255*100)
+				}
+				d.WriteBack(addr, b)
+			case 2:
+				d.EvictFor(addr)
+			}
+			if err := d.CheckInvariants(); err != nil {
+				t.Fatalf("op %d (%d on %v): %v", i/3, op%3, addr, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,124 @@
+package core
+
+import "fmt"
+
+// CheckInvariants verifies the structural invariants of the decoupled
+// arrays; it is exercised heavily by the unit and property tests and is
+// cheap enough to call between operations.
+//
+// Invariants (from §3.1–§3.5):
+//  1. Every valid tag's (map, precise) key resolves to exactly one valid
+//     data entry.
+//  2. Every valid data entry's tag list is a consistent doubly-linked list
+//     headed by its head pointer; every member's key matches the entry.
+//  3. Every valid tag appears in exactly one list; every invalid tag is in
+//     none.
+//  4. No two valid data entries share a (key, precise) pair within reach of
+//     the same set index.
+//  5. Precise entries (uniDoppelgänger) have exactly one tag, with null
+//     prev/next pointers.
+func (d *Doppelganger) CheckInvariants() error {
+	seen := make(map[int32]int32) // tag -> data entry that listed it
+	for de := range d.data {
+		e := &d.data[de]
+		if !e.valid {
+			if e.head != nilTag && e.head != 0 {
+				return fmt.Errorf("invalid data entry %d has head %d", de, e.head)
+			}
+			continue
+		}
+		if e.head == nilTag {
+			return fmt.Errorf("valid data entry %d (key %#x) has empty tag list", de, e.key)
+		}
+		count := int32(0)
+		prev := nilTag
+		for t := e.head; t != nilTag; t = d.tags[t].next {
+			te := &d.tags[t]
+			if !te.valid {
+				return fmt.Errorf("data entry %d lists invalid tag %d", de, t)
+			}
+			if owner, dup := seen[t]; dup {
+				return fmt.Errorf("tag %d appears in lists of data entries %d and %d", t, owner, de)
+			}
+			seen[t] = int32(de)
+			if te.prev != prev {
+				return fmt.Errorf("tag %d prev pointer is %d, want %d", t, te.prev, prev)
+			}
+			if te.mapv != e.key || te.precise != e.precise {
+				return fmt.Errorf("tag %d key (%#x, precise=%v) mismatches data entry %d (%#x, precise=%v)",
+					t, te.mapv, te.precise, de, e.key, e.precise)
+			}
+			prev = t
+			count++
+			if count > int32(len(d.tags)) {
+				return fmt.Errorf("data entry %d tag list does not terminate", de)
+			}
+		}
+		if count != e.count {
+			return fmt.Errorf("data entry %d count %d, list length %d", de, e.count, count)
+		}
+		if e.precise && count != 1 {
+			return fmt.Errorf("precise data entry %d has %d tags", de, count)
+		}
+	}
+
+	for t := range d.tags {
+		te := &d.tags[t]
+		if te.valid {
+			if _, ok := seen[int32(t)]; !ok {
+				return fmt.Errorf("valid tag %d (%v) is in no data entry's list", t, te.addr)
+			}
+			if de := d.probeData(te.mapv, te.precise); de < 0 {
+				return fmt.Errorf("valid tag %d (%v) has no data entry for key %#x", t, te.addr, te.mapv)
+			}
+			if te.precise && (te.prev != nilTag || te.next != nilTag) {
+				return fmt.Errorf("precise tag %d has non-null list pointers", t)
+			}
+		} else if _, ok := seen[int32(t)]; ok {
+			return fmt.Errorf("invalid tag %d is listed by data entry %d", t, seen[int32(t)])
+		}
+	}
+
+	// Compressed mode: per-set byte accounting must match the stored
+	// payloads and respect the budget.
+	if d.cfg.CompressedData {
+		budget := d.compressedSetBudget()
+		sets := len(d.data) / d.cfg.DataWays
+		for set := 0; set < sets; set++ {
+			sum := 0
+			for w := 0; w < d.cfg.DataWays; w++ {
+				e := &d.data[set*d.cfg.DataWays+w]
+				if e.valid {
+					sum += len(e.comp)
+				} else if len(e.comp) != 0 {
+					return fmt.Errorf("invalid data entry %d retains compressed payload", set*d.cfg.DataWays+w)
+				}
+			}
+			if sum != d.setUsage[set] {
+				return fmt.Errorf("set %d usage %d, stored %d", set, d.setUsage[set], sum)
+			}
+			if sum > budget {
+				return fmt.Errorf("set %d usage %d exceeds budget %d", set, sum, budget)
+			}
+		}
+	}
+
+	// Unique keys per array (within each set; keys in different sets cannot
+	// collide because the set index is part of the key).
+	keys := make(map[[2]uint64]int)
+	for de := range d.data {
+		e := &d.data[de]
+		if !e.valid {
+			continue
+		}
+		k := [2]uint64{uint64(e.key), 0}
+		if e.precise {
+			k[1] = 1
+		}
+		if other, dup := keys[k]; dup {
+			return fmt.Errorf("data entries %d and %d share key %#x", other, de, e.key)
+		}
+		keys[k] = de
+	}
+	return nil
+}

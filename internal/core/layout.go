@@ -1,0 +1,127 @@
+package core
+
+import (
+	"math/bits"
+
+	"doppelganger/internal/memdata"
+)
+
+// Layout captures the per-entry bit budget of one SRAM structure, following
+// the field breakdown of the paper's Table 3. The energy/area model consumes
+// these to size each array.
+type Layout struct {
+	Name    string
+	Entries int
+
+	TagBits         int // address or map tag
+	CoherenceBits   int
+	VectorBits      int // full-map sharer vector
+	ReplacementBits int
+	TagPtrBits      int // width of one tag pointer
+	NumTagPtrs      int // prev+next in the tag array, head in the data array
+	MapBits         int
+	PreciseBits     int // uniDoppelgänger adds one bit per entry
+	DataBits        int // 512 for data-bearing entries, 0 for tag-only arrays
+}
+
+// MetaBits is the metadata (tag-entry) width in bits.
+func (l Layout) MetaBits() int {
+	return l.TagBits + l.CoherenceBits + l.VectorBits + l.ReplacementBits +
+		l.TagPtrBits*l.NumTagPtrs + l.MapBits + l.PreciseBits
+}
+
+// EntryBits is the full per-entry width including data.
+func (l Layout) EntryBits() int { return l.MetaBits() + l.DataBits }
+
+// TotalBits is the structure size in bits.
+func (l Layout) TotalBits() int { return l.Entries * l.EntryBits() }
+
+// KBytes is the structure size in kilobytes.
+func (l Layout) KBytes() float64 { return float64(l.TotalBits()) / 8 / 1024 }
+
+// log2 of a power-of-two count.
+func log2(n int) int { return bits.TrailingZeros(uint(n)) }
+
+// ConventionalLayout sizes a conventional cache (baseline LLC or the precise
+// half of the split design) for a 32-bit address space and the given core
+// count, reproducing the Baseline/Precise columns of Table 3.
+func ConventionalLayout(name string, sizeBytes, ways, cores int) Layout {
+	entries := sizeBytes / memdata.BlockSize
+	sets := entries / ways
+	return Layout{
+		Name:            name,
+		Entries:         entries,
+		TagBits:         32 - memdata.OffsetBits - log2(sets),
+		CoherenceBits:   4,
+		VectorBits:      cores,
+		ReplacementBits: 4,
+		DataBits:        memdata.BlockSize * 8,
+	}
+}
+
+// mapFieldBits is the stored map width: the concatenated average+range map
+// for the widest element type the design supports (32-bit floats), which
+// yields Table 3's 21 bits at M=14.
+func (c Config) mapFieldBits() int { return c.MapSpec.TotalBits(memdata.F32) }
+
+// TagArrayLayout sizes the Doppelgänger tag array: address tag, coherence
+// state and sharer vector, replacement bits, prev/next tag pointers and the
+// map field — 77 bits per entry in the paper's configuration (Table 3).
+func (c Config) TagArrayLayout(cores int) Layout {
+	sets := c.TagEntries / c.TagWays
+	l := Layout{
+		Name:            c.Name + " tag array",
+		Entries:         c.TagEntries,
+		TagBits:         32 - memdata.OffsetBits - log2(sets),
+		CoherenceBits:   4,
+		VectorBits:      cores,
+		ReplacementBits: 4,
+		TagPtrBits:      log2(c.TagEntries),
+		NumTagPtrs:      2, // prev and next
+		MapBits:         c.mapFieldBits(),
+	}
+	if c.Unified {
+		l.PreciseBits = 1
+	}
+	return l
+}
+
+// DataArrayLayout sizes the approximate data array (MTag metadata plus the
+// 512-bit block): map tag, replacement bits and the head tag pointer.
+//
+// Because the set index is an XOR-fold of the whole map (see dataSetOf),
+// the MTag stores the full map value — 21 bits at M=14, one more than the
+// paper's Table 3 lists (20); the paper does not specify its exact MTag
+// composition, so we keep the self-consistent width and note the delta.
+func (c Config) DataArrayLayout() Layout {
+	tagBits := c.mapFieldBits()
+	if c.Unified {
+		// Must also disambiguate 26-bit precise block numbers.
+		if pb := 32 - memdata.OffsetBits; pb > tagBits {
+			tagBits = pb
+		}
+	}
+	dataBits := memdata.BlockSize * 8
+	if c.CompressedData {
+		// The SRAM holds compressed payloads: size the data sub-array by the
+		// byte budget (plus a size/scheme field per entry).
+		frac := c.CompressBudget
+		if frac == 0 {
+			frac = 0.5
+		}
+		dataBits = int(float64(dataBits)*frac) + 10
+	}
+	l := Layout{
+		Name:            c.Name + " data array",
+		Entries:         c.DataEntries,
+		TagBits:         tagBits,
+		ReplacementBits: 4,
+		TagPtrBits:      log2(c.TagEntries),
+		NumTagPtrs:      1, // head of the tag list
+		DataBits:        dataBits,
+	}
+	if c.Unified {
+		l.PreciseBits = 1
+	}
+	return l
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"testing"
+
+	"doppelganger/internal/approx"
+)
+
+// paperDoppelCfg is the Table 1 base configuration: 16 K tags, 4 K data
+// entries, 16-way, 14-bit map space.
+func paperDoppelCfg() Config {
+	return Config{
+		Name:       "doppelganger",
+		TagEntries: 16 << 10, TagWays: 16,
+		DataEntries: 4 << 10, DataWays: 16,
+		MapSpec: approx.MapSpec{M: 14},
+	}
+}
+
+func paperUniCfg() Config {
+	return Config{
+		Name:       "unidoppelganger",
+		TagEntries: 32 << 10, TagWays: 16,
+		DataEntries: 16 << 10, DataWays: 16,
+		MapSpec: approx.MapSpec{M: 14},
+		Unified: true,
+	}
+}
+
+// TestTable3Baseline reproduces the Baseline LLC column of Table 3.
+func TestTable3Baseline(t *testing.T) {
+	l := ConventionalLayout("baseline", 2<<20, 16, 4)
+	if l.TagBits != 15 {
+		t.Errorf("tag bits = %d, want 15", l.TagBits)
+	}
+	if l.MetaBits() != 27 {
+		t.Errorf("tag entry bits = %d, want 27", l.MetaBits())
+	}
+	if l.Entries != 32<<10 {
+		t.Errorf("entries = %d", l.Entries)
+	}
+	if kb := l.KBytes(); kb != 2156 {
+		t.Errorf("total = %v KB, want 2156 (Table 3)", kb)
+	}
+}
+
+// TestTable3Precise reproduces the Precise cache column.
+func TestTable3Precise(t *testing.T) {
+	l := ConventionalLayout("precise", 1<<20, 16, 4)
+	if l.TagBits != 16 || l.MetaBits() != 28 {
+		t.Errorf("tag/entry bits = %d/%d, want 16/28", l.TagBits, l.MetaBits())
+	}
+	if kb := l.KBytes(); kb != 1080 {
+		t.Errorf("total = %v KB, want 1080", kb)
+	}
+}
+
+// TestTable3DoppelTagArray reproduces the Doppelgänger tag array column:
+// 16-bit tag, 4+4 coherence/vector, 4 replacement, 2×14-bit pointers and a
+// 21-bit map = 77 bits; 154 KB total.
+func TestTable3DoppelTagArray(t *testing.T) {
+	l := paperDoppelCfg().TagArrayLayout(4)
+	if l.TagBits != 16 {
+		t.Errorf("tag bits = %d, want 16", l.TagBits)
+	}
+	if l.TagPtrBits != 14 || l.NumTagPtrs != 2 {
+		t.Errorf("tag pointers = %d×%d, want 2×14", l.NumTagPtrs, l.TagPtrBits)
+	}
+	if l.MapBits != 21 {
+		t.Errorf("map bits = %d, want 21", l.MapBits)
+	}
+	if l.MetaBits() != 77 {
+		t.Errorf("entry bits = %d, want 77 (Table 3)", l.MetaBits())
+	}
+	if kb := l.KBytes(); kb != 154 {
+		t.Errorf("total = %v KB, want 154", kb)
+	}
+}
+
+// TestTable3DoppelDataArray checks the data array: a 14-bit tag pointer,
+// 4 replacement bits, a derived MTag width, and the 512-bit block.
+func TestTable3DoppelDataArray(t *testing.T) {
+	l := paperDoppelCfg().DataArrayLayout()
+	if l.TagPtrBits != 14 || l.NumTagPtrs != 1 {
+		t.Errorf("tag pointer = %d×%d, want 1×14", l.NumTagPtrs, l.TagPtrBits)
+	}
+	if l.DataBits != 512 {
+		t.Errorf("data bits = %d", l.DataBits)
+	}
+	// The MTag stores the full 21-bit map (the set index is an XOR-fold of
+	// all of it); the paper lists 20 — see DESIGN.md §6.
+	if l.TagBits != 21 {
+		t.Errorf("mtag bits = %d, want 21", l.TagBits)
+	}
+	if l.Entries != 4096 {
+		t.Errorf("entries = %d", l.Entries)
+	}
+}
+
+// TestTable3UniDoppelTagArray: 15-bit tag, 2×15-bit pointers, 21-bit map,
+// precise bit → 79 bits per entry, 316 KB.
+func TestTable3UniDoppelTagArray(t *testing.T) {
+	l := paperUniCfg().TagArrayLayout(4)
+	if l.TagBits != 15 || l.TagPtrBits != 15 || l.PreciseBits != 1 {
+		t.Errorf("tag/ptr/precise = %d/%d/%d", l.TagBits, l.TagPtrBits, l.PreciseBits)
+	}
+	if l.MetaBits() != 79 {
+		t.Errorf("entry bits = %d, want 79 (Table 3)", l.MetaBits())
+	}
+	if kb := l.KBytes(); kb != 316 {
+		t.Errorf("total = %v KB, want 316", kb)
+	}
+}
+
+// TestUniDataArrayDisambiguatesPrecise: the unified data array tag must be
+// wide enough for 26-bit precise block numbers.
+func TestUniDataArrayDisambiguatesPrecise(t *testing.T) {
+	l := paperUniCfg().DataArrayLayout()
+	if l.TagBits < 16 { // 26 − 10 set bits
+		t.Errorf("mtag bits = %d, too narrow for precise keys", l.TagBits)
+	}
+	if l.PreciseBits != 1 {
+		t.Error("missing precise bit")
+	}
+}
+
+// TestNonPow2DataLayout: the 3/4 uniDoppelgänger data array (24 K entries,
+// 1536 sets) must produce a sane layout.
+func TestNonPow2DataLayout(t *testing.T) {
+	c := paperUniCfg()
+	c.DataEntries = 24 << 10
+	l := c.DataArrayLayout()
+	if l.Entries != 24<<10 {
+		t.Errorf("entries = %d", l.Entries)
+	}
+	if l.TagBits <= 0 {
+		t.Errorf("tag bits = %d", l.TagBits)
+	}
+}
+
+// TestStorageReduction verifies the §5.6 claim that the split organization
+// reduces total LLC storage by about 1.43× versus the baseline.
+func TestStorageReduction(t *testing.T) {
+	base := ConventionalLayout("baseline", 2<<20, 16, 4).KBytes()
+	precise := ConventionalLayout("precise", 1<<20, 16, 4).KBytes()
+	dc := paperDoppelCfg()
+	dopp := dc.TagArrayLayout(4).KBytes() + dc.DataArrayLayout().KBytes()
+	red := base / (precise + dopp)
+	if red < 1.35 || red > 1.50 {
+		t.Errorf("storage reduction = %.2fx, paper reports 1.43x", red)
+	}
+}

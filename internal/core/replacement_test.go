@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+
+	"doppelganger/internal/memdata"
+)
+
+// TestTagCountAwareSparesSharedEntries: under the tag-count-aware policy, a
+// data entry serving many tags must survive a capacity eviction that a
+// singleton entry absorbs, even when the shared entry is older (LRU-wise).
+func TestTagCountAwareSparesSharedEntries(t *testing.T) {
+	cfg := smallCfg()
+	cfg.DataPolicy = ReplaceTagCountAware
+	d, st, _ := testSetup(t, cfg, 1<<20)
+
+	// Shared entry first (older in LRU terms): three tags on one value.
+	for i := 0; i < 3; i++ {
+		fillUniform(st, addrN(i), 42)
+		d.Read(addrN(i))
+	}
+	// Then fill the data array with singletons until evictions happen; the
+	// values sweep the whole declared range so every folded data set is hit.
+	sharedSurvives := true
+	for i := 3; i < 400; i++ {
+		fillUniform(st, addrN(i%250), float64((i*37)%97)+0.25+float64(i)*1e-4)
+		eff := mustRead(d, addrN(i%250))
+		check(t, d)
+		for _, ev := range eff.Evicted {
+			for j := 0; j < 3; j++ {
+				if ev.Addr == addrN(j).BlockAddr() {
+					sharedSurvives = false
+				}
+			}
+		}
+	}
+	if d.Stats.DataEvictions == 0 {
+		t.Skip("flood caused no data evictions")
+	}
+	if !sharedSurvives {
+		t.Error("tag-count-aware policy evicted the shared entry while singletons existed")
+	}
+}
+
+// TestLRUEvictsOldSharedEntry contrasts the default policy: plain LRU will
+// happily evict the old shared entry.
+func TestLRUEvictsOldSharedEntry(t *testing.T) {
+	d, st, _ := testSetup(t, smallCfg(), 1<<20)
+	for i := 0; i < 3; i++ {
+		fillUniform(st, addrN(i), 42)
+		d.Read(addrN(i))
+	}
+	evictedShared := false
+	for i := 3; i < 400; i++ {
+		fillUniform(st, addrN(i%250), float64((i*37)%97)+0.25+float64(i)*1e-4)
+		eff := mustRead(d, addrN(i%250))
+		for _, ev := range eff.Evicted {
+			for j := 0; j < 3; j++ {
+				if ev.Addr == addrN(j).BlockAddr() {
+					evictedShared = true
+				}
+			}
+		}
+	}
+	if d.Stats.DataEvictions == 0 {
+		t.Skip("flood caused no data evictions")
+	}
+	if !evictedShared {
+		t.Error("LRU never evicted the oldest (shared) entry; suspicious")
+	}
+}
+
+// TestTagCountAwareReducesBackInvalidations: on a workload with a mix of
+// shared and singleton entries, the extension should cause no more tag
+// invalidations than LRU.
+func TestTagCountAwareReducesBackInvalidations(t *testing.T) {
+	run := func(policy DataReplacement) uint64 {
+		cfg := smallCfg()
+		cfg.DataPolicy = policy
+		d, st, _ := testSetup(t, cfg, 1<<20)
+		for i := 0; i < 400; i++ {
+			// Every 4th block shares a popular value class; the rest are
+			// singletons.
+			v := float64(i)*1.3 + 0.1
+			if i%4 == 0 {
+				v = float64(i % 8 * 10)
+			}
+			fillUniform(st, addrN(i%256), v)
+			d.Read(addrN(i % 256))
+		}
+		return d.Stats.TagEvictions
+	}
+	lru := run(ReplaceLRU)
+	aware := run(ReplaceTagCountAware)
+	if aware > lru+lru/10 {
+		t.Errorf("tag-count-aware caused more tag evictions (%d) than LRU (%d)", aware, lru)
+	}
+	t.Logf("tag evictions: lru=%d, tag-count-aware=%d", lru, aware)
+}
+
+func mustRead(d *Doppelganger, a memdata.Addr) *Effects {
+	_, eff := d.Read(a)
+	return eff
+}

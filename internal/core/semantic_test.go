@@ -1,0 +1,75 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"doppelganger/internal/memdata"
+)
+
+// TestNoCollisionMeansNoApproximation: when every block has a unique map
+// (widely spaced values, maximal map space), the Doppelgänger cache
+// degenerates into a conventional value-precise cache — every hit returns
+// exactly the block's own memory data.
+func TestNoCollisionMeansNoApproximation(t *testing.T) {
+	cfg := smallCfg()
+	cfg.MapSpec.M = 21
+	d, st, _ := testSetup(t, cfg, 1<<20)
+	rng := rand.New(rand.NewSource(8))
+	want := map[int]float64{}
+	for i := 0; i < 12; i++ { // few blocks: no capacity pressure
+		v := float64(i)*8 + rng.Float64() // spaced > bin width, unique
+		fillUniform(st, addrN(i), v)
+		want[i] = st.Block(addrN(i)).Elem(memdata.F32, 0)
+		d.Read(addrN(i))
+	}
+	if d.Stats.ReuseLinks != 0 {
+		t.Fatalf("unexpected sharing: %d reuse links", d.Stats.ReuseLinks)
+	}
+	for i := 0; i < 12; i++ {
+		data, eff := d.Read(addrN(i))
+		if !eff.Hit {
+			t.Fatalf("block %d missed", i)
+		}
+		if got := data.Elem(memdata.F32, 0); got != want[i] {
+			t.Errorf("block %d returned %v, want its own %v", i, got, want[i])
+		}
+	}
+	check(t, d)
+}
+
+// TestApproximationIsBounded: with the paper's map layout, the
+// representative a hit returns is always within one average bin plus one
+// range bin of the block's true values — a quantitative bound on the §3.7
+// constructive aliasing.
+func TestApproximationIsBounded(t *testing.T) {
+	cfg := smallCfg() // M = 14 over [0, 100]
+	d, st, _ := testSetup(t, cfg, 1<<20)
+	rng := rand.New(rand.NewSource(9))
+	avgBin := 100.0 / (1 << 14)
+	rngBin := 100.0 / (1 << 7)
+	for i := 0; i < 64; i++ {
+		v := 100 * rng.Float64()
+		fillUniform(st, addrN(i), v)
+		d.Read(addrN(i))
+		data, eff := d.Read(addrN(i))
+		if !eff.Hit {
+			continue
+		}
+		got := data.Elem(memdata.F32, 0)
+		// For uniform blocks (range 0), sharing requires the same average
+		// bin and range bin, so the representative's average is within one
+		// avg bin and its spread within one range bin.
+		if diff := absf(got - v); diff > avgBin+rngBin {
+			t.Errorf("block %d: representative %v vs true %v (diff %v > bin bound)", i, got, v, diff)
+		}
+	}
+	check(t, d)
+}
+
+func absf(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

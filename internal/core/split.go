@@ -1,0 +1,86 @@
+package core
+
+import (
+	"doppelganger/internal/approx"
+	"doppelganger/internal/cache"
+	"doppelganger/internal/memdata"
+)
+
+// Split is the paper's primary LLC organization (§3, Table 1): a
+// conventional precise cache alongside a Doppelgänger cache. ISA-identified
+// approximate loads and stores are directed to the Doppelgänger side; all
+// other requests go to the precise side (§4.1). In this simulator the
+// routing decision comes from the workload's annotations, playing the role
+// of the ISA approximation bits carried on each request.
+type Split struct {
+	Precise *Baseline
+	Doppel  *Doppelganger
+	ann     *approx.Annotations
+}
+
+// NewSplit builds the split organization over one backing store.
+func NewSplit(preciseCfg cache.Config, doppelCfg Config, store *memdata.Store, ann *approx.Annotations) (*Split, error) {
+	dopp, err := New(doppelCfg, store, ann)
+	if err != nil {
+		return nil, err
+	}
+	return &Split{
+		Precise: NewBaseline(preciseCfg, store, ann),
+		Doppel:  dopp,
+		ann:     ann,
+	}, nil
+}
+
+// MustNewSplit is NewSplit but panics on error.
+func MustNewSplit(preciseCfg cache.Config, doppelCfg Config, store *memdata.Store, ann *approx.Annotations) *Split {
+	s, err := NewSplit(preciseCfg, doppelCfg, store, ann)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func (s *Split) approximate(addr memdata.Addr) bool { return s.ann.Approximate(addr) }
+
+// Read implements LLC.
+func (s *Split) Read(addr memdata.Addr) (memdata.Block, *Effects) {
+	if s.approximate(addr) {
+		return s.Doppel.Read(addr)
+	}
+	return s.Precise.Read(addr)
+}
+
+// WriteBack implements LLC.
+func (s *Split) WriteBack(addr memdata.Addr, data *memdata.Block) *Effects {
+	if s.approximate(addr) {
+		return s.Doppel.WriteBack(addr, data)
+	}
+	return s.Precise.WriteBack(addr, data)
+}
+
+// EvictFor implements LLC.
+func (s *Split) EvictFor(addr memdata.Addr) *Effects {
+	if s.approximate(addr) {
+		return s.Doppel.EvictFor(addr)
+	}
+	return s.Precise.EvictFor(addr)
+}
+
+// Contains implements LLC.
+func (s *Split) Contains(addr memdata.Addr) bool {
+	if s.approximate(addr) {
+		return s.Doppel.Contains(addr)
+	}
+	return s.Precise.Contains(addr)
+}
+
+// Snapshot implements LLC.
+func (s *Split) Snapshot() []SnapshotBlock {
+	return append(s.Precise.Snapshot(), s.Doppel.Snapshot()...)
+}
+
+// TagEntries implements LLC.
+func (s *Split) TagEntries() int { return s.Precise.TagEntries() + s.Doppel.TagEntries() }
+
+// DataBlocks implements LLC.
+func (s *Split) DataBlocks() int { return s.Precise.DataBlocks() + s.Doppel.DataBlocks() }

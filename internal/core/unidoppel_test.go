@@ -1,0 +1,204 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"doppelganger/internal/approx"
+	"doppelganger/internal/memdata"
+)
+
+func uniCfg() Config {
+	c := smallCfg()
+	c.Name = "uni-test"
+	c.Unified = true
+	return c
+}
+
+// preciseBase is an address range outside the annotated region.
+const preciseBase = 0x0800_0000
+
+func preciseAddr(i int) memdata.Addr { return preciseBase + memdata.Addr(i*memdata.BlockSize) }
+
+func TestUnifiedPreciseReadIsExact(t *testing.T) {
+	d, st, _ := testSetup(t, uniCfg(), 1<<16)
+	st.WriteF32(preciseAddr(0), 123.456)
+	data, eff := d.Read(preciseAddr(0))
+	if eff.Hit {
+		t.Fatal("first read hit")
+	}
+	if eff.MapGens != 0 {
+		t.Errorf("precise insert computed a map (%d gens)", eff.MapGens)
+	}
+	if got := data.Elem(memdata.F32, 0); float32(got) != 123.456 {
+		t.Errorf("precise data = %v", got)
+	}
+	// Re-read hits and stays exact.
+	data, eff = d.Read(preciseAddr(0))
+	if !eff.Hit || float32(data.Elem(memdata.F32, 0)) != 123.456 {
+		t.Errorf("precise hit returned %v", data.Elem(memdata.F32, 0))
+	}
+	check(t, d)
+}
+
+func TestUnifiedPreciseBlocksNeverShare(t *testing.T) {
+	d, st, _ := testSetup(t, uniCfg(), 1<<16)
+	// Two precise blocks with identical contents must still get separate
+	// data entries (§3.8: precise tags cannot share data blocks).
+	st.WriteF32(preciseAddr(0), 7)
+	st.WriteF32(preciseAddr(1), 7)
+	d.Read(preciseAddr(0))
+	d.Read(preciseAddr(1))
+	if d.DataBlocks() != 2 {
+		t.Errorf("data blocks = %d, want 2", d.DataBlocks())
+	}
+	check(t, d)
+}
+
+func TestUnifiedMixedResidency(t *testing.T) {
+	d, st, _ := testSetup(t, uniCfg(), 1<<16)
+	fillUniform(st, addrN(0), 42)
+	fillUniform(st, addrN(1), 42.0001)
+	st.WriteF32(preciseAddr(0), 9)
+	d.Read(addrN(0))
+	d.Read(addrN(1)) // shares with block 0
+	d.Read(preciseAddr(0))
+	if d.TagEntries() != 3 {
+		t.Errorf("tags = %d", d.TagEntries())
+	}
+	if d.DataBlocks() != 2 {
+		t.Errorf("data blocks = %d, want 2 (one shared approx + one precise)", d.DataBlocks())
+	}
+	check(t, d)
+}
+
+func TestUnifiedPreciseWriteUpdatesInPlace(t *testing.T) {
+	d, st, _ := testSetup(t, uniCfg(), 1<<16)
+	st.WriteF32(preciseAddr(0), 1)
+	d.Read(preciseAddr(0))
+	b := new(memdata.Block)
+	b.SetElem(memdata.F32, 0, 55)
+	eff := d.WriteBack(preciseAddr(0), b)
+	if !eff.Hit {
+		t.Fatal("precise writeback missed")
+	}
+	data, _ := d.Read(preciseAddr(0))
+	if got := data.Elem(memdata.F32, 0); got != 55 {
+		t.Errorf("precise write lost: %v", got)
+	}
+	// Eviction writes the updated data to memory.
+	d.EvictFor(preciseAddr(0))
+	if got := st.ReadF32(preciseAddr(0)); got != 55 {
+		t.Errorf("memory = %v after dirty precise eviction", got)
+	}
+	check(t, d)
+}
+
+func TestUnifiedPreciseEvictionFreesData(t *testing.T) {
+	d, st, _ := testSetup(t, uniCfg(), 1<<16)
+	st.WriteF32(preciseAddr(0), 3)
+	d.Read(preciseAddr(0))
+	d.EvictFor(preciseAddr(0))
+	if d.DataBlocks() != 0 || d.TagEntries() != 0 {
+		t.Errorf("occupancy after precise eviction: %d/%d", d.TagEntries(), d.DataBlocks())
+	}
+	check(t, d)
+}
+
+// TestUnifiedApproxVsPreciseKeysDoNotCollide: a precise block whose block
+// number happens to equal an approximate block's map value must not match
+// that entry.
+func TestUnifiedKeyDisambiguation(t *testing.T) {
+	d, st, _ := testSetup(t, uniCfg(), 1<<16)
+	fillUniform(st, addrN(0), 0) // map value 0 (all at region min)
+	d.Read(addrN(0))
+	// Precise block number 0... block address 0 is precise (outside region).
+	st.WriteF32(0, 77)
+	d.Read(0)
+	if d.DataBlocks() != 2 {
+		t.Fatalf("data blocks = %d: precise key collided with approx map", d.DataBlocks())
+	}
+	data, eff := d.Read(0)
+	if !eff.Hit || data.Elem(memdata.F32, 0) != 77 {
+		t.Errorf("precise block corrupted: %v", data.Elem(memdata.F32, 0))
+	}
+	check(t, d)
+}
+
+// TestUnifiedRandomMixInvariants drives random precise+approximate traffic
+// through the unified cache, checking invariants at each step.
+func TestUnifiedRandomMixInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		st := memdata.NewStore()
+		ann := approx.MustAnnotations(approx.Region{
+			Name: "data", Start: testRegionBase, End: testRegionBase + 1<<20,
+			Type: memdata.F32, Min: 0, Max: 100,
+		})
+		d := MustNew(uniCfg(), st, ann)
+		for op := 0; op < 400; op++ {
+			var addr memdata.Addr
+			if rng.Intn(2) == 0 {
+				addr = addrN(rng.Intn(256))
+			} else {
+				addr = preciseAddr(rng.Intn(256))
+			}
+			switch rng.Intn(4) {
+			case 0, 1:
+				d.Read(addr)
+			case 2:
+				b := new(memdata.Block)
+				v := 100 * rng.Float64()
+				for i := 0; i < 16; i++ {
+					b.SetElem(memdata.F32, i, v)
+				}
+				d.WriteBack(addr, b)
+			case 3:
+				d.EvictFor(addr)
+			}
+			if err := d.CheckInvariants(); err != nil {
+				t.Logf("seed %d op %d: %v", seed, op, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestUnifiedPreciseDataNeverApproximated: after arbitrary precise traffic,
+// every precise block read back equals what was last written to it.
+func TestUnifiedPreciseDataNeverApproximated(t *testing.T) {
+	d, st, _ := testSetup(t, uniCfg(), 1<<16)
+	rng := rand.New(rand.NewSource(11))
+	want := map[int]float32{}
+	for op := 0; op < 500; op++ {
+		i := rng.Intn(64)
+		if rng.Intn(2) == 0 {
+			v := rng.Float32()
+			b := new(memdata.Block)
+			b.SetElem(memdata.F32, 0, float64(v))
+			if !d.Contains(preciseAddr(i)) {
+				st.WriteF32(preciseAddr(i), v)
+				d.Read(preciseAddr(i))
+			}
+			d.WriteBack(preciseAddr(i), b)
+			want[i] = v
+		} else if w, ok := want[i]; ok {
+			var got float32
+			if d.Contains(preciseAddr(i)) {
+				data, _ := d.Read(preciseAddr(i))
+				got = float32(data.Elem(memdata.F32, 0))
+			} else {
+				got = st.ReadF32(preciseAddr(i)) // evicted: memory must hold it
+			}
+			if got != w {
+				t.Fatalf("precise block %d: got %v, want %v (op %d)", i, got, w, op)
+			}
+		}
+	}
+	check(t, d)
+}

@@ -1,0 +1,41 @@
+// Package dedup implements exact cache-block deduplication analysis in the
+// style of last-level cache deduplication (Tian et al., ICS 2014), the
+// second comparator of the Doppelgänger paper's §5.1/Fig. 8. Blocks save
+// storage only when their 64-byte payloads match bit-for-bit.
+package dedup
+
+import "doppelganger/internal/memdata"
+
+// UniqueBlocks returns the number of distinct block payloads, i.e. the
+// number of data entries an exact-deduplicating cache would need.
+func UniqueBlocks(blocks []*memdata.Block) int {
+	seen := make(map[memdata.Block]struct{}, len(blocks))
+	for _, b := range blocks {
+		seen[*b] = struct{}{}
+	}
+	return len(seen)
+}
+
+// Savings returns the fraction of storage saved when every set of identical
+// blocks shares a single data entry: 1 − unique/total. An empty input saves
+// nothing.
+func Savings(blocks []*memdata.Block) float64 {
+	if len(blocks) == 0 {
+		return 0
+	}
+	return 1 - float64(UniqueBlocks(blocks))/float64(len(blocks))
+}
+
+// GroupSizes returns, for each distinct payload, how many blocks share it;
+// useful for characterizing redundancy distributions in tests and examples.
+func GroupSizes(blocks []*memdata.Block) []int {
+	counts := make(map[memdata.Block]int, len(blocks))
+	for _, b := range blocks {
+		counts[*b]++
+	}
+	sizes := make([]int, 0, len(counts))
+	for _, n := range counts {
+		sizes = append(sizes, n)
+	}
+	return sizes
+}

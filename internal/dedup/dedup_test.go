@@ -1,0 +1,79 @@
+package dedup
+
+import (
+	"testing"
+	"testing/quick"
+
+	"doppelganger/internal/memdata"
+)
+
+func mk(fill byte) *memdata.Block {
+	b := new(memdata.Block)
+	for i := range b {
+		b[i] = fill
+	}
+	return b
+}
+
+func TestUniqueBlocks(t *testing.T) {
+	blocks := []*memdata.Block{mk(1), mk(1), mk(2), mk(1), mk(3)}
+	if got := UniqueBlocks(blocks); got != 3 {
+		t.Errorf("unique = %d, want 3", got)
+	}
+}
+
+func TestSavings(t *testing.T) {
+	if got := Savings(nil); got != 0 {
+		t.Errorf("empty savings = %v", got)
+	}
+	blocks := []*memdata.Block{mk(1), mk(1), mk(1), mk(1)}
+	if got := Savings(blocks); got != 0.75 {
+		t.Errorf("savings = %v, want 0.75 (paper's 4-blocks example)", got)
+	}
+	distinct := []*memdata.Block{mk(1), mk(2), mk(3)}
+	if got := Savings(distinct); got != 0 {
+		t.Errorf("distinct savings = %v, want 0", got)
+	}
+}
+
+func TestOneBitDifferenceDefeatsDedup(t *testing.T) {
+	a, b := mk(5), mk(5)
+	b[63] ^= 1
+	if got := UniqueBlocks([]*memdata.Block{a, b}); got != 2 {
+		t.Errorf("unique = %d; exact dedup must be bit-exact", got)
+	}
+}
+
+func TestGroupSizesSumToTotal(t *testing.T) {
+	f := func(fills []byte) bool {
+		blocks := make([]*memdata.Block, len(fills))
+		for i, fl := range fills {
+			blocks[i] = mk(fl % 4) // force collisions
+		}
+		total := 0
+		for _, s := range GroupSizes(blocks) {
+			total += s
+		}
+		return total == len(blocks) && UniqueBlocks(blocks) == len(GroupSizes(blocks))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSavingsBounds(t *testing.T) {
+	f := func(fills []byte) bool {
+		if len(fills) == 0 {
+			return true
+		}
+		blocks := make([]*memdata.Block, len(fills))
+		for i, fl := range fills {
+			blocks[i] = mk(fl)
+		}
+		s := Savings(blocks)
+		return s >= 0 && s < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

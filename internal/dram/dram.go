@@ -1,0 +1,163 @@
+// Package dram models a banked DRAM with open-row (row-buffer) policy — an
+// optional refinement of the paper's fixed-160-cycle main memory (Table 1).
+// The timing simulator can plug it in to study how Doppelgänger's extra
+// writeback bursts interact with bank conflicts; by default the simulators
+// keep the paper's fixed-latency model.
+//
+// The model is deliberately simple but captures the three first-order
+// effects: row-buffer hits vs. conflicts, per-bank serialization, and
+// channel transfer occupancy.
+package dram
+
+import (
+	"fmt"
+
+	"doppelganger/internal/memdata"
+)
+
+// Config describes the DRAM geometry and timing (in core cycles).
+type Config struct {
+	Banks   int // power of two
+	RowBits int // log2 of the row size in bytes (e.g. 13 = 8 KB rows)
+
+	TCas      float64 // column access (row already open)
+	TRcd      float64 // row activate
+	TRp       float64 // precharge (closing a conflicting row)
+	TTransfer float64 // channel occupancy per 64-byte burst
+}
+
+// DefaultConfig roughly matches a DDR3-1600 part at a 1 GHz core clock,
+// scaled so a row hit plus transfer is far cheaper than the paper's flat
+// 160-cycle latency and a bank conflict approaches it.
+func DefaultConfig() Config {
+	return Config{
+		Banks:   8,
+		RowBits: 13,
+		TCas:    40, TRcd: 40, TRp: 40,
+		TTransfer: 4,
+	}
+}
+
+// Validate checks the geometry.
+func (c Config) Validate() error {
+	if c.Banks <= 0 || c.Banks&(c.Banks-1) != 0 {
+		return fmt.Errorf("dram: bank count %d must be a power of two", c.Banks)
+	}
+	if c.RowBits < memdata.OffsetBits || c.RowBits > 24 {
+		return fmt.Errorf("dram: row bits %d out of range", c.RowBits)
+	}
+	return nil
+}
+
+// Memory is the DRAM state: one open row and one busy-until time per bank,
+// plus the shared channel.
+type Memory struct {
+	cfg      Config
+	openRow  []int64 // -1 = closed
+	bankFree []float64
+	chanFree float64
+
+	// Stats.
+	Accesses  uint64
+	RowHits   uint64
+	RowMisses uint64 // closed-row activations
+	Conflicts uint64 // open-row conflicts (precharge needed)
+}
+
+// New builds a DRAM model.
+func New(cfg Config) (*Memory, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Memory{
+		cfg:      cfg,
+		openRow:  make([]int64, cfg.Banks),
+		bankFree: make([]float64, cfg.Banks),
+	}
+	for i := range m.openRow {
+		m.openRow[i] = -1
+	}
+	return m, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(cfg Config) *Memory {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// bankOf interleaves banks on row-sized granularity so sequential rows hit
+// different banks.
+func (m *Memory) bankOf(addr memdata.Addr) int {
+	return int(uint32(addr)>>uint(m.cfg.RowBits)) & (m.cfg.Banks - 1)
+}
+
+func (m *Memory) rowOf(addr memdata.Addr) int64 {
+	return int64(uint32(addr) >> uint(m.cfg.RowBits) >> uint(logBanks(m.cfg.Banks)))
+}
+
+func logBanks(n int) int {
+	b := 0
+	for n > 1 {
+		n >>= 1
+		b++
+	}
+	return b
+}
+
+// Access issues one 64-byte transfer for addr at time now and returns its
+// completion time. Reads and writes share the same bank/channel path.
+func (m *Memory) Access(addr memdata.Addr, now float64) float64 {
+	m.Accesses++
+	bank := m.bankOf(addr)
+	row := m.rowOf(addr)
+
+	start := now
+	if m.bankFree[bank] > start {
+		start = m.bankFree[bank]
+	}
+
+	var access float64
+	rowHit := false
+	switch {
+	case m.openRow[bank] == row:
+		m.RowHits++
+		rowHit = true
+		access = m.cfg.TCas
+	case m.openRow[bank] == -1:
+		m.RowMisses++
+		access = m.cfg.TRcd + m.cfg.TCas
+	default:
+		m.Conflicts++
+		access = m.cfg.TRp + m.cfg.TRcd + m.cfg.TCas
+	}
+	m.openRow[bank] = row
+
+	ready := start + access
+	// The data burst serializes on the shared channel.
+	if m.chanFree > ready {
+		ready = m.chanFree
+	}
+	done := ready + m.cfg.TTransfer
+	m.chanFree = done
+	if rowHit {
+		// Column commands to an open row pipeline: the next one can issue a
+		// burst-slot after this one issued, so streaming row hits proceed at
+		// channel rate with CAS as pipeline latency (as on real DDR).
+		m.bankFree[bank] = start + m.cfg.TTransfer
+	} else {
+		m.bankFree[bank] = done
+	}
+	return done
+}
+
+// RowHitRate reports the fraction of accesses that hit an open row.
+func (m *Memory) RowHitRate() float64 {
+	if m.Accesses == 0 {
+		return 0
+	}
+	return float64(m.RowHits) / float64(m.Accesses)
+}

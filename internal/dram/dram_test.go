@@ -1,0 +1,104 @@
+package dram
+
+import (
+	"testing"
+
+	"doppelganger/internal/memdata"
+)
+
+func TestValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultConfig()
+	bad.Banks = 3
+	if err := bad.Validate(); err == nil {
+		t.Error("non-pow2 banks accepted")
+	}
+	bad = DefaultConfig()
+	bad.RowBits = 2
+	if err := bad.Validate(); err == nil {
+		t.Error("tiny rows accepted")
+	}
+}
+
+func TestRowBufferHitIsCheaper(t *testing.T) {
+	m := MustNew(DefaultConfig())
+	first := m.Access(0x1000, 0)      // closed row: activate + cas
+	second := m.Access(0x1040, first) // same row: cas only
+	if d := second - first; d >= first {
+		t.Errorf("row hit (%v cycles) not cheaper than activation (%v)", d, first)
+	}
+	if m.RowHits != 1 || m.RowMisses != 1 {
+		t.Errorf("stats: %d hits, %d misses", m.RowHits, m.RowMisses)
+	}
+}
+
+func TestRowConflictIsDearest(t *testing.T) {
+	cfg := DefaultConfig()
+	m := MustNew(cfg)
+	t0 := m.Access(0x0000, 0) // bank 0, row 0 — activation
+	// Same bank, different row: conflict (precharge + activate + cas).
+	stride := memdata.Addr(1) << uint(cfg.RowBits+3) // skip all banks back to bank 0
+	t1 := m.Access(stride, t0)
+	cost := t1 - t0
+	want := cfg.TRp + cfg.TRcd + cfg.TCas + cfg.TTransfer
+	if cost != want {
+		t.Errorf("conflict cost = %v, want %v", cost, want)
+	}
+	if m.Conflicts != 1 {
+		t.Errorf("conflicts = %d", m.Conflicts)
+	}
+}
+
+func TestBankParallelism(t *testing.T) {
+	cfg := DefaultConfig()
+	m := MustNew(cfg)
+	// Two accesses to different banks at the same instant overlap their
+	// activations; only the channel bursts serialize.
+	a := m.Access(0, 0)
+	b := m.Access(memdata.Addr(1)<<uint(cfg.RowBits), 0) // next bank
+	serialized := 2 * (cfg.TRcd + cfg.TCas + cfg.TTransfer)
+	if b >= serialized {
+		t.Errorf("banks did not overlap: second done at %v (serial bound %v)", b, serialized)
+	}
+	if b < a {
+		t.Errorf("channel did not serialize bursts: %v < %v", b, a)
+	}
+}
+
+func TestChannelSerializesBursts(t *testing.T) {
+	cfg := DefaultConfig()
+	m := MustNew(cfg)
+	first := m.Access(0, 0)
+	// A same-bank row hit issued "in the past" still queues behind the
+	// bank's previous access and then pays CAS + transfer.
+	done := m.Access(0x40, 0)
+	if want := first + cfg.TCas + cfg.TTransfer; done != want {
+		t.Errorf("burst done at %v, want %v", done, want)
+	}
+}
+
+func TestStreamingIsMostlyRowHits(t *testing.T) {
+	m := MustNew(DefaultConfig())
+	now := 0.0
+	for i := 0; i < 1024; i++ {
+		now = m.Access(memdata.Addr(i*64), now)
+	}
+	if r := m.RowHitRate(); r < 0.9 {
+		t.Errorf("sequential stream row-hit rate = %v, want >0.9", r)
+	}
+}
+
+func TestRandomAccessesMostlyMiss(t *testing.T) {
+	m := MustNew(DefaultConfig())
+	now := 0.0
+	addr := memdata.Addr(12345)
+	for i := 0; i < 1024; i++ {
+		addr = addr*2654435761 + 97
+		now = m.Access(addr&0x0FFFFFC0, now)
+	}
+	if r := m.RowHitRate(); r > 0.3 {
+		t.Errorf("random row-hit rate = %v, want low", r)
+	}
+}

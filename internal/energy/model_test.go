@@ -1,0 +1,152 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"doppelganger/internal/approx"
+	"doppelganger/internal/core"
+)
+
+func paperDoppelCfg() core.Config {
+	return core.Config{
+		Name:       "doppelganger",
+		TagEntries: 16 << 10, TagWays: 16,
+		DataEntries: 4 << 10, DataWays: 16,
+		MapSpec: approx.MapSpec{M: 14},
+	}
+}
+
+// within checks v against a Table 3 anchor with relative tolerance.
+func within(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol*want {
+		t.Errorf("%s = %.3f, paper %.3f (tolerance %.0f%%)", name, got, want, 100*tol)
+	}
+}
+
+// TestCalibrationAgainstTable3 checks the surrogate against the paper's six
+// CACTI anchor points (area, latency, energy), allowing modest fitting
+// error — the surrogate is a smooth fit through CACTI's noisy outputs.
+func TestCalibrationAgainstTable3(t *testing.T) {
+	base := FromLayout(core.ConventionalLayout("baseline", 2<<20, 16, 4))
+	within(t, "baseline area", base.AreaMM2(), 4.12, 0.05)
+	within(t, "baseline data latency", base.DataLatencyNS(), 1.27, 0.05)
+	within(t, "baseline data energy", base.DataEnergyPJ(), 667.4, 0.05)
+	within(t, "baseline tag energy", base.TagEnergyPJ(), 24.8, 0.12)
+
+	precise := FromLayout(core.ConventionalLayout("precise", 1<<20, 16, 4))
+	within(t, "precise area", precise.AreaMM2(), 1.91, 0.05)
+	within(t, "precise data energy", precise.DataEnergyPJ(), 322.7, 0.05)
+
+	dc := paperDoppelCfg()
+	tag := FromLayout(dc.TagArrayLayout(4))
+	within(t, "doppel tag area", tag.AreaMM2(), 0.19, 0.10)
+	within(t, "doppel tag energy", tag.TagEnergyPJ(), 30.8, 0.10)
+
+	data := FromLayout(dc.DataArrayLayout())
+	within(t, "doppel data area", data.AreaMM2(), 0.47, 0.15)
+	within(t, "doppel data latency", data.DataLatencyNS(), 0.67, 0.05)
+	within(t, "doppel data energy", data.DataEnergyPJ(), 80.3, 0.08)
+}
+
+// TestDoppelDataAccessFasterThanBaseline verifies the §5.6 claim: the
+// combined MTag + data access of the small approximate data array is about
+// 1.31× faster than the baseline's data access.
+func TestDoppelDataAccessFasterThanBaseline(t *testing.T) {
+	base := FromLayout(core.ConventionalLayout("baseline", 2<<20, 16, 4))
+	data := FromLayout(paperDoppelCfg().DataArrayLayout())
+	speedup := base.DataLatencyNS() / (data.TagLatencyNS() + data.DataLatencyNS())
+	if speedup < 1.15 || speedup > 1.5 {
+		t.Errorf("MTag+data speedup = %.2fx, paper reports 1.31x", speedup)
+	}
+}
+
+// TestAreaReductions verifies the Fig. 13 headline numbers.
+func TestAreaReductions(t *testing.T) {
+	base := BaselineOrg(2<<20, 16, 4)
+	mk := func(frac float64) Org {
+		cfg := paperDoppelCfg()
+		cfg.DataEntries = int(float64(16<<10) * frac)
+		return SplitOrg(1<<20, 16, cfg, 4)
+	}
+	within(t, "area reduction 1/2", base.AreaMM2()/mk(0.5).AreaMM2(), 1.36, 0.05)
+	within(t, "area reduction 1/4", base.AreaMM2()/mk(0.25).AreaMM2(), 1.55, 0.05)
+	within(t, "area reduction 1/8", base.AreaMM2()/mk(0.125).AreaMM2(), 1.70, 0.05)
+}
+
+// TestLeakageRatioMatchesPaper: leakage power scales with structure size;
+// the split organization at 1/4 should leak about 1.43× less, which after
+// the ~2% runtime increase gives the paper's 1.41× leakage energy claim.
+func TestLeakageRatioMatchesPaper(t *testing.T) {
+	base := BaselineOrg(2<<20, 16, 4)
+	split := SplitOrg(1<<20, 16, paperDoppelCfg(), 4)
+	within(t, "leakage power ratio", base.LeakageMW()/split.LeakageMW(), 1.43, 0.05)
+	// Energy ratio over runtimes 1.0 vs 1.023:
+	red := base.LeakagePJ(1000) / split.LeakagePJ(1023)
+	within(t, "leakage energy reduction", red, 1.41, 0.05)
+}
+
+// TestDynamicEnergyAccounting: hand-computed event mix.
+func TestDynamicEnergyAccounting(t *testing.T) {
+	org := SplitOrg(1<<20, 16, paperDoppelCfg(), 4)
+	eff := core.Effects{
+		PTagReads: 10, PDataReads: 10,
+		DTagReads: 5, MTagReads: 5, DDataReads: 5,
+		MapGens: 2,
+	}
+	want := 10*org.Precise.TagEnergyPJ() + 10*org.Precise.DataEnergyPJ() +
+		5*org.DoppelTag.TagEnergyPJ() + 5*org.DoppelData.TagEnergyPJ() +
+		5*org.DoppelData.DataEnergyPJ() + 2*MapGenPJ
+	got := org.DynamicPJ(eff)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("dynamic = %v, want %v", got, want)
+	}
+}
+
+// TestPerAccessEnergyAdvantage: an approximate access through the
+// Doppelgänger structures costs several times less than a baseline access —
+// the root of the paper's 2.55× dynamic energy reduction.
+func TestPerAccessEnergyAdvantage(t *testing.T) {
+	base := BaselineOrg(2<<20, 16, 4)
+	split := SplitOrg(1<<20, 16, paperDoppelCfg(), 4)
+	baseAccess := base.Precise.TagEnergyPJ() + base.Precise.DataEnergyPJ()
+	doppAccess := split.DoppelTag.TagEnergyPJ() + split.DoppelData.TagEnergyPJ() + split.DoppelData.DataEnergyPJ()
+	if ratio := baseAccess / doppAccess; ratio < 4 {
+		t.Errorf("per-access advantage = %.2fx, expected >4x", ratio)
+	}
+}
+
+// TestMonotonicity: bigger arrays must cost more in every dimension.
+func TestMonotonicity(t *testing.T) {
+	small := Structure{MetaKB: 10, DataKB: 64}
+	big := Structure{MetaKB: 100, DataKB: 1024}
+	if small.AreaMM2() >= big.AreaMM2() ||
+		small.TagLatencyNS() >= big.TagLatencyNS() ||
+		small.DataLatencyNS() >= big.DataLatencyNS() ||
+		small.TagEnergyPJ() >= big.TagEnergyPJ() ||
+		small.DataEnergyPJ() >= big.DataEnergyPJ() ||
+		small.LeakageMW() >= big.LeakageMW() {
+		t.Error("cost model not monotone in size")
+	}
+}
+
+func TestUnifiedOrgCoversStructures(t *testing.T) {
+	uc := core.Config{
+		Name:       "uni",
+		TagEntries: 32 << 10, TagWays: 16,
+		DataEntries: 16 << 10, DataWays: 16,
+		MapSpec: approx.MapSpec{M: 14},
+		Unified: true,
+	}
+	org := UnifiedOrg(uc, 4)
+	if org.Precise != nil {
+		t.Error("unified org has a precise structure")
+	}
+	if org.DoppelTag == nil || org.DoppelData == nil {
+		t.Fatal("unified org missing structures")
+	}
+	if org.AreaMM2() <= 0 || org.LeakageMW() <= 0 {
+		t.Error("degenerate costs")
+	}
+}

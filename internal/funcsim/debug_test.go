@@ -1,0 +1,126 @@
+package funcsim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"doppelganger/internal/approx"
+	"doppelganger/internal/cache"
+	"doppelganger/internal/coherence"
+	"doppelganger/internal/core"
+	"doppelganger/internal/memdata"
+)
+
+// checkGlobalCoherence verifies the cross-cache invariants:
+//  1. every valid private line has its sharer bit set in the directory;
+//  2. at most one core holds a dirty copy of a block;
+//  3. a dirty private copy implies directory state M owned by that core;
+//  4. L1 ⊆ L2 per core;
+//  5. every private block is present in the LLC (inclusion).
+func checkGlobalCoherence(h *Hierarchy) error {
+	dirtyOwner := map[memdata.Addr]int{}
+	for c := 0; c < h.cfg.Cores; c++ {
+		var err error
+		h.l1[c].ForEachValid(func(l *cache.Line) {
+			if err != nil {
+				return
+			}
+			if h.l2[c].Probe(l.Addr) == nil {
+				err = fmt.Errorf("core %d: L1 block %v not in L2", c, l.Addr)
+			}
+		})
+		if err != nil {
+			return err
+		}
+		check := func(level string, l *cache.Line) {
+			if err != nil {
+				return
+			}
+			dl, ok := h.dir[l.Addr]
+			if !ok {
+				err = fmt.Errorf("core %d: %s block %v has no directory entry", c, level, l.Addr)
+				return
+			}
+			if !dl.Sharers.Has(c) {
+				err = fmt.Errorf("core %d: %s block %v sharer bit missing", c, level, l.Addr)
+				return
+			}
+			if l.Dirty {
+				if prev, dup := dirtyOwner[l.Addr]; dup && prev != c {
+					err = fmt.Errorf("block %v dirty in cores %d and %d", l.Addr, prev, c)
+					return
+				}
+				dirtyOwner[l.Addr] = c
+				if dl.State != coherence.Modified || int(dl.Owner) != c {
+					err = fmt.Errorf("core %d: dirty %s block %v but dir state %v owner %d",
+						c, level, l.Addr, dl.State, dl.Owner)
+					return
+				}
+			}
+			if !h.llc.Contains(l.Addr) {
+				err = fmt.Errorf("core %d: %s block %v not in LLC (inclusion)", c, level, l.Addr)
+			}
+		}
+		h.l1[c].ForEachValid(func(l *cache.Line) { check("L1", l) })
+		h.l2[c].ForEachValid(func(l *cache.Line) { check("L2", l) })
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TestCoherenceInvariantTorture reruns the value-consistency workload with
+// full invariant checking to localize protocol bugs.
+func TestCoherenceInvariantTorture(t *testing.T) {
+	const (
+		cores  = 4
+		blocks = 96
+		ops    = 30000
+	)
+	st := memdata.NewStore()
+	h := New(Config{
+		Cores: cores,
+		L1:    cache.Config{Name: "L1", SizeBytes: 512, Ways: 2},
+		L2:    cache.Config{Name: "L2", SizeBytes: 1 << 10, Ways: 2},
+	}, core.NewBaseline(cache.Config{Name: "LLC", SizeBytes: 4 << 10, Ways: 4}, st, nil),
+		st, (*approx.Annotations)(nil), nil)
+
+	type opRec struct {
+		op, core int
+		write    bool
+		addr     memdata.Addr
+	}
+	var history []opRec
+
+	rng := rand.New(rand.NewSource(77))
+	expected := make([]int32, blocks)
+	written := make([]bool, blocks)
+	for op := 0; op < ops; op++ {
+		c := rng.Intn(cores)
+		i := rng.Intn(blocks)
+		addr := memdata.Addr(0x4000 + i*memdata.BlockSize)
+		if rng.Intn(3) == 0 {
+			v := int32(rng.Intn(1 << 20))
+			history = append(history, opRec{op, c, true, addr})
+			h.StoreI32(c, addr, v)
+			expected[i] = v
+			written[i] = true
+		} else if written[i] {
+			history = append(history, opRec{op, c, false, addr})
+			if got := h.LoadI32(c, addr); got != expected[i] {
+				t.Fatalf("op %d: core %d read %d from block %d, want %d", op, c, got, i, expected[i])
+			}
+		}
+		if err := checkGlobalCoherence(h); err != nil {
+			// Dump the recent history of the failing block.
+			for _, r := range history {
+				if r.op > op-400 {
+					t.Logf("op %d core %d write=%v addr=%v", r.op, r.core, r.write, r.addr)
+				}
+			}
+			t.Fatalf("op %d: %v", op, err)
+		}
+	}
+}

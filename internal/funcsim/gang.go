@@ -1,0 +1,177 @@
+package funcsim
+
+import "doppelganger/internal/memdata"
+
+// CoreCtx is the per-core handle a workload kernel uses to touch memory.
+// Kernels run as goroutines, but every memory access is serialized through
+// the gang scheduler in deterministic round-robin order, so functional
+// results (and therefore application error) are reproducible run-to-run.
+type CoreCtx struct {
+	id           int
+	group        int // barrier group (program id in multiprogrammed runs)
+	h            *Hierarchy
+	grant        chan struct{}
+	done         chan struct{}
+	barrierEnter chan struct{}
+	barrierLeave chan struct{}
+}
+
+// Core returns the core id of this context.
+func (c *CoreCtx) Core() int { return c.id }
+
+func (c *CoreCtx) turn(fn func()) {
+	<-c.grant
+	fn()
+	c.done <- struct{}{}
+}
+
+// Work accounts n non-memory instructions (arithmetic between accesses).
+// It only touches this core's trace state, so no scheduler turn is needed.
+func (c *CoreCtx) Work(n int) {
+	if c.h.rec != nil {
+		c.h.rec.Work(c.id, n)
+	}
+}
+
+// Barrier blocks until every live core in this core's barrier group has
+// reached a Barrier call, mirroring the pthread barriers of the paper's
+// data-parallel benchmarks. Cores that have already finished do not
+// participate; in multiprogrammed runs each program is its own group.
+func (c *CoreCtx) Barrier() {
+	<-c.grant
+	c.barrierEnter <- struct{}{}
+	<-c.barrierLeave
+}
+
+// LoadF32 reads a float32 through the hierarchy.
+func (c *CoreCtx) LoadF32(addr memdata.Addr) float32 {
+	var v float32
+	c.turn(func() { v = c.h.LoadF32(c.id, addr) })
+	return v
+}
+
+// StoreF32 writes a float32 through the hierarchy.
+func (c *CoreCtx) StoreF32(addr memdata.Addr, v float32) {
+	c.turn(func() { c.h.StoreF32(c.id, addr, v) })
+}
+
+// LoadF64 reads a float64 through the hierarchy.
+func (c *CoreCtx) LoadF64(addr memdata.Addr) float64 {
+	var v float64
+	c.turn(func() { v = c.h.LoadF64(c.id, addr) })
+	return v
+}
+
+// StoreF64 writes a float64 through the hierarchy.
+func (c *CoreCtx) StoreF64(addr memdata.Addr, v float64) {
+	c.turn(func() { c.h.StoreF64(c.id, addr, v) })
+}
+
+// LoadI32 reads an int32 through the hierarchy.
+func (c *CoreCtx) LoadI32(addr memdata.Addr) int32 {
+	var v int32
+	c.turn(func() { v = c.h.LoadI32(c.id, addr) })
+	return v
+}
+
+// StoreI32 writes an int32 through the hierarchy.
+func (c *CoreCtx) StoreI32(addr memdata.Addr, v int32) {
+	c.turn(func() { c.h.StoreI32(c.id, addr, v) })
+}
+
+// LoadU8 reads a byte through the hierarchy.
+func (c *CoreCtx) LoadU8(addr memdata.Addr) uint8 {
+	var v uint8
+	c.turn(func() { v = c.h.LoadU8(c.id, addr) })
+	return v
+}
+
+// StoreU8 writes a byte through the hierarchy.
+func (c *CoreCtx) StoreU8(addr memdata.Addr, v uint8) {
+	c.turn(func() { c.h.StoreU8(c.id, addr, v) })
+}
+
+// Run executes one kernel per core in lockstep: memory accesses are granted
+// round-robin, one per live core per rotation, so the interleaving (and thus
+// all cache contents) is deterministic. Run returns when every kernel has
+// finished. All cores share one barrier group.
+func Run(h *Hierarchy, kernels []func(*CoreCtx)) {
+	RunGrouped(h, kernels, nil)
+}
+
+// RunGrouped is Run with explicit barrier groups: groups[i] is core i's
+// group, and a Barrier call only rendezvouses with live cores of the same
+// group. Multiprogrammed runs give each program its own group so one
+// program's barriers never wait on another's cores. A nil groups slice puts
+// every core in group 0.
+func RunGrouped(h *Hierarchy, kernels []func(*CoreCtx), groups []int) {
+	n := len(kernels)
+	ctxs := make([]*CoreCtx, n)
+	finished := make([]chan struct{}, n)
+	for i := 0; i < n; i++ {
+		g := 0
+		if groups != nil {
+			g = groups[i]
+		}
+		ctxs[i] = &CoreCtx{
+			id: i, group: g, h: h,
+			grant:        make(chan struct{}),
+			done:         make(chan struct{}),
+			barrierEnter: make(chan struct{}),
+			barrierLeave: make(chan struct{}),
+		}
+		finished[i] = make(chan struct{})
+		go func(i int) {
+			defer close(finished[i])
+			kernels[i](ctxs[i])
+		}(i)
+	}
+	live := n
+	doneFlags := make([]bool, n)
+	atBarrier := make([]bool, n)
+	for live > 0 {
+		for i := 0; i < n; i++ {
+			if doneFlags[i] || atBarrier[i] {
+				continue
+			}
+			select {
+			case ctxs[i].grant <- struct{}{}:
+				select {
+				case <-ctxs[i].done:
+				case <-ctxs[i].barrierEnter:
+					atBarrier[i] = true
+				}
+			case <-finished[i]:
+				doneFlags[i] = true
+				live--
+			}
+		}
+		// Release any group whose live cores have all reached the barrier.
+		releaseReadyGroups(ctxs, doneFlags, atBarrier)
+	}
+}
+
+func releaseReadyGroups(ctxs []*CoreCtx, doneFlags, atBarrier []bool) {
+	liveInGroup := map[int]int{}
+	waitInGroup := map[int]int{}
+	for i, ctx := range ctxs {
+		if doneFlags[i] {
+			continue
+		}
+		liveInGroup[ctx.group]++
+		if atBarrier[i] {
+			waitInGroup[ctx.group]++
+		}
+	}
+	for g, waiting := range waitInGroup {
+		if waiting == 0 || waiting != liveInGroup[g] {
+			continue
+		}
+		for i, ctx := range ctxs {
+			if atBarrier[i] && ctx.group == g {
+				atBarrier[i] = false
+				ctx.barrierLeave <- struct{}{}
+			}
+		}
+	}
+}

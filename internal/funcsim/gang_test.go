@@ -1,0 +1,121 @@
+package funcsim
+
+import (
+	"testing"
+
+	"doppelganger/internal/memdata"
+	"doppelganger/internal/trace"
+)
+
+func TestGangRunsAllKernels(t *testing.T) {
+	h, _ := testHierarchy(4, nil)
+	done := make([]bool, 4)
+	kernels := make([]func(*CoreCtx), 4)
+	for c := 0; c < 4; c++ {
+		c := c
+		kernels[c] = func(ctx *CoreCtx) {
+			if ctx.Core() != c {
+				t.Errorf("kernel %d got core %d", c, ctx.Core())
+			}
+			for i := 0; i < 10+c*3; i++ { // uneven lengths
+				ctx.StoreI32(memdata.Addr(0x1000+c*4096+i*64), int32(i))
+			}
+			done[c] = true
+		}
+	}
+	Run(h, kernels)
+	for c, d := range done {
+		if !d {
+			t.Errorf("kernel %d did not finish", c)
+		}
+	}
+}
+
+func TestGangDeterministicInterleaving(t *testing.T) {
+	run := func() []int32 {
+		h, st := testHierarchy(2, nil)
+		kernels := []func(*CoreCtx){
+			func(ctx *CoreCtx) {
+				for i := 0; i < 50; i++ {
+					v := ctx.LoadI32(0x100)
+					ctx.StoreI32(0x100, v+1)
+				}
+			},
+			func(ctx *CoreCtx) {
+				for i := 0; i < 50; i++ {
+					v := ctx.LoadI32(0x100)
+					ctx.StoreI32(0x100, v*2%1000)
+				}
+			},
+		}
+		Run(h, kernels)
+		h.Flush()
+		return []int32{st.ReadI32(0x100)}
+	}
+	a, b := run(), run()
+	if a[0] != b[0] {
+		t.Errorf("nondeterministic: %d vs %d", a[0], b[0])
+	}
+}
+
+func TestGangBarrier(t *testing.T) {
+	h, _ := testHierarchy(4, nil)
+	phase := make([]int, 4)
+	kernels := make([]func(*CoreCtx), 4)
+	for c := 0; c < 4; c++ {
+		c := c
+		kernels[c] = func(ctx *CoreCtx) {
+			// Uneven pre-barrier work.
+			for i := 0; i < (c+1)*7; i++ {
+				ctx.LoadI32(memdata.Addr(0x1000 + c*4096 + i*64))
+			}
+			phase[c] = 1
+			ctx.Barrier()
+			// After the barrier every core must observe every phase[i] == 1.
+			for i := 0; i < 4; i++ {
+				if phase[i] != 1 {
+					t.Errorf("core %d passed barrier before core %d", c, i)
+				}
+			}
+			ctx.LoadI32(memdata.Addr(0x2000 + c*64))
+		}
+	}
+	Run(h, kernels)
+}
+
+func TestGangBarrierWithFinishedCores(t *testing.T) {
+	// Core 1 finishes without ever reaching a barrier; cores 0 and 2 should
+	// still rendezvous.
+	h, _ := testHierarchy(3, nil)
+	kernels := []func(*CoreCtx){
+		func(ctx *CoreCtx) {
+			ctx.LoadI32(0x100)
+			ctx.Barrier()
+			ctx.LoadI32(0x200)
+		},
+		func(ctx *CoreCtx) {
+			ctx.LoadI32(0x300)
+			// finishes immediately
+		},
+		func(ctx *CoreCtx) {
+			for i := 0; i < 30; i++ {
+				ctx.LoadI32(memdata.Addr(0x1000 + i*64))
+			}
+			ctx.Barrier()
+			ctx.LoadI32(0x400)
+		},
+	}
+	Run(h, kernels) // must not deadlock
+}
+
+func TestGangWorkAccounting(t *testing.T) {
+	rec := trace.NewRecorder(1)
+	h, _ := testHierarchy(1, rec)
+	Run(h, []func(*CoreCtx){func(ctx *CoreCtx) {
+		ctx.Work(25)
+		ctx.LoadI32(0x100)
+	}})
+	if rec.Cores[0][0].Gap != 25 {
+		t.Errorf("gap = %d", rec.Cores[0][0].Gap)
+	}
+}

@@ -1,0 +1,132 @@
+package funcsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"doppelganger/internal/approx"
+	"doppelganger/internal/cache"
+	"doppelganger/internal/core"
+	"doppelganger/internal/memdata"
+)
+
+// TestPreciseValueConsistencyTorture drives random multicore traffic over
+// PRECISE data through the full hierarchy (including a split LLC with a
+// Doppelgänger side that must never see these addresses) and checks that
+// every load observes the globally last-stored value. This validates the
+// MSI directory, inclusion, back-invalidation and writeback plumbing.
+func TestPreciseValueConsistencyTorture(t *testing.T) {
+	const (
+		cores  = 4
+		blocks = 96
+		ops    = 30000
+	)
+	st := memdata.NewStore()
+	regionStart := memdata.Addr(0x0100_0000)
+	ann := approx.MustAnnotations(approx.Region{
+		Name: "ax", Start: regionStart, End: regionStart + 1<<16,
+		Type: memdata.F32, Min: 0, Max: 1,
+	})
+	split := core.MustNewSplit(
+		cache.Config{Name: "precise", SizeBytes: 4 << 10, Ways: 4}, // tiny: force evictions
+		core.Config{
+			Name:       "dopp",
+			TagEntries: 64, TagWays: 4,
+			DataEntries: 16, DataWays: 4,
+			MapSpec: approx.MapSpec{M: 14},
+		},
+		st, ann)
+	h := New(Config{
+		Cores: cores,
+		L1:    cache.Config{Name: "L1", SizeBytes: 512, Ways: 2},
+		L2:    cache.Config{Name: "L2", SizeBytes: 1 << 10, Ways: 2},
+	}, split, st, ann, nil)
+
+	rng := rand.New(rand.NewSource(77))
+	expected := make([]int32, blocks) // last value stored per word
+	written := make([]bool, blocks)
+	for op := 0; op < ops; op++ {
+		c := rng.Intn(cores)
+		i := rng.Intn(blocks)
+		addr := memdata.Addr(0x4000 + i*memdata.BlockSize)
+		if rng.Intn(3) == 0 {
+			v := int32(rng.Intn(1 << 20))
+			h.StoreI32(c, addr, v)
+			expected[i] = v
+			written[i] = true
+		} else if written[i] {
+			if got := h.LoadI32(c, addr); got != expected[i] {
+				t.Fatalf("op %d: core %d read %d from block %d, want %d",
+					op, c, got, i, expected[i])
+			}
+		}
+	}
+	// After a flush, memory must hold the final values.
+	h.Flush()
+	for i, w := range written {
+		if !w {
+			continue
+		}
+		addr := memdata.Addr(0x4000 + i*memdata.BlockSize)
+		if got := st.ReadI32(addr); got != expected[i] {
+			t.Fatalf("after flush: block %d = %d, want %d", i, got, expected[i])
+		}
+	}
+}
+
+// TestMixedTrafficInvariantsTorture mixes approximate and precise traffic
+// through the split LLC and checks the Doppelgänger structural invariants
+// periodically, plus inclusion (every private block has an LLC tag).
+func TestMixedTrafficInvariantsTorture(t *testing.T) {
+	st := memdata.NewStore()
+	regionStart := memdata.Addr(0x0100_0000)
+	ann := approx.MustAnnotations(approx.Region{
+		Name: "ax", Start: regionStart, End: regionStart + 1<<18,
+		Type: memdata.F32, Min: 0, Max: 100,
+	})
+	split := core.MustNewSplit(
+		cache.Config{Name: "precise", SizeBytes: 4 << 10, Ways: 4},
+		core.Config{
+			Name:       "dopp",
+			TagEntries: 128, TagWays: 4,
+			DataEntries: 32, DataWays: 4,
+			MapSpec: approx.MapSpec{M: 14},
+		},
+		st, ann)
+	h := New(Config{
+		Cores: 2,
+		L1:    cache.Config{Name: "L1", SizeBytes: 512, Ways: 2},
+		L2:    cache.Config{Name: "L2", SizeBytes: 1 << 10, Ways: 2},
+	}, split, st, ann, nil)
+
+	rng := rand.New(rand.NewSource(13))
+	for op := 0; op < 20000; op++ {
+		c := rng.Intn(2)
+		if rng.Intn(2) == 0 {
+			addr := regionStart + memdata.Addr(rng.Intn(1024)*memdata.BlockSize)
+			if rng.Intn(4) == 0 {
+				h.StoreF32(c, addr, rng.Float32()*100)
+			} else {
+				h.LoadF32(c, addr)
+			}
+		} else {
+			addr := memdata.Addr(0x8000 + rng.Intn(512)*memdata.BlockSize)
+			if rng.Intn(4) == 0 {
+				h.StoreI32(c, addr, int32(op))
+			} else {
+				h.LoadI32(c, addr)
+			}
+		}
+		if op%500 == 0 {
+			if err := split.Doppel.CheckInvariants(); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+		}
+	}
+	if err := split.Doppel.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if h.Stats.BackInvals == 0 {
+		t.Error("torture produced no back-invalidations; caches too large for the test")
+	}
+}

@@ -1,0 +1,134 @@
+// Package memdata provides the basic data-plane types of the simulated
+// memory system: physical addresses, fixed-size cache blocks, typed element
+// views over blocks, and a sparse backing store that stands in for DRAM.
+//
+// Everything in the simulator moves data at the granularity of a 64-byte
+// block, matching the configuration used in the Doppelgänger paper (Table 1).
+package memdata
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// BlockSize is the cache block size in bytes used throughout the simulator.
+const BlockSize = 64
+
+// OffsetBits is the number of address bits covered by a block offset.
+const OffsetBits = 6
+
+// Addr is a 32-bit physical address, as assumed by the paper (§5.6).
+type Addr uint32
+
+// BlockAddr returns the address of the block containing a.
+func (a Addr) BlockAddr() Addr { return a &^ (BlockSize - 1) }
+
+// Offset returns the byte offset of a within its block.
+func (a Addr) Offset() int { return int(a & (BlockSize - 1)) }
+
+// String formats the address in hex.
+func (a Addr) String() string { return fmt.Sprintf("0x%08x", uint32(a)) }
+
+// Block is the payload of one cache line.
+type Block [BlockSize]byte
+
+// ElemType identifies the programmer-declared type of the elements held in
+// an approximate region (§3.7: the data type is passed with each memory
+// instruction).
+type ElemType uint8
+
+// Element types supported by the workloads in this repository.
+const (
+	U8  ElemType = iota // unsigned 8-bit (e.g. single-channel pixels)
+	I32                 // signed 32-bit integers
+	F32                 // IEEE-754 single precision
+	F64                 // IEEE-754 double precision
+)
+
+// Size returns the element size in bytes.
+func (t ElemType) Size() int {
+	switch t {
+	case U8:
+		return 1
+	case I32, F32:
+		return 4
+	case F64:
+		return 8
+	}
+	panic(fmt.Sprintf("memdata: unknown element type %d", t))
+}
+
+// Bits returns the element width in bits.
+func (t ElemType) Bits() int { return t.Size() * 8 }
+
+// PerBlock returns how many elements of this type fit in one block.
+func (t ElemType) PerBlock() int { return BlockSize / t.Size() }
+
+// String names the element type.
+func (t ElemType) String() string {
+	switch t {
+	case U8:
+		return "u8"
+	case I32:
+		return "i32"
+	case F32:
+		return "f32"
+	case F64:
+		return "f64"
+	}
+	return fmt.Sprintf("ElemType(%d)", uint8(t))
+}
+
+// Elem reads element i of type t from the block as a float64, the common
+// numeric domain used for hashing and similarity checks.
+func (b *Block) Elem(t ElemType, i int) float64 {
+	switch t {
+	case U8:
+		return float64(b[i])
+	case I32:
+		return float64(int32(binary.LittleEndian.Uint32(b[i*4:])))
+	case F32:
+		return float64(math.Float32frombits(binary.LittleEndian.Uint32(b[i*4:])))
+	case F64:
+		return math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	panic("memdata: unknown element type")
+}
+
+// SetElem writes element i of type t into the block from a float64,
+// truncating or rounding as the concrete type requires.
+func (b *Block) SetElem(t ElemType, i int, v float64) {
+	switch t {
+	case U8:
+		b[i] = byte(clamp(math.Round(v), 0, 255))
+	case I32:
+		binary.LittleEndian.PutUint32(b[i*4:], uint32(int32(clamp(math.Round(v), math.MinInt32, math.MaxInt32))))
+	case F32:
+		binary.LittleEndian.PutUint32(b[i*4:], math.Float32bits(float32(v)))
+	case F64:
+		binary.LittleEndian.PutUint64(b[i*8:], math.Float64bits(v))
+	default:
+		panic("memdata: unknown element type")
+	}
+}
+
+// Elems decodes every element of type t in the block.
+func (b *Block) Elems(t ElemType) []float64 {
+	n := t.PerBlock()
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = b.Elem(t, i)
+	}
+	return out
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,206 @@
+package memdata
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddrBlockAndOffset(t *testing.T) {
+	cases := []struct {
+		addr   Addr
+		block  Addr
+		offset int
+	}{
+		{0, 0, 0},
+		{1, 0, 1},
+		{63, 0, 63},
+		{64, 64, 0},
+		{0x12345, 0x12340, 5},
+		{0xFFFFFFFF, 0xFFFFFFC0, 63},
+	}
+	for _, c := range cases {
+		if got := c.addr.BlockAddr(); got != c.block {
+			t.Errorf("%v.BlockAddr() = %v, want %v", c.addr, got, c.block)
+		}
+		if got := c.addr.Offset(); got != c.offset {
+			t.Errorf("%v.Offset() = %d, want %d", c.addr, got, c.offset)
+		}
+	}
+}
+
+func TestAddrBlockAlignedProperty(t *testing.T) {
+	f := func(a uint32) bool {
+		addr := Addr(a)
+		ba := addr.BlockAddr()
+		return ba%BlockSize == 0 && ba <= addr && addr-ba < BlockSize &&
+			int(addr-ba) == addr.Offset()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestElemTypeGeometry(t *testing.T) {
+	for _, c := range []struct {
+		t        ElemType
+		size     int
+		perBlock int
+	}{
+		{U8, 1, 64}, {I32, 4, 16}, {F32, 4, 16}, {F64, 8, 8},
+	} {
+		if c.t.Size() != c.size {
+			t.Errorf("%v.Size() = %d, want %d", c.t, c.t.Size(), c.size)
+		}
+		if c.t.PerBlock() != c.perBlock {
+			t.Errorf("%v.PerBlock() = %d, want %d", c.t, c.t.PerBlock(), c.perBlock)
+		}
+		if c.t.Bits() != 8*c.size {
+			t.Errorf("%v.Bits() = %d, want %d", c.t, c.t.Bits(), 8*c.size)
+		}
+	}
+}
+
+func TestElemRoundTripF32(t *testing.T) {
+	f := func(vals [16]float32, idx uint8) bool {
+		var b Block
+		i := int(idx) % 16
+		b.SetElem(F32, i, float64(vals[i]))
+		got := b.Elem(F32, i)
+		want := float64(vals[i])
+		return (math.IsNaN(got) && math.IsNaN(want)) || got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestElemRoundTripF64(t *testing.T) {
+	f := func(v float64, idx uint8) bool {
+		var b Block
+		i := int(idx) % 8
+		b.SetElem(F64, i, v)
+		got := b.Elem(F64, i)
+		return (math.IsNaN(got) && math.IsNaN(v)) || got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestElemRoundTripU8ClampsAndRounds(t *testing.T) {
+	var b Block
+	b.SetElem(U8, 0, -5)
+	if got := b.Elem(U8, 0); got != 0 {
+		t.Errorf("negative clamps to 0, got %v", got)
+	}
+	b.SetElem(U8, 1, 300)
+	if got := b.Elem(U8, 1); got != 255 {
+		t.Errorf("overflow clamps to 255, got %v", got)
+	}
+	b.SetElem(U8, 2, 127.6)
+	if got := b.Elem(U8, 2); got != 128 {
+		t.Errorf("rounds to nearest, got %v", got)
+	}
+}
+
+func TestElemRoundTripI32(t *testing.T) {
+	f := func(v int32, idx uint8) bool {
+		var b Block
+		i := int(idx) % 16
+		b.SetElem(I32, i, float64(v))
+		return b.Elem(I32, i) == float64(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestElemsDecodesWholeBlock(t *testing.T) {
+	var b Block
+	for i := 0; i < 16; i++ {
+		b.SetElem(I32, i, float64(i*3))
+	}
+	es := b.Elems(I32)
+	if len(es) != 16 {
+		t.Fatalf("len = %d", len(es))
+	}
+	for i, v := range es {
+		if v != float64(i*3) {
+			t.Errorf("elem %d = %v", i, v)
+		}
+	}
+}
+
+func TestStoreZeroFill(t *testing.T) {
+	s := NewStore()
+	if got := s.ReadU32(0x1000); got != 0 {
+		t.Errorf("untouched memory reads %d, want 0", got)
+	}
+	if s.Len() != 1 {
+		t.Errorf("read allocated %d blocks, want 1", s.Len())
+	}
+	if s.Peek(0x2000) != nil {
+		t.Error("Peek allocated a block")
+	}
+}
+
+func TestStoreTypedAccessors(t *testing.T) {
+	s := NewStore()
+	s.WriteF32(0x100, 3.5)
+	if got := s.ReadF32(0x100); got != 3.5 {
+		t.Errorf("f32 = %v", got)
+	}
+	s.WriteF64(0x200, -2.25)
+	if got := s.ReadF64(0x200); got != -2.25 {
+		t.Errorf("f64 = %v", got)
+	}
+	s.WriteI32(0x300, -7)
+	if got := s.ReadI32(0x300); got != -7 {
+		t.Errorf("i32 = %v", got)
+	}
+	s.WriteU8(0x304, 200)
+	if got := s.ReadU8(0x304); got != 200 {
+		t.Errorf("u8 = %v", got)
+	}
+	s.WriteU64(0x400, 0xDEADBEEFCAFEBABE)
+	if got := s.ReadU64(0x400); got != 0xDEADBEEFCAFEBABE {
+		t.Errorf("u64 = %#x", got)
+	}
+}
+
+func TestStoreWriteStraddlesNothing(t *testing.T) {
+	// Accessors assume natural alignment within a block; writing the last
+	// word of a block must not touch the next block.
+	s := NewStore()
+	s.WriteU64(0x1038, ^uint64(0)) // last 8 bytes of block 0x1000
+	if s.Peek(0x1040) != nil {
+		t.Error("write leaked into next block")
+	}
+}
+
+func TestStoreClone(t *testing.T) {
+	s := NewStore()
+	s.WriteI32(0x500, 42)
+	c := s.Clone()
+	s.WriteI32(0x500, 99)
+	if got := c.ReadI32(0x500); got != 42 {
+		t.Errorf("clone sees %d, want 42", got)
+	}
+	c.WriteI32(0x504, 7)
+	if got := s.ReadI32(0x504); got != 0 {
+		t.Errorf("original sees clone write: %d", got)
+	}
+}
+
+func TestWriteBlockReplacesPayload(t *testing.T) {
+	s := NewStore()
+	var b Block
+	for i := range b {
+		b[i] = byte(i)
+	}
+	s.WriteBlock(0x1000, &b)
+	if got := s.ReadU8(0x103F); got != 63 {
+		t.Errorf("last byte = %d", got)
+	}
+}

@@ -1,0 +1,111 @@
+package memdata
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Store is the sparse backing store that stands in for main memory. It maps
+// block addresses to block payloads and allocates zero-filled blocks on
+// first touch, so workloads can lay out multi-megabyte footprints without
+// reserving real memory for untouched regions.
+//
+// A Store is not safe for concurrent use; the simulators serialize access.
+type Store struct {
+	blocks map[Addr]*Block
+}
+
+// NewStore returns an empty backing store.
+func NewStore() *Store {
+	return &Store{blocks: make(map[Addr]*Block)}
+}
+
+// Block returns the block containing addr, allocating it on first touch.
+func (s *Store) Block(addr Addr) *Block {
+	ba := addr.BlockAddr()
+	b, ok := s.blocks[ba]
+	if !ok {
+		b = new(Block)
+		s.blocks[ba] = b
+	}
+	return b
+}
+
+// Peek returns the block containing addr or nil if it was never touched.
+func (s *Store) Peek(addr Addr) *Block {
+	return s.blocks[addr.BlockAddr()]
+}
+
+// WriteBlock replaces the payload of the block containing addr.
+func (s *Store) WriteBlock(addr Addr, b *Block) {
+	*s.Block(addr) = *b
+}
+
+// Len reports how many blocks have been touched.
+func (s *Store) Len() int { return len(s.blocks) }
+
+// ForEachBlock visits every touched block in unspecified order.
+func (s *Store) ForEachBlock(fn func(addr Addr, b *Block)) {
+	for a, b := range s.blocks {
+		fn(a, b)
+	}
+}
+
+// Clone deep-copies the store, used to snapshot the initial memory image so
+// the timing simulator can replay traces from the same starting state.
+func (s *Store) Clone() *Store {
+	c := NewStore()
+	for a, b := range s.blocks {
+		nb := *b
+		c.blocks[a] = &nb
+	}
+	return c
+}
+
+// Typed accessors used by workloads to initialize memory images and by the
+// functional simulator's fill path. Addresses must be naturally aligned for
+// the access width.
+
+// ReadU8 reads one byte.
+func (s *Store) ReadU8(addr Addr) uint8 { return s.Block(addr)[addr.Offset()] }
+
+// WriteU8 writes one byte.
+func (s *Store) WriteU8(addr Addr, v uint8) { s.Block(addr)[addr.Offset()] = v }
+
+// ReadU32 reads a 32-bit word.
+func (s *Store) ReadU32(addr Addr) uint32 {
+	return binary.LittleEndian.Uint32(s.Block(addr)[addr.Offset():])
+}
+
+// WriteU32 writes a 32-bit word.
+func (s *Store) WriteU32(addr Addr, v uint32) {
+	binary.LittleEndian.PutUint32(s.Block(addr)[addr.Offset():], v)
+}
+
+// ReadU64 reads a 64-bit word.
+func (s *Store) ReadU64(addr Addr) uint64 {
+	return binary.LittleEndian.Uint64(s.Block(addr)[addr.Offset():])
+}
+
+// WriteU64 writes a 64-bit word.
+func (s *Store) WriteU64(addr Addr, v uint64) {
+	binary.LittleEndian.PutUint64(s.Block(addr)[addr.Offset():], v)
+}
+
+// ReadF32 reads a float32.
+func (s *Store) ReadF32(addr Addr) float32 { return math.Float32frombits(s.ReadU32(addr)) }
+
+// WriteF32 writes a float32.
+func (s *Store) WriteF32(addr Addr, v float32) { s.WriteU32(addr, math.Float32bits(v)) }
+
+// ReadF64 reads a float64.
+func (s *Store) ReadF64(addr Addr) float64 { return math.Float64frombits(s.ReadU64(addr)) }
+
+// WriteF64 writes a float64.
+func (s *Store) WriteF64(addr Addr, v float64) { s.WriteU64(addr, math.Float64bits(v)) }
+
+// ReadI32 reads a signed 32-bit integer.
+func (s *Store) ReadI32(addr Addr) int32 { return int32(s.ReadU32(addr)) }
+
+// WriteI32 writes a signed 32-bit integer.
+func (s *Store) WriteI32(addr Addr, v int32) { s.WriteU32(addr, uint32(v)) }

@@ -1,0 +1,239 @@
+// Package stats implements the storage-savings characterizations of the
+// paper's §2 and §5.1: given periodic snapshots of the blocks resident in a
+// 2 MB LLC, it measures (a) element-wise approximate similarity under a
+// threshold T (Fig. 2), (b) map-space similarity for various map sizes
+// (Fig. 7), and (c) the BΔI, exact-deduplication and Doppelgänger+BΔI
+// comparators (Fig. 8), plus the approximate footprint fraction (Table 2).
+package stats
+
+import (
+	"math/rand"
+	"sort"
+
+	"doppelganger/internal/approx"
+	"doppelganger/internal/bdi"
+	"doppelganger/internal/core"
+	"doppelganger/internal/dedup"
+	"doppelganger/internal/memdata"
+)
+
+// classKey groups blocks whose annotations share element semantics; the
+// similarity analyses only compare blocks within a class (comparing pixel
+// blocks against float blocks would be meaningless).
+type classKey struct {
+	Type     memdata.ElemType
+	Min, Max float64
+}
+
+// AnalyzerConfig selects which analyses run per snapshot.
+type AnalyzerConfig struct {
+	// Thresholds enables the Fig. 2 element-wise analysis at the given
+	// fractions of the value range (e.g. 0, 0.0001, 0.001, 0.01, 0.1).
+	Thresholds []float64
+	// ThresholdSampleCap bounds the per-snapshot block sample for the
+	// quadratic Fig. 2 grouping (0 means 1024).
+	ThresholdSampleCap int
+	// ThresholdEvery runs the (expensive) threshold analysis only on every
+	// Nth snapshot (0 means every snapshot); the cheaper map/comparator
+	// analyses still run on all of them.
+	ThresholdEvery int
+	// MapSpaces enables the Fig. 7 analysis for the given map sizes M.
+	MapSpaces []int
+	// Comparators enables the Fig. 8 BΔI / dedup / Dopp+BΔI analysis; the
+	// Doppelgänger column uses CompareM as its map size.
+	Comparators bool
+	CompareM    int
+}
+
+// Analyzer accumulates snapshot statistics. Observe may be wired to a
+// hierarchy's SnapshotFn.
+type Analyzer struct {
+	cfg AnalyzerConfig
+	rng *rand.Rand
+
+	Samples int
+
+	approxBlocks uint64
+	totalBlocks  uint64
+
+	thresholdSamples int
+	thresholdSavings map[float64]float64 // sum over sampled snapshots
+	mapSavings       map[int]float64
+	bdiSavings       float64
+	dedupSavings     float64
+	doppBDISavings   float64
+}
+
+// NewAnalyzer builds an analyzer.
+func NewAnalyzer(cfg AnalyzerConfig) *Analyzer {
+	if cfg.ThresholdSampleCap == 0 {
+		cfg.ThresholdSampleCap = 1024
+	}
+	if cfg.CompareM == 0 {
+		cfg.CompareM = 14
+	}
+	a := &Analyzer{
+		cfg:              cfg,
+		rng:              rand.New(rand.NewSource(42)),
+		thresholdSavings: make(map[float64]float64),
+		mapSavings:       make(map[int]float64),
+	}
+	return a
+}
+
+// Observe processes one LLC snapshot.
+func (a *Analyzer) Observe(llc core.LLC) {
+	snap := llc.Snapshot()
+	a.Samples++
+	a.totalBlocks += uint64(len(snap))
+
+	classes := make(map[classKey][]core.SnapshotBlock)
+	nApprox := 0
+	for _, sb := range snap {
+		if sb.Region == nil {
+			continue
+		}
+		nApprox++
+		k := classKey{sb.Region.Type, sb.Region.Min, sb.Region.Max}
+		classes[k] = append(classes[k], sb)
+	}
+	a.approxBlocks += uint64(nApprox)
+	if nApprox == 0 {
+		return
+	}
+
+	if every := a.cfg.ThresholdEvery; every <= 1 || a.Samples%every == 1 {
+		a.thresholdSamples++
+		for _, t := range a.cfg.Thresholds {
+			a.thresholdSavings[t] += a.thresholdSavingsOnce(classes, nApprox, t)
+		}
+	}
+	for _, m := range a.cfg.MapSpaces {
+		a.mapSavings[m] += mapSavingsOnce(classes, nApprox, m)
+	}
+	if a.cfg.Comparators {
+		blocks := make([]*memdata.Block, 0, nApprox)
+		for _, cls := range classes {
+			for i := range cls {
+				b := cls[i].Data
+				blocks = append(blocks, &b)
+			}
+		}
+		a.bdiSavings += bdiSavingsOnce(blocks)
+		a.dedupSavings += dedup.Savings(blocks)
+		a.doppBDISavings += doppBDISavingsOnce(classes, nApprox, a.cfg.CompareM)
+	}
+}
+
+// thresholdSavingsOnce is the Fig. 2 measurement for one snapshot: the
+// fraction of approximate blocks removable when threshold-T-similar blocks
+// share one data entry, via greedy grouping per class. Classes larger than
+// the sample cap are down-sampled (the savings fraction is scale free).
+func (a *Analyzer) thresholdSavingsOnce(classes map[classKey][]core.SnapshotBlock, nApprox int, t float64) float64 {
+	var weighted float64
+	for _, cls := range classes {
+		sample := cls
+		if len(sample) > a.cfg.ThresholdSampleCap {
+			idx := a.rng.Perm(len(sample))[:a.cfg.ThresholdSampleCap]
+			sort.Ints(idx)
+			picked := make([]core.SnapshotBlock, len(idx))
+			for i, j := range idx {
+				picked[i] = sample[j]
+			}
+			sample = picked
+		}
+		blocks := make([]*memdata.Block, len(sample))
+		for i := range sample {
+			b := sample[i].Data
+			blocks[i] = &b
+		}
+		groups := approx.GreedySimilarityGroups(blocks, sample[0].Region, t)
+		savings := 1 - float64(groups)/float64(len(blocks))
+		weighted += savings * float64(len(cls))
+	}
+	return weighted / float64(nApprox)
+}
+
+// mapSavingsOnce is the Fig. 7 measurement: blocks with equal map values
+// share a data entry, so savings = 1 − uniqueMaps/approxBlocks.
+func mapSavingsOnce(classes map[classKey][]core.SnapshotBlock, nApprox, m int) float64 {
+	spec := approx.MapSpec{M: m}
+	unique := 0
+	for _, cls := range classes {
+		seen := make(map[uint32]struct{}, len(cls))
+		for i := range cls {
+			b := cls[i].Data
+			seen[spec.MapValue(&b, cls[i].Region)] = struct{}{}
+		}
+		unique += len(seen)
+	}
+	return 1 - float64(unique)/float64(nApprox)
+}
+
+// bdiSavingsOnce measures BΔI compression savings over the approximate
+// blocks: 1 − Σ compressed / Σ raw.
+func bdiSavingsOnce(blocks []*memdata.Block) float64 {
+	var compressed int
+	for _, b := range blocks {
+		compressed += bdi.CompressedSize(b)
+	}
+	return 1 - float64(compressed)/float64(len(blocks)*memdata.BlockSize)
+}
+
+// doppBDISavingsOnce combines the two: one representative per map value,
+// each BΔI-compressed (§5.1 reports 43.9% for this combination).
+func doppBDISavingsOnce(classes map[classKey][]core.SnapshotBlock, nApprox, m int) float64 {
+	spec := approx.MapSpec{M: m}
+	var compressed int
+	for _, cls := range classes {
+		reps := make(map[uint32]struct{}, len(cls))
+		for i := range cls {
+			b := cls[i].Data
+			mv := spec.MapValue(&b, cls[i].Region)
+			if _, ok := reps[mv]; ok {
+				continue
+			}
+			reps[mv] = struct{}{}
+			compressed += bdi.CompressedSize(&b)
+		}
+	}
+	return 1 - float64(compressed)/float64(nApprox*memdata.BlockSize)
+}
+
+// --- results ---
+
+// ApproxFraction is Table 2: the mean fraction of resident LLC blocks that
+// are approximate.
+func (a *Analyzer) ApproxFraction() float64 {
+	if a.totalBlocks == 0 {
+		return 0
+	}
+	return float64(a.approxBlocks) / float64(a.totalBlocks)
+}
+
+// ThresholdSavings returns the mean Fig. 2 savings for threshold t.
+func (a *Analyzer) ThresholdSavings(t float64) float64 {
+	if a.thresholdSamples == 0 {
+		return 0
+	}
+	return a.thresholdSavings[t] / float64(a.thresholdSamples)
+}
+
+// MapSavings returns the mean Fig. 7 savings for map size m.
+func (a *Analyzer) MapSavings(m int) float64 { return a.mean(a.mapSavings[m]) }
+
+// BDISavings returns the mean Fig. 8 BΔI savings.
+func (a *Analyzer) BDISavings() float64 { return a.mean(a.bdiSavings) }
+
+// DedupSavings returns the mean Fig. 8 exact-deduplication savings.
+func (a *Analyzer) DedupSavings() float64 { return a.mean(a.dedupSavings) }
+
+// DoppBDISavings returns the mean Fig. 8 Doppelgänger+BΔI savings.
+func (a *Analyzer) DoppBDISavings() float64 { return a.mean(a.doppBDISavings) }
+
+func (a *Analyzer) mean(sum float64) float64 {
+	if a.Samples == 0 {
+		return 0
+	}
+	return sum / float64(a.Samples)
+}

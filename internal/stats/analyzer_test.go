@@ -1,0 +1,157 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"doppelganger/internal/approx"
+	"doppelganger/internal/cache"
+	"doppelganger/internal/core"
+	"doppelganger/internal/memdata"
+)
+
+// fakeLLC implements core.LLC just enough to feed Observe with controlled
+// snapshots.
+type fakeLLC struct {
+	snap []core.SnapshotBlock
+}
+
+func (f *fakeLLC) Read(memdata.Addr) (memdata.Block, *core.Effects) { panic("unused") }
+func (f *fakeLLC) WriteBack(memdata.Addr, *memdata.Block) *core.Effects {
+	panic("unused")
+}
+func (f *fakeLLC) EvictFor(memdata.Addr) *core.Effects { panic("unused") }
+func (f *fakeLLC) Contains(memdata.Addr) bool          { return false }
+func (f *fakeLLC) Snapshot() []core.SnapshotBlock      { return f.snap }
+func (f *fakeLLC) TagEntries() int                     { return len(f.snap) }
+func (f *fakeLLC) DataBlocks() int                     { return len(f.snap) }
+
+var _ core.LLC = (*fakeLLC)(nil)
+
+var testRegion = approx.Region{
+	Name: "r", Start: 0, End: 1 << 20, Type: memdata.F32, Min: 0, Max: 100,
+}
+
+func uniformBlock(v float64) memdata.Block {
+	var b memdata.Block
+	for i := 0; i < 16; i++ {
+		b.SetElem(memdata.F32, i, v)
+	}
+	return b
+}
+
+func snapshotOf(vals []float64, precise int) *fakeLLC {
+	f := &fakeLLC{}
+	for i, v := range vals {
+		f.snap = append(f.snap, core.SnapshotBlock{
+			Addr:   memdata.Addr(i * 64),
+			Data:   uniformBlock(v),
+			Region: &testRegion,
+		})
+	}
+	for i := 0; i < precise; i++ {
+		f.snap = append(f.snap, core.SnapshotBlock{
+			Addr: memdata.Addr((len(vals) + i) * 64),
+			Data: uniformBlock(float64(i)),
+		})
+	}
+	return f
+}
+
+func TestApproxFraction(t *testing.T) {
+	a := NewAnalyzer(AnalyzerConfig{})
+	a.Observe(snapshotOf([]float64{1, 2, 3}, 1))
+	if got := a.ApproxFraction(); got != 0.75 {
+		t.Errorf("approx fraction = %v, want 0.75", got)
+	}
+	// Second snapshot averages in.
+	a.Observe(snapshotOf([]float64{1}, 3))
+	if got := a.ApproxFraction(); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("approx fraction = %v, want 0.5", got)
+	}
+}
+
+func TestThresholdSavings(t *testing.T) {
+	a := NewAnalyzer(AnalyzerConfig{Thresholds: []float64{0, 0.01}})
+	// Four blocks: two identical pairs offset by 0.5 (0.5% of range 100).
+	a.Observe(snapshotOf([]float64{10, 10.5, 50, 50.5}, 0))
+	if got := a.ThresholdSavings(0); got != 0 {
+		t.Errorf("T=0 savings = %v, want 0 (no exact duplicates)", got)
+	}
+	if got := a.ThresholdSavings(0.01); got != 0.5 {
+		t.Errorf("T=1%% savings = %v, want 0.5 (two groups of two)", got)
+	}
+}
+
+func TestMapSavings(t *testing.T) {
+	a := NewAnalyzer(AnalyzerConfig{MapSpaces: []int{14}})
+	// Three blocks share a map (tiny perturbations); one is far away.
+	a.Observe(snapshotOf([]float64{40, 40.0001, 40.0002, 90}, 0))
+	if got := a.MapSavings(14); got != 0.5 {
+		t.Errorf("map savings = %v, want 0.5 (2 unique of 4)", got)
+	}
+}
+
+func TestComparators(t *testing.T) {
+	a := NewAnalyzer(AnalyzerConfig{Comparators: true, CompareM: 14})
+	// Two identical blocks + two distinct: dedup saves 25%; uniform blocks
+	// BΔI-compress to the repeat scheme (~8/64 each).
+	a.Observe(snapshotOf([]float64{10, 10, 20, 30}, 0))
+	if got := a.DedupSavings(); got != 0.25 {
+		t.Errorf("dedup savings = %v, want 0.25", got)
+	}
+	if got := a.BDISavings(); got < 0.8 {
+		t.Errorf("bdi savings = %v; uniform blocks should compress well", got)
+	}
+	if got := a.DoppBDISavings(); got < a.MapSavings(14) && a.MapSavings(14) > 0 {
+		t.Errorf("dopp+bdi (%v) should beat dopp alone (%v)", got, a.MapSavings(14))
+	}
+}
+
+func TestEmptySnapshotsAreSafe(t *testing.T) {
+	a := NewAnalyzer(AnalyzerConfig{Thresholds: []float64{0.01}, MapSpaces: []int{14}, Comparators: true})
+	a.Observe(&fakeLLC{})
+	a.Observe(snapshotOf(nil, 5)) // precise-only
+	if a.ApproxFraction() != 0 || a.MapSavings(14) != 0 || a.BDISavings() != 0 {
+		t.Error("empty/precise snapshots produced nonzero savings")
+	}
+}
+
+func TestSamplingCapKeepsSavingsScaleFree(t *testing.T) {
+	a := NewAnalyzer(AnalyzerConfig{Thresholds: []float64{0.01}, ThresholdSampleCap: 16})
+	vals := make([]float64, 200)
+	for i := range vals {
+		vals[i] = float64(i%4) * 25 // four tight groups
+	}
+	a.Observe(snapshotOf(vals, 0))
+	got := a.ThresholdSavings(0.01)
+	if got < 0.6 || got > 0.99 {
+		t.Errorf("sampled savings = %v, want near 0.75+", got)
+	}
+}
+
+// TestObserveRealLLC wires the analyzer to an actual baseline LLC to cover
+// the integration path.
+func TestObserveRealLLC(t *testing.T) {
+	st := memdata.NewStore()
+	ann := approx.MustAnnotations(testRegion)
+	llc := core.NewBaseline(cache.Config{Name: "llc", SizeBytes: 8 << 10, Ways: 4}, st, ann)
+	for i := 0; i < 32; i++ {
+		b := st.Block(memdata.Addr(i * 64))
+		for e := 0; e < 16; e++ {
+			b.SetElem(memdata.F32, e, float64(i%4))
+		}
+		llc.Read(memdata.Addr(i * 64))
+	}
+	a := NewAnalyzer(AnalyzerConfig{MapSpaces: []int{14}, Comparators: true})
+	a.Observe(llc)
+	if a.Samples != 1 {
+		t.Fatalf("samples = %d", a.Samples)
+	}
+	if got := a.MapSavings(14); got < 0.8 {
+		t.Errorf("map savings = %v; 4 distinct values over 32 blocks should dedup heavily", got)
+	}
+	if got := a.DedupSavings(); got < 0.8 {
+		t.Errorf("dedup savings = %v", got)
+	}
+}

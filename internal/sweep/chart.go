@@ -1,0 +1,94 @@
+package sweep
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// FormatChart renders the table as grouped horizontal bar charts, one group
+// per row (benchmark) and one bar per numeric column — a terminal rendition
+// of the paper's figures. Cells are parsed as percentages ("37.9%"),
+// reduction factors ("2.55x") or plain numbers; non-numeric cells render as
+// text.
+func (t *Table) FormatChart() string {
+	const barWidth = 44
+
+	// Find the numeric scale across all cells.
+	maxVal := 0.0
+	vals := make([][]float64, len(t.Rows))
+	numeric := make([][]bool, len(t.Rows))
+	for i, r := range t.Rows {
+		vals[i] = make([]float64, len(r))
+		numeric[i] = make([]bool, len(r))
+		for j := 1; j < len(r); j++ {
+			if v, ok := parseCell(r[j]); ok {
+				vals[i][j] = v
+				numeric[i][j] = true
+				if v > maxVal {
+					maxVal = v
+				}
+			}
+		}
+	}
+	if maxVal == 0 {
+		maxVal = 1
+	}
+
+	labelWidth := len(t.Columns[0])
+	for _, r := range t.Rows {
+		if len(r[0]) > labelWidth {
+			labelWidth = len(r[0])
+		}
+	}
+	seriesWidth := 0
+	for _, c := range t.Columns[1:] {
+		if len(c) > seriesWidth {
+			seriesWidth = len(c)
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	for i, r := range t.Rows {
+		for j := 1; j < len(r); j++ {
+			label := ""
+			if j == 1 {
+				label = r[0]
+			}
+			series := ""
+			if j-1 < len(t.Columns[1:]) {
+				series = t.Columns[j]
+			}
+			if !numeric[i][j] {
+				fmt.Fprintf(&b, "%-*s  %-*s  %s\n", labelWidth, label, seriesWidth, series, r[j])
+				continue
+			}
+			n := int(vals[i][j] / maxVal * barWidth)
+			if n == 0 && vals[i][j] > 0 {
+				n = 1
+			}
+			fmt.Fprintf(&b, "%-*s  %-*s  %s%s %s\n",
+				labelWidth, label, seriesWidth, series,
+				strings.Repeat("█", n), strings.Repeat("·", barWidth-n), r[j])
+		}
+		if i < len(t.Rows)-1 {
+			b.WriteByte('\n')
+		}
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// parseCell extracts a numeric value from "37.9%", "2.55x" or "1.023".
+func parseCell(s string) (float64, bool) {
+	s = strings.TrimSpace(s)
+	s = strings.TrimSuffix(strings.TrimSuffix(s, "%"), "x")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || v < 0 {
+		return 0, false
+	}
+	return v, true
+}

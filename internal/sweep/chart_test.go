@@ -1,0 +1,48 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFormatChartBars(t *testing.T) {
+	tb := &Table{Title: "Chart", Columns: []string{"benchmark", "a", "b"}}
+	tb.AddRow("x", "50.0%", "100.0%")
+	tb.AddRow("y", "25.0%", "text")
+	out := tb.FormatChart()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if !strings.HasPrefix(lines[0], "== Chart ==") {
+		t.Fatalf("title: %q", lines[0])
+	}
+	full := strings.Count(lines[2], "█") // 100% bar
+	half := strings.Count(lines[1], "█") // 50% bar
+	qtr := strings.Count(lines[4], "█")  // 25% bar
+	if full == 0 || half == 0 || qtr == 0 {
+		t.Fatalf("missing bars:\n%s", out)
+	}
+	if !(qtr < half && half < full) {
+		t.Errorf("bar lengths not ordered: %d %d %d\n%s", qtr, half, full, out)
+	}
+	if !strings.Contains(lines[5], "text") {
+		t.Errorf("non-numeric cell lost: %q", lines[5])
+	}
+}
+
+func TestParseCell(t *testing.T) {
+	cases := map[string]struct {
+		v  float64
+		ok bool
+	}{
+		"37.9%": {37.9, true},
+		"2.55x": {2.55, true},
+		"1.023": {1.023, true},
+		"-":     {0, false},
+		"n/a":   {0, false},
+	}
+	for s, want := range cases {
+		v, ok := parseCell(s)
+		if ok != want.ok || (ok && v != want.v) {
+			t.Errorf("parseCell(%q) = %v, %v", s, v, ok)
+		}
+	}
+}

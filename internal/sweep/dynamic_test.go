@@ -1,0 +1,60 @@
+package sweep
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestDynamicExperimentsSubset runs the trace-driven experiments end to end
+// at reduced scale on a two-benchmark subset, checking the directional
+// claims that do not depend on exact workload sizing:
+//   - runtime normalized to baseline stays near 1 (the paper reports +2.3%
+//     at the base configuration) and does not improve as the data array
+//     shrinks;
+//   - dynamic energy reduction is > 1 (the smaller structures cost less per
+//     access);
+//   - leakage energy reduction is > 1.
+func TestDynamicExperimentsSubset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	r := NewRunner(0.25)
+	r.Only = []string{"blackscholes", "jpeg"}
+
+	_, runT := r.Fig10()
+	t.Logf("\n%s", runT.Format())
+	avg := runT.Rows[len(runT.Rows)-1]
+	for i := 1; i < len(avg); i++ {
+		v, err := strconv.ParseFloat(avg[i], 64)
+		if err != nil {
+			t.Fatalf("bad runtime cell %q", avg[i])
+		}
+		if v < 0.8 || v > 1.6 {
+			t.Errorf("normalized runtime %s out of plausible band: %v", runT.Columns[i], v)
+		}
+	}
+
+	dynT, leakT := r.Fig11()
+	t.Logf("\n%s\n%s", dynT.Format(), leakT.Format())
+	for _, tbl := range []*Table{dynT, leakT} {
+		avg := tbl.Rows[len(tbl.Rows)-1]
+		for i := 1; i < len(avg); i++ {
+			var v float64
+			if _, err := fmt.Sscanf(avg[i], "%fx", &v); err != nil {
+				t.Fatalf("bad ratio cell %q", avg[i])
+			}
+			if v <= 1 {
+				t.Errorf("%s %s: expected >1x reduction, got %.2fx", tbl.Title, tbl.Columns[i], v)
+			}
+		}
+	}
+
+	f12 := r.Fig12()
+	t.Logf("\n%s", f12.Format())
+	last := f12.Rows[len(f12.Rows)-1]
+	if !strings.HasPrefix(last[0], "average") {
+		t.Fatalf("missing average row")
+	}
+}

@@ -1,0 +1,48 @@
+package sweep
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+)
+
+// FormatCSV renders the table as RFC-4180 CSV (header row first); notes are
+// omitted.
+func (t *Table) FormatCSV() string {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	_ = w.Write(t.Columns)
+	for _, r := range t.Rows {
+		_ = w.Write(r)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// jsonTable is the JSON wire form of a table.
+type jsonTable struct {
+	Title   string              `json:"title"`
+	Columns []string            `json:"columns"`
+	Rows    []map[string]string `json:"rows"`
+	Notes   []string            `json:"notes,omitempty"`
+}
+
+// FormatJSON renders the table as indented JSON with one object per row,
+// keyed by column name.
+func (t *Table) FormatJSON() string {
+	jt := jsonTable{Title: t.Title, Columns: t.Columns, Notes: t.Notes}
+	for _, r := range t.Rows {
+		row := make(map[string]string, len(r))
+		for i, cell := range r {
+			if i < len(t.Columns) {
+				row[t.Columns[i]] = cell
+			}
+		}
+		jt.Rows = append(jt.Rows, row)
+	}
+	out, err := json.MarshalIndent(jt, "", "  ")
+	if err != nil {
+		return `{"error":"marshal failed"}`
+	}
+	return string(out) + "\n"
+}

@@ -1,0 +1,97 @@
+package sweep
+
+import (
+	"fmt"
+
+	"doppelganger/internal/approx"
+	"doppelganger/internal/core"
+	"doppelganger/internal/timesim"
+	"doppelganger/internal/workloads"
+)
+
+// Extras evaluates this repository's extensions beyond the paper, all at
+// the base configuration (14-bit map, 1/4 data array):
+//
+//   - alternative similarity hashes (§3.7 future work): min+max and
+//     average-only versus the paper's average+range, by output error;
+//   - the tag-count-aware data replacement policy (§3.5 future work)
+//     versus LRU, by normalized runtime;
+//   - the BΔI-compressed data array (§5.1's Doppelgänger+BΔI) at half the
+//     SRAM bytes, by normalized runtime.
+func (r *Runner) Extras() *Table {
+	t := &Table{
+		Title: "Extras: extensions beyond the paper (14-bit map, 1/4 data array)",
+		Columns: []string{"benchmark",
+			"err avg+range", "err min+max", "err avg-only",
+			"rt lru", "rt tag-aware", "rt compressed/2"},
+		Notes: []string{
+			"rt columns are runtime normalized to the baseline 2MB LLC;",
+			"compressed/2 stores BdI-compressed payloads in half the data-array bytes.",
+		},
+	}
+
+	base := SplitConfig(14, 0.25)
+	minmax := base
+	minmax.MapSpec.Hash = approx.HashMinMax
+	avgonly := base
+	avgonly.MapSpec.Hash = approx.HashAvgOnly
+	aware := base
+	aware.DataPolicy = core.ReplaceTagCountAware
+	compressed := base
+	compressed.CompressedData = true
+	compressed.CompressBudget = 0.5
+
+	sums := make([]float64, 6)
+	for _, name := range r.Benchmarks() {
+		a := r.Baseline(name)
+		vals := []float64{
+			r.SplitError(name, 14, 0.25),
+			r.customError(name, minmax, "minmax"),
+			r.customError(name, avgonly, "avgonly"),
+			float64(r.SplitTiming(name, 14, 0.25).Cycles) / float64(a.timing.Cycles),
+			float64(r.customTiming(name, aware, "aware").Cycles) / float64(a.timing.Cycles),
+			float64(r.customTiming(name, compressed, "compressed").Cycles) / float64(a.timing.Cycles),
+		}
+		for i, v := range vals {
+			sums[i] += v
+		}
+		t.AddRow(name, pct(vals[0]), pct(vals[1]), pct(vals[2]),
+			norm(vals[3]), norm(vals[4]), norm(vals[5]))
+	}
+	n := float64(len(r.Benchmarks()))
+	t.AddRow("average", pct(sums[0]/n), pct(sums[1]/n), pct(sums[2]/n),
+		norm(sums[3]/n), norm(sums[4]/n), norm(sums[5]/n))
+	return t
+}
+
+// customError runs the split organization with an explicit Doppelgänger
+// configuration and measures output error.
+func (r *Runner) customError(name string, cfg core.Config, tag string) float64 {
+	key := fmt.Sprintf("custom/%s/%s", name, tag)
+	if v, ok := r.errCache[key]; ok {
+		return v
+	}
+	a := r.Baseline(name)
+	f, _ := workloads.ByName(name)
+	r.logf("[%s] custom functional run (%s)", name, tag)
+	run := workloads.RunFunctional(f.New(r.Scale), workloads.CustomSplitBuilder(cfg),
+		workloads.RunOptions{Cores: r.Cores})
+	v := a.bench.Error(a.run.Output, run.Output)
+	r.errCache[key] = v
+	return v
+}
+
+// customTiming replays the benchmark's traces against the split
+// organization with an explicit Doppelgänger configuration.
+func (r *Runner) customTiming(name string, cfg core.Config, tag string) *timesim.Result {
+	key := fmt.Sprintf("custom/%s/%s", name, tag)
+	if v, ok := r.timeCache[key]; ok {
+		return v
+	}
+	a := r.Baseline(name)
+	r.logf("[%s] custom timing run (%s)", name, tag)
+	res := timesim.Run(a.run.Recorder, a.run.InitialMem, a.run.Annotations,
+		workloads.CustomSplitBuilder(cfg), r.timesimConfig())
+	r.timeCache[key] = res
+	return res
+}

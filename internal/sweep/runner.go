@@ -1,0 +1,218 @@
+package sweep
+
+import (
+	"fmt"
+	"io"
+
+	"doppelganger/internal/approx"
+	"doppelganger/internal/core"
+	"doppelganger/internal/stats"
+	"doppelganger/internal/timesim"
+	"doppelganger/internal/workloads"
+)
+
+// Runner executes and memoizes the simulations the experiments share: per
+// benchmark, one precise baseline run (which also records traces and feeds
+// the snapshot analyzer), one baseline timing run, and on-demand
+// approximate functional/timing runs per configuration.
+type Runner struct {
+	// Scale sizes the workloads (1 = the evaluation size; tests use less).
+	Scale float64
+	// Cores is the CMP size (Table 1: 4).
+	Cores int
+	// SnapshotEvery controls LLC content sampling (fills per snapshot).
+	SnapshotEvery int
+	// Log, when non-nil, receives progress lines.
+	Log io.Writer
+	// Only, when non-empty, restricts the suite to the named benchmarks
+	// (tests and quick looks).
+	Only []string
+
+	base      map[string]*baseArtifacts
+	errCache  map[string]float64
+	timeCache map[string]*timesim.Result
+}
+
+type baseArtifacts struct {
+	bench    *workloads.Benchmark // for the Error metric
+	run      *workloads.RunResult
+	analyzer *stats.Analyzer
+	timing   *timesim.Result
+}
+
+// NewRunner builds a Runner at the given workload scale.
+func NewRunner(scale float64) *Runner {
+	return &Runner{
+		Scale:         scale,
+		Cores:         4,
+		SnapshotEvery: 20000,
+		base:          make(map[string]*baseArtifacts),
+		errCache:      make(map[string]float64),
+		timeCache:     make(map[string]*timesim.Result),
+	}
+}
+
+func (r *Runner) logf(format string, args ...interface{}) {
+	if r.Log != nil {
+		fmt.Fprintf(r.Log, format+"\n", args...)
+	}
+}
+
+// Thresholds are the Fig. 2 similarity thresholds (fractions of the value
+// range): 0%, 0.01%, 0.1%, 1%, 10%.
+var Thresholds = []float64{0, 0.0001, 0.001, 0.01, 0.1}
+
+// MapSpaces are the Fig. 7/9 map sizes.
+var MapSpaces = []int{12, 13, 14}
+
+// DataFracs are the Fig. 10–12 approximate data array sizes relative to the
+// tag array.
+var DataFracs = []float64{0.5, 0.25, 0.125}
+
+// UniFracs are the Fig. 13/14 uniDoppelgänger data array sizes relative to
+// the baseline LLC.
+var UniFracs = []float64{0.75, 0.5, 0.25}
+
+// Benchmarks lists the suite names in paper order (restricted by Only).
+func (r *Runner) Benchmarks() []string {
+	if len(r.Only) > 0 {
+		return r.Only
+	}
+	fs := workloads.All()
+	names := make([]string, len(fs))
+	for i, f := range fs {
+		names[i] = f.Name
+	}
+	return names
+}
+
+// Baseline returns (running once) the precise baseline artifacts for a
+// benchmark: functional run with traces and snapshot analysis, plus the
+// baseline timing result.
+func (r *Runner) Baseline(name string) *baseArtifacts {
+	if a, ok := r.base[name]; ok {
+		return a
+	}
+	f, err := workloads.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	r.logf("[%s] baseline functional run (scale %.2f)", name, r.Scale)
+	an := stats.NewAnalyzer(stats.AnalyzerConfig{
+		Thresholds:         Thresholds,
+		ThresholdEvery:     8,
+		ThresholdSampleCap: 512,
+		MapSpaces:          MapSpaces,
+		Comparators:        true,
+		CompareM:           14,
+	})
+	run := workloads.RunFunctional(f.New(r.Scale), workloads.BaselineBuilder(2<<20, 16), workloads.RunOptions{
+		Cores:         r.Cores,
+		Record:        true,
+		SnapshotEvery: r.SnapshotEvery,
+		SnapshotFn:    an.Observe,
+	})
+	r.logf("[%s] baseline timing run (%d accesses)", name, run.Recorder.Len())
+	timing := timesim.Run(run.Recorder, run.InitialMem, run.Annotations,
+		workloads.BaselineBuilder(2<<20, 16), r.timesimConfig())
+	a := &baseArtifacts{bench: f.New(r.Scale), run: run, analyzer: an, timing: timing}
+	r.base[name] = a
+	return a
+}
+
+func (r *Runner) timesimConfig() timesim.Config {
+	cfg := timesim.DefaultConfig()
+	cfg.Cores = r.Cores
+	return cfg
+}
+
+// SplitError measures application output error for the split organization
+// with map size m and data fraction frac (Figs. 9a, 10a).
+func (r *Runner) SplitError(name string, m int, frac float64) float64 {
+	key := fmt.Sprintf("split/%s/%d/%g", name, m, frac)
+	if v, ok := r.errCache[key]; ok {
+		return v
+	}
+	a := r.Baseline(name)
+	f, _ := workloads.ByName(name)
+	r.logf("[%s] split functional run (M=%d, data %g)", name, m, frac)
+	run := workloads.RunFunctional(f.New(r.Scale), workloads.SplitBuilder(m, frac), workloads.RunOptions{Cores: r.Cores})
+	v := a.bench.Error(a.run.Output, run.Output)
+	r.errCache[key] = v
+	return v
+}
+
+// UnifiedError is SplitError for the uniDoppelgänger organization
+// (Fig. 14a); frac is relative to the baseline LLC capacity.
+func (r *Runner) UnifiedError(name string, m int, frac float64) float64 {
+	key := fmt.Sprintf("uni/%s/%d/%g", name, m, frac)
+	if v, ok := r.errCache[key]; ok {
+		return v
+	}
+	a := r.Baseline(name)
+	f, _ := workloads.ByName(name)
+	r.logf("[%s] unified functional run (M=%d, data %g)", name, m, frac)
+	run := workloads.RunFunctional(f.New(r.Scale), workloads.UnifiedBuilder(m, frac), workloads.RunOptions{Cores: r.Cores})
+	v := a.bench.Error(a.run.Output, run.Output)
+	r.errCache[key] = v
+	return v
+}
+
+// SplitTiming replays the benchmark's traces against the split organization
+// (Figs. 9b, 10b, 11, 12).
+func (r *Runner) SplitTiming(name string, m int, frac float64) *timesim.Result {
+	key := fmt.Sprintf("split/%s/%d/%g", name, m, frac)
+	if v, ok := r.timeCache[key]; ok {
+		return v
+	}
+	a := r.Baseline(name)
+	r.logf("[%s] split timing run (M=%d, data %g)", name, m, frac)
+	res := timesim.Run(a.run.Recorder, a.run.InitialMem, a.run.Annotations,
+		workloads.SplitBuilder(m, frac), r.timesimConfig())
+	r.timeCache[key] = res
+	return res
+}
+
+// UnifiedTiming replays against uniDoppelgänger (Fig. 14b/c); frac is
+// relative to the baseline LLC capacity.
+func (r *Runner) UnifiedTiming(name string, m int, frac float64) *timesim.Result {
+	key := fmt.Sprintf("uni/%s/%d/%g", name, m, frac)
+	if v, ok := r.timeCache[key]; ok {
+		return v
+	}
+	a := r.Baseline(name)
+	r.logf("[%s] unified timing run (M=%d, data %g)", name, m, frac)
+	res := timesim.Run(a.run.Recorder, a.run.InitialMem, a.run.Annotations,
+		workloads.UnifiedBuilder(m, frac), r.timesimConfig())
+	r.timeCache[key] = res
+	return res
+}
+
+// SplitConfig returns the Doppelgänger core.Config the split organization
+// uses for map size m and data fraction frac of the 16 K-entry tag array
+// (for the energy model and Table 3).
+func SplitConfig(m int, frac float64) core.Config {
+	return core.Config{
+		Name:        "doppelganger",
+		TagEntries:  16 << 10,
+		TagWays:     16,
+		DataEntries: int(float64(16<<10) * frac),
+		DataWays:    16,
+		MapSpec:     approx.MapSpec{M: m},
+	}
+}
+
+// UnifiedConfig returns the uniDoppelgänger core.Config; frac is relative
+// to the 2 MB baseline, so the data array holds frac×32 K entries (the
+// paper's 1/2 configuration is the Table 1 default: 1 MB).
+func UnifiedConfig(m int, frac float64) core.Config {
+	return core.Config{
+		Name:        "unidoppelganger",
+		TagEntries:  32 << 10,
+		TagWays:     16,
+		DataEntries: int(float64(32<<10) * frac),
+		DataWays:    16,
+		MapSpec:     approx.MapSpec{M: m},
+		Unified:     true,
+	}
+}

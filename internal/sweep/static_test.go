@@ -1,0 +1,43 @@
+package sweep
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestStaticExperiments prints Table 3 and Fig. 13 and checks the headline
+// area claims: the paper reports 1.36×/1.55×/1.70× LLC area reductions for
+// 1/2, 1/4, 1/8 data arrays and 3.15× for uniDoppelgänger at 1/4.
+func TestStaticExperiments(t *testing.T) {
+	r := NewRunner(1)
+	t3 := r.Table3()
+	t.Logf("\n%s", t3.Format())
+	f13 := r.Fig13()
+	t.Logf("\n%s", f13.Format())
+
+	// Parse the split 1/4 row's reduction.
+	checks := map[string]struct {
+		row       int
+		paper     float64
+		tolerance float64
+	}{
+		"split 1/2": {1, 1.36, 0.15},
+		"split 1/4": {2, 1.55, 0.15},
+		"split 1/8": {3, 1.70, 0.17},
+		"uni 3/4":   {4, 1.0, 99}, // paper value unreadable from text; sanity only
+		"uni 1/4":   {6, 3.15, 0.4},
+	}
+	for name, c := range checks {
+		var got float64
+		if _, err := sscanRatio(f13.Rows[c.row][3], &got); err != nil {
+			t.Fatalf("%s: bad ratio cell %q", name, f13.Rows[c.row][3])
+		}
+		if got < c.paper-c.tolerance || got > c.paper+c.tolerance {
+			t.Errorf("%s: area reduction %.2fx, paper %.2fx", name, got, c.paper)
+		}
+	}
+}
+
+func sscanRatio(cell string, out *float64) (int, error) {
+	return fmt.Sscanf(cell, "%fx", out)
+}

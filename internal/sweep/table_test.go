@@ -1,0 +1,99 @@
+package sweep
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	t := &Table{
+		Title:   "Sample",
+		Columns: []string{"benchmark", "value"},
+		Notes:   []string{"a note"},
+	}
+	t.AddRow("alpha", "1.0")
+	t.AddRow("beta-long-name", "2.5")
+	return t
+}
+
+func TestTableFormatAligned(t *testing.T) {
+	out := sampleTable().Format()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows... plus note = 6
+		if len(lines) != 6 {
+			t.Fatalf("lines = %d:\n%s", len(lines), out)
+		}
+	}
+	if !strings.HasPrefix(lines[0], "== Sample ==") {
+		t.Errorf("title line %q", lines[0])
+	}
+	// Columns align: "value" starts at the same offset in header and rows.
+	hdr := lines[1]
+	idx := strings.Index(hdr, "value")
+	for _, l := range lines[3:5] {
+		if len(l) < idx {
+			t.Errorf("short row %q", l)
+		}
+	}
+	if !strings.Contains(out, "note: a note") {
+		t.Error("missing note")
+	}
+}
+
+func TestTableFormatCSV(t *testing.T) {
+	out := sampleTable().FormatCSV()
+	r := csv.NewReader(strings.NewReader(out))
+	recs, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || recs[0][1] != "value" || recs[2][0] != "beta-long-name" {
+		t.Errorf("records = %v", recs)
+	}
+}
+
+func TestTableFormatJSON(t *testing.T) {
+	out := sampleTable().FormatJSON()
+	var jt struct {
+		Title string              `json:"title"`
+		Rows  []map[string]string `json:"rows"`
+		Notes []string            `json:"notes"`
+	}
+	if err := json.Unmarshal([]byte(out), &jt); err != nil {
+		t.Fatal(err)
+	}
+	if jt.Title != "Sample" || len(jt.Rows) != 2 {
+		t.Errorf("decoded %+v", jt)
+	}
+	if jt.Rows[0]["benchmark"] != "alpha" || jt.Rows[1]["value"] != "2.5" {
+		t.Errorf("rows = %v", jt.Rows)
+	}
+	if len(jt.Notes) != 1 {
+		t.Errorf("notes = %v", jt.Notes)
+	}
+}
+
+func TestFracName(t *testing.T) {
+	for f, want := range map[float64]string{0.5: "1/2", 0.25: "1/4", 0.125: "1/8", 0.75: "3/4", 0.3: "0.3"} {
+		if got := fracName(f); got != want {
+			t.Errorf("fracName(%v) = %q, want %q", f, got, want)
+		}
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if pct(0.379) != "37.9%" {
+		t.Errorf("pct = %q", pct(0.379))
+	}
+	if ratio(2.55) != "2.55x" {
+		t.Errorf("ratio = %q", ratio(2.55))
+	}
+	if norm(1.0234) != "1.023" {
+		t.Errorf("norm = %q", norm(1.0234))
+	}
+	if mean([]float64{1, 2, 3}) != 2 || mean(nil) != 0 {
+		t.Error("mean wrong")
+	}
+}

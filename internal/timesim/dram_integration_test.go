@@ -1,0 +1,37 @@
+package timesim
+
+import (
+	"testing"
+
+	"doppelganger/internal/dram"
+)
+
+// TestDRAMBackend: a sequential fill stream enjoys row-buffer hits under
+// the banked model and finishes faster than the flat 160-cycle latency; a
+// random stream does not.
+func TestDRAMBackend(t *testing.T) {
+	seq := make([]int, 256)
+	for i := range seq {
+		seq[i] = i
+	}
+	rnd := make([]int, 256)
+	for i := range rnd {
+		rnd[i] = (i * 2654435761) % 100000
+	}
+
+	flat := DefaultConfig()
+	banked := DefaultConfig()
+	dcfg := dram.DefaultConfig()
+	banked.DRAM = &dcfg
+
+	flatSeq := run1(mkTrace(0, seq...), flat)
+	bankSeq := run1(mkTrace(0, seq...), banked)
+	if bankSeq.Cycles >= flatSeq.Cycles {
+		t.Errorf("sequential: banked (%d) not faster than flat (%d)", bankSeq.Cycles, flatSeq.Cycles)
+	}
+
+	bankRnd := run1(mkTrace(0, rnd...), banked)
+	if bankRnd.Cycles <= bankSeq.Cycles {
+		t.Errorf("random (%d) not slower than sequential (%d) under banked DRAM", bankRnd.Cycles, bankSeq.Cycles)
+	}
+}

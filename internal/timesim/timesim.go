@@ -1,0 +1,323 @@
+// Package timesim is the cycle-level timing simulator, standing in for the
+// paper's FeS2 full-system simulator (§4). It replays the per-core memory
+// traces recorded by the functional simulator against a live cache
+// hierarchy (so hits, misses, Doppelgänger map computations and
+// back-invalidations all happen for real) under a 4-wide, 80-entry-ROB
+// out-of-order core model with MSHR-limited miss overlap, a single-banked
+// LLC port, and a fixed-latency DRAM (Table 1).
+package timesim
+
+import (
+	"container/heap"
+
+	"doppelganger/internal/approx"
+	"doppelganger/internal/cache"
+	"doppelganger/internal/core"
+	"doppelganger/internal/dram"
+	"doppelganger/internal/funcsim"
+	"doppelganger/internal/memdata"
+	"doppelganger/internal/trace"
+)
+
+// Config is the timing model configuration; DefaultConfig reproduces the
+// paper's Table 1.
+type Config struct {
+	Cores int
+	Width int // dispatch width (instructions per cycle)
+	ROB   int // reorder buffer entries
+	MSHRs int // outstanding misses per core
+
+	L1Lat  float64
+	L2Lat  float64
+	LLCLat float64
+	MemLat float64
+
+	// LLCPort is the bank occupancy per LLC operation; the Table 1 LLC is
+	// single-banked, so concurrent requests serialize.
+	LLCPort float64
+	// EvictPenalty is the bank occupancy per invalidated tag / queued
+	// writeback when a replacement triggers mass evictions (§3.5).
+	EvictPenalty float64
+
+	// MemOccupancy optionally serializes the memory channel: each off-chip
+	// transfer occupies it for this many cycles (0, the Table 1 model,
+	// means fixed latency with unlimited bandwidth).
+	MemOccupancy float64
+	// WBEntries optionally bounds the LLC writeback buffer: when this many
+	// writebacks are in flight, further LLC operations stall until one
+	// drains (0 means unbounded, the default).
+	WBEntries int
+
+	// DRAM optionally replaces the fixed MemLat with the banked open-row
+	// model of internal/dram (nil keeps the Table 1 fixed-latency memory).
+	DRAM *dram.Config
+}
+
+// DefaultConfig returns the paper's system configuration.
+func DefaultConfig() Config {
+	return Config{
+		Cores: 4, Width: 4, ROB: 80, MSHRs: 8,
+		L1Lat: 1, L2Lat: 3, LLCLat: 6, MemLat: 160,
+		LLCPort: 1, EvictPenalty: 1,
+	}
+}
+
+// Result summarizes a timing run.
+type Result struct {
+	Cycles        uint64   // wall-clock cycles (max over cores)
+	PerCoreCycles []uint64 // per-core completion cycle
+	Instructions  uint64   // total instructions retired
+	Totals        core.Effects
+	Hier          funcsim.Stats
+	LLC           core.LLC
+}
+
+// MemTraffic is the total off-chip traffic in blocks (Fig. 12's metric).
+func (r *Result) MemTraffic() uint64 {
+	return uint64(r.Totals.MemReads) + uint64(r.Totals.MemWrites)
+}
+
+// MPKI is LLC misses per thousand instructions.
+func (r *Result) MPKI() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return float64(r.Hier.LLCReads-r.Hier.LLCHits) / float64(r.Instructions) * 1000
+}
+
+// coreState tracks one core's progress through its trace.
+type coreState struct {
+	t        trace.Trace
+	pos      int
+	instr    uint64  // instructions dispatched so far
+	dispatch float64 // cycle at which the next instruction may dispatch
+	finish   float64 // completion time of the latest memory op
+
+	// rob holds in-flight memory ops as (instruction index, completion
+	// cycle) with monotone completion (in-order retirement).
+	rob []robEntry
+}
+
+type robEntry struct {
+	instr    uint64
+	complete float64
+}
+
+// ready computes the cycle at which this core's next memory op can issue,
+// honoring dispatch width, ROB occupancy and MSHR limits. It does not touch
+// shared state, so the scheduler can order cores by it.
+func (cs *coreState) ready(cfg Config) float64 {
+	r := cs.t[cs.pos]
+	t := cs.dispatch + float64(r.Gap)/float64(cfg.Width)
+	nextInstr := cs.instr + uint64(r.Gap) + 1
+
+	// ROB: this instruction cannot dispatch until instruction
+	// nextInstr-ROB has retired. Retirement is in order, so the retire time
+	// is the completion of the newest memory op at or before it.
+	for len(cs.rob) > 0 && cs.rob[0].instr+uint64(cfg.ROB) <= nextInstr {
+		if cs.rob[0].complete > t {
+			t = cs.rob[0].complete
+		}
+		cs.rob = cs.rob[1:]
+	}
+	// MSHRs: at most MSHRs memory ops in flight.
+	for inflight(cs.rob, t) >= cfg.MSHRs {
+		t = earliestAfter(cs.rob, t)
+	}
+	return t
+}
+
+func inflight(rob []robEntry, t float64) int {
+	n := 0
+	for i := len(rob) - 1; i >= 0; i-- {
+		if rob[i].complete > t {
+			n++
+		} else {
+			break // completions are monotone
+		}
+	}
+	return n
+}
+
+func earliestAfter(rob []robEntry, t float64) float64 {
+	for _, e := range rob {
+		if e.complete > t {
+			return e.complete
+		}
+	}
+	return t
+}
+
+// coreQueue is a priority queue of cores by next-issue time.
+type coreQueue struct {
+	ids   []int
+	times []float64
+}
+
+func (q *coreQueue) Len() int           { return len(q.ids) }
+func (q *coreQueue) Less(i, j int) bool { return q.times[i] < q.times[j] }
+func (q *coreQueue) Swap(i, j int) {
+	q.ids[i], q.ids[j] = q.ids[j], q.ids[i]
+	q.times[i], q.times[j] = q.times[j], q.times[i]
+}
+func (q *coreQueue) Push(x interface{}) { panic("fixed-size queue") }
+func (q *coreQueue) Pop() interface{}   { panic("fixed-size queue") }
+
+// Run replays the traces against a fresh hierarchy whose LLC organization
+// is built by llcb over a clone of the initial memory image.
+func Run(tr *trace.Recorder, initial *memdata.Store, ann *approx.Annotations,
+	llcb func(st *memdata.Store, ann *approx.Annotations) core.LLC, cfg Config) *Result {
+
+	st := initial.Clone()
+	llc := llcb(st, ann)
+	hcfg := funcsim.Config{Cores: cfg.Cores, L1: l1Config(), L2: l2Config()}
+	h := funcsim.New(hcfg, llc, st, ann, nil)
+
+	cores := make([]*coreState, cfg.Cores)
+	for c := 0; c < cfg.Cores; c++ {
+		var t trace.Trace
+		if c < len(tr.Cores) {
+			t = tr.Cores[c]
+		}
+		cores[c] = &coreState{t: t}
+	}
+
+	// Schedule cores by next issue time so shared-LLC state is touched in
+	// timestamp order.
+	q := &coreQueue{}
+	for c, cs := range cores {
+		if cs.pos < len(cs.t) {
+			q.ids = append(q.ids, c)
+			q.times = append(q.times, cs.ready(cfg))
+		}
+	}
+	heap.Init(q)
+
+	var llcFree, memFree float64
+	var wbDrain []float64 // in-flight writeback completion times (sorted)
+	var instructions uint64
+	var mem *dram.Memory
+	if cfg.DRAM != nil {
+		mem = dram.MustNew(*cfg.DRAM)
+	}
+	for q.Len() > 0 {
+		c := q.ids[0]
+		cs := cores[c]
+		t := q.times[0]
+		r := cs.t[cs.pos]
+
+		h.Replay(c, r)
+		out := h.Last
+
+		var lat float64
+		switch out.Level {
+		case 1:
+			lat = cfg.L1Lat
+		case 2:
+			lat = cfg.L1Lat + cfg.L2Lat
+		case 3:
+			lat = cfg.L1Lat + cfg.L2Lat + cfg.LLCLat
+		default:
+			lat = cfg.L1Lat + cfg.L2Lat + cfg.LLCLat + cfg.MemLat
+			if mem != nil {
+				arrive := t + cfg.L1Lat + cfg.L2Lat + cfg.LLCLat
+				lat = mem.Access(r.Addr, arrive) - t
+			} else if cfg.MemOccupancy > 0 {
+				// Serialize the off-chip channel: the fill transfer waits
+				// for earlier transfers.
+				arrive := t + cfg.L1Lat + cfg.L2Lat + cfg.LLCLat
+				if memFree > arrive {
+					lat += memFree - arrive
+					arrive = memFree
+				}
+				memFree = arrive + cfg.MemOccupancy*float64(out.MemReads)
+			}
+		}
+		complete := t + lat
+		if cfg.WBEntries > 0 && out.MemWrites > 0 {
+			// Drain completed writebacks, then stall if the buffer is full.
+			for len(wbDrain) > 0 && wbDrain[0] <= t {
+				wbDrain = wbDrain[1:]
+			}
+			for w := 0; w < out.MemWrites; w++ {
+				if len(wbDrain) >= cfg.WBEntries {
+					stallUntil := wbDrain[0]
+					if stallUntil > complete {
+						complete = stallUntil
+					}
+					wbDrain = wbDrain[1:]
+				}
+				drainAt := complete + cfg.MemLat
+				if cfg.MemOccupancy > 0 {
+					if memFree > complete {
+						drainAt = memFree + cfg.MemOccupancy
+					}
+					memFree = drainAt
+				}
+				wbDrain = append(wbDrain, drainAt)
+			}
+		}
+		if out.LLCAccesses > 0 {
+			// Serialize on the single LLC bank and charge replacement work:
+			// each invalidated tag and each queued writeback occupies the
+			// bank (§3.5 multi-eviction handling).
+			start := t + cfg.L1Lat + cfg.L2Lat
+			if llcFree > start {
+				complete += llcFree - start
+				start = llcFree
+			}
+			occupancy := cfg.LLCPort*float64(out.LLCAccesses) +
+				cfg.EvictPenalty*float64(out.LLCEvictions+out.MemWrites)
+			llcFree = start + occupancy
+		}
+
+		// Account dispatch.
+		cs.instr += uint64(r.Gap) + 1
+		instructions += uint64(r.Gap) + 1
+		cs.dispatch = t + 1/float64(cfg.Width)
+		if len(cs.rob) > 0 && cs.rob[len(cs.rob)-1].complete > complete {
+			complete = cs.rob[len(cs.rob)-1].complete // in-order retire
+		}
+		cs.rob = append(cs.rob, robEntry{instr: cs.instr, complete: complete})
+		if complete > cs.finish {
+			cs.finish = complete
+		}
+		cs.pos++
+
+		if cs.pos < len(cs.t) {
+			q.times[0] = cs.ready(cfg)
+			heap.Fix(q, 0)
+		} else {
+			last := q.Len() - 1
+			q.Swap(0, last)
+			q.ids = q.ids[:last]
+			q.times = q.times[:last]
+			if last > 0 {
+				heap.Fix(q, 0)
+			}
+		}
+	}
+
+	res := &Result{
+		PerCoreCycles: make([]uint64, cfg.Cores),
+		Instructions:  instructions,
+		Totals:        h.Totals,
+		Hier:          h.Stats,
+		LLC:           llc,
+	}
+	for c, cs := range cores {
+		end := cs.finish
+		if cs.dispatch > end {
+			end = cs.dispatch
+		}
+		res.PerCoreCycles[c] = uint64(end)
+		if uint64(end) > res.Cycles {
+			res.Cycles = uint64(end)
+		}
+	}
+	return res
+}
+
+// The private-cache geometries of Table 1.
+func l1Config() cache.Config { return cache.Config{Name: "L1", SizeBytes: 16 << 10, Ways: 4} }
+func l2Config() cache.Config { return cache.Config{Name: "L2", SizeBytes: 128 << 10, Ways: 8} }

@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"doppelganger/internal/memdata"
+)
+
+// Binary trace format: a fixed header followed by per-core sections of
+// packed records. Everything is little-endian.
+//
+//	magic   [4]byte  "DPTR"
+//	version uint32   (1)
+//	cores   uint32
+//	per core: count uint64, then count × record
+//	record: addr uint32, val uint64, gap uint32, size uint8, flags uint8
+//	        (flags bit0 = write, bit1 = approx)
+const (
+	traceMagic   = "DPTR"
+	traceVersion = 1
+)
+
+// WriteTo serializes the recorder's traces. It returns the byte count.
+func (r *Recorder) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	count := func(k int, err error) error {
+		n += int64(k)
+		return err
+	}
+	if err := count(bw.WriteString(traceMagic)); err != nil {
+		return n, err
+	}
+	var scratch [12]byte
+	binary.LittleEndian.PutUint32(scratch[0:], traceVersion)
+	binary.LittleEndian.PutUint32(scratch[4:], uint32(len(r.Cores)))
+	if err := count(bw.Write(scratch[:8])); err != nil {
+		return n, err
+	}
+	for _, t := range r.Cores {
+		binary.LittleEndian.PutUint64(scratch[0:], uint64(len(t)))
+		if err := count(bw.Write(scratch[:8])); err != nil {
+			return n, err
+		}
+		var rec [18]byte
+		for i := range t {
+			e := &t[i]
+			binary.LittleEndian.PutUint32(rec[0:], uint32(e.Addr))
+			binary.LittleEndian.PutUint64(rec[4:], e.Val)
+			binary.LittleEndian.PutUint32(rec[12:], e.Gap)
+			rec[16] = e.Size
+			rec[17] = 0
+			if e.Write {
+				rec[17] |= 1
+			}
+			if e.Approx {
+				rec[17] |= 2
+			}
+			if err := count(bw.Write(rec[:])); err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadFrom deserializes traces previously written with WriteTo, replacing
+// the recorder's contents.
+func ReadFrom(rd io.Reader) (*Recorder, error) {
+	br := bufio.NewReader(rd)
+	var hdr [12]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: short header: %w", err)
+	}
+	if string(hdr[:4]) != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != traceVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	cores := binary.LittleEndian.Uint32(hdr[8:])
+	if cores > 1024 {
+		return nil, fmt.Errorf("trace: implausible core count %d", cores)
+	}
+	r := NewRecorder(int(cores))
+	for c := 0; c < int(cores); c++ {
+		var cnt [8]byte
+		if _, err := io.ReadFull(br, cnt[:]); err != nil {
+			return nil, fmt.Errorf("trace: core %d count: %w", c, err)
+		}
+		count := binary.LittleEndian.Uint64(cnt[:])
+		if count > 1<<32 {
+			return nil, fmt.Errorf("trace: implausible record count %d", count)
+		}
+		t := make(Trace, count)
+		var rec [18]byte
+		for i := range t {
+			if _, err := io.ReadFull(br, rec[:]); err != nil {
+				return nil, fmt.Errorf("trace: core %d record %d: %w", c, i, err)
+			}
+			t[i] = Record{
+				Addr:   memdata.Addr(binary.LittleEndian.Uint32(rec[0:])),
+				Val:    binary.LittleEndian.Uint64(rec[4:]),
+				Gap:    binary.LittleEndian.Uint32(rec[12:]),
+				Size:   rec[16],
+				Write:  rec[17]&1 != 0,
+				Approx: rec[17]&2 != 0,
+			}
+		}
+		r.Cores[c] = t
+	}
+	return r, nil
+}

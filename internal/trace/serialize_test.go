@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"doppelganger/internal/memdata"
+
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestSerializeRoundTrip(t *testing.T) {
+	r := NewRecorder(3)
+	r.Work(0, 17)
+	r.Access(0, 0x1234, false, 4, 0, true)
+	r.Access(1, 0xFFFFFFC0, true, 8, 0xDEADBEEFCAFEBABE, false)
+	// Core 2 intentionally empty.
+
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Cores) != 3 || len(got.Cores[0]) != 1 || len(got.Cores[1]) != 1 || len(got.Cores[2]) != 0 {
+		t.Fatalf("shape = %v", got.Cores)
+	}
+	if got.Cores[0][0] != r.Cores[0][0] || got.Cores[1][0] != r.Cores[1][0] {
+		t.Errorf("records differ: %+v vs %+v", got.Cores, r.Cores)
+	}
+}
+
+func TestSerializeRoundTripProperty(t *testing.T) {
+	f := func(addrs []uint32, vals []uint64, flags []uint8) bool {
+		r := NewRecorder(2)
+		for i, a := range addrs {
+			var v uint64
+			if i < len(vals) {
+				v = vals[i]
+			}
+			var fl uint8
+			if i < len(flags) {
+				fl = flags[i]
+			}
+			r.Work(i%2, i%7)
+			r.Access(i%2, memdata.Addr(a), fl&1 != 0, int(1+fl%8), v, fl&2 != 0)
+		}
+		var buf bytes.Buffer
+		if _, err := r.WriteTo(&buf); err != nil {
+			return false
+		}
+		got, err := ReadFrom(&buf)
+		if err != nil {
+			return false
+		}
+		for c := range r.Cores {
+			if len(got.Cores[c]) != len(r.Cores[c]) {
+				return false
+			}
+			for i := range r.Cores[c] {
+				if got.Cores[c][i] != r.Cores[c][i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeserializeRejectsGarbage(t *testing.T) {
+	if _, err := ReadFrom(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Error("short input accepted")
+	}
+	if _, err := ReadFrom(bytes.NewReader([]byte("XXXX\x01\x00\x00\x00\x01\x00\x00\x00"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := ReadFrom(bytes.NewReader([]byte("DPTR\x09\x00\x00\x00\x01\x00\x00\x00"))); err == nil {
+		t.Error("bad version accepted")
+	}
+	// Truncated records.
+	r := NewRecorder(1)
+	r.Access(0, 0x40, false, 4, 0, false)
+	var buf bytes.Buffer
+	r.WriteTo(&buf)
+	if _, err := ReadFrom(bytes.NewReader(buf.Bytes()[:buf.Len()-3])); err == nil {
+		t.Error("truncated trace accepted")
+	}
+}

@@ -1,0 +1,81 @@
+// Package trace defines the per-core memory access traces recorded by the
+// functional simulator and replayed by the cycle-level timing simulator,
+// mirroring the paper's methodology split (§4): application error is
+// measured functionally, performance by simulating the same access stream
+// against each LLC organization.
+package trace
+
+import "doppelganger/internal/memdata"
+
+// Record is one dynamic memory operation by a core. Gap counts the
+// non-memory instructions executed since the previous record, which the
+// timing model converts into dispatch cycles. Store payloads (up to 8
+// bytes) ride along so the timing simulator can maintain a functional image
+// for Doppelgänger map computation.
+type Record struct {
+	Addr   memdata.Addr
+	Val    uint64
+	Gap    uint32
+	Size   uint8
+	Write  bool
+	Approx bool
+}
+
+// Trace is the access stream of one core.
+type Trace []Record
+
+// Recorder accumulates per-core traces during functional simulation.
+type Recorder struct {
+	Cores   []Trace
+	pending []uint32 // non-memory instructions awaiting the next record
+}
+
+// NewRecorder creates a recorder for n cores.
+func NewRecorder(n int) *Recorder {
+	return &Recorder{Cores: make([]Trace, n), pending: make([]uint32, n)}
+}
+
+// Work accounts n non-memory instructions on a core.
+func (r *Recorder) Work(core int, n int) {
+	if r == nil {
+		return
+	}
+	r.pending[core] += uint32(n)
+}
+
+// Access appends a memory operation for a core, consuming the pending gap.
+func (r *Recorder) Access(core int, addr memdata.Addr, write bool, size int, val uint64, approxFlag bool) {
+	if r == nil {
+		return
+	}
+	r.Cores[core] = append(r.Cores[core], Record{
+		Addr:   addr,
+		Val:    val,
+		Gap:    r.pending[core],
+		Size:   uint8(size),
+		Write:  write,
+		Approx: approxFlag,
+	})
+	r.pending[core] = 0
+}
+
+// Len returns the total number of records across cores.
+func (r *Recorder) Len() int {
+	total := 0
+	for _, t := range r.Cores {
+		total += len(t)
+	}
+	return total
+}
+
+// Instructions returns the total instruction count implied by the traces
+// (memory operations plus gaps), used to normalize MPKI-style metrics.
+func (r *Recorder) Instructions() uint64 {
+	var total uint64
+	for _, t := range r.Cores {
+		for i := range t {
+			total += uint64(t[i].Gap) + 1
+		}
+	}
+	return total
+}

@@ -1,0 +1,56 @@
+package trace
+
+import "testing"
+
+func TestRecorderGapAccounting(t *testing.T) {
+	r := NewRecorder(2)
+	r.Work(0, 5)
+	r.Work(0, 7)
+	r.Access(0, 0x100, false, 4, 0, false)
+	r.Access(0, 0x200, true, 8, 42, true)
+	if len(r.Cores[0]) != 2 {
+		t.Fatalf("records = %d", len(r.Cores[0]))
+	}
+	if r.Cores[0][0].Gap != 12 {
+		t.Errorf("gap 0 = %d, want 12 (accumulated work)", r.Cores[0][0].Gap)
+	}
+	if r.Cores[0][1].Gap != 0 {
+		t.Errorf("gap 1 = %d, want 0 (consumed)", r.Cores[0][1].Gap)
+	}
+	rec := r.Cores[0][1]
+	if !rec.Write || rec.Size != 8 || rec.Val != 42 || !rec.Approx {
+		t.Errorf("record = %+v", rec)
+	}
+}
+
+func TestRecorderPerCoreIsolation(t *testing.T) {
+	r := NewRecorder(2)
+	r.Work(0, 3)
+	r.Access(1, 0x100, false, 4, 0, false)
+	if r.Cores[1][0].Gap != 0 {
+		t.Error("core 1 absorbed core 0's work")
+	}
+	r.Access(0, 0x200, false, 4, 0, false)
+	if r.Cores[0][0].Gap != 3 {
+		t.Error("core 0 lost its work")
+	}
+}
+
+func TestLenAndInstructions(t *testing.T) {
+	r := NewRecorder(2)
+	r.Work(0, 9)
+	r.Access(0, 0x100, false, 4, 0, false)
+	r.Access(1, 0x200, false, 4, 0, false)
+	if r.Len() != 2 {
+		t.Errorf("len = %d", r.Len())
+	}
+	if r.Instructions() != 11 { // 9+1 on core 0, 1 on core 1
+		t.Errorf("instructions = %d", r.Instructions())
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Work(0, 5)                           // must not panic
+	r.Access(0, 0x100, false, 4, 0, false) // must not panic
+}

@@ -1,0 +1,158 @@
+package workloads
+
+import (
+	"math"
+	"math/rand"
+
+	"doppelganger/internal/approx"
+	"doppelganger/internal/funcsim"
+	"doppelganger/internal/memdata"
+)
+
+// NewBlackscholes builds the blackscholes benchmark: European option
+// pricing with the Black–Scholes closed form, as in PARSEC. The annotated
+// approximate data is the input option parameter arrays (spot, strike,
+// rate, volatility, time-to-maturity); option types and output prices are
+// precise. Interest rates and volatilities are drawn from small sets of
+// market-wide values, which is why the paper observes substantial *exact*
+// redundancy in this benchmark (§2, §5.1).
+//
+// Error metric: mean relative error of the option prices.
+func NewBlackscholes(scale float64) *Benchmark {
+	n := scaleInt(40960, scale, 64)
+	const passes = 3
+
+	var (
+		spot, strike, rate, vol, otime memdata.Addr
+		otype, price                   memdata.Addr
+	)
+
+	return &Benchmark{
+		Name: "blackscholes",
+		Init: func(st *memdata.Store, base memdata.Addr) *approx.Annotations {
+			l := newLayoutAt(base)
+			spot = l.allocF32(n)
+			strike = l.allocF32(n)
+			rate = l.allocF32(n)
+			vol = l.allocF32(n)
+			otime = l.allocF32(n)
+			otype = l.allocI32(n)
+			price = l.allocF32(n)
+
+			rng := rand.New(rand.NewSource(7001))
+			rates := []float32{0.025, 0.0275, 0.03, 0.035, 0.04, 0.045, 0.05, 0.055}
+			vols := []float32{0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.50}
+			times := []float32{0.25, 0.5, 1.0, 2.0}
+			// Option chains: every underlying lists 256 options sharing its
+			// spot price, with strikes on the exchange's standard moneyness
+			// ladder — which is why blackscholes parameter blocks show so
+			// much exact redundancy (§2).
+			ladder := make([]float32, 16)
+			for k := range ladder {
+				ladder[k] = 0.70 + 0.04*float32(k)
+			}
+			underlyings := (n + 255) / 256
+			uspot := make([]float32, underlyings)
+			for u := range uspot {
+				uspot[u] = 10 + 90*rng.Float32()
+			}
+			for i := 0; i < n; i++ {
+				u := i / 256
+				// Spots carry per-quote bid/ask noise of a few basis points,
+				// so parameter blocks are similar rather than identical.
+				jitter := float32(1 + 0.003*rng.NormFloat64())
+				st.WriteF32(f32At(spot, i), uspot[u]*jitter)
+				st.WriteF32(f32At(strike, i), uspot[u]*ladder[i%16])
+				grp := u % len(rates)
+				st.WriteF32(f32At(rate, i), rates[grp])
+				st.WriteF32(f32At(vol, i), vols[u%len(vols)])
+				st.WriteF32(f32At(otime, i), times[(i/512)%len(times)])
+				st.WriteI32(i32At(otype, i), int32(rng.Intn(2)))
+			}
+
+			// A single expected range per float type, as §4.1 prescribes:
+			// spots and strikes reach 100, so rates (~0.03) sit in a tiny
+			// corner of the range — the same effect the paper describes for
+			// swaptions.
+			mk := func(name string, base memdata.Addr) approx.Region {
+				return approx.Region{
+					Name: name, Start: base, End: base + memdata.Addr(4*n),
+					Type: memdata.F32, Min: 0, Max: 130,
+				}
+			}
+			return approx.MustAnnotations(
+				mk("spot", spot), mk("strike", strike), mk("rate", rate),
+				mk("vol", vol), mk("otime", otime),
+			)
+		},
+		Kernels: func(cores int) []func(*funcsim.CoreCtx) {
+			ks := make([]func(*funcsim.CoreCtx), cores)
+			for c := 0; c < cores; c++ {
+				lo, hi := span(n, cores, c)
+				ks[c] = func(ctx *funcsim.CoreCtx) {
+					for p := 0; p < passes; p++ {
+						for i := lo; i < hi; i++ {
+							s := float64(ctx.LoadF32(f32At(spot, i)))
+							k := float64(ctx.LoadF32(f32At(strike, i)))
+							r := float64(ctx.LoadF32(f32At(rate, i)))
+							v := float64(ctx.LoadF32(f32At(vol, i)))
+							t := float64(ctx.LoadF32(f32At(otime, i)))
+							call := ctx.LoadI32(i32At(otype, i)) == 0
+							ctx.Work(150) // CNDF evaluation and FP pipeline
+							ctx.StoreF32(f32At(price, i), float32(blackScholes(s, k, r, v, t, call)))
+						}
+					}
+				}
+			}
+			return ks
+		},
+		Output: func(st *memdata.Store) []float64 {
+			out := make([]float64, n)
+			for i := 0; i < n; i++ {
+				out[i] = float64(st.ReadF32(f32At(price, i)))
+			}
+			return out
+		},
+		Error: meanRelError,
+	}
+}
+
+// blackScholes evaluates the closed-form European option price, guarding
+// against degenerate (possibly approximated) parameters.
+func blackScholes(s, k, r, v, t float64, call bool) float64 {
+	if s < 0.01 {
+		s = 0.01
+	}
+	if k < 0.01 {
+		k = 0.01
+	}
+	if v < 1e-4 {
+		v = 1e-4
+	}
+	if t < 1e-4 {
+		t = 1e-4
+	}
+	sq := v * math.Sqrt(t)
+	d1 := (math.Log(s/k) + (r+v*v/2)*t) / sq
+	d2 := d1 - sq
+	if call {
+		return s*cndf(d1) - k*math.Exp(-r*t)*cndf(d2)
+	}
+	return k*math.Exp(-r*t)*cndf(-d2) - s*cndf(-d1)
+}
+
+// cndf is the cumulative normal distribution function (Abramowitz–Stegun
+// polynomial approximation, as used by PARSEC's blackscholes).
+func cndf(x float64) float64 {
+	neg := x < 0
+	if neg {
+		x = -x
+	}
+	kf := 1 / (1 + 0.2316419*x)
+	poly := kf * (0.319381530 + kf*(-0.356563782+kf*(1.781477937+kf*(-1.821255978+kf*1.330274429))))
+	v := 1 - math.Exp(-x*x/2)/math.Sqrt(2*math.Pi)*poly
+	if neg {
+		return 1 - v
+	}
+	return v
+}

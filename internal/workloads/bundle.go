@@ -1,0 +1,222 @@
+package workloads
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"doppelganger/internal/approx"
+	"doppelganger/internal/memdata"
+	"doppelganger/internal/trace"
+)
+
+// Bundle is a self-contained simulation artifact: the per-core memory
+// traces of a run together with the initial memory image and the
+// programmer annotations — everything the timing simulator needs to replay
+// the workload against any LLC organization, without re-executing the
+// kernels.
+type Bundle struct {
+	Traces      *trace.Recorder
+	InitialMem  *memdata.Store
+	Annotations *approx.Annotations
+}
+
+// BundleOf packages a recorded functional run.
+func BundleOf(run *RunResult) (*Bundle, error) {
+	if run.Recorder == nil || run.InitialMem == nil {
+		return nil, fmt.Errorf("workloads: run was not recorded (RunOptions.Record)")
+	}
+	return &Bundle{
+		Traces:      run.Recorder,
+		InitialMem:  run.InitialMem,
+		Annotations: run.Annotations,
+	}, nil
+}
+
+// Bundle format: "DPBL", version, annotation section, memory section, then
+// the trace section in trace.WriteTo's format.
+const (
+	bundleMagic   = "DPBL"
+	bundleVersion = 1
+)
+
+// WriteTo serializes the bundle.
+func (b *Bundle) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(p []byte) error {
+		k, err := bw.Write(p)
+		n += int64(k)
+		return err
+	}
+	var u32 [4]byte
+	var u64 [8]byte
+	putU32 := func(v uint32) error { binary.LittleEndian.PutUint32(u32[:], v); return write(u32[:]) }
+	putU64 := func(v uint64) error { binary.LittleEndian.PutUint64(u64[:], v); return write(u64[:]) }
+
+	if err := write([]byte(bundleMagic)); err != nil {
+		return n, err
+	}
+	if err := putU32(bundleVersion); err != nil {
+		return n, err
+	}
+
+	// Annotations.
+	regions := b.Annotations.Regions()
+	if err := putU32(uint32(len(regions))); err != nil {
+		return n, err
+	}
+	for _, r := range regions {
+		if err := putU32(uint32(len(r.Name))); err != nil {
+			return n, err
+		}
+		if err := write([]byte(r.Name)); err != nil {
+			return n, err
+		}
+		if err := putU32(uint32(r.Start)); err != nil {
+			return n, err
+		}
+		if err := putU32(uint32(r.End)); err != nil {
+			return n, err
+		}
+		if err := putU32(uint32(r.Type)); err != nil {
+			return n, err
+		}
+		if err := putU64(math.Float64bits(r.Min)); err != nil {
+			return n, err
+		}
+		if err := putU64(math.Float64bits(r.Max)); err != nil {
+			return n, err
+		}
+	}
+
+	// Memory image: touched blocks in unspecified order.
+	blocks := make(map[memdata.Addr]*memdata.Block)
+	collectBlocks(b.InitialMem, blocks)
+	if err := putU64(uint64(len(blocks))); err != nil {
+		return n, err
+	}
+	for a, blk := range blocks {
+		if err := putU32(uint32(a)); err != nil {
+			return n, err
+		}
+		if err := write(blk[:]); err != nil {
+			return n, err
+		}
+	}
+
+	if err := bw.Flush(); err != nil {
+		return n, err
+	}
+	k, err := b.Traces.WriteTo(w)
+	return n + k, err
+}
+
+// collectBlocks snapshots a store's touched blocks. The store has no
+// iterator; clone through a probe of annotated and trace-touched space
+// would be lossy, so Store gains an iterator — see memdata.ForEachBlock.
+func collectBlocks(st *memdata.Store, out map[memdata.Addr]*memdata.Block) {
+	st.ForEachBlock(func(a memdata.Addr, blk *memdata.Block) {
+		c := *blk
+		out[a] = &c
+	})
+}
+
+// ReadBundle deserializes a bundle written by WriteTo.
+func ReadBundle(r io.Reader) (*Bundle, error) {
+	br := bufio.NewReader(r)
+	var u32 [4]byte
+	var u64 [8]byte
+	getU32 := func() (uint32, error) {
+		_, err := io.ReadFull(br, u32[:])
+		return binary.LittleEndian.Uint32(u32[:]), err
+	}
+	getU64 := func() (uint64, error) {
+		_, err := io.ReadFull(br, u64[:])
+		return binary.LittleEndian.Uint64(u64[:]), err
+	}
+
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("workloads: bundle header: %w", err)
+	}
+	if string(magic[:]) != bundleMagic {
+		return nil, fmt.Errorf("workloads: bad bundle magic %q", magic[:])
+	}
+	if v, err := getU32(); err != nil || v != bundleVersion {
+		return nil, fmt.Errorf("workloads: unsupported bundle version (%v)", err)
+	}
+
+	nregions, err := getU32()
+	if err != nil || nregions > 1<<16 {
+		return nil, fmt.Errorf("workloads: bad region count %d (%v)", nregions, err)
+	}
+	regions := make([]approx.Region, nregions)
+	for i := range regions {
+		nameLen, err := getU32()
+		if err != nil || nameLen > 4096 {
+			return nil, fmt.Errorf("workloads: bad region name length (%v)", err)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, err
+		}
+		start, err := getU32()
+		if err != nil {
+			return nil, err
+		}
+		end, err := getU32()
+		if err != nil {
+			return nil, err
+		}
+		typ, err := getU32()
+		if err != nil {
+			return nil, err
+		}
+		minBits, err := getU64()
+		if err != nil {
+			return nil, err
+		}
+		maxBits, err := getU64()
+		if err != nil {
+			return nil, err
+		}
+		regions[i] = approx.Region{
+			Name:  string(name),
+			Start: memdata.Addr(start),
+			End:   memdata.Addr(end),
+			Type:  memdata.ElemType(typ),
+			Min:   math.Float64frombits(minBits),
+			Max:   math.Float64frombits(maxBits),
+		}
+	}
+	ann, err := approx.NewAnnotations(regions...)
+	if err != nil {
+		return nil, fmt.Errorf("workloads: bundle annotations: %w", err)
+	}
+
+	nblocks, err := getU64()
+	if err != nil || nblocks > 1<<28 {
+		return nil, fmt.Errorf("workloads: bad block count %d (%v)", nblocks, err)
+	}
+	st := memdata.NewStore()
+	for i := uint64(0); i < nblocks; i++ {
+		a, err := getU32()
+		if err != nil {
+			return nil, err
+		}
+		var blk memdata.Block
+		if _, err := io.ReadFull(br, blk[:]); err != nil {
+			return nil, err
+		}
+		st.WriteBlock(memdata.Addr(a), &blk)
+	}
+
+	traces, err := trace.ReadFrom(br)
+	if err != nil {
+		return nil, err
+	}
+	return &Bundle{Traces: traces, InitialMem: st, Annotations: ann}, nil
+}

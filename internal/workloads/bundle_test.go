@@ -1,0 +1,57 @@
+package workloads
+
+import (
+	"bytes"
+	"testing"
+
+	"doppelganger/internal/timesim"
+)
+
+// TestBundleRoundTrip: a recorded run serializes to a bundle and back;
+// replaying the loaded bundle against the split organization produces the
+// exact same cycle count and traffic as replaying the original artifacts.
+func TestBundleRoundTrip(t *testing.T) {
+	f, _ := ByName("inversek2j")
+	run := RunFunctional(f.New(0.05), BaselineBuilder(2<<20, 16), RunOptions{Cores: 2, Record: true})
+	b, err := BundleOf(run)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if _, err := b.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBundle(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := timesim.DefaultConfig()
+	cfg.Cores = 2
+	direct := timesim.Run(run.Recorder, run.InitialMem, run.Annotations, SplitBuilder(14, 0.25), cfg)
+	loaded := timesim.Run(got.Traces, got.InitialMem, got.Annotations, SplitBuilder(14, 0.25), cfg)
+	if direct.Cycles != loaded.Cycles {
+		t.Errorf("cycles differ: %d vs %d", direct.Cycles, loaded.Cycles)
+	}
+	if direct.MemTraffic() != loaded.MemTraffic() {
+		t.Errorf("traffic differs: %d vs %d", direct.MemTraffic(), loaded.MemTraffic())
+	}
+}
+
+func TestBundleRequiresRecording(t *testing.T) {
+	f, _ := ByName("inversek2j")
+	run := RunFunctional(f.New(0.05), BaselineBuilder(2<<20, 16), RunOptions{Cores: 1})
+	if _, err := BundleOf(run); err == nil {
+		t.Error("unrecorded run accepted")
+	}
+}
+
+func TestBundleRejectsGarbage(t *testing.T) {
+	if _, err := ReadBundle(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := ReadBundle(bytes.NewReader([]byte("DPBL\xFF\x00\x00\x00"))); err == nil {
+		t.Error("bad version accepted")
+	}
+}

@@ -1,0 +1,164 @@
+package workloads
+
+import (
+	"math"
+	"math/rand"
+
+	"doppelganger/internal/approx"
+	"doppelganger/internal/funcsim"
+	"doppelganger/internal/memdata"
+)
+
+// NewCanneal builds the canneal benchmark in the style of PARSEC: simulated
+// annealing of a netlist placement. Cell coordinates are the annotated
+// approximate data (32-bit integers on a 0–8191 routing grid); the netlist
+// adjacency is precise. The random element picks give canneal the random
+// LLC access behaviour the paper calls out as the most miss-sensitive
+// workload (§5.2).
+//
+// Error metric: relative difference of the final total wirelength.
+func NewCanneal(scale float64) *Benchmark {
+	cells := scaleInt(262144, scale, 64)
+	movesPerCore := scaleInt(110000, scale, 1)
+	const fanout = 4
+
+	var xs, ys, nets memdata.Addr
+
+	return &Benchmark{
+		Name: "canneal",
+		Init: func(st *memdata.Store, base memdata.Addr) *approx.Annotations {
+			l := newLayoutAt(base)
+			xs = l.allocI32(cells)
+			ys = l.allocI32(cells)
+			nets = l.allocI32(cells * fanout)
+
+			rng := rand.New(rand.NewSource(7002))
+			// The placement is row-based and mostly converged (annealing's
+			// later phases refine an already-ordered layout): cells sit on a
+			// routing-track grid with small residual jitter. Blocks of
+			// consecutive cells therefore hold approximately similar
+			// coordinates — the same chunk-of-a-row pattern repeats across
+			// rows for x, and whole rows share y.
+			const rowCells = 512
+			const pitch = 16
+			for i := 0; i < cells; i++ {
+				col, row := i%rowCells, i/rowCells
+				st.WriteI32(i32At(xs, i), int32(col*pitch+rng.Intn(2)))
+				st.WriteI32(i32At(ys, i), int32((row%rowCells)*pitch+rng.Intn(2)))
+				for f := 0; f < fanout; f++ {
+					// Mostly local nets with some long-range connections,
+					// like real netlists.
+					var nb int
+					if rng.Intn(4) == 0 {
+						nb = rng.Intn(cells)
+					} else {
+						nb = (i + rng.Intn(512) - 256 + cells) % cells
+					}
+					st.WriteI32(i32At(nets, i*fanout+f), int32(nb))
+				}
+			}
+			return approx.MustAnnotations(
+				approx.Region{Name: "x", Start: xs, End: xs + memdata.Addr(4*cells),
+					Type: memdata.I32, Min: 0, Max: 8191},
+				approx.Region{Name: "y", Start: ys, End: ys + memdata.Addr(4*cells),
+					Type: memdata.I32, Min: 0, Max: 8191},
+			)
+		},
+		Kernels: func(cores int) []func(*funcsim.CoreCtx) {
+			ks := make([]func(*funcsim.CoreCtx), cores)
+			for c := 0; c < cores; c++ {
+				seed := int64(9100 + c)
+				ks[c] = func(ctx *funcsim.CoreCtx) {
+					rng := rand.New(rand.NewSource(seed))
+					// Late-phase annealing: low temperature (few accepted
+					// uphill moves, so the converged placement structure
+					// survives) and region-sweeping move selection with
+					// occasional global moves — canneal's characteristic
+					// random-access behaviour at a realistic miss rate.
+					temperature := 15.0
+					window := rng.Intn(cells)
+					for m := 0; m < movesPerCore; m++ {
+						if m%8192 == 0 {
+							window = rng.Intn(cells)
+						}
+						// Local candidates swap a cell with the one directly
+						// above or below it (same column): accepted swaps
+						// exchange nearly equal coordinates, so the placement
+						// structure (and block similarity) survives.
+						// Occasional global proposals model long-range moves,
+						// which the low temperature almost always rejects.
+						var a, b int
+						if rng.Intn(32) != 0 {
+							a = (window + rng.Intn(8192)) % cells
+							b = (a + (rng.Intn(2)*2-1)*512*(1+rng.Intn(2)) + cells) % cells
+						} else {
+							a = rng.Intn(cells)
+							b = rng.Intn(cells)
+						}
+						if a == b {
+							continue
+						}
+						ax := ctx.LoadI32(i32At(xs, a))
+						ay := ctx.LoadI32(i32At(ys, a))
+						bx := ctx.LoadI32(i32At(xs, b))
+						by := ctx.LoadI32(i32At(ys, b))
+						delta := 0
+						for f := 0; f < fanout; f++ {
+							na := int(ctx.LoadI32(i32At(nets, a*fanout+f)))
+							nx := ctx.LoadI32(i32At(xs, na))
+							ny := ctx.LoadI32(i32At(ys, na))
+							delta += wire(bx, by, nx, ny) - wire(ax, ay, nx, ny)
+							nb := int(ctx.LoadI32(i32At(nets, b*fanout+f)))
+							mx := ctx.LoadI32(i32At(xs, nb))
+							my := ctx.LoadI32(i32At(ys, nb))
+							delta += wire(ax, ay, mx, my) - wire(bx, by, mx, my)
+						}
+						ctx.Work(60)
+						// Annealing acceptance with a deterministic schedule;
+						// zero-delta null moves are skipped, as production
+						// annealers do.
+						if delta < 0 || (delta > 0 && rng.Float64() < math.Exp(-float64(delta)/temperature)) {
+							ctx.StoreI32(i32At(xs, a), bx)
+							ctx.StoreI32(i32At(ys, a), by)
+							ctx.StoreI32(i32At(xs, b), ax)
+							ctx.StoreI32(i32At(ys, b), ay)
+						}
+						temperature *= 0.99998
+					}
+				}
+			}
+			return ks
+		},
+		Output: func(st *memdata.Store) []float64 {
+			total := 0.0
+			for i := 0; i < cells; i++ {
+				x := st.ReadI32(i32At(xs, i))
+				y := st.ReadI32(i32At(ys, i))
+				for f := 0; f < fanout; f++ {
+					nb := int(st.ReadI32(i32At(nets, i*fanout+f)))
+					total += float64(wire(x, y, st.ReadI32(i32At(xs, nb)), st.ReadI32(i32At(ys, nb))))
+				}
+			}
+			return []float64{total}
+		},
+		Error: func(precise, approximate []float64) float64 {
+			if precise[0] == 0 {
+				return 0
+			}
+			return math.Abs(precise[0]-approximate[0]) / precise[0]
+		},
+	}
+}
+
+// wire is the Manhattan wirelength between two cells.
+func wire(ax, ay, bx, by int32) int {
+	dx := int(ax - bx)
+	if dx < 0 {
+		dx = -dx
+	}
+	dy := int(ay - by)
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}

@@ -1,0 +1,148 @@
+package workloads
+
+import (
+	"math/rand"
+	"sort"
+
+	"doppelganger/internal/approx"
+	"doppelganger/internal/funcsim"
+	"doppelganger/internal/memdata"
+)
+
+// NewFerret builds the ferret benchmark in the style of PARSEC:
+// content-based similarity search. The database holds quantized image
+// feature vectors — 32 unsigned 8-bit histogram bins per entry, the usual
+// representation for CBIR signatures — annotated approximate with the full
+// 0–255 range. Per-entry metadata (ids, thumbnails) is precise.
+//
+// Entries cluster around visual archetypes and arrive in clustered id
+// order (crawlers ingest similar pages together), so consecutive feature
+// blocks are approximately similar.
+//
+// Error metric: 1 − recall of the approximate top-K against the precise
+// top-K. As the paper notes (§5.2), this metric is pessimistic: it treats
+// the precise results as the only acceptable answers even though other
+// database images may be equally good matches, so ferret shows the highest
+// apparent error of the suite.
+func NewFerret(scale float64) *Benchmark {
+	db := scaleInt(16384, scale, 64)
+	queries := scaleInt(12, scale, 4)
+	const (
+		dim  = 32 // two vectors per cache block
+		topK = 8
+	)
+
+	var vecs, meta, queryv, results memdata.Addr
+
+	return &Benchmark{
+		Name: "ferret",
+		Init: func(st *memdata.Store, base memdata.Addr) *approx.Annotations {
+			l := newLayoutAt(base)
+			vecs = l.allocU8(db * dim)
+			meta = l.alloc(db * 16) // compact precise metadata records
+			queryv = l.allocU8(queries * dim)
+			results = l.allocI32(queries * topK)
+
+			rng := rand.New(rand.NewSource(7003))
+			const archetypes = 256
+			arch := make([][]float64, archetypes)
+			for a := range arch {
+				arch[a] = make([]float64, dim)
+				for d := 0; d < dim; d++ {
+					arch[a][d] = 30 + 195*rng.Float64()
+				}
+			}
+			writeVec := func(base memdata.Addr, i, a int) {
+				for d := 0; d < dim; d++ {
+					v := arch[a][d] + 18*rng.NormFloat64()
+					if v < 0 {
+						v = 0
+					}
+					if v > 255 {
+						v = 255
+					}
+					st.WriteU8(u8At(base, i*dim+d), uint8(v))
+				}
+			}
+			for i := 0; i < db; i++ {
+				// Clustered ingestion order: runs of entries share a class.
+				writeVec(vecs, i, (i/8)%archetypes)
+				st.WriteI32(i32At(meta, i*4), int32(i))
+			}
+			for q := 0; q < queries; q++ {
+				writeVec(queryv, q, rng.Intn(archetypes))
+			}
+			return approx.MustAnnotations(
+				approx.Region{Name: "features", Start: vecs, End: vecs + memdata.Addr(db*dim),
+					Type: memdata.U8, Min: 0, Max: 255},
+			)
+		},
+		Kernels: func(cores int) []func(*funcsim.CoreCtx) {
+			ks := make([]func(*funcsim.CoreCtx), cores)
+			for c := 0; c < cores; c++ {
+				lo, hi := span(queries, cores, c)
+				ks[c] = func(ctx *funcsim.CoreCtx) {
+					for q := lo; q < hi; q++ {
+						var qv [dim]float64
+						for d := 0; d < dim; d++ {
+							qv[d] = float64(ctx.LoadU8(u8At(queryv, q*dim+d)))
+						}
+						type cand struct {
+							id   int
+							dist float64
+						}
+						best := make([]cand, 0, topK+1)
+						for i := 0; i < db; i++ {
+							dist := 0.0
+							for d := 0; d < dim; d++ {
+								diff := qv[d] - float64(ctx.LoadU8(u8At(vecs, i*dim+d)))
+								dist += diff * diff
+							}
+							ctx.Work(70)
+							if len(best) < topK || dist < best[len(best)-1].dist {
+								// Touch the candidate's precise metadata, as
+								// ferret's ranking stage does.
+								id := int(ctx.LoadI32(i32At(meta, i*4)))
+								best = append(best, cand{id, dist})
+								sort.Slice(best, func(x, y int) bool { return best[x].dist < best[y].dist })
+								if len(best) > topK {
+									best = best[:topK]
+								}
+							}
+						}
+						for k := 0; k < topK; k++ {
+							ctx.StoreI32(i32At(results, q*topK+k), int32(best[k].id))
+						}
+					}
+				}
+			}
+			return ks
+		},
+		Output: func(st *memdata.Store) []float64 {
+			out := make([]float64, queries*topK)
+			for i := range out {
+				out[i] = float64(st.ReadI32(i32At(results, i)))
+			}
+			return out
+		},
+		Error: func(precise, approximate []float64) float64 {
+			missed, total := 0, 0
+			for q := 0; q < len(precise); q += topK {
+				want := make(map[float64]bool, topK)
+				for k := 0; k < topK; k++ {
+					want[precise[q+k]] = true
+				}
+				for k := 0; k < topK; k++ {
+					total++
+					if !want[approximate[q+k]] {
+						missed++
+					}
+				}
+			}
+			if total == 0 {
+				return 0
+			}
+			return float64(missed) / float64(total)
+		},
+	}
+}

@@ -1,0 +1,144 @@
+package workloads
+
+import (
+	"math"
+	"math/rand"
+
+	"doppelganger/internal/approx"
+	"doppelganger/internal/funcsim"
+	"doppelganger/internal/memdata"
+)
+
+// NewFluidanimate builds the fluidanimate benchmark in the style of PARSEC:
+// a smoothed-particle fluid step over a lattice neighborhood (neighbor
+// indices are computed from the grid, as cell lists allow). Only the
+// particle density field is annotated approximate — positions and
+// velocities stay precise — reproducing the very low approximate footprint
+// of Table 2 (3.6%).
+//
+// Error metric: mean final particle position error relative to the domain.
+func NewFluidanimate(scale float64) *Benchmark {
+	particles := scaleInt(16384, scale, 64)
+	const (
+		neighbors = 8
+		iters     = 3
+		h         = 0.05 // smoothing radius
+	)
+
+	var px, py, vx, vy, dens memdata.Addr
+
+	return &Benchmark{
+		Name: "fluidanimate",
+		Init: func(st *memdata.Store, base memdata.Addr) *approx.Annotations {
+			l := newLayoutAt(base)
+			px = l.allocF32(particles)
+			py = l.allocF32(particles)
+			vx = l.allocF32(particles)
+			vy = l.allocF32(particles)
+			dens = l.allocF32(particles)
+
+			rng := rand.New(rand.NewSource(7004))
+			side := int(math.Sqrt(float64(particles)))
+			for i := 0; i < particles; i++ {
+				// Jittered lattice inside the unit box.
+				gx := float64(i%side) / float64(side)
+				gy := float64(i/side) / float64(side)
+				st.WriteF32(f32At(px, i), float32(gx+0.3*(rng.Float64()-0.5)/float64(side)))
+				st.WriteF32(f32At(py, i), float32(gy+0.3*(rng.Float64()-0.5)/float64(side)))
+				st.WriteF32(f32At(vx, i), float32(0.1*(rng.Float64()-0.5)))
+				st.WriteF32(f32At(vy, i), float32(0.1*(rng.Float64()-0.5)))
+			}
+			return approx.MustAnnotations(
+				approx.Region{Name: "density", Start: dens, End: dens + memdata.Addr(4*particles),
+					Type: memdata.F32, Min: 0, Max: 16},
+			)
+		},
+		Kernels: func(cores int) []func(*funcsim.CoreCtx) {
+			side := int(math.Sqrt(float64(particles)))
+			neighborOf := func(i, f int) int {
+				offs := [neighbors][2]int{{-1, 0}, {1, 0}, {0, -1}, {0, 1}, {-1, -1}, {1, 1}, {-1, 1}, {1, -1}}
+				nx := (i%side + offs[f][0] + side) % side
+				ny := (i/side + offs[f][1] + side) % side
+				return ny*side + nx
+			}
+			ks := make([]func(*funcsim.CoreCtx), cores)
+			for c := 0; c < cores; c++ {
+				lo, hi := span(particles, cores, c)
+				ks[c] = func(ctx *funcsim.CoreCtx) {
+					for it := 0; it < iters; it++ {
+						// Density pass: SPH poly6-style kernel over neighbors.
+						for i := lo; i < hi; i++ {
+							xi := float64(ctx.LoadF32(f32At(px, i)))
+							yi := float64(ctx.LoadF32(f32At(py, i)))
+							rho := 1.0
+							for f := 0; f < neighbors; f++ {
+								j := neighborOf(i, f)
+								dx := xi - float64(ctx.LoadF32(f32At(px, j)))
+								dy := yi - float64(ctx.LoadF32(f32At(py, j)))
+								r2 := dx*dx + dy*dy
+								if r2 < h*h {
+									d := h*h - r2
+									rho += 4 / (math.Pi * math.Pow(h, 8)) * d * d * d / 1e6
+								}
+							}
+							ctx.Work(90)
+							ctx.StoreF32(f32At(dens, i), float32(rho))
+						}
+						ctx.Barrier() // densities complete before forces read them
+						// Force pass: pressure from density differences.
+						for i := lo; i < hi; i++ {
+							di := float64(ctx.LoadF32(f32At(dens, i)))
+							fx, fy := 0.0, 0.0
+							xi := float64(ctx.LoadF32(f32At(px, i)))
+							yi := float64(ctx.LoadF32(f32At(py, i)))
+							for f := 0; f < neighbors; f++ {
+								j := neighborOf(i, f)
+								dj := float64(ctx.LoadF32(f32At(dens, j)))
+								dx := float64(ctx.LoadF32(f32At(px, j))) - xi
+								dy := float64(ctx.LoadF32(f32At(py, j))) - yi
+								push := (di + dj - 2) * 1e-3
+								fx -= push * dx
+								fy -= push * dy
+							}
+							ctx.Work(70)
+							nvx := float64(ctx.LoadF32(f32At(vx, i)))*0.995 + fx
+							nvy := float64(ctx.LoadF32(f32At(vy, i)))*0.995 + fy - 1e-4 // gravity
+							ctx.StoreF32(f32At(vx, i), float32(nvx))
+							ctx.StoreF32(f32At(vy, i), float32(nvy))
+							ctx.StoreF32(f32At(px, i), float32(wrap(xi+nvx*0.01)))
+							ctx.StoreF32(f32At(py, i), float32(wrap(yi+nvy*0.01)))
+						}
+						ctx.Barrier() // positions settled before the next iteration
+					}
+				}
+			}
+			return ks
+		},
+		Output: func(st *memdata.Store) []float64 {
+			out := make([]float64, 2*particles)
+			for i := 0; i < particles; i++ {
+				out[2*i] = float64(st.ReadF32(f32At(px, i)))
+				out[2*i+1] = float64(st.ReadF32(f32At(py, i)))
+			}
+			return out
+		},
+		Error: func(precise, approximate []float64) float64 {
+			sum := 0.0
+			for i := 0; i < len(precise); i += 2 {
+				dx := precise[i] - approximate[i]
+				dy := precise[i+1] - approximate[i+1]
+				sum += math.Sqrt(dx*dx + dy*dy) // domain is the unit box
+			}
+			return sum / float64(len(precise)/2)
+		},
+	}
+}
+
+// wrap keeps coordinates in the unit box with periodic boundaries.
+func wrap(v float64) float64 {
+	v = math.Mod(v, 1)
+	if v < 0 {
+		v += 1
+	}
+	return v
+}

@@ -1,0 +1,117 @@
+package workloads
+
+import (
+	"math"
+	"math/rand"
+
+	"doppelganger/internal/approx"
+	"doppelganger/internal/funcsim"
+	"doppelganger/internal/memdata"
+)
+
+// NewInversek2j builds the inversek2j benchmark from AxBench: inverse
+// kinematics for a two-joint robotic arm. Both the input coordinates and
+// the output joint angles are annotated approximate, which is why the
+// paper's Table 2 reports a 99.7% approximate LLC footprint.
+//
+// Error metric: mean absolute joint-angle error relative to the full ±π
+// range (AxBench uses average relative error of the angles).
+func NewInversek2j(scale float64) *Benchmark {
+	n := scaleInt(262144, scale, 64)
+	const (
+		len1   = 0.5
+		len2   = 0.5
+		passes = 1
+	)
+
+	var txs, tys, th1, th2 memdata.Addr
+
+	return &Benchmark{
+		Name: "inversek2j",
+		Init: func(st *memdata.Store, base memdata.Addr) *approx.Annotations {
+			l := newLayoutAt(base)
+			txs = l.allocF32(n)
+			tys = l.allocF32(n)
+			th1 = l.allocF32(n)
+			th2 = l.allocF32(n)
+
+			rng := rand.New(rand.NewSource(7005))
+			for i := 0; i < n; i++ {
+				// Reachable targets: radius within [0.1, len1+len2].
+				r := 0.1 + 0.88*rng.Float64()
+				a := 2 * math.Pi * rng.Float64()
+				st.WriteF32(f32At(txs, i), float32(r*math.Cos(a)))
+				st.WriteF32(f32At(tys, i), float32(r*math.Sin(a)))
+			}
+			mk := func(name string, base memdata.Addr) approx.Region {
+				return approx.Region{
+					Name: name, Start: base, End: base + memdata.Addr(4*n),
+					Type: memdata.F32, Min: -math.Pi, Max: math.Pi,
+				}
+			}
+			return approx.MustAnnotations(
+				mk("x", txs), mk("y", tys), mk("theta1", th1), mk("theta2", th2),
+			)
+		},
+		Kernels: func(cores int) []func(*funcsim.CoreCtx) {
+			ks := make([]func(*funcsim.CoreCtx), cores)
+			for c := 0; c < cores; c++ {
+				lo, hi := span(n, cores, c)
+				ks[c] = func(ctx *funcsim.CoreCtx) {
+					for p := 0; p < passes; p++ {
+						for i := lo; i < hi; i++ {
+							x := float64(ctx.LoadF32(f32At(txs, i)))
+							y := float64(ctx.LoadF32(f32At(tys, i)))
+							t1, t2 := invKin2j(x, y, len1, len2)
+							ctx.Work(110) // trig-heavy kernel
+							ctx.StoreF32(f32At(th1, i), float32(t1))
+							ctx.StoreF32(f32At(th2, i), float32(t2))
+						}
+					}
+				}
+			}
+			return ks
+		},
+		Output: func(st *memdata.Store) []float64 {
+			out := make([]float64, 2*n)
+			for i := 0; i < n; i++ {
+				out[2*i] = float64(st.ReadF32(f32At(th1, i)))
+				out[2*i+1] = float64(st.ReadF32(f32At(th2, i)))
+			}
+			return out
+		},
+		Error: func(precise, approximate []float64) float64 {
+			sum := 0.0
+			for i := range precise {
+				sum += math.Abs(precise[i]-approximate[i]) / math.Pi
+			}
+			return sum / float64(len(precise))
+		},
+	}
+}
+
+// invKin2j solves the planar two-joint inverse kinematics, clamping
+// unreachable (possibly approximation-perturbed) targets to the workspace
+// boundary.
+func invKin2j(x, y, l1, l2 float64) (t1, t2 float64) {
+	d2 := x*x + y*y
+	c2 := (d2 - l1*l1 - l2*l2) / (2 * l1 * l2)
+	if c2 > 1 {
+		c2 = 1
+	}
+	if c2 < -1 {
+		c2 = -1
+	}
+	t2 = math.Acos(c2)
+	k1 := l1 + l2*math.Cos(t2)
+	k2 := l2 * math.Sin(t2)
+	t1 = math.Atan2(y, x) - math.Atan2(k2, k1)
+	// Normalize into (−π, π].
+	for t1 <= -math.Pi {
+		t1 += 2 * math.Pi
+	}
+	for t1 > math.Pi {
+		t1 -= 2 * math.Pi
+	}
+	return t1, t2
+}

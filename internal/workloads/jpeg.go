@@ -1,0 +1,191 @@
+package workloads
+
+import (
+	"math"
+	"math/rand"
+
+	"doppelganger/internal/approx"
+	"doppelganger/internal/funcsim"
+	"doppelganger/internal/memdata"
+)
+
+// NewJPEG builds the jpeg benchmark in the style of AxBench: lossy image
+// compression over 8×8 blocks — forward DCT, quantization, dequantization
+// and inverse DCT — writing the reconstructed image. Both the input and
+// output images are annotated approximate (single-channel pixels, range
+// 0–255), giving the near-total approximate footprint the paper reports
+// (98.4%, Table 2). Pixels exercise the §3.7 rule that skips the mapping
+// step when the map space is wider than the element type.
+//
+// Error metric: mean absolute pixel difference relative to full scale.
+func NewJPEG(scale float64) *Benchmark {
+	side := scaleInt(768, math.Sqrt(scale), 8)
+	n := side * side
+
+	var in, out, checks memdata.Addr
+
+	return &Benchmark{
+		Name: "jpeg",
+		Init: func(st *memdata.Store, base memdata.Addr) *approx.Annotations {
+			l := newLayoutAt(base)
+			in = l.allocU8(n)
+			out = l.allocU8(n)
+			checks = l.allocI32(side) // per-row checksums of the readback pass
+
+			// Synthetic photographic image: smooth large-scale structure
+			// (so spatially adjacent blocks are approximately similar, as
+			// in the paper's Fig. 1) plus mild texture noise.
+			rng := rand.New(rand.NewSource(7007))
+			for y := 0; y < side; y++ {
+				for x := 0; x < side; x++ {
+					v := 128 +
+						55*math.Sin(float64(x)/41.0) +
+						45*math.Cos(float64(y)/59.0) +
+						20*math.Sin(float64(x+y)/97.0) +
+						4*(rng.Float64()-0.5)
+					if v < 0 {
+						v = 0
+					}
+					if v > 255 {
+						v = 255
+					}
+					st.WriteU8(u8At(in, y*side+x), uint8(v))
+				}
+			}
+			return approx.MustAnnotations(
+				approx.Region{Name: "image-in", Start: in, End: in + memdata.Addr(n),
+					Type: memdata.U8, Min: 0, Max: 255},
+				approx.Region{Name: "image-out", Start: out, End: out + memdata.Addr(n),
+					Type: memdata.U8, Min: 0, Max: 255},
+			)
+		},
+		Kernels: func(cores int) []func(*funcsim.CoreCtx) {
+			rows := side / 8
+			ks := make([]func(*funcsim.CoreCtx), cores)
+			for c := 0; c < cores; c++ {
+				lo, hi := span(rows, cores, c)
+				ks[c] = func(ctx *funcsim.CoreCtx) {
+					var px, coef [64]float64
+					for br := lo; br < hi; br++ {
+						for bc := 0; bc < side/8; bc++ {
+							for y := 0; y < 8; y++ {
+								for x := 0; x < 8; x++ {
+									px[y*8+x] = float64(ctx.LoadU8(u8At(in, (br*8+y)*side+bc*8+x))) - 128
+								}
+							}
+							fdct(&px, &coef)
+							for i := 0; i < 64; i++ {
+								q := float64(jpegQuant[i])
+								coef[i] = math.Round(coef[i]/q) * q
+							}
+							idct(&coef, &px)
+							ctx.Work(900) // two 8x8 DCT passes + quantization
+							for y := 0; y < 8; y++ {
+								for x := 0; x < 8; x++ {
+									v := math.Round(px[y*8+x] + 128)
+									if v < 0 {
+										v = 0
+									}
+									if v > 255 {
+										v = 255
+									}
+									ctx.StoreU8(u8At(out, (br*8+y)*side+bc*8+x), uint8(v))
+								}
+							}
+						}
+					}
+					ctx.Barrier()
+					// Readback pass: the consumer stage (e.g. the encoder's
+					// bitstream writer) rescans the reconstructed image,
+					// observing whatever the LLC now returns for it.
+					rlo, rhi := span(side, cores, c)
+					for y := rlo; y < rhi; y++ {
+						sum := int32(0)
+						for x := 0; x < side; x++ {
+							sum += int32(ctx.LoadU8(u8At(out, y*side+x)))
+						}
+						ctx.Work(side)
+						ctx.StoreI32(i32At(checks, y), sum)
+					}
+				}
+			}
+			return ks
+		},
+		Output: func(st *memdata.Store) []float64 {
+			o := make([]float64, n)
+			for i := 0; i < n; i++ {
+				o[i] = float64(st.ReadU8(u8At(out, i)))
+			}
+			return o
+		},
+		// Image difference: mean absolute pixel error over full scale.
+		Error: func(precise, approximate []float64) float64 {
+			if len(precise) == 0 {
+				return 0
+			}
+			sum := 0.0
+			for i := range precise {
+				sum += math.Abs(precise[i]-approximate[i]) / 255
+			}
+			return sum / float64(len(precise))
+		},
+	}
+}
+
+// jpegQuant is the standard JPEG luminance quantization table (quality 50).
+var jpegQuant = [64]int{
+	16, 11, 10, 16, 24, 40, 51, 61,
+	12, 12, 14, 19, 26, 58, 60, 55,
+	14, 13, 16, 24, 40, 57, 69, 56,
+	14, 17, 22, 29, 51, 87, 80, 62,
+	18, 22, 37, 56, 68, 109, 103, 77,
+	24, 35, 55, 64, 81, 104, 113, 92,
+	49, 64, 78, 87, 103, 121, 120, 101,
+	72, 92, 95, 98, 112, 100, 103, 99,
+}
+
+// fdct is the forward 8×8 DCT-II.
+func fdct(px, out *[64]float64) {
+	for u := 0; u < 8; u++ {
+		for v := 0; v < 8; v++ {
+			sum := 0.0
+			for y := 0; y < 8; y++ {
+				for x := 0; x < 8; x++ {
+					sum += px[y*8+x] * dctCos[x][v] * dctCos[y][u]
+				}
+			}
+			out[u*8+v] = 0.25 * dctC(u) * dctC(v) * sum
+		}
+	}
+}
+
+// idct is the inverse 8×8 DCT.
+func idct(coef, out *[64]float64) {
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			sum := 0.0
+			for u := 0; u < 8; u++ {
+				for v := 0; v < 8; v++ {
+					sum += dctC(u) * dctC(v) * coef[u*8+v] * dctCos[x][v] * dctCos[y][u]
+				}
+			}
+			out[y*8+x] = 0.25 * sum
+		}
+	}
+}
+
+func dctC(u int) float64 {
+	if u == 0 {
+		return 1 / math.Sqrt2
+	}
+	return 1
+}
+
+var dctCos = func() (t [8][8]float64) {
+	for x := 0; x < 8; x++ {
+		for f := 0; f < 8; f++ {
+			t[x][f] = math.Cos((2*float64(x) + 1) * float64(f) * math.Pi / 16)
+		}
+	}
+	return
+}()

@@ -1,0 +1,165 @@
+package workloads
+
+import (
+	"math"
+	"math/rand"
+
+	"doppelganger/internal/approx"
+	"doppelganger/internal/funcsim"
+	"doppelganger/internal/memdata"
+)
+
+// NewKmeans builds the kmeans benchmark from AxBench: iterative Lloyd
+// clustering of image pixels. The point features are 8-bit color channels
+// (annotated approximate, range 0–255, exercising the §3.7 integral-type
+// mapping rule); centroids, assignments and per-core accumulators are
+// precise. The merge step has all cores reading each other's accumulators
+// and core 0 updating the shared centroids, exercising the MSI directory
+// (§3.6).
+//
+// Error metric: mean relative error of the final centroid coordinates.
+func NewKmeans(scale float64) *Benchmark {
+	points := scaleInt(49152, scale, 64)
+	const (
+		dim   = 8
+		k     = 16
+		iters = 4
+	)
+
+	var (
+		pts, cents, assign memdata.Addr
+		accSum, accCnt     memdata.Addr // per-core precise scratch
+		meta               memdata.Addr // precise per-point payload
+	)
+
+	return &Benchmark{
+		Name: "kmeans",
+		Init: func(st *memdata.Store, base memdata.Addr) *approx.Annotations {
+			l := newLayoutAt(base)
+			pts = l.allocU8(points * dim)
+			cents = l.allocF32(k * dim)
+			assign = l.allocI32(points)
+			accSum = l.allocF32(4 * k * dim) // up to 4 cores
+			accCnt = l.allocI32(4 * k)
+			meta = l.allocI32(points)
+
+			rng := rand.New(rand.NewSource(7008))
+			// Pixels come in spatially coherent runs drawn from the image's
+			// dominant colors, with lighting variation across the image.
+			centers := make([][]float64, k)
+			for c := range centers {
+				centers[c] = make([]float64, dim)
+				for d := 0; d < dim; d++ {
+					centers[c][d] = 40 + 175*rng.Float64()
+				}
+			}
+			for i := 0; i < points; i++ {
+				c := centers[(i/16+rng.Intn(2))%k]
+				shade := 0.85 + 0.02*float64((i/512)%16) // slow lighting gradient
+				for d := 0; d < dim; d++ {
+					v := math.Round(c[d]*shade + 10*rng.NormFloat64())
+					if v < 0 {
+						v = 0
+					}
+					if v > 255 {
+						v = 255
+					}
+					st.WriteU8(u8At(pts, i*dim+d), uint8(v))
+				}
+				st.WriteI32(i32At(meta, i), int32(i))
+			}
+			// Initial centroids: first k points.
+			for c := 0; c < k; c++ {
+				for d := 0; d < dim; d++ {
+					st.WriteF32(f32At(cents, c*dim+d), float32(st.ReadU8(u8At(pts, c*dim+d))))
+				}
+			}
+			return approx.MustAnnotations(
+				approx.Region{Name: "points", Start: pts, End: pts + memdata.Addr(points*dim),
+					Type: memdata.U8, Min: 0, Max: 255},
+			)
+		},
+		Kernels: func(cores int) []func(*funcsim.CoreCtx) {
+			ks := make([]func(*funcsim.CoreCtx), cores)
+			for c := 0; c < cores; c++ {
+				lo, hi := span(points, cores, c)
+				core := c
+				ks[c] = func(ctx *funcsim.CoreCtx) {
+					for it := 0; it < iters; it++ {
+						// Load the shared centroids once per iteration.
+						var cent [k][dim]float64
+						for cc := 0; cc < k; cc++ {
+							for d := 0; d < dim; d++ {
+								cent[cc][d] = float64(ctx.LoadF32(f32At(cents, cc*dim+d)))
+							}
+						}
+						// Assignment pass, accumulating thread-locally.
+						var sums [k][dim]float64
+						var cnts [k]int32
+						for i := lo; i < hi; i++ {
+							var pv [dim]float64
+							for d := 0; d < dim; d++ {
+								pv[d] = float64(ctx.LoadU8(u8At(pts, i*dim+d)))
+							}
+							_ = ctx.LoadI32(i32At(meta, i)) // precise payload touch
+							best, bestDist := 0, 1e18
+							for cc := 0; cc < k; cc++ {
+								dist := 0.0
+								for d := 0; d < dim; d++ {
+									diff := pv[d] - cent[cc][d]
+									dist += diff * diff
+								}
+								if dist < bestDist {
+									best, bestDist = cc, dist
+								}
+							}
+							ctx.Work(180) // k×dim distance arithmetic
+							ctx.StoreI32(i32At(assign, i), int32(best))
+							cnts[best]++
+							for d := 0; d < dim; d++ {
+								sums[best][d] += pv[d]
+							}
+						}
+						// Publish this core's accumulators.
+						for cc := 0; cc < k; cc++ {
+							ctx.StoreI32(i32At(accCnt, core*k+cc), cnts[cc])
+							for d := 0; d < dim; d++ {
+								ctx.StoreF32(f32At(accSum, (core*k+cc)*dim+d), float32(sums[cc][d]))
+							}
+						}
+						ctx.Barrier() // all assignments done before the merge
+						// Merge: core 0 reduces all per-core accumulators into
+						// the shared centroids (coherence traffic).
+						if core == 0 {
+							for cc := 0; cc < k; cc++ {
+								var total int32
+								var merged [dim]float64
+								for cr := 0; cr < cores; cr++ {
+									total += ctx.LoadI32(i32At(accCnt, cr*k+cc))
+									for d := 0; d < dim; d++ {
+										merged[d] += float64(ctx.LoadF32(f32At(accSum, (cr*k+cc)*dim+d)))
+									}
+								}
+								if total > 0 {
+									for d := 0; d < dim; d++ {
+										ctx.StoreF32(f32At(cents, cc*dim+d), float32(merged[d]/float64(total)))
+									}
+								}
+							}
+						}
+						ctx.Barrier() // merged centroids visible to all
+					}
+				}
+			}
+			return ks
+		},
+		Output: func(st *memdata.Store) []float64 {
+			out := make([]float64, k*dim)
+			for i := range out {
+				out[i] = float64(st.ReadF32(f32At(cents, i)))
+			}
+			return out
+		},
+		Error: meanRelError,
+	}
+}

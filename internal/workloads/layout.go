@@ -1,0 +1,84 @@
+package workloads
+
+import "doppelganger/internal/memdata"
+
+// layout is a bump allocator for laying out a benchmark's memory image.
+// Allocations are block aligned so annotation regions are too.
+type layout struct {
+	next memdata.Addr
+}
+
+// DefaultBase is where a single program's image starts.
+const DefaultBase = memdata.Addr(0x0100_0000)
+
+func newLayoutAt(base memdata.Addr) *layout { return &layout{next: base} }
+
+// alloc reserves n bytes (rounded up to whole blocks) and returns the base.
+func (l *layout) alloc(n int) memdata.Addr {
+	base := l.next
+	blocks := (n + memdata.BlockSize - 1) / memdata.BlockSize
+	l.next += memdata.Addr(blocks * memdata.BlockSize)
+	return base
+}
+
+// allocF32 reserves an n-element float32 array.
+func (l *layout) allocF32(n int) memdata.Addr { return l.alloc(4 * n) }
+
+// allocF64 reserves an n-element float64 array.
+func (l *layout) allocF64(n int) memdata.Addr { return l.alloc(8 * n) }
+
+// allocI32 reserves an n-element int32 array.
+func (l *layout) allocI32(n int) memdata.Addr { return l.alloc(4 * n) }
+
+// allocU8 reserves an n-byte array.
+func (l *layout) allocU8(n int) memdata.Addr { return l.alloc(n) }
+
+// f32At / i32At / u8At compute element addresses.
+func f32At(base memdata.Addr, i int) memdata.Addr { return base + memdata.Addr(4*i) }
+func f64At(base memdata.Addr, i int) memdata.Addr { return base + memdata.Addr(8*i) }
+func i32At(base memdata.Addr, i int) memdata.Addr { return base + memdata.Addr(4*i) }
+func u8At(base memdata.Addr, i int) memdata.Addr  { return base + memdata.Addr(i) }
+
+// span splits [0, n) into per-core contiguous shares.
+func span(n, cores, c int) (lo, hi int) {
+	per := (n + cores - 1) / cores
+	lo = c * per
+	hi = lo + per
+	if lo > n {
+		lo = n
+	}
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// meanRelError is the AxBench-style metric: the mean of per-element
+// relative errors, each clipped to 100%, with a small floor on the
+// denominator to keep near-zero outputs meaningful.
+func meanRelError(precise, approximate []float64) float64 {
+	if len(precise) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := range precise {
+		p, a := precise[i], approximate[i]
+		d := p - a
+		if d < 0 {
+			d = -d
+		}
+		den := p
+		if den < 0 {
+			den = -den
+		}
+		if den < 1e-3 {
+			den = 1e-3
+		}
+		rel := d / den
+		if rel > 1 {
+			rel = 1
+		}
+		sum += rel
+	}
+	return sum / float64(len(precise))
+}

@@ -1,0 +1,105 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+
+	"doppelganger/internal/approx"
+	"doppelganger/internal/funcsim"
+	"doppelganger/internal/memdata"
+)
+
+// programStride separates the physical address spaces of co-scheduled
+// programs (64 MB apiece keeps several programs inside 32-bit addresses).
+const programStride = memdata.Addr(0x0400_0000)
+
+// Multiprogram combines several benchmarks into one workload running
+// side by side on the CMP: program i's memory image is laid out in its own
+// physical-address slice and its threads run on every len(progs)-th core.
+// The merged annotations model the paper's per-application range registers
+// (§4.1: "Doppelgänger can be used with multiprogrammed workloads by
+// storing this information per application").
+//
+// The combined Output concatenates the programs' outputs; Error averages
+// the per-program errors under each program's own metric. At least one core
+// per program is required at run time (Cores ≥ len(progs)).
+func Multiprogram(progs ...*Benchmark) *Benchmark {
+	if len(progs) == 0 {
+		panic("workloads: Multiprogram needs at least one program")
+	}
+	names := make([]string, len(progs))
+	for i, p := range progs {
+		names[i] = p.Name
+	}
+	outputLens := make([]int, len(progs))
+
+	return &Benchmark{
+		Name: strings.Join(names, "+"),
+		Init: func(st *memdata.Store, base memdata.Addr) *approx.Annotations {
+			var regions []approx.Region
+			for i, p := range progs {
+				ann := p.Init(st, base+memdata.Addr(i)*programStride)
+				regions = append(regions, ann.Regions()...)
+			}
+			merged, err := approx.NewAnnotations(regions...)
+			if err != nil {
+				panic(fmt.Sprintf("workloads: multiprogram annotations overlap: %v", err))
+			}
+			return merged
+		},
+		Kernels: func(cores int) []func(*funcsim.CoreCtx) {
+			if cores < len(progs) {
+				panic(fmt.Sprintf("workloads: %d programs need at least %d cores", len(progs), len(progs)))
+			}
+			ks := make([]func(*funcsim.CoreCtx), cores)
+			for i, p := range progs {
+				// Program i runs on cores i, i+len, i+2len, ...
+				var mine []int
+				for c := i; c < cores; c += len(progs) {
+					mine = append(mine, c)
+				}
+				sub := p.Kernels(len(mine))
+				for j, c := range mine {
+					ks[c] = sub[j]
+				}
+			}
+			return ks
+		},
+		Groups: func(cores int) []int {
+			groups := make([]int, cores)
+			for c := range groups {
+				groups[c] = c % len(progs)
+			}
+			return groups
+		},
+		Output: func(st *memdata.Store) []float64 {
+			var out []float64
+			for i, p := range progs {
+				o := p.Output(st)
+				outputLens[i] = len(o)
+				out = append(out, o...)
+			}
+			return out
+		},
+		Error: func(precise, approximate []float64) float64 {
+			// Per-program metric, averaged. Output lengths were captured by
+			// an Output pass of THIS instance (layouts are identical across
+			// runs of equal-scale programs).
+			total := 0
+			for _, n := range outputLens {
+				total += n
+			}
+			if total != len(precise) {
+				panic("workloads: Multiprogram.Error needs an Output pass of this instance first")
+			}
+			sum := 0.0
+			off := 0
+			for i, p := range progs {
+				n := outputLens[i]
+				sum += p.Error(precise[off:off+n], approximate[off:off+n])
+				off += n
+			}
+			return sum / float64(len(progs))
+		},
+	}
+}

@@ -1,0 +1,60 @@
+package workloads
+
+import (
+	"testing"
+)
+
+// TestMultiprogramPreciseMatchesSolo: under a precise LLC, each program of a
+// multiprogrammed pair must produce exactly its solo output — address-space
+// relocation and core partitioning change nothing functionally.
+func TestMultiprogramPreciseMatchesSolo(t *testing.T) {
+	const scale = 0.05
+	fj, _ := ByName("jpeg")
+	fs, _ := ByName("swaptions")
+
+	soloJ := RunFunctional(fj.New(scale), BaselineBuilder(2<<20, 16), RunOptions{Cores: 2})
+	soloS := RunFunctional(fs.New(scale), BaselineBuilder(2<<20, 16), RunOptions{Cores: 2})
+
+	mp := Multiprogram(fj.New(scale), fs.New(scale))
+	combined := RunFunctional(mp, BaselineBuilder(2<<20, 16), RunOptions{Cores: 4})
+
+	nj := len(soloJ.Output)
+	if len(combined.Output) != nj+len(soloS.Output) {
+		t.Fatalf("combined output length %d, want %d", len(combined.Output), nj+len(soloS.Output))
+	}
+	if e := fj.New(scale).Error(soloJ.Output, combined.Output[:nj]); e != 0 {
+		t.Errorf("jpeg output differs in multiprogram: %v", e)
+	}
+	if e := fs.New(scale).Error(soloS.Output, combined.Output[nj:]); e != 0 {
+		t.Errorf("swaptions output differs in multiprogram: %v", e)
+	}
+}
+
+// TestMultiprogramWithBarriers: a barrier-using program (kmeans) next to a
+// barrier-free one must not deadlock or stall (per-program barrier groups).
+func TestMultiprogramWithBarriers(t *testing.T) {
+	const scale = 0.05
+	fk, _ := ByName("kmeans")
+	fi, _ := ByName("inversek2j")
+	mp := Multiprogram(fk.New(scale), fi.New(scale))
+	res := RunFunctional(mp, BaselineBuilder(2<<20, 16), RunOptions{Cores: 4})
+	if len(res.Output) == 0 {
+		t.Fatal("no output")
+	}
+}
+
+// TestMultiprogramApproximate: the combined workload runs against the split
+// Doppelgänger organization; per-program errors stay bounded and the
+// annotations from both programs coexist (per-application ranges).
+func TestMultiprogramApproximate(t *testing.T) {
+	const scale = 0.05
+	fj, _ := ByName("jpeg")
+	fb, _ := ByName("blackscholes")
+	mp := Multiprogram(fj.New(scale), fb.New(scale))
+	precise := RunFunctional(mp, BaselineBuilder(2<<20, 16), RunOptions{Cores: 4})
+	approxRun := RunFunctional(Multiprogram(fj.New(scale), fb.New(scale)), SplitBuilder(14, 0.25), RunOptions{Cores: 4})
+	e := mp.Error(precise.Output, approxRun.Output)
+	if e < 0 || e > 1 {
+		t.Fatalf("combined error = %v", e)
+	}
+}

@@ -1,0 +1,47 @@
+package workloads
+
+import (
+	"testing"
+
+	"doppelganger/internal/core"
+	"doppelganger/internal/stats"
+)
+
+// TestProbeFullScale is a development aid (skipped in -short mode): it runs
+// selected benchmarks at full scale, printing Table 2 footprints, Fig. 7
+// map-space savings and Fig. 9-style output error so the workload shaping
+// can be compared against the paper.
+func TestProbeFullScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale probe")
+	}
+	for _, f := range All() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			t.Parallel()
+			an := stats.NewAnalyzer(stats.AnalyzerConfig{
+				MapSpaces:   []int{12, 13, 14},
+				Comparators: true, CompareM: 14,
+			})
+			base := RunFunctional(f.New(1), BaselineBuilder(2<<20, 16), RunOptions{
+				Cores: 4, SnapshotEvery: 20000, SnapshotFn: an.Observe,
+			})
+			bench := f.New(1)
+			split := RunFunctional(f.New(1), SplitBuilder(14, 0.25), RunOptions{Cores: 4})
+			errv := bench.Error(base.Output, split.Output)
+			d := split.LLC.(*core.Split).Doppel
+			t.Logf("%s: approxFrac=%.3f map12=%.3f map13=%.3f map14=%.3f bdi=%.3f dedup=%.3f err14=%.4f avgTags=%.1f hits=%d/%d",
+				f.Name, an.ApproxFraction(), an.MapSavings(12), an.MapSavings(13), an.MapSavings(14),
+				an.BDISavings(), an.DedupSavings(), errv,
+				float64(d.Stats.TagsAtDataEviction)/float64(max64(d.Stats.DataEvictions, 1)),
+				d.Stats.ReadHits, d.Stats.Reads)
+		})
+	}
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,31 @@
+package workloads
+
+import (
+	"testing"
+
+	"doppelganger/internal/timesim"
+)
+
+// TestProbeTiming is a development aid (skipped in -short mode): per
+// benchmark it reports normalized runtime and off-chip traffic of the base
+// split configuration versus the baseline LLC, the Fig. 9b/10b/12 shape.
+func TestProbeTiming(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale probe")
+	}
+	for _, f := range All() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			t.Parallel()
+			run := RunFunctional(f.New(1), BaselineBuilder(2<<20, 16), RunOptions{Cores: 4, Record: true})
+			cfg := timesim.DefaultConfig()
+			base := timesim.Run(run.Recorder, run.InitialMem, run.Annotations, BaselineBuilder(2<<20, 16), cfg)
+			split := timesim.Run(run.Recorder, run.InitialMem, run.Annotations, SplitBuilder(14, 0.25), cfg)
+			t.Logf("%s: runtime=%.3f traffic=%.3f baseMPKI=%.2f splitMPKI=%.2f accesses=%d",
+				f.Name,
+				float64(split.Cycles)/float64(base.Cycles),
+				float64(split.MemTraffic())/float64(base.MemTraffic()),
+				base.MPKI(), split.MPKI(), run.Recorder.Len())
+		})
+	}
+}

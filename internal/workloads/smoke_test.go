@@ -1,0 +1,34 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSuiteSmoke runs every benchmark at reduced scale against the baseline
+// and split-Doppelgänger LLCs: the precise run must be deterministic, the
+// Doppelgänger structures must hold their invariants at the end, and the
+// measured output error must be finite and bounded.
+func TestSuiteSmoke(t *testing.T) {
+	for _, f := range All() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			t.Parallel()
+			const scale = 0.05
+			base1 := RunFunctional(f.New(scale), BaselineBuilder(2<<20, 16), RunOptions{Cores: 4})
+			base2 := RunFunctional(f.New(scale), BaselineBuilder(2<<20, 16), RunOptions{Cores: 4})
+			bench := f.New(scale)
+			if err := bench.Error(base1.Output, base2.Output); err != 0 {
+				t.Fatalf("baseline run is nondeterministic: self-error %g", err)
+			}
+
+			split := RunFunctional(f.New(scale), SplitBuilder(14, 0.25), RunOptions{Cores: 4})
+			errv := bench.Error(base1.Output, split.Output)
+			if math.IsNaN(errv) || math.IsInf(errv, 0) || errv < 0 || errv > 1.0000001 {
+				t.Fatalf("error out of range: %g", errv)
+			}
+			t.Logf("%s: output error %.4f, LLC tags %d, data blocks %d",
+				f.Name, errv, split.LLC.TagEntries(), split.LLC.DataBlocks())
+		})
+	}
+}

@@ -1,0 +1,126 @@
+package workloads
+
+import (
+	"math"
+	"math/rand"
+
+	"doppelganger/internal/approx"
+	"doppelganger/internal/funcsim"
+	"doppelganger/internal/memdata"
+)
+
+// NewSwaptions builds the swaptions benchmark in the style of PARSEC:
+// Monte-Carlo pricing of interest-rate swaptions. Only the swaption input
+// parameters are annotated approximate (the paper annotates just the input
+// set, giving a 1.5% approximate footprint, Table 2); the large precomputed
+// random-shock array streamed by the simulation is precise.
+//
+// The float parameters span wildly different magnitudes (strike rates
+// ~0.03, tenors up to 10, notionals up to 100) yet share a single declared
+// range per §4.1 — the exact situation the paper blames for swaptions'
+// elevated output error (§5.2).
+//
+// Error metric: mean relative error of the swaption prices.
+func NewSwaptions(scale float64) *Benchmark {
+	swaptions := scaleInt(512, scale, 16)
+	shocks := scaleInt(1048576, scale, 64)
+	const (
+		trials = 12
+		steps  = 48
+		passes = 2 // two pricing rounds; the shock stream evicts parameters
+	)
+
+	var strike, tenor, rate0, vol, notional, prices, shockArr memdata.Addr
+
+	return &Benchmark{
+		Name: "swaptions",
+		Init: func(st *memdata.Store, base memdata.Addr) *approx.Annotations {
+			l := newLayoutAt(base)
+			strike = l.allocF32(swaptions)
+			tenor = l.allocF32(swaptions)
+			rate0 = l.allocF32(swaptions)
+			vol = l.allocF32(swaptions)
+			notional = l.allocF32(swaptions)
+			prices = l.allocF32(swaptions)
+			shockArr = l.allocF32(shocks)
+
+			rng := rand.New(rand.NewSource(7009))
+			strikes := []float32{0.02, 0.025, 0.03, 0.035, 0.04, 0.05}
+			for i := 0; i < swaptions; i++ {
+				st.WriteF32(f32At(strike, i), strikes[(i/16)%len(strikes)])
+				st.WriteF32(f32At(tenor, i), float32(1+rng.Intn(10)))
+				st.WriteF32(f32At(rate0, i), 0.01+0.05*rng.Float32())
+				st.WriteF32(f32At(vol, i), 0.05+0.25*rng.Float32())
+				st.WriteF32(f32At(notional, i), 10+90*rng.Float32())
+			}
+			for i := 0; i < shocks; i++ {
+				st.WriteF32(f32At(shockArr, i), float32(rng.NormFloat64()))
+			}
+			mk := func(name string, base memdata.Addr) approx.Region {
+				return approx.Region{
+					Name: name, Start: base, End: base + memdata.Addr(4*swaptions),
+					Type: memdata.F32, Min: 0, Max: 100,
+				}
+			}
+			return approx.MustAnnotations(
+				mk("strike", strike), mk("tenor", tenor), mk("rate0", rate0),
+				mk("vol", vol), mk("notional", notional),
+			)
+		},
+		Kernels: func(cores int) []func(*funcsim.CoreCtx) {
+			ks := make([]func(*funcsim.CoreCtx), cores)
+			for c := 0; c < cores; c++ {
+				lo, hi := span(swaptions, cores, c)
+				core := c
+				ks[c] = func(ctx *funcsim.CoreCtx) {
+					shockPos := core * (shocks / 4)
+					for pass := 0; pass < passes; pass++ {
+						for i := lo; i < hi; i++ {
+							k := float64(ctx.LoadF32(f32At(strike, i)))
+							tn := float64(ctx.LoadF32(f32At(tenor, i)))
+							r0 := float64(ctx.LoadF32(f32At(rate0, i)))
+							sg := float64(ctx.LoadF32(f32At(vol, i)))
+							nt := float64(ctx.LoadF32(f32At(notional, i)))
+							if tn < 0.25 {
+								tn = 0.25
+							}
+							sum := 0.0
+							dt := tn / steps
+							for t := 0; t < trials; t++ {
+								// Vasicek-style short-rate path driven by the
+								// precise precomputed shocks.
+								r := r0
+								disc := 0.0
+								for s := 0; s < steps; s++ {
+									xi := float64(ctx.LoadF32(f32At(shockArr, shockPos%shocks)))
+									shockPos++
+									r += 0.3*(0.04-r)*dt + sg*0.02*math.Sqrt(dt)*xi
+									if r < 0 {
+										r = 0
+									}
+									disc += r * dt
+								}
+								payoff := r - k
+								if payoff < 0 {
+									payoff = 0
+								}
+								sum += math.Exp(-disc) * payoff * nt
+								ctx.Work(steps * 6)
+							}
+							ctx.StoreF32(f32At(prices, i), float32(sum/trials))
+						}
+					}
+				}
+			}
+			return ks
+		},
+		Output: func(st *memdata.Store) []float64 {
+			out := make([]float64, swaptions)
+			for i := range out {
+				out[i] = float64(st.ReadF32(f32At(prices, i)))
+			}
+			return out
+		},
+		Error: meanRelError,
+	}
+}

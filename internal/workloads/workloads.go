@@ -1,0 +1,91 @@
+// Package workloads implements the nine annotated approximate-computing
+// benchmarks the paper evaluates (§4.1): blackscholes, canneal, ferret,
+// fluidanimate and swaptions in the style of PARSEC, and inversek2j,
+// jmeint, jpeg and kmeans in the style of AxBench. Each is a from-scratch
+// data-parallel kernel with programmer annotations (approximate regions
+// with element type and expected value range) and the error metric the
+// paper attributes to it, sized so the LLC-resident approximate footprint
+// tracks the paper's Table 2.
+package workloads
+
+import (
+	"fmt"
+
+	"doppelganger/internal/approx"
+	"doppelganger/internal/funcsim"
+	"doppelganger/internal/memdata"
+)
+
+// Benchmark is one workload: it lays out a memory image with annotations,
+// provides per-core kernels, extracts a final output from memory, and
+// scores an approximate output against the precise one.
+type Benchmark struct {
+	// Name is the benchmark's paper name.
+	Name string
+
+	// Init populates the backing store with the initial memory image laid
+	// out from the given base address and returns the programmer
+	// annotations. It must be called on a fresh store before Kernels or
+	// Output. Multiprogrammed runs give each program a disjoint base.
+	Init func(st *memdata.Store, base memdata.Addr) *approx.Annotations
+
+	// Kernels returns one kernel per core; the kernels partition the work
+	// statically as the paper's data-parallel benchmarks do.
+	Kernels func(cores int) []func(*funcsim.CoreCtx)
+
+	// Groups optionally assigns each core to a barrier group (nil: all
+	// cores share one group). Multiprogrammed workloads give each program
+	// its own group so its barriers never wait on another program's cores.
+	Groups func(cores int) []int
+
+	// Output extracts the application's final output from the store after
+	// the hierarchy has been flushed.
+	Output func(st *memdata.Store) []float64
+
+	// Error computes the application output error (a fraction; the paper
+	// treats <10% as acceptable) of an approximate output against the
+	// precise one, using the benchmark's own metric.
+	Error func(precise, approximate []float64) float64
+}
+
+// Factory builds a benchmark instance at a given scale. Scale 1 is the
+// evaluation size (working sets of a few MB against the 2 MB LLC); tests
+// use smaller scales.
+type Factory struct {
+	Name string
+	New  func(scale float64) *Benchmark
+}
+
+// All returns the nine-benchmark suite in the paper's presentation order.
+func All() []Factory {
+	return []Factory{
+		{"blackscholes", NewBlackscholes},
+		{"canneal", NewCanneal},
+		{"ferret", NewFerret},
+		{"fluidanimate", NewFluidanimate},
+		{"inversek2j", NewInversek2j},
+		{"jmeint", NewJmeint},
+		{"jpeg", NewJPEG},
+		{"kmeans", NewKmeans},
+		{"swaptions", NewSwaptions},
+	}
+}
+
+// ByName returns the named factory.
+func ByName(name string) (Factory, error) {
+	for _, f := range All() {
+		if f.Name == name {
+			return f, nil
+		}
+	}
+	return Factory{}, fmt.Errorf("workloads: unknown benchmark %q", name)
+}
+
+// scaleInt scales a base count, keeping it a positive multiple of q.
+func scaleInt(base int, scale float64, q int) int {
+	n := int(float64(base) * scale)
+	if n < q {
+		n = q
+	}
+	return n - n%q
+}

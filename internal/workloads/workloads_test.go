@@ -1,0 +1,143 @@
+package workloads
+
+import (
+	"testing"
+
+	"doppelganger/internal/memdata"
+)
+
+func TestByName(t *testing.T) {
+	f, err := ByName("kmeans")
+	if err != nil || f.Name != "kmeans" {
+		t.Fatalf("ByName = %v, %v", f.Name, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+// TestAnnotationsCoverOnlyLaidOutMemory: every annotated region must be
+// fully inside the touched memory image, block aligned, with a sane range.
+func TestAnnotationsWithinImage(t *testing.T) {
+	for _, f := range All() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			t.Parallel()
+			b := f.New(0.05)
+			st := memdata.NewStore()
+			ann := b.Init(st, DefaultBase)
+			if ann == nil {
+				t.Fatal("nil annotations")
+			}
+			// The layout is a bump allocator, so every region must sit below
+			// the image's high-water mark even if it is output-only (not yet
+			// written at Init time).
+			var maxTouched memdata.Addr
+			for a := memdata.Addr(0x0100_0000); a < 0x1000_0000; a += 1 << 20 {
+				if st.Peek(a) != nil && a > maxTouched {
+					maxTouched = a
+				}
+			}
+			for _, r := range ann.Regions() {
+				if r.Start%memdata.BlockSize != 0 || r.End%memdata.BlockSize != 0 {
+					t.Errorf("region %q not block aligned", r.Name)
+				}
+				if r.Max <= r.Min {
+					t.Errorf("region %q has empty range [%v,%v]", r.Name, r.Min, r.Max)
+				}
+				if r.Start > maxTouched+(1<<20) {
+					t.Errorf("region %q (%v) lies beyond the image high-water mark (%v)", r.Name, r.Start, maxTouched)
+				}
+			}
+		})
+	}
+}
+
+// TestErrorMetricIdentity: every benchmark's metric must report zero error
+// for identical outputs and a value in [0, 1] for perturbed ones.
+func TestErrorMetricIdentity(t *testing.T) {
+	for _, f := range All() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			t.Parallel()
+			b := f.New(0.05)
+			st := memdata.NewStore()
+			b.Init(st, DefaultBase)
+			// Run single-core for speed; we only need an output vector.
+			res := RunFunctional(f.New(0.05), BaselineBuilder(2<<20, 16), RunOptions{Cores: 1})
+			if got := b.Error(res.Output, res.Output); got != 0 {
+				t.Errorf("self error = %v", got)
+			}
+			perturbed := make([]float64, len(res.Output))
+			copy(perturbed, res.Output)
+			for i := range perturbed {
+				if i%7 == 0 {
+					perturbed[i] = perturbed[i]*1.3 + 1
+				}
+			}
+			e := b.Error(res.Output, perturbed)
+			if e <= 0 || e > 1 {
+				t.Errorf("perturbed error = %v, want (0,1]", e)
+			}
+		})
+	}
+}
+
+// TestCoreCountIndependentOutput: a benchmark's precise output must not
+// depend on how many cores execute it (static partitioning + barriers).
+func TestCoreCountIndependentOutput(t *testing.T) {
+	for _, name := range []string{"blackscholes", "inversek2j", "jmeint", "jpeg"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			f, _ := ByName(name)
+			one := RunFunctional(f.New(0.05), BaselineBuilder(2<<20, 16), RunOptions{Cores: 1})
+			four := RunFunctional(f.New(0.05), BaselineBuilder(2<<20, 16), RunOptions{Cores: 4})
+			b := f.New(0.05)
+			if err := b.Error(one.Output, four.Output); err != 0 {
+				t.Errorf("output differs across core counts: error %v", err)
+			}
+		})
+	}
+}
+
+// TestApproximateFootprintOrdering: the suite must span very low to very
+// high approximate footprints, with the paper's extremes in the right
+// order (Table 2: swaptions/fluidanimate lowest, inversek2j/jpeg highest).
+func TestApproximateFootprintOrdering(t *testing.T) {
+	frac := func(name string) float64 {
+		f, _ := ByName(name)
+		b := f.New(0.05)
+		st := memdata.NewStore()
+		ann := b.Init(st, DefaultBase)
+		total := st.Len() * memdata.BlockSize
+		if total == 0 {
+			t.Fatalf("%s touched no memory", name)
+		}
+		return float64(ann.ApproxBytes()) / float64(total)
+	}
+	lo1, lo2 := frac("swaptions"), frac("fluidanimate")
+	hi1, hi2 := frac("inversek2j"), frac("jpeg")
+	for _, v := range []float64{lo1, lo2} {
+		if v > 0.35 {
+			t.Errorf("low-footprint benchmark has %v approximate", v)
+		}
+	}
+	for _, v := range []float64{hi1, hi2} {
+		if v < 0.9 {
+			t.Errorf("high-footprint benchmark has only %v approximate", v)
+		}
+	}
+}
+
+// TestScaleChangesFootprint: the Scale knob must actually size the image.
+func TestScaleChangesFootprint(t *testing.T) {
+	f, _ := ByName("inversek2j")
+	small, big := f.New(0.05), f.New(0.5)
+	s1, s2 := memdata.NewStore(), memdata.NewStore()
+	a1 := small.Init(s1, DefaultBase)
+	a2 := big.Init(s2, DefaultBase)
+	if a2.ApproxBytes() <= a1.ApproxBytes() {
+		t.Errorf("scale had no effect: %d vs %d", a1.ApproxBytes(), a2.ApproxBytes())
+	}
+}
