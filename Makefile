@@ -1,0 +1,32 @@
+# Development targets for the Doppelgänger reproduction.
+#
+# `race` runs the whole module under the race detector and additionally
+# exercises the sweep engine and workloads at GOMAXPROCS 1 and 4, since the
+# parallel experiment engine must be correct at any worker count.
+# `fuzz-smoke` gives each fuzz target a short budget (Go allows one -fuzz
+# pattern per package invocation, hence one line per target).
+
+GO      ?= go
+FUZZTIME ?= 30s
+
+.PHONY: build test race fuzz-smoke vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+	$(GO) test -race -cpu 1,4 ./internal/sweep/... ./internal/workloads/...
+
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzMapValue$$ -fuzztime=$(FUZZTIME) ./internal/approx
+	$(GO) test -fuzz=FuzzSimilarityConsistency$$ -fuzztime=$(FUZZTIME) ./internal/approx
+	$(GO) test -fuzz=FuzzRoundTrip$$ -fuzztime=$(FUZZTIME) ./internal/bdi
+	$(GO) test -fuzz=FuzzDecompressRobustness$$ -fuzztime=$(FUZZTIME) ./internal/bdi
+	$(GO) test -fuzz=FuzzDoppelgangerOps$$ -fuzztime=$(FUZZTIME) ./internal/core
+
+vet:
+	$(GO) vet ./...

@@ -87,6 +87,34 @@ func BenchmarkTable3(b *testing.B) {
 	}
 }
 
+// BenchmarkGridSerial and BenchmarkGridParallel measure the full dynamic
+// simulation grid (all baselines plus every split/unified error and timing
+// run) computed lazily on one goroutine versus fanned out over the engine's
+// worker pool. On a machine with ≥4 CPUs the parallel run should beat the
+// serial one by at least the number of independent benchmarks' worth of
+// overlap; compare with:
+//
+//	go test -bench 'BenchmarkGrid(Serial|Parallel)' -benchtime 1x .
+func BenchmarkGridSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ev := newEval()
+		ev.Parallel(1)
+		if err := ev.Prewarm(false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGridParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ev := newEval()
+		ev.Parallel(0) // GOMAXPROCS workers
+		if err := ev.Prewarm(false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- micro-benchmarks of the core mechanisms ---
 
 func benchCache(b *testing.B) (*core.Doppelganger, *memdata.Store, []memdata.Addr) {

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync"
 
 	"doppelganger"
 	"doppelganger/internal/timesim"
@@ -78,6 +79,23 @@ func main() {
 		DataFrac: *dataFrac,
 		Cores:    *cores,
 	}
+
+	// The functional-error measurement and the cycle-level timing
+	// comparison are independent simulations, so with -timing they run
+	// concurrently (each already overlaps its own baseline reference run).
+	var (
+		tc    *doppelganger.TimingComparison
+		tcErr error
+		tcWG  sync.WaitGroup
+	)
+	if *timing {
+		tcWG.Add(1)
+		go func() {
+			defer tcWG.Done()
+			tc, tcErr = doppelganger.RunTiming(*bench, kind, opts)
+		}()
+	}
+
 	var res *doppelganger.BenchmarkResult
 	var err error
 	if strings.Contains(*bench, "+") {
@@ -107,14 +125,9 @@ func main() {
 	}
 
 	if *timing {
-		tc, err := doppelganger.RunTiming(*bench, kind, doppelganger.RunOptions{
-			Scale:    *scale,
-			MapBits:  *mapBits,
-			DataFrac: *dataFrac,
-			Cores:    *cores,
-		})
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "doppelsim: timing: %v\n", err)
+		tcWG.Wait()
+		if tcErr != nil {
+			fmt.Fprintf(os.Stderr, "doppelsim: timing: %v\n", tcErr)
 			os.Exit(1)
 		}
 		fmt.Printf("cycles:          %d (baseline %d)\n", tc.Cycles, tc.BaselineCycles)

@@ -2,8 +2,14 @@
 //
 // Usage:
 //
-//	experiments [-scale 1] [-only bench1,bench2] [-quiet] [-format text|csv|json|chart] all
+//	experiments [-scale 1] [-only bench1,bench2] [-quiet] [-workers N] [-serial] [-format text|csv|json|chart] all
 //	experiments table2 fig2 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 table3
+//
+// By default the full simulation grid is fanned out over a worker pool
+// (one worker per CPU; -workers overrides) before the tables are rendered
+// in deterministic paper order. -serial skips the parallel engine and
+// computes every simulation lazily on one goroutine; the numbers are
+// bit-identical either way.
 //
 // Each experiment prints the same rows/series the paper reports; see
 // EXPERIMENTS.md for the recorded paper-vs-measured comparison.
@@ -21,10 +27,12 @@ import (
 
 func main() {
 	var (
-		scale  = flag.Float64("scale", 1, "workload scale (1 = paper-size working sets)")
-		only   = flag.String("only", "", "comma-separated benchmark subset")
-		quiet  = flag.Bool("quiet", false, "suppress progress logging")
-		format = flag.String("format", "text", "output format: text, csv, json, chart")
+		scale   = flag.Float64("scale", 1, "workload scale (1 = paper-size working sets)")
+		only    = flag.String("only", "", "comma-separated benchmark subset")
+		quiet   = flag.Bool("quiet", false, "suppress progress logging")
+		format  = flag.String("format", "text", "output format: text, csv, json, chart")
+		workers = flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		serial  = flag.Bool("serial", false, "skip the parallel engine; compute lazily on one goroutine")
 	)
 	flag.Parse()
 	args := flag.Args()
@@ -40,6 +48,7 @@ func main() {
 	if *only != "" {
 		ev.Restrict(strings.Split(*only, ",")...)
 	}
+	ev.Parallel(*workers)
 
 	order := []string{"table2", "fig2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "table3", "extras"}
 	want := map[string]bool{}
@@ -57,6 +66,30 @@ func main() {
 		want[strings.ToLower(a)] = true
 	}
 
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+
+	// Fan the requested experiments' simulation grid out over the engine up
+	// front; the emit loop below then renders from warm caches in paper
+	// order.
+	var wanted []string
+	dynamic := false
+	for _, o := range order {
+		if want[o] {
+			wanted = append(wanted, o)
+			if o != "table3" && o != "fig13" {
+				dynamic = true
+			}
+		}
+	}
+	if dynamic && !*serial {
+		if err := ev.PrewarmFor(wanted...); err != nil {
+			fail(err)
+		}
+	}
+
 	emit := func(ts ...*doppelganger.Table) {
 		for _, t := range ts {
 			switch *format {
@@ -71,6 +104,12 @@ func main() {
 			}
 		}
 	}
+	emitErr := func(err error, ts ...*doppelganger.Table) {
+		if err != nil {
+			fail(err)
+		}
+		emit(ts...)
+	}
 	ran := 0
 	for _, name := range order {
 		if !want[name] {
@@ -79,33 +118,39 @@ func main() {
 		ran++
 		switch name {
 		case "table2":
-			emit(ev.Table2())
+			t, err := ev.Table2()
+			emitErr(err, t)
 		case "fig2":
-			emit(ev.Fig2())
+			t, err := ev.Fig2()
+			emitErr(err, t)
 		case "fig7":
-			emit(ev.Fig7())
+			t, err := ev.Fig7()
+			emitErr(err, t)
 		case "fig8":
-			emit(ev.Fig8())
+			t, err := ev.Fig8()
+			emitErr(err, t)
 		case "fig9":
-			a, b := ev.Fig9()
-			emit(a, b)
+			a, b, err := ev.Fig9()
+			emitErr(err, a, b)
 		case "fig10":
-			a, b := ev.Fig10()
-			emit(a, b)
+			a, b, err := ev.Fig10()
+			emitErr(err, a, b)
 		case "fig11":
-			a, b := ev.Fig11()
-			emit(a, b)
+			a, b, err := ev.Fig11()
+			emitErr(err, a, b)
 		case "fig12":
-			emit(ev.Fig12())
+			t, err := ev.Fig12()
+			emitErr(err, t)
 		case "fig13":
 			emit(ev.Fig13())
 		case "fig14":
-			a, b, c := ev.Fig14()
-			emit(a, b, c)
+			a, b, c, err := ev.Fig14()
+			emitErr(err, a, b, c)
 		case "table3":
 			emit(ev.Table3())
 		case "extras":
-			emit(ev.Extras())
+			t, err := ev.Extras()
+			emitErr(err, t)
 		}
 	}
 	if ran == 0 {

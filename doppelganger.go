@@ -26,6 +26,7 @@ package doppelganger
 
 import (
 	"io"
+	"sync"
 
 	"doppelganger/internal/approx"
 	"doppelganger/internal/cache"
@@ -225,7 +226,21 @@ func RunBenchmark(name string, kind LLCKind, opt RunOptions) (*BenchmarkResult, 
 	case UniDoppelganger:
 		builder = workloads.UnifiedBuilder(opt.MapBits, opt.DataFrac)
 	}
-	run := workloads.RunFunctional(f.New(opt.Scale), builder, workloads.RunOptions{Cores: opt.Cores})
+	// The approximate run and the precise reference run are independent
+	// simulations (each owns its benchmark instance and store), so they can
+	// execute concurrently without affecting results.
+	var run, precise *workloads.RunResult
+	var wg sync.WaitGroup
+	if kind != Baseline {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			precise = workloads.RunFunctional(f.New(opt.Scale), workloads.BaselineBuilder(2<<20, 16),
+				workloads.RunOptions{Cores: opt.Cores})
+		}()
+	}
+	run = workloads.RunFunctional(f.New(opt.Scale), builder, workloads.RunOptions{Cores: opt.Cores})
+	wg.Wait()
 	res := &BenchmarkResult{
 		Output:         run.Output,
 		LLCTags:        run.TagsAtEnd,
@@ -233,9 +248,7 @@ func RunBenchmark(name string, kind LLCKind, opt RunOptions) (*BenchmarkResult, 
 		Stats:          run.DoppelStats,
 		AvgTagsPerData: run.AvgTagsPerData,
 	}
-	if kind != Baseline {
-		precise := workloads.RunFunctional(f.New(opt.Scale), workloads.BaselineBuilder(2<<20, 16),
-			workloads.RunOptions{Cores: opt.Cores})
+	if precise != nil {
 		res.Error = f.New(opt.Scale).Error(precise.Output, run.Output)
 	}
 	return res, nil
@@ -270,7 +283,24 @@ func RunMultiprogram(names []string, kind LLCKind, opt RunOptions) (*BenchmarkRe
 	case UniDoppelganger:
 		builder = workloads.UnifiedBuilder(opt.MapBits, opt.DataFrac)
 	}
+	// A multiprogram Benchmark carries mutable captured state, so the
+	// concurrent precise reference run gets its own instance from build().
+	var precise *workloads.RunResult
+	var wg sync.WaitGroup
+	if kind != Baseline {
+		mp2, err := build()
+		if err != nil {
+			return nil, err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			precise = workloads.RunFunctional(mp2, workloads.BaselineBuilder(2<<20, 16),
+				workloads.RunOptions{Cores: opt.Cores})
+		}()
+	}
 	run := workloads.RunFunctional(mp, builder, workloads.RunOptions{Cores: opt.Cores})
+	wg.Wait()
 	res := &BenchmarkResult{
 		Output:         run.Output,
 		LLCTags:        run.TagsAtEnd,
@@ -278,9 +308,7 @@ func RunMultiprogram(names []string, kind LLCKind, opt RunOptions) (*BenchmarkRe
 		Stats:          run.DoppelStats,
 		AvgTagsPerData: run.AvgTagsPerData,
 	}
-	if kind != Baseline {
-		precise := workloads.RunFunctional(mp, workloads.BaselineBuilder(2<<20, 16),
-			workloads.RunOptions{Cores: opt.Cores})
+	if precise != nil {
 		res.Error = mp.Error(precise.Output, run.Output)
 	}
 	return res, nil
@@ -317,8 +345,6 @@ func RunTiming(name string, kind LLCKind, opt RunOptions) (*TimingComparison, er
 		workloads.RunOptions{Cores: opt.Cores, Record: true})
 	cfg := timesim.DefaultConfig()
 	cfg.Cores = opt.Cores
-	base := timesim.Run(run.Recorder, run.InitialMem, run.Annotations,
-		workloads.BaselineBuilder(2<<20, 16), cfg)
 	builder := workloads.BaselineBuilder(2<<20, 16)
 	switch kind {
 	case SplitDoppelganger:
@@ -326,7 +352,18 @@ func RunTiming(name string, kind LLCKind, opt RunOptions) (*TimingComparison, er
 	case UniDoppelganger:
 		builder = workloads.UnifiedBuilder(opt.MapBits, opt.DataFrac)
 	}
+	// The two replays read the recorded traces and clone the initial memory
+	// image independently, so they run concurrently.
+	var base *TimingResult
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		base = timesim.Run(run.Recorder, run.InitialMem, run.Annotations,
+			workloads.BaselineBuilder(2<<20, 16), cfg)
+	}()
 	res := timesim.Run(run.Recorder, run.InitialMem, run.Annotations, builder, cfg)
+	wg.Wait()
 	return &TimingComparison{
 		BaselineCycles:    base.Cycles,
 		Cycles:            res.Cycles,
@@ -361,7 +398,10 @@ func UnifiedHardware(mapBits int, dataFrac float64) HardwareOrg {
 
 // Evaluation regenerates the paper's tables and figures. Experiments share
 // and memoize baseline runs, so asking for several figures in one
-// Evaluation is much cheaper than separate ones.
+// Evaluation is much cheaper than separate ones. Prewarm fans the whole
+// simulation grid out over a worker pool first; the table methods then
+// format already-computed results, with values bit-identical to a serial
+// run.
 type Evaluation struct{ r *sweep.Runner }
 
 // NewEvaluation builds an evaluation at the given workload scale (1 = paper
@@ -375,40 +415,59 @@ func NewEvaluation(scale float64, log io.Writer) *Evaluation {
 // Restrict limits the suite to the named benchmarks.
 func (e *Evaluation) Restrict(names ...string) { e.r.Only = names }
 
-// Table2 is the approximate LLC footprint per benchmark.
-func (e *Evaluation) Table2() *Table { return e.r.Table2() }
+// Parallel sets the maximum number of concurrent simulations Prewarm may
+// run (0, the default, means GOMAXPROCS).
+func (e *Evaluation) Parallel(workers int) { e.r.Workers = workers }
 
-// Table3 is the hardware cost table.
+// Prewarm runs every simulation the paper's tables and figures need
+// (plus the extras grid when extras is true) through the parallel
+// experiment engine, respecting baseline-before-variant dependencies.
+// Safe to skip: the table methods compute lazily (and serially) on miss.
+func (e *Evaluation) Prewarm(extras bool) error {
+	return e.r.Prewarm(sweep.FullGrid(extras))
+}
+
+// PrewarmFor is Prewarm restricted to the simulations the named experiments
+// (table2, fig2 … fig14, table3, extras) actually render; unknown names
+// widen to the full grid.
+func (e *Evaluation) PrewarmFor(names ...string) error {
+	return e.r.Prewarm(sweep.GridFor(names...))
+}
+
+// Table2 is the approximate LLC footprint per benchmark.
+func (e *Evaluation) Table2() (*Table, error) { return e.r.Table2() }
+
+// Table3 is the hardware cost table (static — never fails).
 func (e *Evaluation) Table3() *Table { return e.r.Table3() }
 
 // Fig2 is storage savings vs element-wise threshold T.
-func (e *Evaluation) Fig2() *Table { return e.r.Fig2() }
+func (e *Evaluation) Fig2() (*Table, error) { return e.r.Fig2() }
 
 // Fig7 is storage savings vs map space size.
-func (e *Evaluation) Fig7() *Table { return e.r.Fig7() }
+func (e *Evaluation) Fig7() (*Table, error) { return e.r.Fig7() }
 
 // Fig8 compares against BΔI and exact deduplication.
-func (e *Evaluation) Fig8() *Table { return e.r.Fig8() }
+func (e *Evaluation) Fig8() (*Table, error) { return e.r.Fig8() }
 
 // Fig9 is output error and normalized runtime vs map space size.
-func (e *Evaluation) Fig9() (errT, runT *Table) { return e.r.Fig9() }
+func (e *Evaluation) Fig9() (errT, runT *Table, err error) { return e.r.Fig9() }
 
 // Fig10 is output error and normalized runtime vs data array size.
-func (e *Evaluation) Fig10() (errT, runT *Table) { return e.r.Fig10() }
+func (e *Evaluation) Fig10() (errT, runT *Table, err error) { return e.r.Fig10() }
 
 // Fig11 is LLC dynamic and leakage energy reduction.
-func (e *Evaluation) Fig11() (dynT, leakT *Table) { return e.r.Fig11() }
+func (e *Evaluation) Fig11() (dynT, leakT *Table, err error) { return e.r.Fig11() }
 
 // Fig12 is normalized off-chip memory traffic.
-func (e *Evaluation) Fig12() *Table { return e.r.Fig12() }
+func (e *Evaluation) Fig12() (*Table, error) { return e.r.Fig12() }
 
-// Fig13 is LLC area reduction (static).
+// Fig13 is LLC area reduction (static — never fails).
 func (e *Evaluation) Fig13() *Table { return e.r.Fig13() }
 
 // Fig14 is uniDoppelgänger error, runtime and dynamic energy.
-func (e *Evaluation) Fig14() (errT, runT, dynT *Table) { return e.r.Fig14() }
+func (e *Evaluation) Fig14() (errT, runT, dynT *Table, err error) { return e.r.Fig14() }
 
 // Extras evaluates this repository's extensions beyond the paper:
 // alternative similarity hashes, tag-count-aware replacement, and the
 // BΔI-compressed data array.
-func (e *Evaluation) Extras() *Table { return e.r.Extras() }
+func (e *Evaluation) Extras() (*Table, error) { return e.r.Extras() }

@@ -83,14 +83,20 @@ func TestEvaluationSmallScale(t *testing.T) {
 	}
 	ev := NewEvaluation(0.05, nil)
 	ev.Restrict("inversek2j")
-	t2 := ev.Table2()
+	t2, err := ev.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(t2.Rows) != 1 {
 		t.Fatalf("rows = %d", len(t2.Rows))
 	}
 	if !strings.Contains(t2.Rows[0][1], "%") {
 		t.Errorf("footprint cell = %q", t2.Rows[0][1])
 	}
-	f7 := ev.Fig7()
+	f7, err := ev.Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(f7.Columns) != 4 {
 		t.Errorf("fig7 columns = %v", f7.Columns)
 	}

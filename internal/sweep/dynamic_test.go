@@ -23,7 +23,10 @@ func TestDynamicExperimentsSubset(t *testing.T) {
 	r := NewRunner(0.25)
 	r.Only = []string{"blackscholes", "jpeg"}
 
-	_, runT := r.Fig10()
+	_, runT, err := r.Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Logf("\n%s", runT.Format())
 	avg := runT.Rows[len(runT.Rows)-1]
 	for i := 1; i < len(avg); i++ {
@@ -36,7 +39,10 @@ func TestDynamicExperimentsSubset(t *testing.T) {
 		}
 	}
 
-	dynT, leakT := r.Fig11()
+	dynT, leakT, err := r.Fig11()
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Logf("\n%s\n%s", dynT.Format(), leakT.Format())
 	for _, tbl := range []*Table{dynT, leakT} {
 		avg := tbl.Rows[len(tbl.Rows)-1]
@@ -51,7 +57,10 @@ func TestDynamicExperimentsSubset(t *testing.T) {
 		}
 	}
 
-	f12 := r.Fig12()
+	f12, err := r.Fig12()
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Logf("\n%s", f12.Format())
 	last := f12.Rows[len(f12.Rows)-1]
 	if !strings.HasPrefix(last[0], "average") {

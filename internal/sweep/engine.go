@@ -1,0 +1,234 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Grid names the simulation points of the evaluation. Prewarm expands it
+// into one baseline task per benchmark plus one task per functional or
+// timing run, with every variant task depending on its benchmark's
+// baseline (the traces it replays and the precise output it scores
+// against).
+type Grid struct {
+	// Benchmarks restricts the grid (nil: the Runner's suite).
+	Benchmarks []string
+	// MapSpaces adds split runs at (m, BaseDataFrac) per map size (Fig 9).
+	MapSpaces []int
+	// DataFracs adds split runs at (BaseMapBits, frac) per data fraction
+	// (Figs 10–12).
+	DataFracs []float64
+	// UniFracs adds uniDoppelgänger runs at (BaseMapBits, frac) (Fig 14).
+	UniFracs []float64
+	// Extras adds the extension configurations (alternative hashes,
+	// tag-count-aware replacement, compressed data array).
+	Extras bool
+}
+
+// FullGrid covers every simulation the paper's tables and figures need.
+func FullGrid(extras bool) Grid {
+	return Grid{MapSpaces: MapSpaces, DataFracs: DataFracs, UniFracs: UniFracs, Extras: extras}
+}
+
+// GridFor returns the smallest grid covering the named experiments (table2,
+// fig2 … fig14, table3, extras), so a partial run only simulates what its
+// tables render. Unknown names conservatively widen to the full grid.
+func GridFor(names ...string) Grid {
+	var g Grid
+	for _, n := range names {
+		switch n {
+		case "table2", "fig2", "fig7", "fig8":
+			// Rendered from the baseline artifacts alone.
+		case "fig9":
+			g.MapSpaces = MapSpaces
+		case "fig10", "fig11", "fig12":
+			g.DataFracs = DataFracs
+		case "fig14":
+			g.UniFracs = UniFracs
+		case "extras":
+			g.Extras = true
+		case "fig13", "table3":
+			// Static hardware-model tables; no simulations.
+		default:
+			return FullGrid(true)
+		}
+	}
+	return g
+}
+
+// task is one node of the engine's dependency graph: a unit of simulation
+// work that becomes runnable once every dependency has finished.
+type task struct {
+	label      string
+	run        func() error
+	waiting    int // unfinished dependencies
+	dependents []*task
+	skip       bool // a dependency failed; don't run
+}
+
+// Prewarm expands the grid into a dependency-aware task graph and executes
+// it on a pool of r.Workers goroutines (0: GOMAXPROCS). Every task lands in
+// the Runner's singleflight caches, so the table builders afterwards only
+// format already-computed results — in the same deterministic benchmark
+// order as a serial run, with bit-identical values (each simulation owns
+// all its mutable state; scheduling order cannot reach it).
+//
+// On failure the first errors are returned joined; tasks downstream of a
+// failed baseline are skipped.
+func (r *Runner) Prewarm(g Grid) error {
+	benchmarks := g.Benchmarks
+	if benchmarks == nil {
+		benchmarks = r.Benchmarks()
+	}
+	var tasks []*task
+	for _, name := range benchmarks {
+		name := name
+		base := &task{label: name + "/baseline", run: func() error {
+			_, err := r.Baseline(name)
+			return err
+		}}
+		tasks = append(tasks, base)
+
+		seen := map[string]bool{}
+		variant := func(label string, run func() error) {
+			if seen[label] {
+				return
+			}
+			seen[label] = true
+			t := &task{label: label, run: run, waiting: 1}
+			base.dependents = append(base.dependents, t)
+			tasks = append(tasks, t)
+		}
+		split := func(m int, frac float64) {
+			variant(fmt.Sprintf("%s/split/M%d/data%g/error", name, m, frac), func() error {
+				_, err := r.SplitError(name, m, frac)
+				return err
+			})
+			variant(fmt.Sprintf("%s/split/M%d/data%g/timing", name, m, frac), func() error {
+				_, err := r.SplitTiming(name, m, frac)
+				return err
+			})
+		}
+		for _, m := range g.MapSpaces {
+			split(m, BaseDataFrac)
+		}
+		for _, frac := range g.DataFracs {
+			split(BaseMapBits, frac)
+		}
+		for _, frac := range g.UniFracs {
+			frac := frac
+			variant(fmt.Sprintf("%s/uni/data%g/error", name, frac), func() error {
+				_, err := r.UnifiedError(name, BaseMapBits, frac)
+				return err
+			})
+			variant(fmt.Sprintf("%s/uni/data%g/timing", name, frac), func() error {
+				_, err := r.UnifiedTiming(name, BaseMapBits, frac)
+				return err
+			})
+		}
+		if g.Extras {
+			split(BaseMapBits, BaseDataFrac) // the column every extra is compared against
+			for _, x := range extrasConfigs() {
+				x := x
+				if x.timing {
+					variant(fmt.Sprintf("%s/custom/%s/timing", name, x.tag), func() error {
+						_, err := r.customTiming(name, x.cfg, x.tag)
+						return err
+					})
+				} else {
+					variant(fmt.Sprintf("%s/custom/%s/error", name, x.tag), func() error {
+						_, err := r.customError(name, x.cfg, x.tag)
+						return err
+					})
+				}
+			}
+		}
+	}
+	return r.runTasks(tasks)
+}
+
+// runTasks drains a task graph through a bounded worker pool: tasks with no
+// unfinished dependencies sit in the ready queue; finishing a task releases
+// its dependents. Progress is reported through the Runner's serialized log
+// as "[done/total]" lines. Errors do not stop independent work.
+func (r *Runner) runTasks(tasks []*task) error {
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if len(tasks) == 0 {
+		return nil
+	}
+
+	// Buffered to the graph size so completions never block on the queue
+	// while holding the scheduler lock.
+	ready := make(chan *task, len(tasks))
+	var (
+		mu      sync.Mutex
+		errs    []error
+		pending = len(tasks)
+		done    int
+		drained bool // ready has been closed
+	)
+	// completeLocked retires a task (run or skipped) and releases any
+	// dependents that become ready; called with mu held.
+	var completeLocked func(t *task, failed bool)
+	completeLocked = func(t *task, failed bool) {
+		done++
+		pending--
+		for _, d := range t.dependents {
+			if failed {
+				d.skip = true
+			}
+			d.waiting--
+			if d.waiting == 0 {
+				if d.skip {
+					r.logf("[%d/%d] skip %s (dependency failed)", done+1, len(tasks), d.label)
+					completeLocked(d, true)
+				} else {
+					ready <- d
+				}
+			}
+		}
+		// The skip cascade recurses through completeLocked, so an inner
+		// frame may already have drained the graph.
+		if pending == 0 && !drained {
+			drained = true
+			close(ready)
+		}
+	}
+
+	for _, t := range tasks {
+		if t.waiting == 0 {
+			ready <- t
+		}
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range ready {
+				start := time.Now()
+				err := t.run()
+				mu.Lock()
+				if err != nil {
+					errs = append(errs, fmt.Errorf("%s: %w", t.label, err))
+					r.logf("[%d/%d] FAIL %s: %v", done+1, len(tasks), t.label, err)
+				} else {
+					r.logf("[%d/%d] done %s (%.2fs)", done+1, len(tasks), t.label, time.Since(start).Seconds())
+				}
+				completeLocked(t, err != nil)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}

@@ -1,0 +1,386 @@
+package sweep
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"doppelganger/internal/timesim"
+)
+
+// --- pure scheduler tests (no simulations) ---
+
+// TestEngineDependencyOrder verifies the worker pool never starts a task
+// before everything it depends on has finished, across worker counts.
+func TestEngineDependencyOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		r := NewRunner(1)
+		r.Workers = workers
+		var baseDone [3]atomic.Bool
+		var violations atomic.Int64
+		var tasks []*task
+		for b := 0; b < 3; b++ {
+			b := b
+			base := &task{label: "base", run: func() error {
+				time.Sleep(time.Millisecond)
+				baseDone[b].Store(true)
+				return nil
+			}}
+			tasks = append(tasks, base)
+			for v := 0; v < 4; v++ {
+				dep := &task{label: "variant", waiting: 1, run: func() error {
+					if !baseDone[b].Load() {
+						violations.Add(1)
+					}
+					return nil
+				}}
+				base.dependents = append(base.dependents, dep)
+				tasks = append(tasks, dep)
+			}
+		}
+		if err := r.runTasks(tasks); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if n := violations.Load(); n != 0 {
+			t.Errorf("workers=%d: %d variants ran before their baseline", workers, n)
+		}
+	}
+}
+
+// TestEngineSkipsDependentsOnFailure verifies a failed task cancels its
+// transitive dependents without running them, and that independent chains
+// still complete.
+func TestEngineSkipsDependentsOnFailure(t *testing.T) {
+	r := NewRunner(1)
+	r.Workers = 4
+	var ranGood, ranSkipped atomic.Int64
+	bad := &task{label: "bad/baseline", run: func() error { return errTest }}
+	child := &task{label: "bad/variant", waiting: 1, run: func() error { ranSkipped.Add(1); return nil }}
+	grandchild := &task{label: "bad/variant2", waiting: 1, run: func() error { ranSkipped.Add(1); return nil }}
+	bad.dependents = []*task{child}
+	child.dependents = []*task{grandchild}
+	good := &task{label: "good/baseline", run: func() error { ranGood.Add(1); return nil }}
+	goodChild := &task{label: "good/variant", waiting: 1, run: func() error { ranGood.Add(1); return nil }}
+	good.dependents = []*task{goodChild}
+
+	err := r.runTasks([]*task{bad, child, grandchild, good, goodChild})
+	if err == nil || !strings.Contains(err.Error(), "bad/baseline") {
+		t.Fatalf("err = %v, want the failing task's label", err)
+	}
+	if ranSkipped.Load() != 0 {
+		t.Errorf("%d dependents of the failed task ran", ranSkipped.Load())
+	}
+	if ranGood.Load() != 2 {
+		t.Errorf("independent chain ran %d of 2 tasks", ranGood.Load())
+	}
+}
+
+var errTest = timesimErr{}
+
+type timesimErr struct{}
+
+func (timesimErr) Error() string { return "synthetic failure" }
+
+// TestGridFor checks the experiment-name → grid mapping: partial runs must
+// only schedule the simulations their tables render.
+func TestGridFor(t *testing.T) {
+	if g := GridFor("table2", "fig7"); len(g.MapSpaces)+len(g.DataFracs)+len(g.UniFracs) != 0 || g.Extras {
+		t.Errorf("baseline-only experiments got variants: %+v", g)
+	}
+	if g := GridFor("fig9"); len(g.MapSpaces) == 0 || len(g.DataFracs) != 0 {
+		t.Errorf("fig9 grid wrong: %+v", g)
+	}
+	if g := GridFor("fig10", "fig12"); len(g.DataFracs) == 0 || len(g.MapSpaces) != 0 {
+		t.Errorf("fig10+fig12 grid wrong: %+v", g)
+	}
+	if g := GridFor("fig14"); len(g.UniFracs) == 0 {
+		t.Errorf("fig14 grid wrong: %+v", g)
+	}
+	if g := GridFor("extras"); !g.Extras {
+		t.Errorf("extras grid wrong: %+v", g)
+	}
+	if g := GridFor("fig13", "table3"); g.Extras || len(g.MapSpaces)+len(g.DataFracs)+len(g.UniFracs) != 0 {
+		t.Errorf("static experiments got simulations: %+v", g)
+	}
+	full := FullGrid(true)
+	if g := GridFor("mystery"); len(g.MapSpaces) != len(full.MapSpaces) || !g.Extras {
+		t.Errorf("unknown name did not widen to the full grid: %+v", g)
+	}
+}
+
+// --- bad benchmark name (the former runner.go panic) ---
+
+// TestUnknownBenchmarkIsError covers the path that used to panic: an
+// unknown name must surface as an error from the runner, the engine, and a
+// table builder.
+func TestUnknownBenchmarkIsError(t *testing.T) {
+	r := NewRunner(0.05)
+	if _, err := r.Baseline("no-such-benchmark"); err == nil {
+		t.Fatal("Baseline: want error for unknown benchmark")
+	}
+	if _, err := r.SplitError("no-such-benchmark", 14, 0.25); err == nil {
+		t.Fatal("SplitError: want error for unknown benchmark")
+	}
+
+	r2 := NewRunner(0.05)
+	r2.Only = []string{"no-such-benchmark"}
+	r2.Workers = 4
+	if err := r2.Prewarm(FullGrid(false)); err == nil {
+		t.Fatal("Prewarm: want error for unknown benchmark")
+	} else if !strings.Contains(err.Error(), "no-such-benchmark") {
+		t.Fatalf("Prewarm error %q does not name the benchmark", err)
+	}
+	if _, err := r2.Table2(); err == nil {
+		t.Fatal("Table2: want error for unknown benchmark")
+	}
+}
+
+// --- differential and determinism suites ---
+
+// diffGrid is the reduced grid of the differential/determinism tests:
+// 2 benchmarks × 2 split configurations × 1 unified configuration.
+func diffGrid() Grid {
+	return Grid{
+		Benchmarks: []string{"blackscholes", "kmeans"},
+		MapSpaces:  []int{12, 14}, // split runs at (12, 1/4) and (14, 1/4)
+		UniFracs:   []float64{0.5},
+	}
+}
+
+func diffRunner(scale float64, workers int) *Runner {
+	r := NewRunner(scale)
+	r.Only = []string{"blackscholes", "kmeans"}
+	r.Workers = workers
+	return r
+}
+
+// gridResults collects every raw value of the reduced grid plus rendered
+// table rows, for bitwise comparison across execution strategies.
+type gridResults struct {
+	errs   map[string]uint64 // float64 bits of each error value
+	cycles map[string]uint64
+	timing map[string]*timesim.Result
+	rows   []string
+}
+
+func collect(t *testing.T, r *Runner) *gridResults {
+	t.Helper()
+	g := &gridResults{
+		errs:   map[string]uint64{},
+		cycles: map[string]uint64{},
+		timing: map[string]*timesim.Result{},
+	}
+	for _, name := range r.Benchmarks() {
+		for _, m := range []int{12, 14} {
+			e, err := r.SplitError(name, m, BaseDataFrac)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := r.SplitTiming(name, m, BaseDataFrac)
+			if err != nil {
+				t.Fatal(err)
+			}
+			key := fmt.Sprintf("%s/split/M%d", name, m)
+			g.errs[key] = math.Float64bits(e)
+			g.cycles[key] = res.Cycles
+			g.timing[key] = res
+		}
+		e, err := r.UnifiedError(name, BaseMapBits, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.UnifiedTiming(name, BaseMapBits, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.errs[name+"/uni"] = math.Float64bits(e)
+		g.cycles[name+"/uni"] = res.Cycles
+		g.timing[name+"/uni"] = res
+	}
+	// Rendered output: Table 2 plus a map-space sweep over the two split
+	// configurations (same shape as Fig 9, restricted to the grid).
+	t2, err := r.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	errT, runT, err := r.errRuntimeSweep("err", "run",
+		[]int{12, 14}, func(m int) (int, float64) { return m, BaseDataFrac },
+		func(m int) string { return fmt.Sprintf("M%d", m) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.rows = append(g.rows, t2.Format(), errT.Format(), runT.Format())
+	return g
+}
+
+func compareGrids(t *testing.T, label string, serial, parallel *gridResults) {
+	t.Helper()
+	for k, v := range serial.errs {
+		if parallel.errs[k] != v {
+			t.Errorf("%s: error value %s differs: %x vs %x", label, k, v, parallel.errs[k])
+		}
+	}
+	for k, v := range serial.cycles {
+		if parallel.cycles[k] != v {
+			t.Errorf("%s: cycles %s differ: %d vs %d", label, k, v, parallel.cycles[k])
+		}
+	}
+	for k, a := range serial.timing {
+		b := parallel.timing[k]
+		if a.Instructions != b.Instructions ||
+			!reflect.DeepEqual(a.PerCoreCycles, b.PerCoreCycles) ||
+			!reflect.DeepEqual(a.Totals, b.Totals) ||
+			!reflect.DeepEqual(a.Hier, b.Hier) {
+			t.Errorf("%s: timing result %s differs beyond cycles", label, k)
+		}
+	}
+	for i := range serial.rows {
+		if serial.rows[i] != parallel.rows[i] {
+			t.Errorf("%s: rendered table %d differs:\n--- serial ---\n%s--- parallel ---\n%s",
+				label, i, serial.rows[i], parallel.rows[i])
+		}
+	}
+}
+
+// TestSerialParallelDifferential runs the reduced grid through the serial
+// path (lazy, single-goroutine memoization — the pre-engine behaviour) and
+// through the parallel engine, and asserts every error value, timing
+// result, and rendered table row is bit-identical.
+func TestSerialParallelDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	serial := collect(t, diffRunner(0.05, 1)) // no Prewarm: lazy serial path
+
+	par := diffRunner(0.05, 4)
+	if err := par.Prewarm(diffGrid()); err != nil {
+		t.Fatal(err)
+	}
+	parallel := collect(t, par)
+
+	compareGrids(t, "serial-vs-parallel", serial, parallel)
+}
+
+// TestParallelDeterminism runs the parallel engine twice with different
+// worker counts (and under -cpu 1,4 with different GOMAXPROCS) and asserts
+// the outputs are identical: scheduling order must not leak into results.
+// Every workload RNG is seeded per benchmark instance and every simulation
+// owns its state, so any mismatch here is a real ordering leak.
+func TestParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	var runs []*gridResults
+	for _, workers := range []int{2, 4} {
+		r := diffRunner(0.05, workers)
+		if err := r.Prewarm(diffGrid()); err != nil {
+			t.Fatal(err)
+		}
+		runs = append(runs, collect(t, r))
+	}
+	compareGrids(t, "run1-vs-run2", runs[0], runs[1])
+}
+
+// TestParallelSpeedup measures the reduced grid's wall-clock under the
+// serial path and the parallel engine. It only runs on machines with at
+// least 4 CPUs (the acceptance target: ≥2× on ≥4 cores); elsewhere the
+// BenchmarkGridSerial/BenchmarkGridParallel pair in the root package
+// provides the measurement.
+func TestParallelSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	// Gate on physical CPUs, not GOMAXPROCS: under `go test -cpu 4` on a
+	// single-core machine GOMAXPROCS is 4 but no real parallelism exists.
+	if runtime.NumCPU() < 4 {
+		t.Skipf("NumCPU=%d < 4; speedup not measurable", runtime.NumCPU())
+	}
+	if runtime.GOMAXPROCS(0) < 4 {
+		t.Skipf("GOMAXPROCS=%d < 4; speedup not measurable", runtime.GOMAXPROCS(0))
+	}
+	grid := Grid{MapSpaces: MapSpaces, DataFracs: DataFracs, UniFracs: UniFracs}
+
+	mk := func(workers int) *Runner {
+		r := NewRunner(0.1)
+		r.Only = []string{"blackscholes", "inversek2j", "jpeg", "kmeans"}
+		r.Workers = workers
+		return r
+	}
+	start := time.Now()
+	if err := mk(1).Prewarm(grid); err != nil {
+		t.Fatal(err)
+	}
+	serialD := time.Since(start)
+
+	start = time.Now()
+	if err := mk(4).Prewarm(grid); err != nil {
+		t.Fatal(err)
+	}
+	parallelD := time.Since(start)
+
+	speedup := float64(serialD) / float64(parallelD)
+	t.Logf("serial %v, parallel %v, speedup %.2fx on %d CPUs",
+		serialD, parallelD, speedup, runtime.GOMAXPROCS(0))
+	if speedup < 1.2 {
+		t.Errorf("parallel engine slower than expected: %.2fx (want ≥1.2x; target ≥2x)", speedup)
+	}
+}
+
+// TestLogLinesAtomic verifies concurrent workers cannot interleave progress
+// output mid-line: every line written during a parallel prewarm is one of
+// the known whole-line forms.
+func TestLogLinesAtomic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	var buf syncBuffer
+	r := diffRunner(0.05, 4)
+	r.Log = &buf
+	if err := r.Prewarm(diffGrid()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	var engineLines int
+	for _, l := range lines {
+		if l == "" {
+			t.Errorf("empty log line (interleaved write?)")
+			continue
+		}
+		if !strings.HasPrefix(l, "[") {
+			t.Errorf("malformed log line %q", l)
+		}
+		if strings.Contains(l, "] done ") || strings.Contains(l, "] skip ") || strings.Contains(l, "] FAIL ") {
+			engineLines++
+		}
+	}
+	// The engine reports one "[k/N] done" line per task: 2 baselines + 2×(2
+	// split configs × 2 runs + 1 unified config × 2 runs) = 14.
+	if engineLines != 14 {
+		t.Errorf("engine progress lines = %d, want 14\n%s", engineLines, buf.String())
+	}
+}
+
+// syncBuffer is a mutex-guarded strings.Builder for capturing concurrent
+// log output.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}

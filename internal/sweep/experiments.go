@@ -15,19 +15,22 @@ func coreConventional(name string, size, ways, cores int) core.Layout {
 // Table2 reproduces the paper's Table 2: the mean percentage of resident
 // LLC blocks that are approximate, per benchmark, measured on the baseline
 // 2 MB LLC.
-func (r *Runner) Table2() *Table {
+func (r *Runner) Table2() (*Table, error) {
 	t := &Table{Title: "Table 2: percentage of LLC blocks that are approximate",
 		Columns: []string{"benchmark", "approx footprint"}}
 	for _, name := range r.Benchmarks() {
-		a := r.Baseline(name)
+		a, err := r.Baseline(name)
+		if err != nil {
+			return nil, err
+		}
 		t.AddRow(name, pct(a.analyzer.ApproxFraction()))
 	}
-	return t
+	return t, nil
 }
 
 // Fig2 reproduces Fig. 2: approximate-data storage savings under the
 // element-wise similarity definition of §2, as the threshold T relaxes.
-func (r *Runner) Fig2() *Table {
+func (r *Runner) Fig2() (*Table, error) {
 	cols := []string{"benchmark"}
 	for _, th := range Thresholds {
 		cols = append(cols, fmt.Sprintf("T=%g%%", th*100))
@@ -35,7 +38,10 @@ func (r *Runner) Fig2() *Table {
 	t := &Table{Title: "Fig 2: storage savings vs element-wise similarity threshold", Columns: cols}
 	sums := make([]float64, len(Thresholds))
 	for _, name := range r.Benchmarks() {
-		a := r.Baseline(name)
+		a, err := r.Baseline(name)
+		if err != nil {
+			return nil, err
+		}
 		row := []string{name}
 		for i, th := range Thresholds {
 			v := a.analyzer.ThresholdSavings(th)
@@ -49,13 +55,13 @@ func (r *Runner) Fig2() *Table {
 		avg = append(avg, pct(s/float64(len(r.Benchmarks()))))
 	}
 	t.AddRow(avg...)
-	return t
+	return t, nil
 }
 
 // Fig7 reproduces Fig. 7: approximate data storage savings when blocks with
 // equal Doppelgänger maps share one data entry, for 12/13/14-bit map
 // spaces. The paper reports 65.2% (12-bit) and 37.9% (14-bit) on average.
-func (r *Runner) Fig7() *Table {
+func (r *Runner) Fig7() (*Table, error) {
 	cols := []string{"benchmark"}
 	for _, m := range MapSpaces {
 		cols = append(cols, fmt.Sprintf("%d-bit map", m))
@@ -63,7 +69,10 @@ func (r *Runner) Fig7() *Table {
 	t := &Table{Title: "Fig 7: storage savings vs map space size", Columns: cols}
 	sums := make([]float64, len(MapSpaces))
 	for _, name := range r.Benchmarks() {
-		a := r.Baseline(name)
+		a, err := r.Baseline(name)
+		if err != nil {
+			return nil, err
+		}
 		row := []string{name}
 		for i, m := range MapSpaces {
 			v := a.analyzer.MapSavings(m)
@@ -77,18 +86,21 @@ func (r *Runner) Fig7() *Table {
 		avg = append(avg, pct(s/float64(len(r.Benchmarks()))))
 	}
 	t.AddRow(avg...)
-	return t
+	return t, nil
 }
 
 // Fig8 reproduces Fig. 8: Doppelgänger (14-bit) against BΔI compression,
 // exact deduplication, and the Doppelgänger+BΔI combination. The paper
 // reports 20.9% / 5.3% / 37.9% / 43.9% on average.
-func (r *Runner) Fig8() *Table {
+func (r *Runner) Fig8() (*Table, error) {
 	t := &Table{Title: "Fig 8: storage savings vs compression and deduplication",
 		Columns: []string{"benchmark", "BdI", "exact dedup", "14-bit Dopp", "14-bit Dopp + BdI"}}
 	var sums [4]float64
 	for _, name := range r.Benchmarks() {
-		a := r.Baseline(name)
+		a, err := r.Baseline(name)
+		if err != nil {
+			return nil, err
+		}
 		vals := [4]float64{
 			a.analyzer.BDISavings(),
 			a.analyzer.DedupSavings(),
@@ -102,27 +114,27 @@ func (r *Runner) Fig8() *Table {
 	}
 	n := float64(len(r.Benchmarks()))
 	t.AddRow("average", pct(sums[0]/n), pct(sums[1]/n), pct(sums[2]/n), pct(sums[3]/n))
-	return t
+	return t, nil
 }
 
 // Fig9 reproduces Fig. 9: application output error (a) and runtime
 // normalized to the baseline 2 MB LLC (b) as the map space varies, with the
 // base 1/4 data array.
-func (r *Runner) Fig9() (errT, runT *Table) {
+func (r *Runner) Fig9() (errT, runT *Table, err error) {
 	return r.errRuntimeSweep(
 		"Fig 9a: output error vs map space", "Fig 9b: normalized runtime vs map space",
-		MapSpaces, func(m int) (int, float64) { return m, 0.25 },
+		MapSpaces, func(m int) (int, float64) { return m, BaseDataFrac },
 		func(m int) string { return fmt.Sprintf("%d-bit map", m) })
 }
 
 // Fig10 reproduces Fig. 10: error and normalized runtime as the
 // approximate data array shrinks (1/2, 1/4, 1/8 of the tag capacity) at the
 // base 14-bit map space.
-func (r *Runner) Fig10() (errT, runT *Table) {
+func (r *Runner) Fig10() (errT, runT *Table, err error) {
 	fracs := []int{0, 1, 2}
 	return r.errRuntimeSweep(
 		"Fig 10a: output error vs data array size", "Fig 10b: normalized runtime vs data array size",
-		fracs, func(i int) (int, float64) { return 14, DataFracs[i] },
+		fracs, func(i int) (int, float64) { return BaseMapBits, DataFracs[i] },
 		func(i int) string { return fracName(DataFracs[i]) + " data array" })
 }
 
@@ -142,7 +154,7 @@ func fracName(f float64) string {
 
 // errRuntimeSweep runs the split organization across a parameter sweep.
 func (r *Runner) errRuntimeSweep(errTitle, runTitle string, params []int,
-	point func(p int) (m int, frac float64), label func(p int) string) (errT, runT *Table) {
+	point func(p int) (m int, frac float64), label func(p int) string) (errT, runT *Table, err error) {
 
 	cols := []string{"benchmark"}
 	for _, p := range params {
@@ -153,12 +165,22 @@ func (r *Runner) errRuntimeSweep(errTitle, runTitle string, params []int,
 	errSums := make([]float64, len(params))
 	runSums := make([]float64, len(params))
 	for _, name := range r.Benchmarks() {
-		a := r.Baseline(name)
+		a, err := r.Baseline(name)
+		if err != nil {
+			return nil, nil, err
+		}
 		erow, rrow := []string{name}, []string{name}
 		for i, p := range params {
 			m, frac := point(p)
-			e := r.SplitError(name, m, frac)
-			rt := float64(r.SplitTiming(name, m, frac).Cycles) / float64(a.timing.Cycles)
+			e, err := r.SplitError(name, m, frac)
+			if err != nil {
+				return nil, nil, err
+			}
+			st, err := r.SplitTiming(name, m, frac)
+			if err != nil {
+				return nil, nil, err
+			}
+			rt := float64(st.Cycles) / float64(a.timing.Cycles)
 			errSums[i] += e
 			runSums[i] += rt
 			erow = append(erow, pct(e))
@@ -175,13 +197,13 @@ func (r *Runner) errRuntimeSweep(errTitle, runTitle string, params []int,
 	}
 	errT.AddRow(eavg...)
 	runT.AddRow(ravg...)
-	return errT, runT
+	return errT, runT, nil
 }
 
 // Fig11 reproduces Fig. 11: LLC dynamic (a) and leakage (b) energy
 // reduction relative to the baseline, for 1/2, 1/4 and 1/8 data arrays.
 // The paper reports 2.55× and 1.41× at 1/4.
-func (r *Runner) Fig11() (dynT, leakT *Table) {
+func (r *Runner) Fig11() (dynT, leakT *Table, err error) {
 	cols := []string{"benchmark"}
 	for _, f := range DataFracs {
 		cols = append(cols, fracName(f)+" data array")
@@ -192,12 +214,18 @@ func (r *Runner) Fig11() (dynT, leakT *Table) {
 	dynSums := make([]float64, len(DataFracs))
 	leakSums := make([]float64, len(DataFracs))
 	for _, name := range r.Benchmarks() {
-		a := r.Baseline(name)
+		a, err := r.Baseline(name)
+		if err != nil {
+			return nil, nil, err
+		}
 		baseDyn := baseOrg.DynamicPJ(a.timing.Totals)
 		drow, lrow := []string{name}, []string{name}
 		for i, frac := range DataFracs {
-			res := r.SplitTiming(name, 14, frac)
-			org := energy.SplitOrg(1<<20, 16, SplitConfig(14, frac), r.Cores)
+			res, err := r.SplitTiming(name, BaseMapBits, frac)
+			if err != nil {
+				return nil, nil, err
+			}
+			org := energy.SplitOrg(1<<20, 16, SplitConfig(BaseMapBits, frac), r.Cores)
 			dyn := baseDyn / org.DynamicPJ(res.Totals)
 			leak := baseOrg.LeakagePJ(a.timing.Cycles) / org.LeakagePJ(res.Cycles)
 			dynSums[i] += dyn
@@ -216,12 +244,12 @@ func (r *Runner) Fig11() (dynT, leakT *Table) {
 	}
 	dynT.AddRow(davg...)
 	leakT.AddRow(lavg...)
-	return dynT, leakT
+	return dynT, leakT, nil
 }
 
 // Fig12 reproduces Fig. 12: off-chip memory traffic normalized to the
 // baseline. The paper reports +3.4% (1/4) and +1.1% (1/2) on average.
-func (r *Runner) Fig12() *Table {
+func (r *Runner) Fig12() (*Table, error) {
 	cols := []string{"benchmark"}
 	for _, f := range DataFracs {
 		cols = append(cols, fracName(f)+" data array")
@@ -229,10 +257,16 @@ func (r *Runner) Fig12() *Table {
 	t := &Table{Title: "Fig 12: normalized off-chip memory traffic", Columns: cols}
 	sums := make([]float64, len(DataFracs))
 	for _, name := range r.Benchmarks() {
-		a := r.Baseline(name)
+		a, err := r.Baseline(name)
+		if err != nil {
+			return nil, err
+		}
 		row := []string{name}
 		for i, frac := range DataFracs {
-			res := r.SplitTiming(name, 14, frac)
+			res, err := r.SplitTiming(name, BaseMapBits, frac)
+			if err != nil {
+				return nil, err
+			}
 			v := float64(res.MemTraffic()) / float64(a.timing.MemTraffic())
 			sums[i] += v
 			row = append(row, norm(v))
@@ -245,25 +279,25 @@ func (r *Runner) Fig12() *Table {
 		avg = append(avg, norm(sums[i]/n))
 	}
 	t.AddRow(avg...)
-	return t
+	return t, nil
 }
 
 // Fig13 reproduces Fig. 13: LLC area reduction relative to the baseline for
 // the split design (1/2, 1/4, 1/8 data arrays) and uniDoppelgänger (3/4,
 // 1/2, 1/4). The paper reports 1.36×/1.55×/1.70× and up to 3.15×. This
-// experiment is static — no workload runs.
+// experiment is static — no workload runs, so it cannot fail.
 func (r *Runner) Fig13() *Table {
 	t := &Table{Title: "Fig 13: LLC area reduction",
 		Columns: []string{"organization", "data array", "area (mm2)", "reduction"}}
 	base := energy.BaselineOrg(2<<20, 16, r.Cores)
 	t.AddRow("baseline 2MB", "-", fmt.Sprintf("%.2f", base.AreaMM2()), "1.00x")
 	for _, f := range DataFracs {
-		org := energy.SplitOrg(1<<20, 16, SplitConfig(14, f), r.Cores)
+		org := energy.SplitOrg(1<<20, 16, SplitConfig(BaseMapBits, f), r.Cores)
 		t.AddRow("doppelganger", fracName(f),
 			fmt.Sprintf("%.2f", org.AreaMM2()), ratio(base.AreaMM2()/org.AreaMM2()))
 	}
 	for _, f := range UniFracs {
-		org := energy.UnifiedOrg(UnifiedConfig(14, f), r.Cores)
+		org := energy.UnifiedOrg(UnifiedConfig(BaseMapBits, f), r.Cores)
 		t.AddRow("unidoppelganger", fracName(f),
 			fmt.Sprintf("%.2f", org.AreaMM2()), ratio(base.AreaMM2()/org.AreaMM2()))
 	}
@@ -273,7 +307,7 @@ func (r *Runner) Fig13() *Table {
 // Fig14 reproduces Fig. 14: uniDoppelgänger output error (a), normalized
 // runtime (b) and LLC dynamic energy reduction (c) for 3/4, 1/2 and 1/4
 // data arrays (fractions of the baseline LLC).
-func (r *Runner) Fig14() (errT, runT, dynT *Table) {
+func (r *Runner) Fig14() (errT, runT, dynT *Table, err error) {
 	cols := []string{"benchmark"}
 	for _, f := range UniFracs {
 		cols = append(cols, fracName(f)+" data array")
@@ -286,14 +320,23 @@ func (r *Runner) Fig14() (errT, runT, dynT *Table) {
 	rS := make([]float64, len(UniFracs))
 	dS := make([]float64, len(UniFracs))
 	for _, name := range r.Benchmarks() {
-		a := r.Baseline(name)
+		a, err := r.Baseline(name)
+		if err != nil {
+			return nil, nil, nil, err
+		}
 		baseDyn := baseOrg.DynamicPJ(a.timing.Totals)
 		erow, rrow, drow := []string{name}, []string{name}, []string{name}
 		for i, f := range UniFracs {
-			e := r.UnifiedError(name, 14, f)
-			res := r.UnifiedTiming(name, 14, f)
+			e, err := r.UnifiedError(name, BaseMapBits, f)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			res, err := r.UnifiedTiming(name, BaseMapBits, f)
+			if err != nil {
+				return nil, nil, nil, err
+			}
 			rt := float64(res.Cycles) / float64(a.timing.Cycles)
-			org := energy.UnifiedOrg(UnifiedConfig(14, f), r.Cores)
+			org := energy.UnifiedOrg(UnifiedConfig(BaseMapBits, f), r.Cores)
 			dyn := baseDyn / org.DynamicPJ(res.Totals)
 			eS[i] += e
 			rS[i] += rt
@@ -316,7 +359,7 @@ func (r *Runner) Fig14() (errT, runT, dynT *Table) {
 	errT.AddRow(eavg...)
 	runT.AddRow(ravg...)
 	dynT.AddRow(davg...)
-	return errT, runT, dynT
+	return errT, runT, dynT, nil
 }
 
 // Table3 reproduces the paper's Table 3: per-structure field widths, sizes,
@@ -348,13 +391,13 @@ func (r *Runner) Table3() *Table {
 	prec := energy.FromLayout(coreConventional("precise cache", 1<<20, 16, r.Cores))
 	add(prec, (1<<20)/64, coreConventional("precise cache", 1<<20, 16, r.Cores).MetaBits())
 
-	dc := SplitConfig(14, 0.25)
+	dc := SplitConfig(BaseMapBits, BaseDataFrac)
 	dtl := dc.TagArrayLayout(r.Cores)
 	add(energy.FromLayout(dtl), dtl.Entries, dtl.MetaBits())
 	ddl := dc.DataArrayLayout()
 	add(energy.FromLayout(ddl), ddl.Entries, ddl.MetaBits())
 
-	uc := UnifiedConfig(14, 0.5)
+	uc := UnifiedConfig(BaseMapBits, 0.5)
 	utl := uc.TagArrayLayout(r.Cores)
 	add(energy.FromLayout(utl), utl.Entries, utl.MetaBits())
 	udl := uc.DataArrayLayout()

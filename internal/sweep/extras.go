@@ -9,6 +9,35 @@ import (
 	"doppelganger/internal/workloads"
 )
 
+// extraConfig is one extension configuration the Extras table evaluates;
+// timing selects which simulator (and which memo cache) the run uses.
+type extraConfig struct {
+	tag    string
+	cfg    core.Config
+	timing bool
+}
+
+// extrasConfigs returns the extension configurations at the base geometry
+// (14-bit map, 1/4 data array); shared by Extras and the engine grid.
+func extrasConfigs() []extraConfig {
+	base := SplitConfig(BaseMapBits, BaseDataFrac)
+	minmax := base
+	minmax.MapSpec.Hash = approx.HashMinMax
+	avgonly := base
+	avgonly.MapSpec.Hash = approx.HashAvgOnly
+	aware := base
+	aware.DataPolicy = core.ReplaceTagCountAware
+	compressed := base
+	compressed.CompressedData = true
+	compressed.CompressBudget = 0.5
+	return []extraConfig{
+		{tag: "minmax", cfg: minmax},
+		{tag: "avgonly", cfg: avgonly},
+		{tag: "aware", cfg: aware, timing: true},
+		{tag: "compressed", cfg: compressed, timing: true},
+	}
+}
+
 // Extras evaluates this repository's extensions beyond the paper, all at
 // the base configuration (14-bit map, 1/4 data array):
 //
@@ -18,7 +47,7 @@ import (
 //     versus LRU, by normalized runtime;
 //   - the BΔI-compressed data array (§5.1's Doppelgänger+BΔI) at half the
 //     SRAM bytes, by normalized runtime.
-func (r *Runner) Extras() *Table {
+func (r *Runner) Extras() (*Table, error) {
 	t := &Table{
 		Title: "Extras: extensions beyond the paper (14-bit map, 1/4 data array)",
 		Columns: []string{"benchmark",
@@ -30,27 +59,47 @@ func (r *Runner) Extras() *Table {
 		},
 	}
 
-	base := SplitConfig(14, 0.25)
-	minmax := base
-	minmax.MapSpec.Hash = approx.HashMinMax
-	avgonly := base
-	avgonly.MapSpec.Hash = approx.HashAvgOnly
-	aware := base
-	aware.DataPolicy = core.ReplaceTagCountAware
-	compressed := base
-	compressed.CompressedData = true
-	compressed.CompressBudget = 0.5
+	xs := extrasConfigs()
+	byTag := map[string]extraConfig{}
+	for _, x := range xs {
+		byTag[x.tag] = x
+	}
 
 	sums := make([]float64, 6)
 	for _, name := range r.Benchmarks() {
-		a := r.Baseline(name)
+		a, err := r.Baseline(name)
+		if err != nil {
+			return nil, err
+		}
+		splitErr, err := r.SplitError(name, BaseMapBits, BaseDataFrac)
+		if err != nil {
+			return nil, err
+		}
+		minmaxErr, err := r.customError(name, byTag["minmax"].cfg, "minmax")
+		if err != nil {
+			return nil, err
+		}
+		avgonlyErr, err := r.customError(name, byTag["avgonly"].cfg, "avgonly")
+		if err != nil {
+			return nil, err
+		}
+		splitTime, err := r.SplitTiming(name, BaseMapBits, BaseDataFrac)
+		if err != nil {
+			return nil, err
+		}
+		awareTime, err := r.customTiming(name, byTag["aware"].cfg, "aware")
+		if err != nil {
+			return nil, err
+		}
+		compTime, err := r.customTiming(name, byTag["compressed"].cfg, "compressed")
+		if err != nil {
+			return nil, err
+		}
 		vals := []float64{
-			r.SplitError(name, 14, 0.25),
-			r.customError(name, minmax, "minmax"),
-			r.customError(name, avgonly, "avgonly"),
-			float64(r.SplitTiming(name, 14, 0.25).Cycles) / float64(a.timing.Cycles),
-			float64(r.customTiming(name, aware, "aware").Cycles) / float64(a.timing.Cycles),
-			float64(r.customTiming(name, compressed, "compressed").Cycles) / float64(a.timing.Cycles),
+			splitErr, minmaxErr, avgonlyErr,
+			float64(splitTime.Cycles) / float64(a.timing.Cycles),
+			float64(awareTime.Cycles) / float64(a.timing.Cycles),
+			float64(compTime.Cycles) / float64(a.timing.Cycles),
 		}
 		for i, v := range vals {
 			sums[i] += v
@@ -61,37 +110,37 @@ func (r *Runner) Extras() *Table {
 	n := float64(len(r.Benchmarks()))
 	t.AddRow("average", pct(sums[0]/n), pct(sums[1]/n), pct(sums[2]/n),
 		norm(sums[3]/n), norm(sums[4]/n), norm(sums[5]/n))
-	return t
+	return t, nil
 }
 
 // customError runs the split organization with an explicit Doppelgänger
 // configuration and measures output error.
-func (r *Runner) customError(name string, cfg core.Config, tag string) float64 {
+func (r *Runner) customError(name string, cfg core.Config, tag string) (float64, error) {
 	key := fmt.Sprintf("custom/%s/%s", name, tag)
-	if v, ok := r.errCache[key]; ok {
-		return v
-	}
-	a := r.Baseline(name)
-	f, _ := workloads.ByName(name)
-	r.logf("[%s] custom functional run (%s)", name, tag)
-	run := workloads.RunFunctional(f.New(r.Scale), workloads.CustomSplitBuilder(cfg),
-		workloads.RunOptions{Cores: r.Cores})
-	v := a.bench.Error(a.run.Output, run.Output)
-	r.errCache[key] = v
-	return v
+	return r.errCache.Do(key, func() (float64, error) {
+		a, err := r.Baseline(name)
+		if err != nil {
+			return 0, err
+		}
+		f, _ := workloads.ByName(name)
+		r.logf("[%s] custom functional run (%s)", name, tag)
+		run := workloads.RunFunctional(f.New(r.Scale), workloads.CustomSplitBuilder(cfg),
+			workloads.RunOptions{Cores: r.Cores})
+		return a.bench.Error(a.run.Output, run.Output), nil
+	})
 }
 
 // customTiming replays the benchmark's traces against the split
 // organization with an explicit Doppelgänger configuration.
-func (r *Runner) customTiming(name string, cfg core.Config, tag string) *timesim.Result {
+func (r *Runner) customTiming(name string, cfg core.Config, tag string) (*timesim.Result, error) {
 	key := fmt.Sprintf("custom/%s/%s", name, tag)
-	if v, ok := r.timeCache[key]; ok {
-		return v
-	}
-	a := r.Baseline(name)
-	r.logf("[%s] custom timing run (%s)", name, tag)
-	res := timesim.Run(a.run.Recorder, a.run.InitialMem, a.run.Annotations,
-		workloads.CustomSplitBuilder(cfg), r.timesimConfig())
-	r.timeCache[key] = res
-	return res
+	return r.timeCache.Do(key, func() (*timesim.Result, error) {
+		a, err := r.Baseline(name)
+		if err != nil {
+			return nil, err
+		}
+		r.logf("[%s] custom timing run (%s)", name, tag)
+		return timesim.Run(a.run.Recorder, a.run.InitialMem, a.run.Annotations,
+			workloads.CustomSplitBuilder(cfg), r.timesimConfig()), nil
+	})
 }

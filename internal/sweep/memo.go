@@ -1,0 +1,69 @@
+package sweep
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// memo is a mutex-guarded, singleflight-style cache keyed by string. The
+// first caller of Do for a key runs the computation; concurrent callers of
+// the same key block until it finishes and share its result, so every key
+// is computed exactly once even when many engine workers ask for it at the
+// same time. Distinct keys compute concurrently — the lock only guards the
+// entry map, never a computation.
+type memo[V any] struct {
+	mu       sync.Mutex
+	entries  map[string]*memoEntry[V]
+	computes atomic.Int64
+}
+
+type memoEntry[V any] struct {
+	ready chan struct{} // closed once val/err are set
+	val   V
+	err   error
+}
+
+func newMemo[V any]() *memo[V] {
+	return &memo[V]{entries: make(map[string]*memoEntry[V])}
+}
+
+// Do returns the value for key, running compute if no caller has before.
+// A panic inside compute is converted to an error (and delivered to every
+// waiter) so a failed computation can never strand goroutines blocked on
+// the entry.
+func (m *memo[V]) Do(key string, compute func() (V, error)) (V, error) {
+	m.mu.Lock()
+	if e, ok := m.entries[key]; ok {
+		m.mu.Unlock()
+		<-e.ready
+		return e.val, e.err
+	}
+	e := &memoEntry[V]{ready: make(chan struct{})}
+	m.entries[key] = e
+	m.mu.Unlock()
+
+	m.computes.Add(1)
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				e.err = fmt.Errorf("sweep: computing %s: panic: %v", key, p)
+			}
+			close(e.ready)
+		}()
+		e.val, e.err = compute()
+	}()
+	return e.val, e.err
+}
+
+// Computes reports how many computations actually ran (cache hits and
+// singleflight waiters do not count); the concurrency tests use it to prove
+// each key is computed once.
+func (m *memo[V]) Computes() int64 { return m.computes.Load() }
+
+// Len reports how many keys are cached.
+func (m *memo[V]) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries)
+}

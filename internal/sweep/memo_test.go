@@ -1,0 +1,159 @@
+package sweep
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMemoSingleflight proves the cache's central guarantee: N goroutines
+// requesting the same key observe exactly one computation and all receive
+// its value.
+func TestMemoSingleflight(t *testing.T) {
+	m := newMemo[int]()
+	const goroutines = 32
+	var computed atomic.Int64
+	var wg sync.WaitGroup
+	results := make([]int, goroutines)
+	errs := make([]error, goroutines)
+	start := make(chan struct{})
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			results[i], errs[i] = m.Do("key", func() (int, error) {
+				computed.Add(1)
+				time.Sleep(10 * time.Millisecond) // widen the race window
+				return 7, nil
+			})
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	if n := computed.Load(); n != 1 {
+		t.Fatalf("computed %d times, want 1", n)
+	}
+	if n := m.Computes(); n != 1 {
+		t.Fatalf("Computes() = %d, want 1", n)
+	}
+	for i := 0; i < goroutines; i++ {
+		if errs[i] != nil {
+			t.Fatalf("goroutine %d: %v", i, errs[i])
+		}
+		if results[i] != 7 {
+			t.Fatalf("goroutine %d got %d, want 7", i, results[i])
+		}
+	}
+}
+
+// TestMemoDistinctKeysConcurrent proves the mutex only guards the entry
+// map: two different keys must be able to compute at the same time. Each
+// computation waits for the other to start — if one held the lock during
+// compute, this would deadlock (and trip the test timeout).
+func TestMemoDistinctKeysConcurrent(t *testing.T) {
+	m := newMemo[string]()
+	aStarted := make(chan struct{})
+	bStarted := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		m.Do("a", func() (string, error) {
+			close(aStarted)
+			<-bStarted
+			return "a", nil
+		})
+	}()
+	go func() {
+		defer wg.Done()
+		m.Do("b", func() (string, error) {
+			close(bStarted)
+			<-aStarted
+			return "b", nil
+		})
+	}()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("distinct keys serialized: computations could not overlap")
+	}
+	if m.Computes() != 2 || m.Len() != 2 {
+		t.Fatalf("computes %d, len %d, want 2, 2", m.Computes(), m.Len())
+	}
+}
+
+// TestMemoErrorCached verifies errors are delivered to every caller and
+// cached like values: the failed computation does not rerun.
+func TestMemoErrorCached(t *testing.T) {
+	m := newMemo[int]()
+	boom := errors.New("boom")
+	var computed atomic.Int64
+	for i := 0; i < 3; i++ {
+		if _, err := m.Do("bad", func() (int, error) {
+			computed.Add(1)
+			return 0, boom
+		}); !errors.Is(err, boom) {
+			t.Fatalf("call %d: err = %v, want %v", i, err, boom)
+		}
+	}
+	if computed.Load() != 1 {
+		t.Fatalf("failed computation ran %d times, want 1", computed.Load())
+	}
+}
+
+// TestMemoPanicBecomesError verifies a panicking computation is converted
+// to an error rather than stranding waiters on the entry's ready channel.
+func TestMemoPanicBecomesError(t *testing.T) {
+	m := newMemo[int]()
+	_, err := m.Do("p", func() (int, error) { panic("kaboom") })
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("err = %v, want panic converted to error", err)
+	}
+	// Waiters that arrive after the panic see the same error.
+	if _, err2 := m.Do("p", func() (int, error) { return 1, nil }); err2 == nil {
+		t.Fatal("second Do recomputed past a panicked entry")
+	}
+}
+
+// TestRunnerMemoSingleflight lifts the singleflight guarantee to the
+// Runner: concurrent SplitError calls for one key run the baseline once and
+// the split simulation once.
+func TestRunnerMemoSingleflight(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	r := NewRunner(0.05)
+	const goroutines = 8
+	var wg sync.WaitGroup
+	vals := make([]float64, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := r.SplitError("inversek2j", 14, 0.25)
+			if err != nil {
+				t.Errorf("goroutine %d: %v", i, err)
+				return
+			}
+			vals[i] = v
+		}(i)
+	}
+	wg.Wait()
+	if n := r.base.Computes(); n != 1 {
+		t.Errorf("baseline computed %d times, want 1", n)
+	}
+	if n := r.errCache.Computes(); n != 1 {
+		t.Errorf("split error computed %d times, want 1", n)
+	}
+	for i := 1; i < goroutines; i++ {
+		if vals[i] != vals[0] {
+			t.Errorf("goroutine %d saw %v, goroutine 0 saw %v", i, vals[i], vals[0])
+		}
+	}
+}

@@ -3,6 +3,7 @@ package sweep
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"doppelganger/internal/approx"
 	"doppelganger/internal/core"
@@ -15,6 +16,13 @@ import (
 // benchmark, one precise baseline run (which also records traces and feeds
 // the snapshot analyzer), one baseline timing run, and on-demand
 // approximate functional/timing runs per configuration.
+//
+// A Runner is safe for concurrent use: the memo caches are singleflight, so
+// concurrent callers of Baseline / SplitError / SplitTiming / UnifiedError /
+// UnifiedTiming each trigger exactly one simulation per key, and log lines
+// are serialized. Prewarm fans the whole experiment grid out over a worker
+// pool; the table builders then render from warm caches in deterministic
+// benchmark order.
 type Runner struct {
 	// Scale sizes the workloads (1 = the evaluation size; tests use less).
 	Scale float64
@@ -27,10 +35,15 @@ type Runner struct {
 	// Only, when non-empty, restricts the suite to the named benchmarks
 	// (tests and quick looks).
 	Only []string
+	// Workers bounds the engine's concurrent simulations during Prewarm
+	// (0 means GOMAXPROCS). Results are identical for every worker count.
+	Workers int
 
-	base      map[string]*baseArtifacts
-	errCache  map[string]float64
-	timeCache map[string]*timesim.Result
+	logMu sync.Mutex
+
+	base      *memo[*baseArtifacts]
+	errCache  *memo[float64]
+	timeCache *memo[*timesim.Result]
 }
 
 type baseArtifacts struct {
@@ -46,16 +59,21 @@ func NewRunner(scale float64) *Runner {
 		Scale:         scale,
 		Cores:         4,
 		SnapshotEvery: 20000,
-		base:          make(map[string]*baseArtifacts),
-		errCache:      make(map[string]float64),
-		timeCache:     make(map[string]*timesim.Result),
+		base:          newMemo[*baseArtifacts](),
+		errCache:      newMemo[float64](),
+		timeCache:     newMemo[*timesim.Result](),
 	}
 }
 
+// logf emits one whole progress line under the log mutex, so lines from
+// concurrent workers never interleave.
 func (r *Runner) logf(format string, args ...interface{}) {
-	if r.Log != nil {
-		fmt.Fprintf(r.Log, format+"\n", args...)
+	if r.Log == nil {
+		return
 	}
+	r.logMu.Lock()
+	defer r.logMu.Unlock()
+	fmt.Fprintf(r.Log, format+"\n", args...)
 }
 
 // Thresholds are the Fig. 2 similarity thresholds (fractions of the value
@@ -73,6 +91,13 @@ var DataFracs = []float64{0.5, 0.25, 0.125}
 // the baseline LLC.
 var UniFracs = []float64{0.75, 0.5, 0.25}
 
+// The paper's base configuration: a 14-bit map space and a data array 1/4
+// the size of the tag array (Table 1).
+const (
+	BaseMapBits  = 14
+	BaseDataFrac = 0.25
+)
+
 // Benchmarks lists the suite names in paper order (restricted by Only).
 func (r *Runner) Benchmarks() []string {
 	if len(r.Only) > 0 {
@@ -88,36 +113,34 @@ func (r *Runner) Benchmarks() []string {
 
 // Baseline returns (running once) the precise baseline artifacts for a
 // benchmark: functional run with traces and snapshot analysis, plus the
-// baseline timing result.
-func (r *Runner) Baseline(name string) *baseArtifacts {
-	if a, ok := r.base[name]; ok {
-		return a
-	}
-	f, err := workloads.ByName(name)
-	if err != nil {
-		panic(err)
-	}
-	r.logf("[%s] baseline functional run (scale %.2f)", name, r.Scale)
-	an := stats.NewAnalyzer(stats.AnalyzerConfig{
-		Thresholds:         Thresholds,
-		ThresholdEvery:     8,
-		ThresholdSampleCap: 512,
-		MapSpaces:          MapSpaces,
-		Comparators:        true,
-		CompareM:           14,
+// baseline timing result. Unknown benchmark names return an error rather
+// than panicking, so a bad -only flag surfaces through the engine.
+func (r *Runner) Baseline(name string) (*baseArtifacts, error) {
+	return r.base.Do(name, func() (*baseArtifacts, error) {
+		f, err := workloads.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		r.logf("[%s] baseline functional run (scale %.2f)", name, r.Scale)
+		an := stats.NewAnalyzer(stats.AnalyzerConfig{
+			Thresholds:         Thresholds,
+			ThresholdEvery:     8,
+			ThresholdSampleCap: 512,
+			MapSpaces:          MapSpaces,
+			Comparators:        true,
+			CompareM:           14,
+		})
+		run := workloads.RunFunctional(f.New(r.Scale), workloads.BaselineBuilder(2<<20, 16), workloads.RunOptions{
+			Cores:         r.Cores,
+			Record:        true,
+			SnapshotEvery: r.SnapshotEvery,
+			SnapshotFn:    an.Observe,
+		})
+		r.logf("[%s] baseline timing run (%d accesses)", name, run.Recorder.Len())
+		timing := timesim.Run(run.Recorder, run.InitialMem, run.Annotations,
+			workloads.BaselineBuilder(2<<20, 16), r.timesimConfig())
+		return &baseArtifacts{bench: f.New(r.Scale), run: run, analyzer: an, timing: timing}, nil
 	})
-	run := workloads.RunFunctional(f.New(r.Scale), workloads.BaselineBuilder(2<<20, 16), workloads.RunOptions{
-		Cores:         r.Cores,
-		Record:        true,
-		SnapshotEvery: r.SnapshotEvery,
-		SnapshotFn:    an.Observe,
-	})
-	r.logf("[%s] baseline timing run (%d accesses)", name, run.Recorder.Len())
-	timing := timesim.Run(run.Recorder, run.InitialMem, run.Annotations,
-		workloads.BaselineBuilder(2<<20, 16), r.timesimConfig())
-	a := &baseArtifacts{bench: f.New(r.Scale), run: run, analyzer: an, timing: timing}
-	r.base[name] = a
-	return a
 }
 
 func (r *Runner) timesimConfig() timesim.Config {
@@ -128,64 +151,64 @@ func (r *Runner) timesimConfig() timesim.Config {
 
 // SplitError measures application output error for the split organization
 // with map size m and data fraction frac (Figs. 9a, 10a).
-func (r *Runner) SplitError(name string, m int, frac float64) float64 {
+func (r *Runner) SplitError(name string, m int, frac float64) (float64, error) {
 	key := fmt.Sprintf("split/%s/%d/%g", name, m, frac)
-	if v, ok := r.errCache[key]; ok {
-		return v
-	}
-	a := r.Baseline(name)
-	f, _ := workloads.ByName(name)
-	r.logf("[%s] split functional run (M=%d, data %g)", name, m, frac)
-	run := workloads.RunFunctional(f.New(r.Scale), workloads.SplitBuilder(m, frac), workloads.RunOptions{Cores: r.Cores})
-	v := a.bench.Error(a.run.Output, run.Output)
-	r.errCache[key] = v
-	return v
+	return r.errCache.Do(key, func() (float64, error) {
+		a, err := r.Baseline(name)
+		if err != nil {
+			return 0, err
+		}
+		f, _ := workloads.ByName(name)
+		r.logf("[%s] split functional run (M=%d, data %g)", name, m, frac)
+		run := workloads.RunFunctional(f.New(r.Scale), workloads.SplitBuilder(m, frac), workloads.RunOptions{Cores: r.Cores})
+		return a.bench.Error(a.run.Output, run.Output), nil
+	})
 }
 
 // UnifiedError is SplitError for the uniDoppelgänger organization
 // (Fig. 14a); frac is relative to the baseline LLC capacity.
-func (r *Runner) UnifiedError(name string, m int, frac float64) float64 {
+func (r *Runner) UnifiedError(name string, m int, frac float64) (float64, error) {
 	key := fmt.Sprintf("uni/%s/%d/%g", name, m, frac)
-	if v, ok := r.errCache[key]; ok {
-		return v
-	}
-	a := r.Baseline(name)
-	f, _ := workloads.ByName(name)
-	r.logf("[%s] unified functional run (M=%d, data %g)", name, m, frac)
-	run := workloads.RunFunctional(f.New(r.Scale), workloads.UnifiedBuilder(m, frac), workloads.RunOptions{Cores: r.Cores})
-	v := a.bench.Error(a.run.Output, run.Output)
-	r.errCache[key] = v
-	return v
+	return r.errCache.Do(key, func() (float64, error) {
+		a, err := r.Baseline(name)
+		if err != nil {
+			return 0, err
+		}
+		f, _ := workloads.ByName(name)
+		r.logf("[%s] unified functional run (M=%d, data %g)", name, m, frac)
+		run := workloads.RunFunctional(f.New(r.Scale), workloads.UnifiedBuilder(m, frac), workloads.RunOptions{Cores: r.Cores})
+		return a.bench.Error(a.run.Output, run.Output), nil
+	})
 }
 
 // SplitTiming replays the benchmark's traces against the split organization
 // (Figs. 9b, 10b, 11, 12).
-func (r *Runner) SplitTiming(name string, m int, frac float64) *timesim.Result {
+func (r *Runner) SplitTiming(name string, m int, frac float64) (*timesim.Result, error) {
 	key := fmt.Sprintf("split/%s/%d/%g", name, m, frac)
-	if v, ok := r.timeCache[key]; ok {
-		return v
-	}
-	a := r.Baseline(name)
-	r.logf("[%s] split timing run (M=%d, data %g)", name, m, frac)
-	res := timesim.Run(a.run.Recorder, a.run.InitialMem, a.run.Annotations,
-		workloads.SplitBuilder(m, frac), r.timesimConfig())
-	r.timeCache[key] = res
-	return res
+	return r.timeCache.Do(key, func() (*timesim.Result, error) {
+		a, err := r.Baseline(name)
+		if err != nil {
+			return nil, err
+		}
+		r.logf("[%s] split timing run (M=%d, data %g)", name, m, frac)
+		return timesim.Run(a.run.Recorder, a.run.InitialMem, a.run.Annotations,
+			workloads.SplitBuilder(m, frac), r.timesimConfig()), nil
+	})
 }
 
 // UnifiedTiming replays against uniDoppelgänger (Fig. 14b/c); frac is
 // relative to the baseline LLC capacity.
-func (r *Runner) UnifiedTiming(name string, m int, frac float64) *timesim.Result {
+func (r *Runner) UnifiedTiming(name string, m int, frac float64) (*timesim.Result, error) {
 	key := fmt.Sprintf("uni/%s/%d/%g", name, m, frac)
-	if v, ok := r.timeCache[key]; ok {
-		return v
-	}
-	a := r.Baseline(name)
-	r.logf("[%s] unified timing run (M=%d, data %g)", name, m, frac)
-	res := timesim.Run(a.run.Recorder, a.run.InitialMem, a.run.Annotations,
-		workloads.UnifiedBuilder(m, frac), r.timesimConfig())
-	r.timeCache[key] = res
-	return res
+	return r.timeCache.Do(key, func() (*timesim.Result, error) {
+		a, err := r.Baseline(name)
+		if err != nil {
+			return nil, err
+		}
+		r.logf("[%s] unified timing run (M=%d, data %g)", name, m, frac)
+		return timesim.Run(a.run.Recorder, a.run.InitialMem, a.run.Annotations,
+			workloads.UnifiedBuilder(m, frac), r.timesimConfig()), nil
+	})
 }
 
 // SplitConfig returns the Doppelgänger core.Config the split organization

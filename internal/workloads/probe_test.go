@@ -15,6 +15,9 @@ func TestProbeFullScale(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-scale probe")
 	}
+	if raceEnabled {
+		t.Skip("full-scale probe exceeds the test timeout under the race detector")
+	}
 	for _, f := range All() {
 		f := f
 		t.Run(f.Name, func(t *testing.T) {

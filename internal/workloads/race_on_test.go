@@ -1,0 +1,9 @@
+//go:build race
+
+package workloads
+
+// raceEnabled reports whether the binary was built with the race detector.
+// Full-scale development probes skip under it: the detector's slowdown pushes
+// them past the test timeout without adding coverage the reduced-scale tests
+// don't already provide.
+const raceEnabled = true
