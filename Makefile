@@ -19,7 +19,7 @@ test:
 
 race:
 	$(GO) test -race ./...
-	$(GO) test -race -cpu 1,4 ./internal/sweep/... ./internal/workloads/...
+	$(GO) test -race -cpu 1,4 ./internal/sweep/... ./internal/workloads/... ./internal/timesim/...
 
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzMapValue$$ -fuzztime=$(FUZZTIME) ./internal/approx
@@ -27,6 +27,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzRoundTrip$$ -fuzztime=$(FUZZTIME) ./internal/bdi
 	$(GO) test -fuzz=FuzzDecompressRobustness$$ -fuzztime=$(FUZZTIME) ./internal/bdi
 	$(GO) test -fuzz=FuzzDoppelgangerOps$$ -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -fuzz=FuzzTraceRoundTrip$$ -fuzztime=$(FUZZTIME) ./internal/trace
 
 vet:
 	$(GO) vet ./...

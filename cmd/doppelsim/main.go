@@ -15,6 +15,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 	"sync"
@@ -42,8 +44,61 @@ func main() {
 		timing   = flag.Bool("timing", false, "also run the cycle-level timing comparison vs the baseline")
 		saveTo   = flag.String("savetrace", "", "record the benchmark on the baseline LLC and save a replayable trace bundle to this file")
 		replay   = flag.String("replay", "", "replay a saved trace bundle against the chosen LLC (skips functional execution)")
+
+		metricsOut = flag.String("metrics-out", "", "write the run's counter snapshot as JSONL to this file")
+		traceOut   = flag.String("trace-out", "", "write a Chrome-trace JSON (chrome://tracing) of the timing replays to this file")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	fatal := func(err error) {
+		fmt.Fprintf(os.Stderr, "doppelsim: %v\n", err)
+		os.Exit(1)
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "doppelsim: pprof server: %v\n", err)
+			}
+		}()
+	}
+	var reg *doppelganger.MetricsRegistry
+	if *metricsOut != "" {
+		reg = doppelganger.NewMetricsRegistry()
+	}
+	var tw *doppelganger.TraceWriter
+	var traceFile *os.File
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		traceFile = f
+		tw = doppelganger.NewTraceWriter(f)
+	}
+	// writeObservability dumps the collected metrics/trace before exit.
+	writeObservability := func(task string) {
+		if reg != nil {
+			f, err := os.Create(*metricsOut)
+			if err != nil {
+				fatal(err)
+			}
+			if err := reg.WriteJSONL(f, task); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}
+		if tw != nil {
+			if err := tw.Close(); err != nil {
+				fatal(err)
+			}
+			if err := traceFile.Close(); err != nil {
+				fatal(err)
+			}
+		}
+	}
 
 	var kind doppelganger.LLCKind
 	switch *llc {
@@ -59,17 +114,17 @@ func main() {
 	}
 
 	if *saveTo != "" {
-		if err := saveBundle(*bench, *scale, *cores, *saveTo); err != nil {
-			fmt.Fprintf(os.Stderr, "doppelsim: %v\n", err)
-			os.Exit(1)
+		if err := saveBundle(*bench, *scale, *cores, *saveTo, reg); err != nil {
+			fatal(err)
 		}
+		writeObservability(*bench + "/record")
 		return
 	}
 	if *replay != "" {
-		if err := replayBundle(*replay, *llc, *mapBits, *dataFrac, *cores); err != nil {
-			fmt.Fprintf(os.Stderr, "doppelsim: %v\n", err)
-			os.Exit(1)
+		if err := replayBundle(*replay, *llc, *mapBits, *dataFrac, *cores, reg, tw); err != nil {
+			fatal(err)
 		}
+		writeObservability(*replay + "/" + *llc)
 		return
 	}
 
@@ -78,6 +133,8 @@ func main() {
 		MapBits:  *mapBits,
 		DataFrac: *dataFrac,
 		Cores:    *cores,
+		Metrics:  reg,
+		Trace:    tw,
 	}
 
 	// The functional-error measurement and the cycle-level timing
@@ -135,17 +192,18 @@ func main() {
 		fmt.Printf("LLC MPKI:        %.2f\n", tc.MPKI)
 		fmt.Printf("norm. traffic:   %.3f\n", tc.NormalizedTraffic)
 	}
+	writeObservability(*bench + "/" + *llc)
 }
 
 // saveBundle records the benchmark on the baseline LLC and writes a
 // self-contained trace bundle (traces + initial memory + annotations).
-func saveBundle(bench string, scale float64, cores int, path string) error {
+func saveBundle(bench string, scale float64, cores int, path string, reg *doppelganger.MetricsRegistry) error {
 	f, err := workloads.ByName(bench)
 	if err != nil {
 		return err
 	}
 	run := workloads.RunFunctional(f.New(scale), workloads.BaselineBuilder(2<<20, 16),
-		workloads.RunOptions{Cores: cores, Record: true})
+		workloads.RunOptions{Cores: cores, Record: true, Metrics: reg})
 	b, err := workloads.BundleOf(run)
 	if err != nil {
 		return err
@@ -165,7 +223,8 @@ func saveBundle(bench string, scale float64, cores int, path string) error {
 
 // replayBundle loads a trace bundle and replays it cycle-accurately against
 // the chosen organization.
-func replayBundle(path, llc string, mapBits int, dataFrac float64, cores int) error {
+func replayBundle(path, llc string, mapBits int, dataFrac float64, cores int,
+	reg *doppelganger.MetricsRegistry, tw *doppelganger.TraceWriter) error {
 	in, err := os.Open(path)
 	if err != nil {
 		return err
@@ -193,7 +252,14 @@ func replayBundle(path, llc string, mapBits int, dataFrac float64, cores int) er
 	}
 	cfg := timesim.DefaultConfig()
 	cfg.Cores = cores
+	cfg.Metrics = reg
+	if tw != nil {
+		cfg.Trace, cfg.TracePID, cfg.TraceLabel = tw, 1, path+" ("+llc+")"
+	}
 	res := timesim.Run(b.Traces, b.InitialMem, b.Annotations, builder, cfg)
+	if err := res.CrossCheck(); err != nil {
+		return err
+	}
 	fmt.Printf("replayed %s against %s (M=%d, data %g)\n", path, llc, mapBits, dataFrac)
 	fmt.Printf("cycles:          %d\n", res.Cycles)
 	fmt.Printf("instructions:    %d (IPC %.2f over %d cores)\n",

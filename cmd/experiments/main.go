@@ -19,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 
@@ -33,6 +35,10 @@ func main() {
 		format  = flag.String("format", "text", "output format: text, csv, json, chart")
 		workers = flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		serial  = flag.Bool("serial", false, "skip the parallel engine; compute lazily on one goroutine")
+
+		metricsOut = flag.String("metrics-out", "", "write per-task + total counter snapshots as JSONL to this file")
+		traceOut   = flag.String("trace-out", "", "write a Chrome-trace JSON (chrome://tracing) of every timing run to this file")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 	args := flag.Args()
@@ -49,6 +55,32 @@ func main() {
 		ev.Restrict(strings.Split(*only, ",")...)
 	}
 	ev.Parallel(*workers)
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: pprof server: %v\n", err)
+			}
+		}()
+	}
+	if *metricsOut != "" {
+		ev.CollectMetrics()
+	}
+	var finishTrace func() error
+	if *traceOut != "" {
+		tf, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		finish := ev.TraceTo(tf)
+		finishTrace = func() error {
+			if err := finish(); err != nil {
+				return err
+			}
+			return tf.Close()
+		}
+	}
 
 	order := []string{"table2", "fig2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "table3", "extras"}
 	want := map[string]bool{}
@@ -156,5 +188,23 @@ func main() {
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "experiments: nothing matched %v (known: %s, all)\n", args, strings.Join(order, ", "))
 		os.Exit(2)
+	}
+
+	if *metricsOut != "" {
+		mf, err := os.Create(*metricsOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := ev.WriteMetrics(mf); err != nil {
+			fail(err)
+		}
+		if err := mf.Close(); err != nil {
+			fail(err)
+		}
+	}
+	if finishTrace != nil {
+		if err := finishTrace(); err != nil {
+			fail(err)
+		}
 	}
 }

@@ -33,6 +33,7 @@ import (
 	"doppelganger/internal/core"
 	"doppelganger/internal/energy"
 	"doppelganger/internal/memdata"
+	"doppelganger/internal/metrics"
 	"doppelganger/internal/sweep"
 	"doppelganger/internal/timesim"
 	"doppelganger/internal/workloads"
@@ -69,7 +70,19 @@ type (
 	TimingResult = timesim.Result
 	// Table is a formatted experiment result.
 	Table = sweep.Table
+	// MetricsRegistry aggregates named counters/gauges/histograms from every
+	// instrumented layer; nil disables collection at zero cost.
+	MetricsRegistry = metrics.Registry
+	// TraceWriter streams Chrome-trace JSON (chrome://tracing format).
+	TraceWriter = metrics.TraceWriter
 )
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// NewTraceWriter starts a Chrome-trace stream on w; call Close to terminate
+// the JSON envelope.
+func NewTraceWriter(w io.Writer) *TraceWriter { return metrics.NewTraceWriter(w) }
 
 // Element types for Region annotations.
 const (
@@ -189,6 +202,14 @@ type RunOptions struct {
 	DataFrac float64
 	// Cores is the CMP size (default 4).
 	Cores int
+
+	// Metrics, when non-nil, attaches the simulation under measurement (the
+	// chosen organization, not the precise reference run) to the registry.
+	Metrics *MetricsRegistry
+	// Trace, when non-nil, streams Chrome-trace events from the timing
+	// replays (RunTiming): the chosen organization on process lane 1, the
+	// baseline reference on lane 2.
+	Trace *TraceWriter
 }
 
 func (o *RunOptions) defaults(kind LLCKind) {
@@ -239,7 +260,8 @@ func RunBenchmark(name string, kind LLCKind, opt RunOptions) (*BenchmarkResult, 
 				workloads.RunOptions{Cores: opt.Cores})
 		}()
 	}
-	run = workloads.RunFunctional(f.New(opt.Scale), builder, workloads.RunOptions{Cores: opt.Cores})
+	run = workloads.RunFunctional(f.New(opt.Scale), builder,
+		workloads.RunOptions{Cores: opt.Cores, Metrics: opt.Metrics})
 	wg.Wait()
 	res := &BenchmarkResult{
 		Output:         run.Output,
@@ -299,7 +321,8 @@ func RunMultiprogram(names []string, kind LLCKind, opt RunOptions) (*BenchmarkRe
 				workloads.RunOptions{Cores: opt.Cores})
 		}()
 	}
-	run := workloads.RunFunctional(mp, builder, workloads.RunOptions{Cores: opt.Cores})
+	run := workloads.RunFunctional(mp, builder,
+		workloads.RunOptions{Cores: opt.Cores, Metrics: opt.Metrics})
 	wg.Wait()
 	res := &BenchmarkResult{
 		Output:         run.Output,
@@ -352,6 +375,15 @@ func RunTiming(name string, kind LLCKind, opt RunOptions) (*TimingComparison, er
 	case UniDoppelganger:
 		builder = workloads.UnifiedBuilder(opt.MapBits, opt.DataFrac)
 	}
+	// The chosen organization's replay carries the observability hooks; the
+	// baseline reference gets its own trace lane but no registry (so counter
+	// totals describe exactly one simulation).
+	selCfg, baseCfg := cfg, cfg
+	selCfg.Metrics = opt.Metrics
+	if opt.Trace != nil {
+		selCfg.Trace, selCfg.TracePID, selCfg.TraceLabel = opt.Trace, 1, name+" (chosen org)"
+		baseCfg.Trace, baseCfg.TracePID, baseCfg.TraceLabel = opt.Trace, 2, name+" (baseline)"
+	}
 	// The two replays read the recorded traces and clone the initial memory
 	// image independently, so they run concurrently.
 	var base *TimingResult
@@ -360,9 +392,9 @@ func RunTiming(name string, kind LLCKind, opt RunOptions) (*TimingComparison, er
 	go func() {
 		defer wg.Done()
 		base = timesim.Run(run.Recorder, run.InitialMem, run.Annotations,
-			workloads.BaselineBuilder(2<<20, 16), cfg)
+			workloads.BaselineBuilder(2<<20, 16), baseCfg)
 	}()
-	res := timesim.Run(run.Recorder, run.InitialMem, run.Annotations, builder, cfg)
+	res := timesim.Run(run.Recorder, run.InitialMem, run.Annotations, builder, selCfg)
 	wg.Wait()
 	return &TimingComparison{
 		BaselineCycles:    base.Cycles,
@@ -418,6 +450,33 @@ func (e *Evaluation) Restrict(names ...string) { e.r.Only = names }
 // Parallel sets the maximum number of concurrent simulations Prewarm may
 // run (0, the default, means GOMAXPROCS).
 func (e *Evaluation) Parallel(workers int) { e.r.Workers = workers }
+
+// CollectMetrics enables the observability layer for every simulation this
+// evaluation performs: per-level cache hits/misses/evictions, MSI transition
+// counts, Doppelgänger substitution and occupancy instruments, core-model
+// stalls — aggregated across tasks and also snapshotted per task. Call
+// before running experiments; WriteMetrics dumps the result.
+func (e *Evaluation) CollectMetrics() {
+	if e.r.Metrics == nil {
+		e.r.Metrics = metrics.NewRegistry()
+	}
+}
+
+// WriteMetrics writes one JSON object per line: every per-task counter
+// snapshot (sorted by task label), then the evaluation-wide aggregate under
+// the task label "total". A no-op unless CollectMetrics was called.
+func (e *Evaluation) WriteMetrics(w io.Writer) error { return e.r.WriteMetricsJSONL(w) }
+
+// TraceTo streams Chrome-trace-format JSON (loadable in chrome://tracing or
+// Perfetto) to w: every timing run gets its own process lane, one thread per
+// simulated core, with LLC/memory operations as duration events and
+// back-invalidation bursts as instants. Call the returned function after the
+// experiments finish to terminate the JSON envelope.
+func (e *Evaluation) TraceTo(w io.Writer) (finish func() error) {
+	tw := metrics.NewTraceWriter(w)
+	e.r.Trace = tw
+	return tw.Close
+}
 
 // Prewarm runs every simulation the paper's tables and figures need
 // (plus the extras grid when extras is true) through the parallel

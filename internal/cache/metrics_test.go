@@ -1,0 +1,91 @@
+package cache
+
+import (
+	"testing"
+
+	"doppelganger/internal/memdata"
+	"doppelganger/internal/metrics"
+)
+
+func testCache() *Cache {
+	return New(Config{Name: "L1", SizeBytes: 32 << 10, Ways: 4})
+}
+
+// TestDisabledMetricsZeroAllocs locks down the nil-sink fast path: with no
+// registry attached, the Lookup/Install hot path must not allocate at all.
+// This is the guarantee that lets every array carry instruments
+// unconditionally.
+func TestDisabledMetricsZeroAllocs(t *testing.T) {
+	c := testCache()
+	// Pre-fault every set so steady-state Install never grows anything.
+	for a := memdata.Addr(0); a < 64<<10; a += memdata.BlockSize {
+		c.Install(c.Victim(a), a, nil)
+	}
+	addr := memdata.Addr(0x1240)
+	c.Install(c.Victim(addr), addr, nil)
+	n := testing.AllocsPerRun(1000, func() {
+		if c.Lookup(addr) == nil { // hit path
+			t.Fatal("expected hit")
+		}
+		c.Lookup(addr + 1<<20)                     // miss path
+		miss := addr + memdata.Addr(c.tick%64)<<20 // rotate evictions
+		c.Install(c.Victim(miss), miss, nil)       // eviction path
+		c.Install(c.Victim(addr), addr, nil)       // restore the hit line
+	})
+	if n != 0 {
+		t.Fatalf("disabled-metrics hot path allocates %v allocs/op, want 0", n)
+	}
+}
+
+// TestEnabledMetricsCountsMatchStats checks the instruments mirror the
+// legacy Stats struct exactly.
+func TestEnabledMetricsCountsMatchStats(t *testing.T) {
+	c := testCache()
+	reg := metrics.NewRegistry()
+	c.AttachMetrics(reg)
+	for a := memdata.Addr(0); a < 128<<10; a += memdata.BlockSize {
+		c.Install(c.Victim(a), a, nil)
+		c.Lookup(a)
+		c.Lookup(a + 1<<24)
+	}
+	checks := []struct {
+		name string
+		want uint64
+	}{
+		{"cache.l1.hits", c.Stats.Hits},
+		{"cache.l1.misses", c.Stats.Misses},
+		{"cache.l1.evictions", c.Stats.Evictions},
+		{"cache.l1.dirty_evictions", c.Stats.Dirty},
+	}
+	for _, ck := range checks {
+		if got := reg.CounterValue(ck.name); got != ck.want {
+			t.Errorf("%s = %d, want %d", ck.name, got, ck.want)
+		}
+	}
+}
+
+// BenchmarkLookupDisabled / BenchmarkLookupEnabled make the overhead of the
+// metrics layer visible: disabled must be allocation-free, enabled costs
+// one atomic add per event.
+func BenchmarkLookupDisabled(b *testing.B) {
+	c := testCache()
+	addr := memdata.Addr(0x1240)
+	c.Install(c.Victim(addr), addr, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(addr)
+	}
+}
+
+func BenchmarkLookupEnabled(b *testing.B) {
+	c := testCache()
+	c.AttachMetrics(metrics.NewRegistry())
+	addr := memdata.Addr(0x1240)
+	c.Install(c.Victim(addr), addr, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(addr)
+	}
+}

@@ -11,9 +11,11 @@ package cache
 import (
 	"fmt"
 	"math/bits"
+	"strings"
 
 	"doppelganger/internal/coherence"
 	"doppelganger/internal/memdata"
+	"doppelganger/internal/metrics"
 )
 
 // Config describes one set-associative array.
@@ -67,6 +69,14 @@ type Stats struct {
 	Dirty     uint64 // dirty evictions (writebacks)
 }
 
+// cacheMetrics are the array's registry instruments, resolved once by
+// AttachMetrics. The zero value (all nil) is the disabled fast path: each
+// event costs one nil check and zero allocations (locked down by
+// TestDisabledMetricsZeroAllocs).
+type cacheMetrics struct {
+	hits, misses, evictions, dirty *metrics.Counter
+}
+
 // Cache is a set-associative array with LRU replacement.
 type Cache struct {
 	cfg      Config
@@ -75,6 +85,7 @@ type Cache struct {
 	setMask  uint32
 	tick     uint64
 	Stats    Stats
+	m        cacheMetrics
 }
 
 // New builds an array from cfg, panicking on invalid geometry (all
@@ -100,6 +111,23 @@ func New(cfg Config) *Cache {
 // Config returns the array geometry.
 func (c *Cache) Config() Config { return c.cfg }
 
+// AttachMetrics resolves the array's counters in reg under
+// "cache.<name>.*". Per-core arrays share a config name, so their counters
+// aggregate — matching the hierarchy-level legacy totals the differential
+// tests compare against. A nil registry leaves the disabled fast path.
+func (c *Cache) AttachMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	prefix := "cache." + strings.ToLower(c.cfg.Name) + "."
+	c.m = cacheMetrics{
+		hits:      reg.Counter(prefix + "hits"),
+		misses:    reg.Counter(prefix + "misses"),
+		evictions: reg.Counter(prefix + "evictions"),
+		dirty:     reg.Counter(prefix + "dirty_evictions"),
+	}
+}
+
 // SetIndexBits returns log2(number of sets).
 func (c *Cache) SetIndexBits() int { return bits.TrailingZeros32(c.setMask + 1) }
 
@@ -120,9 +148,11 @@ func (c *Cache) Lookup(addr memdata.Addr) *Line {
 	if l := c.Probe(addr); l != nil {
 		c.touch(l)
 		c.Stats.Hits++
+		c.m.hits.Inc()
 		return l
 	}
 	c.Stats.Misses++
+	c.m.misses.Inc()
 	return nil
 }
 
@@ -170,8 +200,10 @@ func (c *Cache) Victim(addr memdata.Addr) *Line {
 func (c *Cache) Install(l *Line, addr memdata.Addr, data *memdata.Block) {
 	if l.Valid {
 		c.Stats.Evictions++
+		c.m.evictions.Inc()
 		if l.Dirty {
 			c.Stats.Dirty++
+			c.m.dirty.Inc()
 		}
 	}
 	*l = Line{

@@ -1,0 +1,292 @@
+// Package coherence_test holds the MSI protocol property test. It lives in
+// an external test package so it can drive the full funcsim hierarchy
+// (which imports coherence) without an import cycle.
+package coherence_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"doppelganger/internal/approx"
+	"doppelganger/internal/cache"
+	"doppelganger/internal/coherence"
+	"doppelganger/internal/core"
+	"doppelganger/internal/funcsim"
+	"doppelganger/internal/memdata"
+)
+
+// The test drives a deliberately tiny hierarchy (so every structure
+// overflows and evicts constantly) with randomized load/store
+// interleavings, and re-checks the protocol invariants after every single
+// access:
+//
+//  1. at most one core holds a block in Modified;
+//  2. a Modified copy excludes every other private copy;
+//  3. the directory's sharer set equals exactly the set of cores holding
+//     the block in their L2;
+//  4. inclusion: an L1 copy implies an L2 copy, and (baseline LLC only)
+//     a private copy implies a valid LLC tag;
+//  5. directory state Modified implies the owner actually holds an M copy,
+//     and no private M copy exists without directory state M.
+//
+// Failures shrink greedily to a minimal reproducing op sequence before
+// reporting, and every sequence is derived from a printed seed.
+const (
+	msiCores     = 4
+	msiPoolSide  = 24 // blocks per pool (precise / approximate)
+	msiPrecise   = memdata.Addr(0x4000)
+	msiApproxLow = memdata.Addr(0x100000)
+)
+
+type msiOp struct {
+	Core  int
+	Block int // < msiPoolSide: precise pool; otherwise approximate pool
+	Write bool
+	Val   float64
+}
+
+func msiAddr(block int) memdata.Addr {
+	if block < msiPoolSide {
+		return msiPrecise + memdata.Addr(block*memdata.BlockSize)
+	}
+	return msiApproxLow + memdata.Addr((block-msiPoolSide)*memdata.BlockSize)
+}
+
+// msiHierarchy builds the tiny hierarchy over the chosen LLC organization.
+func msiHierarchy(llc string) *funcsim.Hierarchy {
+	st := memdata.NewStore()
+	ann := approx.MustAnnotations(approx.Region{
+		Name:  "ax",
+		Start: msiApproxLow,
+		End:   msiApproxLow + memdata.Addr(msiPoolSide*memdata.BlockSize),
+		Type:  memdata.F32, Min: 0, Max: 100,
+	})
+	var l core.LLC
+	switch llc {
+	case "baseline":
+		l = core.NewBaseline(cache.Config{Name: "LLC", SizeBytes: 2 << 10, Ways: 4}, st, ann)
+	case "split":
+		l = core.MustNewSplit(
+			cache.Config{Name: "precise", SizeBytes: 2 << 10, Ways: 4},
+			core.Config{
+				Name:       "doppel",
+				TagEntries: 64, TagWays: 4,
+				DataEntries: 16, DataWays: 4,
+				MapSpec: approx.MapSpec{M: 14},
+			},
+			st, ann)
+	default:
+		panic("unknown llc kind " + llc)
+	}
+	return funcsim.New(funcsim.Config{
+		Cores: msiCores,
+		L1:    cache.Config{Name: "L1", SizeBytes: 1 << 10, Ways: 2},
+		L2:    cache.Config{Name: "L2", SizeBytes: 2 << 10, Ways: 4},
+	}, l, st, ann, nil)
+}
+
+func msiApply(h *funcsim.Hierarchy, op msiOp) {
+	addr := msiAddr(op.Block)
+	if op.Block >= msiPoolSide {
+		if op.Write {
+			h.StoreF32(op.Core, addr, float32(op.Val))
+		} else {
+			h.LoadF32(op.Core, addr)
+		}
+		return
+	}
+	if op.Write {
+		h.StoreI32(op.Core, addr, int32(op.Val))
+	} else {
+		h.LoadI32(op.Core, addr)
+	}
+}
+
+// msiCheck verifies the invariants over the whole block pool. strictLLC
+// additionally requires inclusion at the LLC level; it holds for the
+// baseline organization but not for Doppelgänger data-eviction corners.
+func msiCheck(h *funcsim.Hierarchy, strictLLC bool) error {
+	for i := 0; i < 2*msiPoolSide; i++ {
+		ba := msiAddr(i).BlockAddr()
+		var holders, l2holders, modified []int
+		for c := 0; c < h.Cores(); c++ {
+			pv := h.PrivateView(c, ba)
+			if pv.InL1 && !pv.InL2 {
+				return fmt.Errorf("block %#x: core %d holds in L1 but not L2 (inclusion)", ba, c)
+			}
+			if pv.Holds() {
+				holders = append(holders, c)
+			}
+			if pv.InL2 {
+				l2holders = append(l2holders, c)
+			}
+			if pv.Modified() {
+				modified = append(modified, c)
+			}
+		}
+		if len(modified) > 1 {
+			return fmt.Errorf("block %#x: %d cores hold Modified copies %v", ba, len(modified), modified)
+		}
+		if len(modified) == 1 && len(holders) > 1 {
+			return fmt.Errorf("block %#x: Modified copy on core %d coexists with holders %v",
+				ba, modified[0], holders)
+		}
+		st, owner, sharers, ok := h.DirView(ba)
+		if !ok {
+			if len(holders) > 0 {
+				return fmt.Errorf("block %#x: no directory entry but held by %v", ba, holders)
+			}
+			continue
+		}
+		if !equalInts(sharers, l2holders) {
+			return fmt.Errorf("block %#x: directory sharers %v != L2 holders %v", ba, sharers, l2holders)
+		}
+		if st == coherence.Modified {
+			if owner < 0 || owner >= h.Cores() || !h.PrivateView(owner, ba).Modified() {
+				return fmt.Errorf("block %#x: directory M with owner %d but no private M copy", ba, owner)
+			}
+		} else if len(modified) > 0 {
+			return fmt.Errorf("block %#x: private M copy on core %d without directory M (dir %v)",
+				ba, modified[0], st)
+		}
+		if strictLLC {
+			for _, c := range holders {
+				if !h.LLC().Contains(ba) {
+					return fmt.Errorf("block %#x: core %d holds privately but LLC has no tag (inclusion)", ba, c)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// msiFails replays ops from scratch, reporting whether any prefix violates
+// the invariants (used by the shrinker).
+func msiFails(llc string, strictLLC bool, ops []msiOp) bool {
+	h := msiHierarchy(llc)
+	for _, op := range ops {
+		msiApply(h, op)
+		if msiCheck(h, strictLLC) != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// msiShrink greedily removes chunks (halving the chunk size down to single
+// ops) while the sequence still fails, yielding a near-minimal reproducer.
+func msiShrink(llc string, strictLLC bool, ops []msiOp) []msiOp {
+	for again := true; again; {
+		again = false
+		for n := len(ops) / 2; n >= 1; n /= 2 {
+			for i := 0; i+n <= len(ops); i += n {
+				cand := make([]msiOp, 0, len(ops)-n)
+				cand = append(cand, ops[:i]...)
+				cand = append(cand, ops[i+n:]...)
+				if msiFails(llc, strictLLC, cand) {
+					ops = cand
+					again = true
+				}
+			}
+		}
+	}
+	return ops
+}
+
+func TestMSIPropertyRandomized(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4, 5, 6}
+	nops := 500
+	if testing.Short() {
+		seeds, nops = seeds[:2], 150
+	}
+	for _, llc := range []string{"baseline", "split"} {
+		strictLLC := llc == "baseline"
+		for _, seed := range seeds {
+			rng := rand.New(rand.NewSource(seed))
+			h := msiHierarchy(llc)
+			ops := make([]msiOp, 0, nops)
+			for len(ops) < nops {
+				op := msiOp{
+					Core:  rng.Intn(msiCores),
+					Block: rng.Intn(2 * msiPoolSide),
+					Write: rng.Intn(3) == 0,
+					Val:   rng.Float64() * 100,
+				}
+				ops = append(ops, op)
+				msiApply(h, op)
+				if err := msiCheck(h, strictLLC); err != nil {
+					min := msiShrink(llc, strictLLC, ops)
+					t.Fatalf("llc=%s seed=%d op %d: %v\nminimal reproducer (%d ops): %+v",
+						llc, seed, len(ops), err, len(min), min)
+				}
+			}
+		}
+	}
+}
+
+// TestMSISingleWriterDirected pins the textbook scenarios the randomized
+// test covers statistically: read sharing, write upgrade, write steal, and
+// remote flush on a read of a Modified block.
+func TestMSISingleWriterDirected(t *testing.T) {
+	h := msiHierarchy("baseline")
+	addr := msiAddr(0)
+	ba := addr.BlockAddr()
+
+	// All cores read: everyone shares.
+	for c := 0; c < msiCores; c++ {
+		h.LoadI32(c, addr)
+	}
+	st, _, sharers, ok := h.DirView(ba)
+	if !ok || st != coherence.Shared || len(sharers) != msiCores {
+		t.Fatalf("after read sharing: dir %v sharers %v ok %v", st, sharers, ok)
+	}
+
+	// Core 1 writes: upgrade must invalidate everyone else.
+	h.StoreI32(1, addr, 7)
+	st, owner, sharers, _ := h.DirView(ba)
+	if st != coherence.Modified || owner != 1 || !equalInts(sharers, []int{1}) {
+		t.Fatalf("after upgrade: dir %v owner %d sharers %v", st, owner, sharers)
+	}
+	for c := 0; c < msiCores; c++ {
+		if c != 1 && h.PrivateView(c, ba).Holds() {
+			t.Fatalf("core %d still holds after core 1's upgrade", c)
+		}
+	}
+
+	// Core 2 writes: ownership moves.
+	h.StoreI32(2, addr, 8)
+	if _, owner, _, _ := h.DirView(ba); owner != 2 {
+		t.Fatalf("after steal: owner %d", owner)
+	}
+	if h.PrivateView(1, ba).Holds() {
+		t.Fatal("core 1 still holds after core 2's write steal")
+	}
+
+	// Core 3 reads: core 2's dirty copy is flushed, both end Shared.
+	if got := h.LoadI32(3, addr); got != 8 {
+		t.Fatalf("core 3 read %d, want 8", got)
+	}
+	st, _, _, _ = h.DirView(ba)
+	if st != coherence.Shared {
+		t.Fatalf("after read of M block: dir state %v", st)
+	}
+	if h.PrivateView(2, ba).Modified() {
+		t.Fatal("core 2 still Modified after remote read")
+	}
+	if err := msiCheck(h, true); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -168,6 +168,7 @@ type Doppelganger struct {
 	ann        *approx.Annotations
 	tick       uint64
 	Stats      Stats
+	m          coreMetrics
 }
 
 // New builds a Doppelgänger cache. ann must cover every approximate address
@@ -350,6 +351,7 @@ func (d *Doppelganger) unlink(t int32) (freedData bool) {
 		e.valid = false
 		e.head = nilTag
 		e.count = 0
+		d.m.dataOccupied.Add(-1)
 		return true
 	}
 	if te.prev != nilTag {
@@ -374,9 +376,11 @@ func (d *Doppelganger) unlink(t int32) (freedData bool) {
 // linking happen off the critical path).
 func (d *Doppelganger) Read(addr memdata.Addr) (memdata.Block, *Effects) {
 	d.Stats.Reads++
+	d.m.reads.Inc()
 	eff := &Effects{DTagReads: 1}
 	if t := d.probeTag(addr); t != nilTag {
 		d.Stats.ReadHits++
+		d.m.readHits.Inc()
 		eff.Hit = true
 		de := d.dataOf(t)
 		eff.MTagReads, eff.DDataReads = 1, 1
@@ -394,6 +398,7 @@ func (d *Doppelganger) Read(addr memdata.Addr) (memdata.Block, *Effects) {
 // (approximately) its payload, per §3.3.
 func (d *Doppelganger) insert(addr memdata.Addr, payload *memdata.Block, dirty bool, eff *Effects) {
 	d.Stats.Inserts++
+	d.m.inserts.Inc()
 	region := d.ann.Lookup(addr)
 	if region == nil && !d.cfg.Unified {
 		panic(fmt.Sprintf("core: precise address %v routed to non-unified Doppelgänger", addr))
@@ -414,6 +419,7 @@ func (d *Doppelganger) insert(addr memdata.Addr, payload *memdata.Block, dirty b
 	} else {
 		key = d.cfg.MapSpec.MapValue(payload, region)
 		d.Stats.MapGens++
+		d.m.mapGens.Inc()
 		eff.MapGens++
 	}
 
@@ -423,6 +429,8 @@ func (d *Doppelganger) insert(addr memdata.Addr, payload *memdata.Block, dirty b
 		// A similar block already resides in the data array: reuse it and
 		// discard the incoming payload (§3.3 "Similar Data Block Exists").
 		d.Stats.ReuseLinks++
+		d.m.reuseLinks.Inc()
+		d.m.approxSubs.Inc()
 		eff.MTagWrites++ // head-pointer update
 	} else {
 		if de >= 0 {
@@ -432,6 +440,7 @@ func (d *Doppelganger) insert(addr memdata.Addr, payload *memdata.Block, dirty b
 		}
 		de = d.allocData(key, precise, payload, eff)
 		d.Stats.NewDataBlocks++
+		d.m.newDataBlocks.Inc()
 	}
 
 	d.tags[t] = tagEntry{
@@ -446,6 +455,7 @@ func (d *Doppelganger) insert(addr memdata.Addr, payload *memdata.Block, dirty b
 		next:    nilTag,
 		lru:     d.touch(),
 	}
+	d.m.tagsOccupied.Add(1)
 	d.linkHead(de, t)
 	d.data[de].lru = d.tick
 }
@@ -468,6 +478,7 @@ func (d *Doppelganger) allocData(key uint32, precise bool, payload *memdata.Bloc
 		lru:     d.touch(),
 	}
 	d.setPayload(de, payload)
+	d.m.dataOccupied.Add(1)
 	eff.MTagWrites++
 	eff.DDataWrites++
 	return de
@@ -480,6 +491,7 @@ func (d *Doppelganger) allocData(key uint32, precise bool, payload *memdata.Bloc
 func (d *Doppelganger) evictData(de int32, eff *Effects) {
 	e := &d.data[de]
 	d.Stats.DataEvictions++
+	d.m.dataEvictions.Inc()
 	d.Stats.TagsAtDataEviction += uint64(e.count)
 	rep := d.payloadOf(de)
 	for t := e.head; t != nilTag; {
@@ -489,9 +501,12 @@ func (d *Doppelganger) evictData(de int32, eff *Effects) {
 			d.store.WriteBlock(te.addr, &rep)
 			eff.MemWrites++
 			d.Stats.DirtyTagEvictions++
+			d.m.dirtyTagEvictions.Inc()
 		}
 		eff.Evicted = append(eff.Evicted, Eviction{Addr: te.addr, Dirty: te.dirty})
 		d.Stats.TagEvictions++
+		d.m.tagEvictions.Inc()
+		d.m.tagsOccupied.Add(-1)
 		*te = tagEntry{prev: nilTag, next: nilTag}
 		t = next
 	}
@@ -501,6 +516,7 @@ func (d *Doppelganger) evictData(de int32, eff *Effects) {
 func (d *Doppelganger) freeData(de int32, eff *Effects) {
 	d.clearPayload(de)
 	d.data[de] = dataEntry{head: nilTag}
+	d.m.dataOccupied.Add(-1)
 	eff.MTagWrites++
 }
 
@@ -516,9 +532,12 @@ func (d *Doppelganger) evictTag(t int32, eff *Effects) {
 		d.store.WriteBlock(te.addr, &rep)
 		eff.MemWrites++
 		d.Stats.DirtyTagEvictions++
+		d.m.dirtyTagEvictions.Inc()
 	}
 	eff.Evicted = append(eff.Evicted, Eviction{Addr: te.addr, Dirty: te.dirty})
 	d.Stats.TagEvictions++
+	d.m.tagEvictions.Inc()
+	d.m.tagsOccupied.Add(-1)
 	d.unlink(t)
 	eff.MTagWrites++
 	*te = tagEntry{prev: nilTag, next: nilTag}
@@ -532,11 +551,13 @@ func (d *Doppelganger) evictTag(t int32, eff *Effects) {
 // in the cache.
 func (d *Doppelganger) WriteBack(addr memdata.Addr, payload *memdata.Block) *Effects {
 	d.Stats.WriteBacks++
+	d.m.writeBacks.Inc()
 	eff := &Effects{DTagReads: 1}
 	t := d.probeTag(addr)
 	if t == nilTag {
 		// Inclusivity corner: tag already evicted. Insert fresh as dirty.
 		d.Stats.WritebackMisses++
+		d.m.writebackMisses.Inc()
 		d.insert(addr, payload, true, eff)
 		return eff
 	}
@@ -559,9 +580,11 @@ func (d *Doppelganger) WriteBack(addr memdata.Addr, payload *memdata.Block) *Eff
 
 	newMap := d.cfg.MapSpec.MapValue(payload, te.region)
 	d.Stats.MapGens++
+	d.m.mapGens.Inc()
 	eff.MapGens++
 	if newMap == te.mapv {
 		d.Stats.SilentWrites++
+		d.m.silentWrites.Inc()
 		te.dirty = true
 		return eff
 	}
@@ -574,10 +597,13 @@ func (d *Doppelganger) WriteBack(addr memdata.Addr, payload *memdata.Block) *Eff
 	eff.MTagReads++
 	if de >= 0 {
 		d.Stats.Remaps++
+		d.m.remaps.Inc()
+		d.m.approxSubs.Inc()
 		eff.MTagWrites++
 	} else {
 		de = d.allocData(newMap, false, payload, eff)
 		d.Stats.WriteAllocs++
+		d.m.writeAllocs.Inc()
 	}
 	te.mapv = newMap
 	te.dirty = true

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"strings"
+
+	"doppelganger/internal/metrics"
+)
+
+// coreMetrics are the Doppelgänger cache's registry instruments, resolved
+// once by AttachMetrics. The zero value (all nil) is the disabled fast path:
+// each event costs one nil check and zero allocations.
+//
+// Counters mirror the legacy Stats fields exactly (the differential tests
+// compare the two), plus approx_substitutions — the number of times a block's
+// payload was substituted by similar data already resident in the data array
+// (reuse links on insert + remaps on writeback), the defining approximation
+// event of the design. The two gauges track live occupancy of the decoupled
+// tag and data arrays (map-table occupancy), with high-water marks.
+type coreMetrics struct {
+	reads, readHits   *metrics.Counter
+	writeBacks        *metrics.Counter
+	silentWrites      *metrics.Counter
+	remaps            *metrics.Counter
+	writeAllocs       *metrics.Counter
+	writebackMisses   *metrics.Counter
+	inserts           *metrics.Counter
+	reuseLinks        *metrics.Counter
+	newDataBlocks     *metrics.Counter
+	tagEvictions      *metrics.Counter
+	dirtyTagEvictions *metrics.Counter
+	dataEvictions     *metrics.Counter
+	mapGens           *metrics.Counter
+	approxSubs        *metrics.Counter
+
+	tagsOccupied *metrics.Gauge
+	dataOccupied *metrics.Gauge
+}
+
+// metricName lowercases a config name for use as a metric path segment.
+func metricName(name string) string {
+	return strings.ReplaceAll(strings.ToLower(name), " ", "_")
+}
+
+// AttachMetrics resolves the cache's instruments in reg under
+// "core.<name>.*". A nil registry leaves the disabled fast path. The
+// occupancy gauges are seeded from the current array state so attaching
+// mid-run stays consistent.
+func (d *Doppelganger) AttachMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	prefix := "core." + metricName(d.cfg.Name) + "."
+	d.m = coreMetrics{
+		reads:             reg.Counter(prefix + "reads"),
+		readHits:          reg.Counter(prefix + "read_hits"),
+		writeBacks:        reg.Counter(prefix + "writebacks"),
+		silentWrites:      reg.Counter(prefix + "silent_writes"),
+		remaps:            reg.Counter(prefix + "remaps"),
+		writeAllocs:       reg.Counter(prefix + "write_allocs"),
+		writebackMisses:   reg.Counter(prefix + "writeback_misses"),
+		inserts:           reg.Counter(prefix + "inserts"),
+		reuseLinks:        reg.Counter(prefix + "reuse_links"),
+		newDataBlocks:     reg.Counter(prefix + "new_data_blocks"),
+		tagEvictions:      reg.Counter(prefix + "tag_evictions"),
+		dirtyTagEvictions: reg.Counter(prefix + "dirty_tag_evictions"),
+		dataEvictions:     reg.Counter(prefix + "data_evictions"),
+		mapGens:           reg.Counter(prefix + "map_gens"),
+		approxSubs:        reg.Counter(prefix + "approx_substitutions"),
+		tagsOccupied:      reg.Gauge(prefix + "tags_occupied"),
+		dataOccupied:      reg.Gauge(prefix + "data_occupied"),
+	}
+	d.m.tagsOccupied.Set(int64(d.TagEntries()))
+	d.m.dataOccupied.Set(int64(d.DataBlocks()))
+}
+
+// AttachMetrics resolves the baseline LLC's instruments: it simply delegates
+// to the underlying set-associative array ("cache.<name>.*").
+func (b *Baseline) AttachMetrics(reg *metrics.Registry) {
+	b.arr.AttachMetrics(reg)
+}
+
+// AttachMetrics attaches both halves of the split organization.
+func (s *Split) AttachMetrics(reg *metrics.Registry) {
+	s.Precise.AttachMetrics(reg)
+	s.Doppel.AttachMetrics(reg)
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"doppelganger/internal/memdata"
+	"doppelganger/internal/metrics"
 )
 
 // Config describes the DRAM geometry and timing (in core cycles).
@@ -62,6 +63,41 @@ type Memory struct {
 	RowHits   uint64
 	RowMisses uint64 // closed-row activations
 	Conflicts uint64 // open-row conflicts (precharge needed)
+
+	m dramMetrics
+}
+
+// dramMetrics are the registry instruments, resolved once by AttachMetrics.
+// The zero value (all nil) is the disabled fast path.
+type dramMetrics struct {
+	accesses  *metrics.Counter
+	rowHits   *metrics.Counter
+	rowMisses *metrics.Counter
+	conflicts *metrics.Counter
+	queueWait *metrics.Histogram // cycles a request waited for its bank
+}
+
+// queueWaitBounds bucket the bank queueing delay in core cycles; the top
+// bucket edge sits past a full conflict turnaround so pathological pile-ups
+// land in the overflow bucket.
+var queueWaitBounds = []float64{0, 4, 16, 64, 256, 1024}
+
+// AttachMetrics resolves the DRAM instruments in reg under "dram.*". The
+// queue-wait histogram observes, per access, how long the request stalled
+// behind earlier work on its bank — the queue-depth proxy in a model that
+// tracks busy-until times rather than explicit request queues. A nil
+// registry leaves the disabled fast path.
+func (m *Memory) AttachMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	m.m = dramMetrics{
+		accesses:  reg.Counter("dram.accesses"),
+		rowHits:   reg.Counter("dram.row_hits"),
+		rowMisses: reg.Counter("dram.row_misses"),
+		conflicts: reg.Counter("dram.row_conflicts"),
+		queueWait: reg.Histogram("dram.queue_wait_cycles", queueWaitBounds),
+	}
 }
 
 // New builds a DRAM model.
@@ -112,6 +148,7 @@ func logBanks(n int) int {
 // completion time. Reads and writes share the same bank/channel path.
 func (m *Memory) Access(addr memdata.Addr, now float64) float64 {
 	m.Accesses++
+	m.m.accesses.Inc()
 	bank := m.bankOf(addr)
 	row := m.rowOf(addr)
 
@@ -119,19 +156,23 @@ func (m *Memory) Access(addr memdata.Addr, now float64) float64 {
 	if m.bankFree[bank] > start {
 		start = m.bankFree[bank]
 	}
+	m.m.queueWait.Observe(start - now)
 
 	var access float64
 	rowHit := false
 	switch {
 	case m.openRow[bank] == row:
 		m.RowHits++
+		m.m.rowHits.Inc()
 		rowHit = true
 		access = m.cfg.TCas
 	case m.openRow[bank] == -1:
 		m.RowMisses++
+		m.m.rowMisses.Inc()
 		access = m.cfg.TRcd + m.cfg.TCas
 	default:
 		m.Conflicts++
+		m.m.conflicts.Inc()
 		access = m.cfg.TRp + m.cfg.TRcd + m.cfg.TCas
 	}
 	m.openRow[bank] = row

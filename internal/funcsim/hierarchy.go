@@ -17,6 +17,7 @@ import (
 	"doppelganger/internal/coherence"
 	"doppelganger/internal/core"
 	"doppelganger/internal/memdata"
+	"doppelganger/internal/metrics"
 	"doppelganger/internal/trace"
 )
 
@@ -39,6 +40,21 @@ type Stats struct {
 	RemoteWritebacks     uint64 // M copies flushed to LLC for another core
 }
 
+// hierMetrics are the hierarchy's registry instruments, resolved once by
+// AttachMetrics; the zero value is the disabled no-op path. Each counter
+// mirrors one legacy Stats/Totals field at the same increment site, so the
+// differential tests can prove the two accountings never drift.
+type hierMetrics struct {
+	loads, stores        *metrics.Counter
+	l1Hits, l1Misses     *metrics.Counter
+	l2Hits, l2Misses     *metrics.Counter
+	llcReads, llcHits    *metrics.Counter
+	dirtyBackinvalWrites *metrics.Counter
+	remoteWritebacks     *metrics.Counter
+	memReads, memWrites  *metrics.Counter
+	mapGens              *metrics.Counter
+}
+
 // Hierarchy is the functional model: per-core L1/L2 over one shared LLC,
 // with an MSI directory maintained at the LLC level (§3.6).
 type Hierarchy struct {
@@ -50,6 +66,11 @@ type Hierarchy struct {
 	store *memdata.Store
 	ann   *approx.Annotations
 	rec   *trace.Recorder
+	m     hierMetrics
+
+	// MSI tracks directory state transitions and back-invalidations; always
+	// on (plain counters), mirrored into the registry once attached.
+	MSI *coherence.Tracker
 
 	// SnapshotEvery triggers SnapshotFn after that many LLC-level fills
 	// (0 disables). Analyses sample resident LLC contents this way.
@@ -90,12 +111,53 @@ func New(cfg Config, llc core.LLC, store *memdata.Store, ann *approx.Annotations
 		store: store,
 		ann:   ann,
 		rec:   rec,
+		MSI:   coherence.NewTracker(),
 	}
 	for c := 0; c < cfg.Cores; c++ {
 		h.l1[c] = cache.New(cfg.L1)
 		h.l2[c] = cache.New(cfg.L2)
 	}
 	return h
+}
+
+// AttachMetrics threads the whole hierarchy through reg: its own counters,
+// every private cache array, the MSI tracker, and (when the organization
+// supports it) the LLC. A nil registry is a no-op, leaving the zero-cost
+// disabled path.
+func (h *Hierarchy) AttachMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	h.m = hierMetrics{
+		loads:                reg.Counter("funcsim.loads"),
+		stores:               reg.Counter("funcsim.stores"),
+		l1Hits:               reg.Counter("funcsim.l1.hits"),
+		l1Misses:             reg.Counter("funcsim.l1.misses"),
+		l2Hits:               reg.Counter("funcsim.l2.hits"),
+		l2Misses:             reg.Counter("funcsim.l2.misses"),
+		llcReads:             reg.Counter("funcsim.llc.reads"),
+		llcHits:              reg.Counter("funcsim.llc.hits"),
+		dirtyBackinvalWrites: reg.Counter("funcsim.dirty_backinval_writes"),
+		remoteWritebacks:     reg.Counter("funcsim.remote_writebacks"),
+		memReads:             reg.Counter("funcsim.llc.mem_reads"),
+		memWrites:            reg.Counter("funcsim.llc.mem_writes"),
+		mapGens:              reg.Counter("funcsim.llc.map_gens"),
+	}
+	for c := 0; c < h.cfg.Cores; c++ {
+		h.l1[c].AttachMetrics(reg)
+		h.l2[c].AttachMetrics(reg)
+	}
+	h.MSI.Attach(reg)
+	if a, ok := h.llc.(interface{ AttachMetrics(*metrics.Registry) }); ok {
+		a.AttachMetrics(reg)
+	}
+}
+
+// setDirState moves a directory entry to a new state, recording the MSI
+// transition.
+func (h *Hierarchy) setDirState(dl *coherence.Line, to coherence.State) {
+	h.MSI.Transition(dl.State, to)
+	dl.State = to
 }
 
 // LLC returns the LLC organization under simulation.
@@ -120,8 +182,10 @@ func (h *Hierarchy) dirLine(ba memdata.Addr) *coherence.Line {
 func (h *Hierarchy) access(c int, addr memdata.Addr, write bool) *memdata.Block {
 	if write {
 		h.Stats.Stores++
+		h.m.stores.Inc()
 	} else {
 		h.Stats.Loads++
+		h.m.loads.Inc()
 	}
 	h.Last = Outcome{}
 	ba := addr.BlockAddr()
@@ -129,6 +193,7 @@ func (h *Hierarchy) access(c int, addr memdata.Addr, write bool) *memdata.Block 
 	// L1.
 	if l := h.l1[c].Lookup(ba); l != nil {
 		h.Stats.L1Hits++
+		h.m.l1Hits.Inc()
 		h.Last.Level = 1
 		if !write || l.Coh == coherence.Modified {
 			if write {
@@ -146,10 +211,12 @@ func (h *Hierarchy) access(c int, addr memdata.Addr, write bool) *memdata.Block 
 		return &l.Data
 	}
 	h.Stats.L1Misses++
+	h.m.l1Misses.Inc()
 
 	// L2.
 	if l2 := h.l2[c].Lookup(ba); l2 != nil {
 		h.Stats.L2Hits++
+		h.m.l2Hits.Inc()
 		h.Last.Level = 2
 		if write && l2.Coh != coherence.Modified {
 			h.upgrade(c, ba)
@@ -166,6 +233,7 @@ func (h *Hierarchy) access(c int, addr memdata.Addr, write bool) *memdata.Block 
 		return &l1.Data
 	}
 	h.Stats.L2Misses++
+	h.m.l2Misses.Inc()
 
 	// LLC. First resolve coherence: a remote Modified copy is written back
 	// to the LLC (using the §3.4 writeback procedure) before the data is
@@ -180,9 +248,11 @@ func (h *Hierarchy) access(c int, addr memdata.Addr, write bool) *memdata.Block 
 	}
 
 	h.Stats.LLCReads++
+	h.m.llcReads.Inc()
 	data, eff := h.llc.Read(ba)
 	if eff.Hit {
 		h.Stats.LLCHits++
+		h.m.llcHits.Inc()
 		h.Last.Level = 3
 	} else {
 		h.Last.Level = 4
@@ -198,7 +268,7 @@ func (h *Hierarchy) access(c int, addr memdata.Addr, write bool) *memdata.Block 
 	}
 	dl = h.dirLine(ba)
 	dl.Sharers = dl.Sharers.Add(c)
-	dl.State = st
+	h.setDirState(dl, st)
 	if write {
 		dl.Owner = int8(c)
 	}
@@ -221,7 +291,7 @@ func (h *Hierarchy) upgrade(c int, ba memdata.Addr) {
 		h.flushRemote(int(dl.Owner), ba)
 	}
 	h.invalidateSharers(ba, c)
-	dl.State = coherence.Modified
+	h.setDirState(dl, coherence.Modified)
 	dl.Owner = int8(c)
 	dl.Sharers = dl.Sharers.Add(c)
 }
@@ -265,12 +335,13 @@ func (h *Hierarchy) flushRemote(owner int, ba memdata.Addr) {
 		l2.Coh = coherence.Shared
 	}
 	dl := h.dirLine(ba)
-	dl.State = coherence.Shared
+	h.setDirState(dl, coherence.Shared)
 	dl.Owner = -1
 	if data == nil {
 		return // copy already clean or evicted; nothing to flush
 	}
 	h.Stats.RemoteWritebacks++
+	h.m.remoteWritebacks.Inc()
 	eff := h.llc.WriteBack(ba, data)
 	h.absorb(eff)
 }
@@ -298,6 +369,7 @@ func (h *Hierarchy) dropPrivate(c int, ba memdata.Addr, flushDirty bool) {
 	} else {
 		h.store.WriteBlock(ba, dirtyData)
 		h.Stats.DirtyBackInvalWrites++
+		h.m.dirtyBackinvalWrites.Inc()
 	}
 }
 
@@ -309,6 +381,9 @@ func (h *Hierarchy) absorb(eff *core.Effects) {
 	h.Last.LLCEvictions += len(eff.Evicted)
 	h.Last.MemReads += eff.MemReads
 	h.Last.MemWrites += eff.MemWrites
+	h.m.memReads.Add(uint64(eff.MemReads))
+	h.m.memWrites.Add(uint64(eff.MemWrites))
+	h.m.mapGens.Add(uint64(eff.MapGens))
 	h.applyEffects(eff)
 }
 
@@ -318,6 +393,7 @@ func (h *Hierarchy) absorb(eff *core.Effects) {
 func (h *Hierarchy) applyEffects(eff *core.Effects) {
 	for _, ev := range eff.Evicted {
 		h.Stats.BackInvals++
+		h.MSI.BackInvalidation()
 		for c := 0; c < h.cfg.Cores; c++ {
 			var dirtyData *memdata.Block
 			if old, ok := h.l1[c].Invalidate(ev.Addr); ok && old.Dirty {
@@ -331,11 +407,16 @@ func (h *Hierarchy) applyEffects(eff *core.Effects) {
 			if dirtyData != nil {
 				h.store.WriteBlock(ev.Addr, dirtyData)
 				h.Stats.DirtyBackInvalWrites++
+				h.m.dirtyBackinvalWrites.Inc()
 				h.Totals.MemWrites++
 				h.Last.MemWrites++
+				h.m.memWrites.Inc()
 			}
 		}
-		delete(h.dir, ev.Addr)
+		if dl, ok := h.dir[ev.Addr]; ok {
+			h.MSI.Transition(dl.State, coherence.Invalid)
+			delete(h.dir, ev.Addr)
+		}
 	}
 }
 
@@ -376,7 +457,7 @@ func (h *Hierarchy) fillL2(c int, ba memdata.Addr, data *memdata.Block, st coher
 		if dl, ok := h.dir[victimAddr]; ok {
 			dl.Sharers = dl.Sharers.Remove(c)
 			if dl.State == coherence.Modified && int(dl.Owner) == c {
-				dl.State = coherence.Shared
+				h.setDirState(dl, coherence.Shared)
 				dl.Owner = -1
 			}
 		}
@@ -429,6 +510,53 @@ func (h *Hierarchy) Flush() {
 		h.absorb(eff)
 	}
 	h.dir = make(map[memdata.Addr]*coherence.Line)
+}
+
+// --- inspection views (used by the coherence property tests) ---
+
+// Cores returns the configured core count.
+func (h *Hierarchy) Cores() int { return h.cfg.Cores }
+
+// DirView reports the directory entry for block ba without allocating one:
+// its state, owner core (-1 if none), the sharer cores, and whether an entry
+// exists at all.
+func (h *Hierarchy) DirView(ba memdata.Addr) (st coherence.State, owner int, sharers []int, ok bool) {
+	dl, present := h.dir[ba.BlockAddr()]
+	if !present {
+		return coherence.Invalid, -1, nil, false
+	}
+	dl.Sharers.ForEach(h.cfg.Cores, func(c int) { sharers = append(sharers, c) })
+	return dl.State, int(dl.Owner), sharers, true
+}
+
+// PrivateLine is core-local cache state for one block, per level.
+type PrivateLine struct {
+	InL1, InL2       bool
+	L1State, L2State coherence.State
+	L1Dirty, L2Dirty bool
+}
+
+// Holds reports whether the block is present in either private level.
+func (p PrivateLine) Holds() bool { return p.InL1 || p.InL2 }
+
+// Modified reports whether either private level holds the block in M.
+func (p PrivateLine) Modified() bool {
+	return (p.InL1 && p.L1State == coherence.Modified) ||
+		(p.InL2 && p.L2State == coherence.Modified)
+}
+
+// PrivateView reports core c's private-cache state for block ba. It uses
+// Probe, so it never perturbs LRU order or stats.
+func (h *Hierarchy) PrivateView(c int, ba memdata.Addr) PrivateLine {
+	ba = ba.BlockAddr()
+	var pv PrivateLine
+	if l := h.l1[c].Probe(ba); l != nil {
+		pv.InL1, pv.L1State, pv.L1Dirty = true, l.Coh, l.Dirty
+	}
+	if l := h.l2[c].Probe(ba); l != nil {
+		pv.InL2, pv.L2State, pv.L2Dirty = true, l.Coh, l.Dirty
+	}
+	return pv
 }
 
 // --- typed access API (used by CoreCtx) ---

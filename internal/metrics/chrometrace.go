@@ -1,0 +1,141 @@
+package metrics
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// TraceWriter streams Chrome-trace-format JSON (the chrome://tracing /
+// Perfetto "Trace Event Format"): one JSON object per event inside a
+// {"traceEvents":[...]} envelope. Timestamps are in microseconds by
+// convention; the timing simulator writes core cycles, so one "µs" on the
+// tracing timeline is one simulated cycle.
+//
+// A TraceWriter is safe for concurrent use — the sweep engine shares one
+// across worker goroutines, giving each simulation its own pid lane.
+// A nil *TraceWriter is a disabled sink: every method no-ops.
+type TraceWriter struct {
+	mu     sync.Mutex
+	bw     *bufio.Writer
+	events int
+	err    error
+	closed bool
+}
+
+// traceEvent is the wire form of one event.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// NewTraceWriter starts a trace stream on w. Call Close to finish the JSON
+// envelope; a truncated file still loads in chrome://tracing, but Close
+// makes it well-formed.
+func NewTraceWriter(w io.Writer) *TraceWriter {
+	t := &TraceWriter{bw: bufio.NewWriter(w)}
+	_, t.err = t.bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`)
+	return t
+}
+
+func (t *TraceWriter) emit(ev traceEvent) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil || t.closed {
+		return
+	}
+	b, err := json.Marshal(ev)
+	if err != nil {
+		t.err = err
+		return
+	}
+	if t.events > 0 {
+		t.bw.WriteByte(',')
+	}
+	t.bw.WriteByte('\n')
+	if _, err := t.bw.Write(b); err != nil {
+		t.err = err
+		return
+	}
+	t.events++
+}
+
+// Complete records a duration event: something that occupied [ts, ts+dur)
+// on thread tid of process pid.
+func (t *TraceWriter) Complete(pid, tid int, name, cat string, ts, dur float64) {
+	t.emit(traceEvent{Name: name, Cat: cat, Ph: "X", Ts: ts, Dur: dur, Pid: pid, Tid: tid})
+}
+
+// Instant records a point event on thread tid of process pid.
+func (t *TraceWriter) Instant(pid, tid int, name, cat string, ts float64) {
+	t.emit(traceEvent{Name: name, Cat: cat, Ph: "i", Ts: ts, Pid: pid, Tid: tid})
+}
+
+// ProcessName labels a pid lane in the trace viewer (one simulation per
+// pid in sweep traces).
+func (t *TraceWriter) ProcessName(pid int, name string) {
+	t.emit(traceEvent{Name: "process_name", Ph: "M", Pid: pid,
+		Args: map[string]any{"name": name}})
+}
+
+// ThreadName labels a tid lane within a pid (one simulated core per tid).
+func (t *TraceWriter) ThreadName(pid, tid int, name string) {
+	t.emit(traceEvent{Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+		Args: map[string]any{"name": name}})
+}
+
+// Events reports how many events have been written (0 on nil).
+func (t *TraceWriter) Events() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.events
+}
+
+// Close terminates the JSON envelope and flushes. Further events are
+// dropped. Safe to call more than once; nil receivers report no error.
+func (t *TraceWriter) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return t.err
+	}
+	t.closed = true
+	if t.err != nil {
+		return t.err
+	}
+	if _, err := t.bw.WriteString("\n]}\n"); err != nil {
+		t.err = err
+		return err
+	}
+	if err := t.bw.Flush(); err != nil {
+		t.err = err
+		return err
+	}
+	return nil
+}
+
+// Err returns the first write or encoding error, if any.
+func (t *TraceWriter) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}

@@ -124,8 +124,10 @@ func (r *Runner) customError(name string, cfg core.Config, tag string) (float64,
 		}
 		f, _ := workloads.ByName(name)
 		r.logf("[%s] custom functional run (%s)", name, tag)
+		child := r.instrument()
 		run := workloads.RunFunctional(f.New(r.Scale), workloads.CustomSplitBuilder(cfg),
-			workloads.RunOptions{Cores: r.Cores})
+			workloads.RunOptions{Cores: r.Cores, Metrics: child})
+		r.collect(key+"/func", child)
 		return a.bench.Error(a.run.Output, run.Output), nil
 	})
 }
@@ -140,7 +142,10 @@ func (r *Runner) customTiming(name string, cfg core.Config, tag string) (*timesi
 			return nil, err
 		}
 		r.logf("[%s] custom timing run (%s)", name, tag)
-		return timesim.Run(a.run.Recorder, a.run.InitialMem, a.run.Annotations,
-			workloads.CustomSplitBuilder(cfg), r.timesimConfig()), nil
+		child := r.instrument()
+		res := timesim.Run(a.run.Recorder, a.run.InitialMem, a.run.Annotations,
+			workloads.CustomSplitBuilder(cfg), r.timesimConfigFor(key+"/timing", child))
+		r.collect(key+"/timing", child)
+		return res, nil
 	})
 }

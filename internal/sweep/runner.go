@@ -7,6 +7,7 @@ import (
 
 	"doppelganger/internal/approx"
 	"doppelganger/internal/core"
+	"doppelganger/internal/metrics"
 	"doppelganger/internal/stats"
 	"doppelganger/internal/timesim"
 	"doppelganger/internal/workloads"
@@ -39,7 +40,20 @@ type Runner struct {
 	// (0 means GOMAXPROCS). Results are identical for every worker count.
 	Workers int
 
+	// Metrics, when non-nil, aggregates instrument totals across every
+	// simulation the runner performs; each memoized task also leaves a
+	// labeled per-task snapshot (see WriteMetricsJSONL). nil disables all
+	// metric collection at zero cost.
+	Metrics *metrics.Registry
+	// Trace, when non-nil, receives Chrome-trace events from every timing
+	// run, each on its own process lane labeled with the task key.
+	Trace *metrics.TraceWriter
+
 	logMu sync.Mutex
+
+	metricsMu sync.Mutex
+	taskSnaps []TaskMetrics
+	tracePIDs int
 
 	base      *memo[*baseArtifacts]
 	errCache  *memo[float64]
@@ -130,15 +144,21 @@ func (r *Runner) Baseline(name string) (*baseArtifacts, error) {
 			Comparators:        true,
 			CompareM:           14,
 		})
+		child := r.instrument()
 		run := workloads.RunFunctional(f.New(r.Scale), workloads.BaselineBuilder(2<<20, 16), workloads.RunOptions{
 			Cores:         r.Cores,
 			Record:        true,
 			SnapshotEvery: r.SnapshotEvery,
 			SnapshotFn:    an.Observe,
+			Metrics:       child,
 		})
+		r.collect("base/"+name+"/func", child)
 		r.logf("[%s] baseline timing run (%d accesses)", name, run.Recorder.Len())
+		tkey := "base/" + name + "/timing"
+		tchild := r.instrument()
 		timing := timesim.Run(run.Recorder, run.InitialMem, run.Annotations,
-			workloads.BaselineBuilder(2<<20, 16), r.timesimConfig())
+			workloads.BaselineBuilder(2<<20, 16), r.timesimConfigFor(tkey, tchild))
+		r.collect(tkey, tchild)
 		return &baseArtifacts{bench: f.New(r.Scale), run: run, analyzer: an, timing: timing}, nil
 	})
 }
@@ -146,6 +166,20 @@ func (r *Runner) Baseline(name string) (*baseArtifacts, error) {
 func (r *Runner) timesimConfig() timesim.Config {
 	cfg := timesim.DefaultConfig()
 	cfg.Cores = r.Cores
+	return cfg
+}
+
+// timesimConfigFor is timesimConfig plus the observability hooks for one
+// labeled timing task: its child registry and, when tracing, a fresh process
+// lane in the shared Chrome trace.
+func (r *Runner) timesimConfigFor(label string, reg *metrics.Registry) timesim.Config {
+	cfg := r.timesimConfig()
+	cfg.Metrics = reg
+	if r.Trace != nil {
+		cfg.Trace = r.Trace
+		cfg.TracePID = r.nextTracePID()
+		cfg.TraceLabel = label
+	}
 	return cfg
 }
 
@@ -160,7 +194,10 @@ func (r *Runner) SplitError(name string, m int, frac float64) (float64, error) {
 		}
 		f, _ := workloads.ByName(name)
 		r.logf("[%s] split functional run (M=%d, data %g)", name, m, frac)
-		run := workloads.RunFunctional(f.New(r.Scale), workloads.SplitBuilder(m, frac), workloads.RunOptions{Cores: r.Cores})
+		child := r.instrument()
+		run := workloads.RunFunctional(f.New(r.Scale), workloads.SplitBuilder(m, frac),
+			workloads.RunOptions{Cores: r.Cores, Metrics: child})
+		r.collect(key+"/func", child)
 		return a.bench.Error(a.run.Output, run.Output), nil
 	})
 }
@@ -176,7 +213,10 @@ func (r *Runner) UnifiedError(name string, m int, frac float64) (float64, error)
 		}
 		f, _ := workloads.ByName(name)
 		r.logf("[%s] unified functional run (M=%d, data %g)", name, m, frac)
-		run := workloads.RunFunctional(f.New(r.Scale), workloads.UnifiedBuilder(m, frac), workloads.RunOptions{Cores: r.Cores})
+		child := r.instrument()
+		run := workloads.RunFunctional(f.New(r.Scale), workloads.UnifiedBuilder(m, frac),
+			workloads.RunOptions{Cores: r.Cores, Metrics: child})
+		r.collect(key+"/func", child)
 		return a.bench.Error(a.run.Output, run.Output), nil
 	})
 }
@@ -191,8 +231,11 @@ func (r *Runner) SplitTiming(name string, m int, frac float64) (*timesim.Result,
 			return nil, err
 		}
 		r.logf("[%s] split timing run (M=%d, data %g)", name, m, frac)
-		return timesim.Run(a.run.Recorder, a.run.InitialMem, a.run.Annotations,
-			workloads.SplitBuilder(m, frac), r.timesimConfig()), nil
+		child := r.instrument()
+		res := timesim.Run(a.run.Recorder, a.run.InitialMem, a.run.Annotations,
+			workloads.SplitBuilder(m, frac), r.timesimConfigFor(key+"/timing", child))
+		r.collect(key+"/timing", child)
+		return res, nil
 	})
 }
 
@@ -206,8 +249,11 @@ func (r *Runner) UnifiedTiming(name string, m int, frac float64) (*timesim.Resul
 			return nil, err
 		}
 		r.logf("[%s] unified timing run (M=%d, data %g)", name, m, frac)
-		return timesim.Run(a.run.Recorder, a.run.InitialMem, a.run.Annotations,
-			workloads.UnifiedBuilder(m, frac), r.timesimConfig()), nil
+		child := r.instrument()
+		res := timesim.Run(a.run.Recorder, a.run.InitialMem, a.run.Annotations,
+			workloads.UnifiedBuilder(m, frac), r.timesimConfigFor(key+"/timing", child))
+		r.collect(key+"/timing", child)
+		return res, nil
 	})
 }
 

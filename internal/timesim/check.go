@@ -1,0 +1,52 @@
+package timesim
+
+import "fmt"
+
+// CrossCheck verifies that the metrics registry and the legacy Result
+// counters — two accountings maintained independently at the same event
+// sites — agree exactly. It returns nil when metrics were disabled.
+//
+// The check is only meaningful when the registry was dedicated to this run:
+// a registry shared across runs accumulates events from all of them.
+func (r *Result) CrossCheck() error {
+	reg := r.Metrics
+	if reg == nil {
+		return nil
+	}
+	checks := []struct {
+		name string
+		want uint64
+	}{
+		// Hierarchy events vs funcsim.Stats.
+		{"funcsim.loads", r.Hier.Loads},
+		{"funcsim.stores", r.Hier.Stores},
+		{"funcsim.l1.hits", r.Hier.L1Hits},
+		{"funcsim.l1.misses", r.Hier.L1Misses},
+		{"funcsim.l2.hits", r.Hier.L2Hits},
+		{"funcsim.l2.misses", r.Hier.L2Misses},
+		{"funcsim.llc.reads", r.Hier.LLCReads},
+		{"funcsim.llc.hits", r.Hier.LLCHits},
+		{"funcsim.dirty_backinval_writes", r.Hier.DirtyBackInvalWrites},
+		{"funcsim.remote_writebacks", r.Hier.RemoteWritebacks},
+		{"coherence.back_invalidations", r.Hier.BackInvals},
+		// LLC structure effects vs core.Effects totals.
+		{"funcsim.llc.mem_reads", uint64(r.Totals.MemReads)},
+		{"funcsim.llc.mem_writes", uint64(r.Totals.MemWrites)},
+		{"funcsim.llc.map_gens", uint64(r.Totals.MapGens)},
+		// Private array events counted a second time inside internal/cache.
+		// L1/L2 Lookup is called exactly once per hierarchy probe, so the
+		// array-level and hierarchy-level counts must coincide.
+		{"cache.l1.hits", r.Hier.L1Hits},
+		{"cache.l1.misses", r.Hier.L1Misses},
+		{"cache.l2.hits", r.Hier.L2Hits},
+		{"cache.l2.misses", r.Hier.L2Misses},
+		// Core model.
+		{"timesim.instructions", r.Instructions},
+	}
+	for _, c := range checks {
+		if got := reg.CounterValue(c.name); got != c.want {
+			return fmt.Errorf("timesim: metric %s = %d, legacy counter = %d", c.name, got, c.want)
+		}
+	}
+	return nil
+}

@@ -9,6 +9,7 @@ package timesim
 
 import (
 	"container/heap"
+	"fmt"
 
 	"doppelganger/internal/approx"
 	"doppelganger/internal/cache"
@@ -16,6 +17,7 @@ import (
 	"doppelganger/internal/dram"
 	"doppelganger/internal/funcsim"
 	"doppelganger/internal/memdata"
+	"doppelganger/internal/metrics"
 	"doppelganger/internal/trace"
 )
 
@@ -51,6 +53,19 @@ type Config struct {
 	// DRAM optionally replaces the fixed MemLat with the banked open-row
 	// model of internal/dram (nil keeps the Table 1 fixed-latency memory).
 	DRAM *dram.Config
+
+	// Metrics optionally threads the whole run — private caches, MSI
+	// tracker, LLC organization, DRAM and the core model itself — through a
+	// registry. nil keeps the zero-cost disabled path.
+	Metrics *metrics.Registry
+	// Trace optionally streams Chrome-trace events (LLC/memory-level
+	// operations as duration events, back-invalidation bursts as instants)
+	// with ts in simulated cycles. nil disables.
+	Trace *metrics.TraceWriter
+	// TracePID is this run's process lane in a shared trace; TraceLabel, if
+	// non-empty, names the lane in the viewer.
+	TracePID   int
+	TraceLabel string
 }
 
 // DefaultConfig returns the paper's system configuration.
@@ -70,6 +85,11 @@ type Result struct {
 	Totals        core.Effects
 	Hier          funcsim.Stats
 	LLC           core.LLC
+
+	// Metrics is the registry the run was attached to (nil when disabled).
+	// The legacy counter fields above are then a second, independently
+	// maintained view of the same events; CrossCheck proves they agree.
+	Metrics *metrics.Registry
 }
 
 // MemTraffic is the total off-chip traffic in blocks (Fig. 12's metric).
@@ -96,6 +116,11 @@ type coreState struct {
 	// rob holds in-flight memory ops as (instruction index, completion
 	// cycle) with monotone completion (in-order retirement).
 	rob []robEntry
+
+	// Stall accounting: cycles the next op's issue was pushed back waiting
+	// for ROB retirement / a free MSHR. Dumped into the registry at run end.
+	robStall  float64
+	mshrStall float64
 }
 
 type robEntry struct {
@@ -114,16 +139,20 @@ func (cs *coreState) ready(cfg Config) float64 {
 	// ROB: this instruction cannot dispatch until instruction
 	// nextInstr-ROB has retired. Retirement is in order, so the retire time
 	// is the completion of the newest memory op at or before it.
+	base := t
 	for len(cs.rob) > 0 && cs.rob[0].instr+uint64(cfg.ROB) <= nextInstr {
 		if cs.rob[0].complete > t {
 			t = cs.rob[0].complete
 		}
 		cs.rob = cs.rob[1:]
 	}
+	cs.robStall += t - base
 	// MSHRs: at most MSHRs memory ops in flight.
+	base = t
 	for inflight(cs.rob, t) >= cfg.MSHRs {
 		t = earliestAfter(cs.rob, t)
 	}
+	cs.mshrStall += t - base
 	return t
 }
 
@@ -172,6 +201,30 @@ func Run(tr *trace.Recorder, initial *memdata.Store, ann *approx.Annotations,
 	llc := llcb(st, ann)
 	hcfg := funcsim.Config{Cores: cfg.Cores, L1: l1Config(), L2: l2Config()}
 	h := funcsim.New(hcfg, llc, st, ann, nil)
+	h.AttachMetrics(cfg.Metrics)
+
+	// Core-model instruments; all remain nil (free no-ops) when metrics are
+	// disabled, and the occupancy observations are skipped outright.
+	var tm struct {
+		instructions        *metrics.Counter
+		robStall, mshrStall *metrics.Counter
+		robOcc, mshrOcc     *metrics.Histogram
+	}
+	if cfg.Metrics != nil {
+		tm.instructions = cfg.Metrics.Counter("timesim.instructions")
+		tm.robStall = cfg.Metrics.Counter("timesim.rob_stall_cycles")
+		tm.mshrStall = cfg.Metrics.Counter("timesim.mshr_stall_cycles")
+		tm.robOcc = cfg.Metrics.Histogram("timesim.rob_occupancy", []float64{4, 8, 16, 32, 48, 64, 80})
+		tm.mshrOcc = cfg.Metrics.Histogram("timesim.mshr_occupancy", []float64{1, 2, 4, 6, 8})
+	}
+	if cfg.Trace != nil {
+		if cfg.TraceLabel != "" {
+			cfg.Trace.ProcessName(cfg.TracePID, cfg.TraceLabel)
+		}
+		for c := 0; c < cfg.Cores; c++ {
+			cfg.Trace.ThreadName(cfg.TracePID, c, fmt.Sprintf("core %d", c))
+		}
+	}
 
 	cores := make([]*coreState, cfg.Cores)
 	for c := 0; c < cfg.Cores; c++ {
@@ -199,6 +252,7 @@ func Run(tr *trace.Recorder, initial *memdata.Store, ann *approx.Annotations,
 	var mem *dram.Memory
 	if cfg.DRAM != nil {
 		mem = dram.MustNew(*cfg.DRAM)
+		mem.AttachMetrics(cfg.Metrics)
 	}
 	for q.Len() > 0 {
 		c := q.ids[0]
@@ -271,6 +325,19 @@ func Run(tr *trace.Recorder, initial *memdata.Store, ann *approx.Annotations,
 			llcFree = start + occupancy
 		}
 
+		if cfg.Trace != nil {
+			if out.Level >= 3 {
+				name, cat := "llc", "llc"
+				if out.Level == 4 {
+					name, cat = "mem", "mem"
+				}
+				cfg.Trace.Complete(cfg.TracePID, c, name, cat, t, lat)
+			}
+			if out.LLCEvictions > 0 {
+				cfg.Trace.Instant(cfg.TracePID, c, "back-inval", "llc", t)
+			}
+		}
+
 		// Account dispatch.
 		cs.instr += uint64(r.Gap) + 1
 		instructions += uint64(r.Gap) + 1
@@ -279,6 +346,10 @@ func Run(tr *trace.Recorder, initial *memdata.Store, ann *approx.Annotations,
 			complete = cs.rob[len(cs.rob)-1].complete // in-order retire
 		}
 		cs.rob = append(cs.rob, robEntry{instr: cs.instr, complete: complete})
+		if tm.robOcc != nil {
+			tm.robOcc.Observe(float64(len(cs.rob)))
+			tm.mshrOcc.Observe(float64(inflight(cs.rob, t)))
+		}
 		if complete > cs.finish {
 			cs.finish = complete
 		}
@@ -298,12 +369,24 @@ func Run(tr *trace.Recorder, initial *memdata.Store, ann *approx.Annotations,
 		}
 	}
 
+	if cfg.Metrics != nil {
+		tm.instructions.Add(instructions)
+		var rs, ms float64
+		for _, cs := range cores {
+			rs += cs.robStall
+			ms += cs.mshrStall
+		}
+		tm.robStall.Add(uint64(rs))
+		tm.mshrStall.Add(uint64(ms))
+	}
+
 	res := &Result{
 		PerCoreCycles: make([]uint64, cfg.Cores),
 		Instructions:  instructions,
 		Totals:        h.Totals,
 		Hier:          h.Stats,
 		LLC:           llc,
+		Metrics:       cfg.Metrics,
 	}
 	for c, cs := range cores {
 		end := cs.finish

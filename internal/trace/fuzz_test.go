@@ -1,0 +1,62 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzTraceRoundTrip drives ReadFrom with arbitrary bytes. Decoding must
+// never panic or over-allocate, and any input it accepts must survive a
+// re-encode/re-decode cycle unchanged (decode ∘ encode ≡ id on the image
+// of decode).
+func FuzzTraceRoundTrip(f *testing.F) {
+	// Seed with a couple of real encodings plus the rejection corpus.
+	seed := func(build func(r *Recorder)) {
+		r := NewRecorder(2)
+		build(r)
+		var buf bytes.Buffer
+		if _, err := r.WriteTo(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	seed(func(r *Recorder) {})
+	seed(func(r *Recorder) {
+		r.Work(0, 3)
+		r.Access(0, 0x1240, false, 4, 7, true)
+		r.Access(1, 0xFFFFFFC0, true, 8, 0xDEADBEEFCAFEBABE, false)
+	})
+	f.Add([]byte("DPTR"))
+	f.Add([]byte("DPTR\x01\x00\x00\x00\xff\xff\xff\xff"))
+	f.Add([]byte("DPTR\x01\x00\x00\x00\x01\x00\x00\x00\xff\xff\xff\xff\xff\xff\xff\xff"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := ReadFrom(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input: fine, as long as it didn't panic
+		}
+		var buf bytes.Buffer
+		if _, err := r.WriteTo(&buf); err != nil {
+			t.Fatalf("re-encode of accepted trace failed: %v", err)
+		}
+		r2, err := ReadFrom(&buf)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded trace failed: %v", err)
+		}
+		if len(r2.Cores) != len(r.Cores) {
+			t.Fatalf("core count changed: %d -> %d", len(r.Cores), len(r2.Cores))
+		}
+		for c := range r.Cores {
+			if len(r2.Cores[c]) != len(r.Cores[c]) {
+				t.Fatalf("core %d record count changed: %d -> %d",
+					c, len(r.Cores[c]), len(r2.Cores[c]))
+			}
+			for i := range r.Cores[c] {
+				if r2.Cores[c][i] != r.Cores[c][i] {
+					t.Fatalf("core %d record %d changed: %+v -> %+v",
+						c, i, r.Cores[c][i], r2.Cores[c][i])
+				}
+			}
+		}
+	})
+}

@@ -23,6 +23,13 @@ const (
 	traceVersion = 1
 )
 
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
 // WriteTo serializes the recorder's traces. It returns the byte count.
 func (r *Recorder) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
@@ -95,20 +102,24 @@ func ReadFrom(rd io.Reader) (*Recorder, error) {
 		if count > 1<<32 {
 			return nil, fmt.Errorf("trace: implausible record count %d", count)
 		}
-		t := make(Trace, count)
+		// Grow by appending with a capped initial capacity rather than
+		// allocating count records up front: a corrupt or hostile count
+		// field must not commit gigabytes before the short read surfaces.
+		const capCap = 1 << 16
+		t := make(Trace, 0, min64(count, capCap))
 		var rec [18]byte
-		for i := range t {
+		for i := uint64(0); i < count; i++ {
 			if _, err := io.ReadFull(br, rec[:]); err != nil {
 				return nil, fmt.Errorf("trace: core %d record %d: %w", c, i, err)
 			}
-			t[i] = Record{
+			t = append(t, Record{
 				Addr:   memdata.Addr(binary.LittleEndian.Uint32(rec[0:])),
 				Val:    binary.LittleEndian.Uint64(rec[4:]),
 				Gap:    binary.LittleEndian.Uint32(rec[12:]),
 				Size:   rec[16],
 				Write:  rec[17]&1 != 0,
 				Approx: rec[17]&2 != 0,
-			}
+			})
 		}
 		r.Cores[c] = t
 	}

@@ -6,6 +6,7 @@ import (
 	"doppelganger/internal/core"
 	"doppelganger/internal/funcsim"
 	"doppelganger/internal/memdata"
+	"doppelganger/internal/metrics"
 	"doppelganger/internal/trace"
 )
 
@@ -29,6 +30,11 @@ type RunOptions struct {
 	Record        bool // record per-core traces
 	SnapshotEvery int  // LLC fills between snapshots (0: off)
 	SnapshotFn    func(llc core.LLC)
+
+	// Metrics, when non-nil, attaches the whole hierarchy (private caches,
+	// MSI tracker, LLC organization) to the registry for the duration of the
+	// run. nil keeps the zero-cost disabled path.
+	Metrics *metrics.Registry
 }
 
 // RunResult is everything a functional run produces.
@@ -71,6 +77,7 @@ func RunFunctional(b *Benchmark, llcb LLCBuilder, opt RunOptions) *RunResult {
 	}
 	llc := llcb(st, ann)
 	h := funcsim.New(HierConfig(opt.Cores), llc, st, ann, rec)
+	h.AttachMetrics(opt.Metrics)
 	h.SnapshotEvery = opt.SnapshotEvery
 	h.SnapshotFn = opt.SnapshotFn
 	var groups []int
