@@ -3,13 +3,16 @@
 # `race` runs the whole module under the race detector and additionally
 # exercises the sweep engine and workloads at GOMAXPROCS 1 and 4, since the
 # parallel experiment engine must be correct at any worker count.
+# `faults-smoke` proves the fault-injection layer deterministic under the
+# race detector, and `test-interrupt` exercises the SIGINT/checkpoint/resume
+# path end to end; both are folded into `race`.
 # `fuzz-smoke` gives each fuzz target a short budget (Go allows one -fuzz
 # pattern per package invocation, hence one line per target).
 
 GO      ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test race fuzz-smoke vet
+.PHONY: build test race faults-smoke test-interrupt fuzz-smoke vet
 
 build:
 	$(GO) build ./...
@@ -17,9 +20,17 @@ build:
 test:
 	$(GO) test ./...
 
-race:
+race: faults-smoke test-interrupt
 	$(GO) test -race ./...
 	$(GO) test -race -cpu 1,4 ./internal/sweep/... ./internal/workloads/... ./internal/timesim/...
+
+faults-smoke:
+	$(GO) test -race -cpu 1,4 -run 'TestFaultSweepDeterministic|TestFaultSeedChangesSites' ./internal/sweep/
+	$(GO) test -race -run 'TestDeterministicSites|TestModels' ./internal/faults/
+
+test-interrupt:
+	$(GO) test -run 'TestInterruptResume' ./cmd/experiments/
+	$(GO) test -run 'TestGangContextCancel|TestGangKernelPanic' ./internal/funcsim/
 
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzMapValue$$ -fuzztime=$(FUZZTIME) ./internal/approx

@@ -22,6 +22,7 @@ import (
 	"sync"
 
 	"doppelganger"
+	"doppelganger/internal/faults"
 	"doppelganger/internal/timesim"
 	"doppelganger/internal/workloads"
 )
@@ -44,6 +45,10 @@ func main() {
 		timing   = flag.Bool("timing", false, "also run the cycle-level timing comparison vs the baseline")
 		saveTo   = flag.String("savetrace", "", "record the benchmark on the baseline LLC and save a replayable trace bundle to this file")
 		replay   = flag.String("replay", "", "replay a saved trace bundle against the chosen LLC (skips functional execution)")
+
+		faultRate  = flag.Float64("fault-rate", 0, "per-access fault-injection probability against the chosen LLC (0 disables)")
+		faultSeed  = flag.Uint64("fault-seed", 1, "fault-injection seed; the same seed reproduces the same fault sites")
+		faultModel = flag.String("fault-model", "flip", "fault manifestation: flip, stuck0, stuck1")
 
 		metricsOut = flag.String("metrics-out", "", "write the run's counter snapshot as JSONL to this file")
 		traceOut   = flag.String("trace-out", "", "write a Chrome-trace JSON (chrome://tracing) of the timing replays to this file")
@@ -128,6 +133,20 @@ func main() {
 		return
 	}
 
+	model, err := doppelganger.ParseFaultModel(*faultModel)
+	if err != nil {
+		fatal(err)
+	}
+	var inj *doppelganger.FaultInjector
+	if *faultRate > 0 {
+		inj = doppelganger.NewFaultInjector(doppelganger.FaultConfig{
+			Seed:  doppelganger.DeriveFaultSeed(*faultSeed, *bench+"/"+*llc),
+			Model: model,
+			Rate:  *faultRate,
+		})
+		inj.AttachMetrics(reg)
+	}
+
 	opts := doppelganger.RunOptions{
 		Scale:    *scale,
 		MapBits:  *mapBits,
@@ -135,26 +154,36 @@ func main() {
 		Cores:    *cores,
 		Metrics:  reg,
 		Trace:    tw,
+		Faults:   inj,
 	}
 
 	// The functional-error measurement and the cycle-level timing
 	// comparison are independent simulations, so with -timing they run
 	// concurrently (each already overlaps its own baseline reference run).
+	// An injector is serial, so the timing replay gets its own instance
+	// with a stream derived from the same seed.
 	var (
 		tc    *doppelganger.TimingComparison
 		tcErr error
 		tcWG  sync.WaitGroup
 	)
 	if *timing {
+		topts := opts
+		if inj != nil {
+			topts.Faults = doppelganger.NewFaultInjector(doppelganger.FaultConfig{
+				Seed:  doppelganger.DeriveFaultSeed(*faultSeed, *bench+"/"+*llc+"/timing"),
+				Model: model,
+				Rate:  *faultRate,
+			})
+		}
 		tcWG.Add(1)
 		go func() {
 			defer tcWG.Done()
-			tc, tcErr = doppelganger.RunTiming(*bench, kind, opts)
+			tc, tcErr = doppelganger.RunTiming(*bench, kind, topts)
 		}()
 	}
 
 	var res *doppelganger.BenchmarkResult
-	var err error
 	if strings.Contains(*bench, "+") {
 		// "a+b" co-schedules programs a and b (multiprogrammed run, §4.1).
 		res, err = doppelganger.RunMultiprogram(strings.Split(*bench, "+"), kind, opts)
@@ -179,6 +208,14 @@ func main() {
 		fmt.Printf("writes:          %d silent, %d remapped, %d allocated\n", s.SilentWrites, s.Remaps, s.WriteAllocs)
 		fmt.Printf("evictions:       %d tags (%.1f%% dirty), %d data entries\n",
 			s.TagEvictions, 100*float64(s.DirtyTagEvictions)/float64(max64(s.TagEvictions, 1)), s.DataEvictions)
+	}
+	if inj != nil {
+		fmt.Printf("faults injected: %d (rate %g, model %s, seed %d)\n",
+			inj.TotalFaults(), *faultRate, model, *faultSeed)
+		for _, t := range faults.Targets() {
+			s := inj.Stats(t)
+			fmt.Printf("  %-9s %d faults / %d draws\n", t.String()+":", s.Faults, s.Accesses)
+		}
 	}
 
 	if *timing {

@@ -4,6 +4,8 @@
 //
 //	experiments [-scale 1] [-only bench1,bench2] [-quiet] [-workers N] [-serial] [-format text|csv|json|chart] all
 //	experiments table2 fig2 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 table3
+//	experiments -fault-rate 1e-5,1e-4 -seed 42 faults
+//	experiments -checkpoint run.jsonl [-resume] [-timeout 2h] [-task-timeout 10m] [-retries 2] all
 //
 // By default the full simulation grid is fanned out over a worker pool
 // (one worker per CPU; -workers overrides) before the tables are rendered
@@ -11,18 +13,29 @@
 // computes every simulation lazily on one goroutine; the numbers are
 // bit-identical either way.
 //
+// The run shuts down gracefully on SIGINT/SIGTERM (or when -timeout
+// expires): in-flight simulations are interrupted, completed results are
+// flushed to the -checkpoint file and -metrics-out, and the process exits
+// 130 (interrupt) or 1 (failure). A later invocation with -resume skips
+// every checkpointed task and renders bit-identical tables.
+//
 // Each experiment prints the same rows/series the paper reports; see
 // EXPERIMENTS.md for the recorded paper-vs-measured comparison.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
+	"strconv"
 	"strings"
+	"syscall"
 
 	"doppelganger"
 )
@@ -35,6 +48,16 @@ func main() {
 		format  = flag.String("format", "text", "output format: text, csv, json, chart")
 		workers = flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		serial  = flag.Bool("serial", false, "skip the parallel engine; compute lazily on one goroutine")
+
+		timeout     = flag.Duration("timeout", 0, "overall wall-clock budget; the run shuts down gracefully when it expires (0 = none)")
+		taskTimeout = flag.Duration("task-timeout", 0, "per-task deadline; a task exceeding it fails and may retry (0 = none)")
+		retries     = flag.Int("retries", 0, "retries per failed task, with exponential backoff")
+		checkpoint  = flag.String("checkpoint", "", "persist completed results to this JSONL file as they finish")
+		resume      = flag.Bool("resume", false, "load -checkpoint first and skip already-completed tasks bit-identically")
+
+		faultRates = flag.String("fault-rate", "", "comma-separated per-access fault rates for the faults experiment (default 1e-6,1e-5,1e-4)")
+		faultSeed  = flag.Uint64("seed", 1, "global fault-injection seed; results are deterministic in it at any worker count")
+		faultModel = flag.String("fault-model", "flip", "fault manifestation: flip, stuck0, stuck1")
 
 		metricsOut = flag.String("metrics-out", "", "write per-task + total counter snapshots as JSONL to this file")
 		traceOut   = flag.String("trace-out", "", "write a Chrome-trace JSON (chrome://tracing) of every timing run to this file")
@@ -55,6 +78,40 @@ func main() {
 		ev.Restrict(strings.Split(*only, ",")...)
 	}
 	ev.Parallel(*workers)
+	ev.Resilience(*taskTimeout, *retries)
+
+	model, err := doppelganger.ParseFaultModel(*faultModel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(2)
+	}
+	var rates []float64
+	if *faultRates != "" {
+		for _, s := range strings.Split(*faultRates, ",") {
+			r, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil || r < 0 || r > 1 {
+				fmt.Fprintf(os.Stderr, "experiments: bad -fault-rate entry %q (want a probability)\n", s)
+				os.Exit(2)
+			}
+			rates = append(rates, r)
+		}
+	}
+	ev.Faults(rates, *faultSeed, model)
+
+	if *resume && *checkpoint == "" {
+		fmt.Fprintln(os.Stderr, "experiments: -resume requires -checkpoint")
+		os.Exit(2)
+	}
+
+	// The run context: SIGINT/SIGTERM and -timeout all funnel into one
+	// cancellation that drains the engine gracefully.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if *pprofAddr != "" {
 		go func() {
@@ -81,26 +138,62 @@ func main() {
 			return tf.Close()
 		}
 	}
+	var finishCheckpoint func() error
+	if *checkpoint != "" {
+		finishCheckpoint, err = ev.CheckpointTo(*checkpoint, *resume)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
-	order := []string{"table2", "fig2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "table3", "extras"}
+	// flush persists whatever has completed — called on success AND on
+	// failure/interrupt, so partial results always land on disk.
+	flush := func() {
+		if *metricsOut != "" {
+			if mf, err := os.Create(*metricsOut); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			} else {
+				if err := ev.WriteMetrics(mf); err != nil {
+					fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				}
+				mf.Close()
+			}
+		}
+		if finishTrace != nil {
+			if err := finishTrace(); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			}
+		}
+		if finishCheckpoint != nil {
+			if err := finishCheckpoint(); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			}
+		}
+	}
+	fail := func(err error) {
+		flush()
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		if errors.Is(ctx.Err(), context.Canceled) {
+			os.Exit(130) // interrupted: partial results are checkpointed
+		}
+		os.Exit(1)
+	}
+
+	order := []string{"table2", "fig2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "table3", "extras", "faults"}
 	want := map[string]bool{}
 	for _, a := range args {
 		if a == "all" {
-			// "all" covers the paper's tables and figures; the extras table
-			// is requested explicitly.
+			// "all" covers the paper's tables and figures; the extras and
+			// faults tables are requested explicitly.
 			for _, o := range order {
-				if o != "extras" {
+				if o != "extras" && o != "faults" {
 					want[o] = true
 				}
 			}
 			continue
 		}
 		want[strings.ToLower(a)] = true
-	}
-
-	fail := func(err error) {
-		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-		os.Exit(1)
 	}
 
 	// Fan the requested experiments' simulation grid out over the engine up
@@ -117,7 +210,7 @@ func main() {
 		}
 	}
 	if dynamic && !*serial {
-		if err := ev.PrewarmFor(wanted...); err != nil {
+		if err := ev.PrewarmForContext(ctx, wanted...); err != nil {
 			fail(err)
 		}
 	}
@@ -183,28 +276,14 @@ func main() {
 		case "extras":
 			t, err := ev.Extras()
 			emitErr(err, t)
+		case "faults":
+			t, err := ev.FaultSweep()
+			emitErr(err, t)
 		}
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "experiments: nothing matched %v (known: %s, all)\n", args, strings.Join(order, ", "))
 		os.Exit(2)
 	}
-
-	if *metricsOut != "" {
-		mf, err := os.Create(*metricsOut)
-		if err != nil {
-			fail(err)
-		}
-		if err := ev.WriteMetrics(mf); err != nil {
-			fail(err)
-		}
-		if err := mf.Close(); err != nil {
-			fail(err)
-		}
-	}
-	if finishTrace != nil {
-		if err := finishTrace(); err != nil {
-			fail(err)
-		}
-	}
+	flush()
 }

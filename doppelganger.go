@@ -25,13 +25,16 @@
 package doppelganger
 
 import (
+	"context"
 	"io"
 	"sync"
+	"time"
 
 	"doppelganger/internal/approx"
 	"doppelganger/internal/cache"
 	"doppelganger/internal/core"
 	"doppelganger/internal/energy"
+	"doppelganger/internal/faults"
 	"doppelganger/internal/memdata"
 	"doppelganger/internal/metrics"
 	"doppelganger/internal/sweep"
@@ -75,10 +78,29 @@ type (
 	MetricsRegistry = metrics.Registry
 	// TraceWriter streams Chrome-trace JSON (chrome://tracing format).
 	TraceWriter = metrics.TraceWriter
+	// FaultInjector draws deterministic, seeded faults against the LLC
+	// arrays, the map-generation path and DRAM; nil disables injection at
+	// zero cost. Not safe for concurrent use: give each run its own.
+	FaultInjector = faults.Injector
+	// FaultConfig describes one injector (seed, model, per-access rate).
+	FaultConfig = faults.Config
+	// FaultModel selects the fault manifestation (bit flip or stuck-at).
+	FaultModel = faults.Model
 )
 
 // NewMetricsRegistry returns an empty metrics registry.
 func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// NewFaultInjector builds a fault injector; pass it via RunOptions.Faults.
+func NewFaultInjector(cfg FaultConfig) *FaultInjector { return faults.New(cfg) }
+
+// ParseFaultModel parses a -fault-model flag spelling (flip, stuck0,
+// stuck1).
+func ParseFaultModel(s string) (FaultModel, error) { return faults.ParseModel(s) }
+
+// DeriveFaultSeed mixes a global seed with a task key into an independent
+// per-run injector seed (the determinism contract of the fault sweep).
+func DeriveFaultSeed(seed uint64, key string) uint64 { return faults.Derive(seed, key) }
 
 // NewTraceWriter starts a Chrome-trace stream on w; call Close to terminate
 // the JSON envelope.
@@ -210,6 +232,10 @@ type RunOptions struct {
 	// replays (RunTiming): the chosen organization on process lane 1, the
 	// baseline reference on lane 2.
 	Trace *TraceWriter
+	// Faults, when non-nil, injects faults into the simulation under
+	// measurement only — never the precise reference run, which stays the
+	// fault-free ground truth the error metric compares against.
+	Faults *FaultInjector
 }
 
 func (o *RunOptions) defaults(kind LLCKind) {
@@ -235,6 +261,13 @@ func (o *RunOptions) defaults(kind LLCKind) {
 // LLC organization and measures application output error against a precise
 // baseline run (the paper's Pin-style methodology, §4).
 func RunBenchmark(name string, kind LLCKind, opt RunOptions) (*BenchmarkResult, error) {
+	return RunBenchmarkContext(context.Background(), name, kind, opt)
+}
+
+// RunBenchmarkContext is RunBenchmark under a cancellable context: a cancel
+// or deadline aborts both simulations at their next scheduling point and
+// returns ctx's error.
+func RunBenchmarkContext(ctx context.Context, name string, kind LLCKind, opt RunOptions) (*BenchmarkResult, error) {
 	opt.defaults(kind)
 	f, err := workloads.ByName(name)
 	if err != nil {
@@ -249,20 +282,28 @@ func RunBenchmark(name string, kind LLCKind, opt RunOptions) (*BenchmarkResult, 
 	}
 	// The approximate run and the precise reference run are independent
 	// simulations (each owns its benchmark instance and store), so they can
-	// execute concurrently without affecting results.
+	// execute concurrently without affecting results. The fault injector (a
+	// serial structure) attaches only to the run under measurement.
 	var run, precise *workloads.RunResult
+	var preciseErr error
 	var wg sync.WaitGroup
 	if kind != Baseline {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			precise = workloads.RunFunctional(f.New(opt.Scale), workloads.BaselineBuilder(2<<20, 16),
+			precise, preciseErr = workloads.RunFunctionalContext(ctx, f.New(opt.Scale), workloads.BaselineBuilder(2<<20, 16),
 				workloads.RunOptions{Cores: opt.Cores})
 		}()
 	}
-	run = workloads.RunFunctional(f.New(opt.Scale), builder,
-		workloads.RunOptions{Cores: opt.Cores, Metrics: opt.Metrics})
+	run, err = workloads.RunFunctionalContext(ctx, f.New(opt.Scale), builder,
+		workloads.RunOptions{Cores: opt.Cores, Metrics: opt.Metrics, Faults: opt.Faults})
 	wg.Wait()
+	if err != nil {
+		return nil, err
+	}
+	if preciseErr != nil {
+		return nil, preciseErr
+	}
 	res := &BenchmarkResult{
 		Output:         run.Output,
 		LLCTags:        run.TagsAtEnd,
@@ -322,7 +363,7 @@ func RunMultiprogram(names []string, kind LLCKind, opt RunOptions) (*BenchmarkRe
 		}()
 	}
 	run := workloads.RunFunctional(mp, builder,
-		workloads.RunOptions{Cores: opt.Cores, Metrics: opt.Metrics})
+		workloads.RunOptions{Cores: opt.Cores, Metrics: opt.Metrics, Faults: opt.Faults})
 	wg.Wait()
 	res := &BenchmarkResult{
 		Output:         run.Output,
@@ -375,11 +416,13 @@ func RunTiming(name string, kind LLCKind, opt RunOptions) (*TimingComparison, er
 	case UniDoppelganger:
 		builder = workloads.UnifiedBuilder(opt.MapBits, opt.DataFrac)
 	}
-	// The chosen organization's replay carries the observability hooks; the
-	// baseline reference gets its own trace lane but no registry (so counter
-	// totals describe exactly one simulation).
+	// The chosen organization's replay carries the observability hooks and
+	// the fault injector; the baseline reference gets its own trace lane but
+	// no registry and no faults (so counter totals describe exactly one
+	// simulation and the reference stays fault-free).
 	selCfg, baseCfg := cfg, cfg
 	selCfg.Metrics = opt.Metrics
+	selCfg.Faults = opt.Faults
 	if opt.Trace != nil {
 		selCfg.Trace, selCfg.TracePID, selCfg.TraceLabel = opt.Trace, 1, name+" (chosen org)"
 		baseCfg.Trace, baseCfg.TracePID, baseCfg.TraceLabel = opt.Trace, 2, name+" (baseline)"
@@ -478,6 +521,41 @@ func (e *Evaluation) TraceTo(w io.Writer) (finish func() error) {
 	return tw.Close
 }
 
+// Resilience configures the experiment engine's failure handling: a
+// per-task deadline (0 disables) and a bounded retry budget per failed task
+// (failures are forgotten by the memo caches, so retries genuinely
+// recompute). A panicking simulation always fails only its own task.
+func (e *Evaluation) Resilience(taskTimeout time.Duration, retries int) {
+	e.r.TaskTimeout = taskTimeout
+	e.r.Retries = retries
+}
+
+// Faults configures the fault-sweep experiment: the per-access rates to
+// evaluate (nil: 1e-6, 1e-5, 1e-4), the global seed every task derives its
+// injector stream from, and the fault model. Results are deterministic in
+// (rates, seed, model) at any worker count.
+func (e *Evaluation) Faults(rates []float64, seed uint64, model FaultModel) {
+	e.r.FaultRates = rates
+	e.r.FaultSeed = seed
+	e.r.FaultModel = model
+}
+
+// CheckpointTo persists every completed simulation result to the JSONL file
+// at path as it finishes. With resume set, records already in the file are
+// loaded first and their tasks are skipped bit-identically. The returned
+// finish function flushes and closes the file.
+func (e *Evaluation) CheckpointTo(path string, resume bool) (finish func() error, err error) {
+	cp, err := sweep.OpenCheckpoint(path, resume)
+	if err != nil {
+		return nil, err
+	}
+	e.r.Checkpoint = cp
+	if resume {
+		e.r.Resume(cp)
+	}
+	return cp.Close, nil
+}
+
 // Prewarm runs every simulation the paper's tables and figures need
 // (plus the extras grid when extras is true) through the parallel
 // experiment engine, respecting baseline-before-variant dependencies.
@@ -486,11 +564,24 @@ func (e *Evaluation) Prewarm(extras bool) error {
 	return e.r.Prewarm(sweep.FullGrid(extras))
 }
 
+// PrewarmContext is Prewarm under a cancellable context: cancellation stops
+// scheduling new tasks, interrupts in-flight simulations, and returns after
+// every worker drains — completed results stay cached (and checkpointed),
+// so a later run resumes where this one stopped.
+func (e *Evaluation) PrewarmContext(ctx context.Context, extras bool) error {
+	return e.r.PrewarmContext(ctx, sweep.FullGrid(extras))
+}
+
 // PrewarmFor is Prewarm restricted to the simulations the named experiments
-// (table2, fig2 … fig14, table3, extras) actually render; unknown names
-// widen to the full grid.
+// (table2, fig2 … fig14, table3, extras, faults) actually render; unknown
+// names widen to the full grid.
 func (e *Evaluation) PrewarmFor(names ...string) error {
 	return e.r.Prewarm(sweep.GridFor(names...))
+}
+
+// PrewarmForContext is PrewarmFor under a cancellable context.
+func (e *Evaluation) PrewarmForContext(ctx context.Context, names ...string) error {
+	return e.r.PrewarmContext(ctx, sweep.GridFor(names...))
 }
 
 // Table2 is the approximate LLC footprint per benchmark.
@@ -530,3 +621,9 @@ func (e *Evaluation) Fig14() (errT, runT, dynT *Table, err error) { return e.r.F
 // alternative similarity hashes, tag-count-aware replacement, and the
 // BΔI-compressed data array.
 func (e *Evaluation) Extras() (*Table, error) { return e.r.Extras() }
+
+// FaultSweep renders output error vs per-access fault rate for the
+// baseline, Doppelgänger and uniDoppelgänger organizations under the
+// configured fault model (see Faults) — how gracefully each organization
+// degrades when the memory system itself misbehaves.
+func (e *Evaluation) FaultSweep() (*Table, error) { return e.r.FaultSweep() }

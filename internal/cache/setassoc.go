@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"doppelganger/internal/coherence"
+	"doppelganger/internal/faults"
 	"doppelganger/internal/memdata"
 	"doppelganger/internal/metrics"
 )
@@ -86,6 +87,10 @@ type Cache struct {
 	tick     uint64
 	Stats    Stats
 	m        cacheMetrics
+
+	// Fault injection (nil = disabled fast path, like the metrics sinks).
+	inj             *faults.Injector
+	injTag, injData faults.Target
 }
 
 // New builds an array from cfg, panicking on invalid geometry (all
@@ -128,6 +133,13 @@ func (c *Cache) AttachMetrics(reg *metrics.Registry) {
 	}
 }
 
+// AttachFaults wires a fault injector into the array's hit path, charging
+// draws against the given tag/data targets. A nil injector leaves the
+// disabled fast path (one nil check per hit, zero allocations).
+func (c *Cache) AttachFaults(inj *faults.Injector, tag, data faults.Target) {
+	c.inj, c.injTag, c.injData = inj, tag, data
+}
+
 // SetIndexBits returns log2(number of sets).
 func (c *Cache) SetIndexBits() int { return bits.TrailingZeros32(c.setMask + 1) }
 
@@ -149,11 +161,26 @@ func (c *Cache) Lookup(addr memdata.Addr) *Line {
 		c.touch(l)
 		c.Stats.Hits++
 		c.m.hits.Inc()
+		if c.inj != nil {
+			c.injectHit(l)
+		}
 		return l
 	}
 	c.Stats.Misses++
 	c.m.misses.Inc()
 	return nil
+}
+
+// injectHit draws faults against the line being returned from a hit: one
+// data-array draw that may corrupt the stored payload in place, and one
+// tag-array draw that may flip a stored tag bit. The Addr field is the
+// simulator's ground truth for writebacks and back-invalidations and is
+// deliberately left intact — a corrupted tag makes the line stop answering
+// for its true address (and possibly answer for another), which the
+// hierarchy's inclusivity corners already absorb.
+func (c *Cache) injectHit(l *Line) {
+	c.inj.CorruptBlock(c.injData, &l.Data)
+	l.Tag = c.inj.CorruptBits(c.injTag, l.Tag, c.TagBits())
 }
 
 // Probe finds the line holding addr's block without updating LRU or stats.

@@ -3,6 +3,7 @@ package core
 import (
 	"doppelganger/internal/approx"
 	"doppelganger/internal/cache"
+	"doppelganger/internal/faults"
 	"doppelganger/internal/memdata"
 )
 
@@ -13,6 +14,7 @@ type Baseline struct {
 	arr   *cache.Cache
 	store *memdata.Store
 	ann   *approx.Annotations // used only to label Snapshot blocks
+	inj   *faults.Injector
 }
 
 // NewBaseline builds a conventional LLC over the given backing store.
@@ -35,6 +37,9 @@ func (b *Baseline) Read(addr memdata.Addr) (memdata.Block, *Effects) {
 	}
 	// Miss: fetch from memory, install, evict as needed.
 	data := *b.store.Block(addr)
+	if b.inj != nil {
+		b.inj.CorruptBlock(faults.DRAM, &data)
+	}
 	eff.MemReads = 1
 	victim := b.arr.Victim(addr)
 	if victim.Valid {

@@ -6,6 +6,7 @@ import (
 
 	"doppelganger/internal/approx"
 	"doppelganger/internal/bdi"
+	"doppelganger/internal/faults"
 	"doppelganger/internal/memdata"
 )
 
@@ -169,6 +170,7 @@ type Doppelganger struct {
 	tick       uint64
 	Stats      Stats
 	m          coreMetrics
+	inj        *faults.Injector
 }
 
 // New builds a Doppelgänger cache. ann must cover every approximate address
@@ -386,9 +388,15 @@ func (d *Doppelganger) Read(addr memdata.Addr) (memdata.Block, *Effects) {
 		eff.MTagReads, eff.DDataReads = 1, 1
 		d.tags[t].lru = d.touch()
 		d.data[de].lru = d.tick
+		if d.inj != nil {
+			d.injectHit(t, de)
+		}
 		return d.payloadOf(de), eff
 	}
 	data := *d.store.Block(addr)
+	if d.inj != nil {
+		d.inj.CorruptBlock(faults.DRAM, &data)
+	}
 	eff.MemReads = 1
 	d.insert(addr, &data, false, eff)
 	return data, eff
@@ -418,6 +426,9 @@ func (d *Doppelganger) insert(addr memdata.Addr, payload *memdata.Block, dirty b
 		key = uint32(addr.BlockAddr()) >> memdata.OffsetBits
 	} else {
 		key = d.cfg.MapSpec.MapValue(payload, region)
+		if d.inj != nil {
+			key = d.inj.CorruptBits(faults.MapGen, key, d.cfg.MapSpec.M)
+		}
 		d.Stats.MapGens++
 		d.m.mapGens.Inc()
 		eff.MapGens++
@@ -579,6 +590,9 @@ func (d *Doppelganger) WriteBack(addr memdata.Addr, payload *memdata.Block) *Eff
 	}
 
 	newMap := d.cfg.MapSpec.MapValue(payload, te.region)
+	if d.inj != nil {
+		newMap = d.inj.CorruptBits(faults.MapGen, newMap, d.cfg.MapSpec.M)
+	}
 	d.Stats.MapGens++
 	d.m.mapGens.Inc()
 	eff.MapGens++

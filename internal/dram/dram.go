@@ -12,6 +12,7 @@ package dram
 import (
 	"fmt"
 
+	"doppelganger/internal/faults"
 	"doppelganger/internal/memdata"
 	"doppelganger/internal/metrics"
 )
@@ -63,8 +64,10 @@ type Memory struct {
 	RowHits   uint64
 	RowMisses uint64 // closed-row activations
 	Conflicts uint64 // open-row conflicts (precharge needed)
+	RowUpsets uint64 // injected row upsets (fault injection)
 
-	m dramMetrics
+	m   dramMetrics
+	inj *faults.Injector
 }
 
 // dramMetrics are the registry instruments, resolved once by AttachMetrics.
@@ -99,6 +102,14 @@ func (m *Memory) AttachMetrics(reg *metrics.Registry) {
 		queueWait: reg.Histogram("dram.queue_wait_cycles", queueWaitBounds),
 	}
 }
+
+// AttachFaults wires a fault injector into the timing model: each access
+// draws against the DRAM target, and a fault is modelled as a row upset —
+// the bank's open row is forced closed, so the access (and the next to that
+// bank) pays a re-activation. Data corruption of fetched blocks happens in
+// the functional LLC models; this is the timing-side effect. A nil injector
+// leaves the disabled fast path.
+func (m *Memory) AttachFaults(inj *faults.Injector) { m.inj = inj }
 
 // New builds a DRAM model.
 func New(cfg Config) (*Memory, error) {
@@ -151,6 +162,10 @@ func (m *Memory) Access(addr memdata.Addr, now float64) float64 {
 	m.m.accesses.Inc()
 	bank := m.bankOf(addr)
 	row := m.rowOf(addr)
+	if m.inj != nil && m.inj.Upset(faults.DRAM) {
+		m.RowUpsets++
+		m.openRow[bank] = -1
+	}
 
 	start := now
 	if m.bankFree[bank] > start {

@@ -1,0 +1,316 @@
+// Package faults is a deterministic, seeded fault-injection layer for the
+// simulated memory system. It models soft errors in the structures the
+// Doppelgänger evaluation cares about — the LLC data and tag arrays, the
+// map-generation path, and DRAM rows — as single-bit flips or stuck-at
+// faults, drawn per access at a configurable rate.
+//
+// An Injector is wired into a simulation the same way the metrics registry
+// is: structures carry an injector pointer unconditionally, and a nil
+// injector is the zero-cost disabled path (every method no-ops on a nil
+// receiver, locked down by zero-alloc guards in the consuming packages).
+//
+// Determinism: an injector's fault sites are a pure function of its seed and
+// the sequence of draws made against it. Each simulation owns one injector
+// seeded by Derive(globalSeed, taskKey), and every simulation in this
+// repository performs its accesses serially, so fault sites never depend on
+// worker scheduling — the same seed reproduces the same faults at any
+// worker count.
+//
+// An Injector is NOT safe for concurrent use; give each simulation its own.
+package faults
+
+import (
+	"fmt"
+
+	"doppelganger/internal/memdata"
+	"doppelganger/internal/metrics"
+)
+
+// Model selects how a fault manifests in the target bit.
+type Model uint8
+
+// The implemented fault models.
+const (
+	// BitFlip inverts the chosen bit (a particle-strike soft error).
+	BitFlip Model = iota
+	// StuckAt0 clears the chosen bit (a hard fault reading as 0).
+	StuckAt0
+	// StuckAt1 sets the chosen bit.
+	StuckAt1
+)
+
+// String names the model (the -fault-model flag spelling).
+func (m Model) String() string {
+	switch m {
+	case BitFlip:
+		return "flip"
+	case StuckAt0:
+		return "stuck0"
+	case StuckAt1:
+		return "stuck1"
+	}
+	return fmt.Sprintf("Model(%d)", uint8(m))
+}
+
+// ParseModel parses a -fault-model flag value.
+func ParseModel(s string) (Model, error) {
+	switch s {
+	case "", "flip", "bitflip", "bit-flip":
+		return BitFlip, nil
+	case "stuck0", "stuck-at-0":
+		return StuckAt0, nil
+	case "stuck1", "stuck-at-1":
+		return StuckAt1, nil
+	}
+	return 0, fmt.Errorf("faults: unknown model %q (flip, stuck0, stuck1)", s)
+}
+
+// Target identifies the hardware structure a fault draw is charged against.
+type Target uint8
+
+// The per-structure fault targets.
+const (
+	// LLCData is a stored payload in an LLC data array (baseline, precise,
+	// or the Doppelgänger approximate data array).
+	LLCData Target = iota
+	// LLCTag is a stored address tag in an LLC tag array.
+	LLCTag
+	// MapGen is the Doppelgänger map-generation path: a fault perturbs the
+	// freshly computed map value before it is stored. (Stored map values are
+	// never corrupted in place — the tag→data invariant requires every valid
+	// tag's map to resolve — so map faults are injected at generation time.)
+	MapGen
+	// DRAM covers main memory: fetched blocks (bit corruption) and, in the
+	// banked timing model, row upsets that force re-activation.
+	DRAM
+
+	numTargets = 4
+)
+
+// String names the target as used in stats, metrics and logs.
+func (t Target) String() string {
+	switch t {
+	case LLCData:
+		return "llc_data"
+	case LLCTag:
+		return "llc_tag"
+	case MapGen:
+		return "map"
+	case DRAM:
+		return "dram"
+	}
+	return fmt.Sprintf("Target(%d)", uint8(t))
+}
+
+// Targets returns every defined target in order (for stats reporting).
+func Targets() []Target { return []Target{LLCData, LLCTag, MapGen, DRAM} }
+
+// Config describes one injector.
+type Config struct {
+	// Seed determines the fault sites; Derive mixes a global seed with a
+	// task key into independent per-simulation seeds.
+	Seed uint64
+	// Model is the fault manifestation (default BitFlip).
+	Model Model
+	// Rate is the per-access fault probability applied to every target.
+	Rate float64
+	// Rates overrides Rate per target (a zero entry disables that target).
+	Rates map[Target]float64
+	// RecordSites keeps a log of every injected fault (target, access
+	// ordinal, bit) for the determinism tests; off by default.
+	RecordSites bool
+}
+
+// TargetStats counts one target's draw opportunities and injected faults.
+type TargetStats struct {
+	Accesses uint64
+	Faults   uint64
+}
+
+// Site is one recorded fault: which target, on that target's Access'th draw
+// (1-based), at which bit position.
+type Site struct {
+	Target Target
+	Access uint64
+	Bit    uint
+}
+
+// targetMetrics are one target's registry instruments; all nil when
+// disabled.
+type targetMetrics struct {
+	accesses, injected *metrics.Counter
+}
+
+// Injector draws faults deterministically from a seeded generator. The nil
+// injector is valid and never faults.
+type Injector struct {
+	model  Model
+	rates  [numTargets]float64
+	state  uint64 // splitmix64 state
+	stats  [numTargets]TargetStats
+	record bool
+	sites  []Site
+	m      [numTargets]targetMetrics
+}
+
+// New builds an injector from cfg.
+func New(cfg Config) *Injector {
+	in := &Injector{model: cfg.Model, state: mix64(cfg.Seed), record: cfg.RecordSites}
+	for t := Target(0); t < numTargets; t++ {
+		in.rates[t] = cfg.Rate
+		if r, ok := cfg.Rates[t]; ok {
+			in.rates[t] = r
+		}
+	}
+	return in
+}
+
+// Derive mixes a global seed with a task key into an independent
+// per-simulation seed, so a task's fault sites depend only on (seed, key) —
+// never on which worker ran it or in what order.
+func Derive(seed uint64, key string) uint64 {
+	h := uint64(14695981039346656037) // FNV-64 offset basis
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return mix64(seed ^ h)
+}
+
+// mix64 is the splitmix64 finalizer; it whitens seeds so nearby values
+// produce unrelated streams.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// next advances the splitmix64 stream.
+func (in *Injector) next() uint64 {
+	in.state += 0x9e3779b97f4a7c15
+	return mix64(in.state)
+}
+
+// draw charges one access against target t and reports whether it faults.
+func (in *Injector) draw(t Target) bool {
+	s := &in.stats[t]
+	s.Accesses++
+	in.m[t].accesses.Inc()
+	r := in.rates[t]
+	if r <= 0 {
+		return false
+	}
+	// 53 uniform bits, the float64 mantissa width.
+	if float64(in.next()>>11)*(1.0/(1<<53)) >= r {
+		return false
+	}
+	s.Faults++
+	in.m[t].injected.Inc()
+	return true
+}
+
+// site records an injected fault when RecordSites is on.
+func (in *Injector) site(t Target, bit uint) {
+	if in.record {
+		in.sites = append(in.sites, Site{Target: t, Access: in.stats[t].Accesses, Bit: bit})
+	}
+}
+
+// CorruptBlock performs one access's fault draw against target t and, on a
+// fault, applies the model to one uniformly chosen bit of the 64-byte block
+// in place. Reports whether a fault was injected. Nil injectors never fault.
+func (in *Injector) CorruptBlock(t Target, b *memdata.Block) bool {
+	if in == nil || !in.draw(t) {
+		return false
+	}
+	bit := uint(in.next() % (memdata.BlockSize * 8))
+	in.site(t, bit)
+	mask := byte(1) << (bit % 8)
+	switch in.model {
+	case StuckAt0:
+		b[bit/8] &^= mask
+	case StuckAt1:
+		b[bit/8] |= mask
+	default:
+		b[bit/8] ^= mask
+	}
+	return true
+}
+
+// CorruptBits performs one access's fault draw against target t and, on a
+// fault, applies the model to one uniformly chosen bit of v's low width
+// bits (a stored address tag, a generated map value). Nil injectors return
+// v unchanged.
+func (in *Injector) CorruptBits(t Target, v uint32, width int) uint32 {
+	if in == nil || !in.draw(t) {
+		return v
+	}
+	if width <= 0 || width > 32 {
+		width = 32
+	}
+	bit := uint(in.next() % uint64(width))
+	in.site(t, bit)
+	mask := uint32(1) << bit
+	switch in.model {
+	case StuckAt0:
+		return v &^ mask
+	case StuckAt1:
+		return v | mask
+	default:
+		return v ^ mask
+	}
+}
+
+// Upset performs one event-only fault draw against target t (e.g. a DRAM
+// row upset that forces re-activation); no payload is corrupted here.
+func (in *Injector) Upset(t Target) bool {
+	if in == nil || !in.draw(t) {
+		return false
+	}
+	in.site(t, 0)
+	return true
+}
+
+// Stats returns target t's draw/fault counts (zero for a nil injector).
+func (in *Injector) Stats(t Target) TargetStats {
+	if in == nil {
+		return TargetStats{}
+	}
+	return in.stats[t]
+}
+
+// TotalFaults sums injected faults over every target.
+func (in *Injector) TotalFaults() uint64 {
+	if in == nil {
+		return 0
+	}
+	var n uint64
+	for t := 0; t < numTargets; t++ {
+		n += in.stats[t].Faults
+	}
+	return n
+}
+
+// Sites returns the recorded fault log (nil unless RecordSites was set).
+func (in *Injector) Sites() []Site {
+	if in == nil {
+		return nil
+	}
+	return in.sites
+}
+
+// AttachMetrics resolves per-target counters in reg under
+// "faults.<target>.{accesses,injected}". A nil registry (or injector)
+// leaves the disabled fast path.
+func (in *Injector) AttachMetrics(reg *metrics.Registry) {
+	if in == nil || reg == nil {
+		return
+	}
+	for _, t := range Targets() {
+		prefix := "faults." + t.String() + "."
+		in.m[t] = targetMetrics{
+			accesses: reg.Counter(prefix + "accesses"),
+			injected: reg.Counter(prefix + "injected"),
+		}
+	}
+}

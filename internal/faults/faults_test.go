@@ -1,0 +1,206 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+
+	"doppelganger/internal/memdata"
+	"doppelganger/internal/metrics"
+)
+
+// TestDeterministicSites proves the central guarantee: two injectors with
+// the same seed, driven through the same access sequence, inject the same
+// faults at the same sites; a different seed produces a different stream.
+func TestDeterministicSites(t *testing.T) {
+	run := func(seed uint64) ([]Site, memdata.Block, uint32) {
+		in := New(Config{Seed: seed, Rate: 0.25, RecordSites: true})
+		var b memdata.Block
+		var v uint32 = 0xdead
+		for i := 0; i < 400; i++ {
+			in.CorruptBlock(LLCData, &b)
+			v = in.CorruptBits(MapGen, v, 14)
+			in.Upset(DRAM)
+		}
+		return in.Sites(), b, v
+	}
+	s1, b1, v1 := run(42)
+	s2, b2, v2 := run(42)
+	if len(s1) == 0 {
+		t.Fatal("rate 0.25 over 1200 draws injected nothing")
+	}
+	if !reflect.DeepEqual(s1, s2) || b1 != b2 || v1 != v2 {
+		t.Fatal("same seed produced different fault sites")
+	}
+	s3, _, _ := run(43)
+	if reflect.DeepEqual(s1, s3) {
+		t.Fatal("different seeds produced identical fault sites")
+	}
+}
+
+// TestRateZeroNeverFaults verifies a zero rate counts accesses but never
+// injects, for every entry point.
+func TestRateZeroNeverFaults(t *testing.T) {
+	in := New(Config{Seed: 1, Rate: 0})
+	var b, orig memdata.Block
+	for i := range orig {
+		orig[i] = byte(i)
+	}
+	b = orig
+	for i := 0; i < 1000; i++ {
+		if in.CorruptBlock(LLCData, &b) || in.Upset(DRAM) {
+			t.Fatal("rate 0 injected a fault")
+		}
+		if got := in.CorruptBits(LLCTag, 0xabc, 12); got != 0xabc {
+			t.Fatalf("rate 0 changed bits: %x", got)
+		}
+	}
+	if b != orig {
+		t.Fatal("rate 0 corrupted the block")
+	}
+	if s := in.Stats(LLCData); s.Accesses != 1000 || s.Faults != 0 {
+		t.Fatalf("stats = %+v, want 1000 accesses, 0 faults", s)
+	}
+}
+
+// TestModels verifies each model's bit manipulation: rate 1 forces a fault
+// per draw, so every draw demonstrates the manifestation.
+func TestModels(t *testing.T) {
+	// Stuck-at-0 can only clear bits; starting from all-ones, bytes only
+	// lose bits.
+	in := New(Config{Seed: 7, Model: StuckAt0, Rate: 1})
+	v := uint32(1<<14 - 1)
+	for i := 0; i < 64; i++ {
+		nv := in.CorruptBits(MapGen, v, 14)
+		if nv&^v != 0 {
+			t.Fatalf("stuck0 set a bit: %x -> %x", v, nv)
+		}
+		v = nv
+	}
+	if v == 1<<14-1 {
+		t.Fatal("stuck0 at rate 1 never cleared a bit in 64 draws")
+	}
+
+	// Stuck-at-1 only sets bits.
+	in = New(Config{Seed: 7, Model: StuckAt1, Rate: 1})
+	v = 0
+	for i := 0; i < 64; i++ {
+		nv := in.CorruptBits(MapGen, v, 14)
+		if v&^nv != 0 {
+			t.Fatalf("stuck1 cleared a bit: %x -> %x", v, nv)
+		}
+		v = nv
+	}
+	if v == 0 {
+		t.Fatal("stuck1 at rate 1 never set a bit in 64 draws")
+	}
+	if v&^uint32(1<<14-1) != 0 {
+		t.Fatalf("stuck1 set a bit beyond width 14: %x", v)
+	}
+
+	// A bit flip changes exactly one bit of the block.
+	in = New(Config{Seed: 7, Model: BitFlip, Rate: 1})
+	var b memdata.Block
+	if !in.CorruptBlock(LLCData, &b) {
+		t.Fatal("rate 1 did not fault")
+	}
+	ones := 0
+	for _, x := range b {
+		for ; x != 0; x &= x - 1 {
+			ones++
+		}
+	}
+	if ones != 1 {
+		t.Fatalf("bit flip changed %d bits, want 1", ones)
+	}
+}
+
+// TestPerTargetRates verifies Rates overrides disable or enable individual
+// targets independently.
+func TestPerTargetRates(t *testing.T) {
+	in := New(Config{Seed: 3, Rate: 1, Rates: map[Target]float64{LLCTag: 0}})
+	for i := 0; i < 50; i++ {
+		if got := in.CorruptBits(LLCTag, 5, 16); got != 5 {
+			t.Fatal("zero-rate override still faulted")
+		}
+		if got := in.CorruptBits(MapGen, 5, 16); got == 5 {
+			t.Fatal("rate-1 target did not fault")
+		}
+	}
+	if f := in.Stats(LLCTag).Faults; f != 0 {
+		t.Fatalf("LLCTag faults = %d, want 0", f)
+	}
+	if f := in.Stats(MapGen).Faults; f != 50 {
+		t.Fatalf("MapGen faults = %d, want 50", f)
+	}
+}
+
+// TestDeriveStable locks down Derive's output so checkpointed experiment
+// results stay comparable across code changes, and checks key independence.
+func TestDeriveStable(t *testing.T) {
+	if Derive(1, "fault/doppel/kmeans/1e-05") != Derive(1, "fault/doppel/kmeans/1e-05") {
+		t.Fatal("Derive is not a pure function")
+	}
+	if Derive(1, "a") == Derive(1, "b") {
+		t.Fatal("distinct keys collided")
+	}
+	if Derive(1, "a") == Derive(2, "a") {
+		t.Fatal("distinct seeds collided")
+	}
+}
+
+// TestNilInjector verifies every method is a safe no-op on the nil
+// injector — the disabled fast path structures rely on.
+func TestNilInjector(t *testing.T) {
+	var in *Injector
+	var b memdata.Block
+	if in.CorruptBlock(LLCData, &b) || in.Upset(DRAM) {
+		t.Fatal("nil injector faulted")
+	}
+	if got := in.CorruptBits(LLCTag, 9, 8); got != 9 {
+		t.Fatalf("nil injector changed bits: %d", got)
+	}
+	if in.Stats(LLCData) != (TargetStats{}) || in.TotalFaults() != 0 || in.Sites() != nil {
+		t.Fatal("nil injector reported state")
+	}
+	in.AttachMetrics(metrics.NewRegistry())
+}
+
+// TestMetricsCounters verifies AttachMetrics exposes per-target access and
+// injection counts under the faults.* namespace.
+func TestMetricsCounters(t *testing.T) {
+	reg := metrics.NewRegistry()
+	in := New(Config{Seed: 9, Rate: 1})
+	in.AttachMetrics(reg)
+	var b memdata.Block
+	for i := 0; i < 10; i++ {
+		in.CorruptBlock(LLCData, &b)
+	}
+	if reg.CounterValue("faults.llc_data.accesses") != 10 || reg.CounterValue("faults.llc_data.injected") != 10 {
+		t.Fatalf("counters = %v", reg.Snapshot())
+	}
+	if in.TotalFaults() != 10 {
+		t.Fatalf("TotalFaults = %d, want 10", in.TotalFaults())
+	}
+}
+
+// TestParseModel covers flag spellings and the round trip through String.
+func TestParseModel(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Model
+	}{{"", BitFlip}, {"flip", BitFlip}, {"bit-flip", BitFlip}, {"stuck0", StuckAt0}, {"stuck-at-1", StuckAt1}} {
+		m, err := ParseModel(tc.in)
+		if err != nil || m != tc.want {
+			t.Errorf("ParseModel(%q) = %v, %v", tc.in, m, err)
+		}
+	}
+	if _, err := ParseModel("gamma-ray"); err == nil {
+		t.Error("unknown model parsed")
+	}
+	for _, m := range []Model{BitFlip, StuckAt0, StuckAt1} {
+		got, err := ParseModel(m.String())
+		if err != nil || got != m {
+			t.Errorf("round trip %v failed: %v, %v", m, got, err)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package funcsim
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"doppelganger/internal/memdata"
+)
+
+// waitForGoroutines polls until the goroutine count drops back to at most
+// want (cancellation unwinds kernels asynchronously after Run returns the
+// error, but only by a few scheduler ticks).
+func waitForGoroutines(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		runtime.GC()
+		if runtime.NumGoroutine() <= want {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<16)
+	t.Fatalf("goroutines leaked: %d > %d\n%s",
+		runtime.NumGoroutine(), want, buf[:runtime.Stack(buf, true)])
+}
+
+// TestGangContextCancelUnblocksKernels proves cooperative cancellation: a
+// cancel arriving mid-run makes RunGroupedContext return ctx.Err() promptly
+// and unwinds every kernel goroutine, including ones parked at a barrier
+// that will never be released.
+func TestGangContextCancelUnblocksKernels(t *testing.T) {
+	before := runtime.NumGoroutine()
+	h, _ := testHierarchy(3, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	kernels := []func(*CoreCtx){
+		func(c *CoreCtx) { // spins until cancelled
+			for i := 0; ; i++ {
+				c.LoadI32(memdata.Addr(0x1000 + (i%64)*64))
+			}
+		},
+		func(c *CoreCtx) { // parks at a barrier core 0 never reaches
+			c.LoadI32(0x100)
+			c.Barrier()
+		},
+		func(c *CoreCtx) {
+			c.LoadI32(0x200)
+			c.Barrier()
+		},
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- RunGroupedContext(ctx, h, kernels, nil) }()
+	time.Sleep(20 * time.Millisecond) // let the run get going
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancellation did not stop the run")
+	}
+	waitForGoroutines(t, before)
+}
+
+// TestGangContextPreCancelled verifies a run under an already-cancelled
+// context returns immediately without leaking the kernel goroutines it
+// spawned.
+func TestGangContextPreCancelled(t *testing.T) {
+	before := runtime.NumGoroutine()
+	h, _ := testHierarchy(2, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := RunGroupedContext(ctx, h, []func(*CoreCtx){
+		func(c *CoreCtx) {
+			for i := 0; ; i++ {
+				c.LoadI32(memdata.Addr(0x1000 + (i%64)*64))
+			}
+		},
+		func(c *CoreCtx) { c.Barrier() },
+	}, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	waitForGoroutines(t, before)
+}
+
+// TestGangContextBackgroundMatchesRun verifies the context path with a
+// non-cancellable context is behaviourally identical to Run: the per-core
+// cancel channel stays nil and results match exactly.
+func TestGangContextBackgroundMatchesRun(t *testing.T) {
+	run := func(useCtx bool) int32 {
+		h, st := testHierarchy(2, nil)
+		kernels := []func(*CoreCtx){
+			func(c *CoreCtx) {
+				for i := 0; i < 50; i++ {
+					c.StoreI32(0x100, c.LoadI32(0x100)+1)
+				}
+			},
+			func(c *CoreCtx) {
+				for i := 0; i < 50; i++ {
+					c.StoreI32(0x100, c.LoadI32(0x100)*2%1000)
+				}
+			},
+		}
+		if useCtx {
+			if err := RunGroupedContext(context.Background(), h, kernels, nil); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			Run(h, kernels)
+		}
+		h.Flush()
+		return st.ReadI32(0x100)
+	}
+	if a, b := run(false), run(true); a != b {
+		t.Fatalf("context path diverged: %d vs %d", a, b)
+	}
+}
+
+// TestGangKernelPanicBecomesError verifies a crashing kernel fails the run,
+// not the process: RunGroupedContext returns an error naming the core and
+// carrying the panic stack, the other kernels complete normally (including
+// their barriers — the crashed core counts as finished), and no goroutines
+// leak.
+func TestGangKernelPanicBecomesError(t *testing.T) {
+	before := runtime.NumGoroutine()
+	h, _ := testHierarchy(3, nil)
+	survivors := make([]bool, 3)
+	err := RunGroupedContext(context.Background(), h, []func(*CoreCtx){
+		func(c *CoreCtx) {
+			c.LoadI32(0x100)
+			panic("synthetic kernel crash")
+		},
+		func(c *CoreCtx) {
+			for i := 0; i < 20; i++ {
+				c.LoadI32(memdata.Addr(0x1000 + i*64))
+			}
+			c.Barrier()
+			survivors[1] = true
+		},
+		func(c *CoreCtx) {
+			c.LoadI32(0x200)
+			c.Barrier()
+			survivors[2] = true
+		},
+	}, nil)
+	if err == nil {
+		t.Fatal("kernel panic was swallowed")
+	}
+	for _, want := range []string{"kernel 0", "synthetic kernel crash", "cancel_test.go"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+	if !survivors[1] || !survivors[2] {
+		t.Errorf("surviving kernels did not finish: %v", survivors)
+	}
+	waitForGoroutines(t, before)
+}
+
+// TestGangPanicReRaisedWithoutContext verifies the non-context entry point
+// re-raises a captured kernel panic on the caller's goroutine, where a
+// recover (the sweep memo's shield) can convert it to a task error.
+func TestGangPanicReRaisedWithoutContext(t *testing.T) {
+	h, _ := testHierarchy(1, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kernel panic was not re-raised to the caller")
+		}
+	}()
+	Run(h, []func(*CoreCtx){func(c *CoreCtx) {
+		c.LoadI32(0x100)
+		panic("boom")
+	}})
+}

@@ -1,6 +1,13 @@
 package funcsim
 
-import "doppelganger/internal/memdata"
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"sync"
+
+	"doppelganger/internal/memdata"
+)
 
 // CoreCtx is the per-core handle a workload kernel uses to touch memory.
 // Kernels run as goroutines, but every memory access is serialized through
@@ -14,14 +21,38 @@ type CoreCtx struct {
 	done         chan struct{}
 	barrierEnter chan struct{}
 	barrierLeave chan struct{}
+	// cancel is closed by the scheduler when its context is cancelled; nil
+	// for non-context runs, which keep the bare channel receives below.
+	cancel chan struct{}
 }
+
+// runCanceled is the panic token a kernel goroutine unwinds with when the
+// run's context is cancelled; the goroutine wrapper recovers it. Kernels
+// block on scheduler channels, so panic-unwind is the only way to free them
+// without threading a context through every workload kernel.
+type runCanceled struct{}
 
 // Core returns the core id of this context.
 func (c *CoreCtx) Core() int { return c.id }
 
+// acquire waits for a scheduler grant, unwinding if the run is cancelled.
+func (c *CoreCtx) acquire() {
+	if c.cancel == nil {
+		<-c.grant
+		return
+	}
+	select {
+	case <-c.grant:
+	case <-c.cancel:
+		panic(runCanceled{})
+	}
+}
+
 func (c *CoreCtx) turn(fn func()) {
-	<-c.grant
+	c.acquire()
 	fn()
+	// The scheduler that granted the turn is already waiting on done, so
+	// this send never blocks across a cancellation.
 	c.done <- struct{}{}
 }
 
@@ -38,9 +69,19 @@ func (c *CoreCtx) Work(n int) {
 // data-parallel benchmarks. Cores that have already finished do not
 // participate; in multiprogrammed runs each program is its own group.
 func (c *CoreCtx) Barrier() {
-	<-c.grant
+	c.acquire()
 	c.barrierEnter <- struct{}{}
-	<-c.barrierLeave
+	if c.cancel == nil {
+		<-c.barrierLeave
+		return
+	}
+	// A core can park here for many rotations while the rest of its group
+	// catches up, so the release must also race against cancellation.
+	select {
+	case <-c.barrierLeave:
+	case <-c.cancel:
+		panic(runCanceled{})
+	}
 }
 
 // LoadF32 reads a float32 through the hierarchy.
@@ -105,7 +146,34 @@ func Run(h *Hierarchy, kernels []func(*CoreCtx)) {
 // program's barriers never wait on another's cores. A nil groups slice puts
 // every core in group 0.
 func RunGrouped(h *Hierarchy, kernels []func(*CoreCtx), groups []int) {
+	if err := RunGroupedContext(context.Background(), h, kernels, groups); err != nil {
+		// A background context is never cancelled, so the only possible error
+		// is a captured kernel panic: re-raise it on the caller's goroutine,
+		// where it is recoverable (the sweep memo turns it into a task error).
+		panic(err)
+	}
+}
+
+// RunGroupedContext is RunGrouped with cooperative cancellation and panic
+// containment. When ctx is cancelled the scheduler stops granting turns,
+// every kernel goroutine unwinds at its next scheduler rendezvous, and
+// ctx.Err() is returned; the simulation state is then abandoned mid-flight
+// (callers discard it). A kernel that panics is captured on its own
+// goroutine and returned as an error carrying the stack — the crash fails
+// this run, never the process; the remaining kernels complete normally (a
+// crashed core counts as finished, so its barrier group is not stranded).
+// With a non-cancellable context the cancellation machinery is inert: the
+// per-core cancel channel stays nil and every rendezvous keeps its bare
+// channel operation.
+func RunGroupedContext(ctx context.Context, h *Hierarchy, kernels []func(*CoreCtx), groups []int) error {
 	n := len(kernels)
+	ctxDone := ctx.Done()
+	var cancelCh chan struct{}
+	if ctxDone != nil {
+		cancelCh = make(chan struct{})
+	}
+	var panicMu sync.Mutex
+	var panicErr error
 	ctxs := make([]*CoreCtx, n)
 	finished := make([]chan struct{}, n)
 	for i := 0; i < n; i++ {
@@ -119,10 +187,23 @@ func RunGrouped(h *Hierarchy, kernels []func(*CoreCtx), groups []int) {
 			done:         make(chan struct{}),
 			barrierEnter: make(chan struct{}),
 			barrierLeave: make(chan struct{}),
+			cancel:       cancelCh,
 		}
 		finished[i] = make(chan struct{})
 		go func(i int) {
 			defer close(finished[i])
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(runCanceled); ok {
+						return
+					}
+					panicMu.Lock()
+					if panicErr == nil { // keep the first crash's stack
+						panicErr = fmt.Errorf("funcsim: kernel %d panicked: %v\n%s", i, r, debug.Stack())
+					}
+					panicMu.Unlock()
+				}
+			}()
 			kernels[i](ctxs[i])
 		}(i)
 	}
@@ -130,6 +211,23 @@ func RunGrouped(h *Hierarchy, kernels []func(*CoreCtx), groups []int) {
 	doneFlags := make([]bool, n)
 	atBarrier := make([]bool, n)
 	for live > 0 {
+		if ctxDone != nil {
+			select {
+			case <-ctxDone:
+				// Between rotations every live kernel is parked at a grant or
+				// barrier-leave rendezvous (or computing towards one), so
+				// closing cancel unwinds them all; wait for the unwind so no
+				// goroutine outlives the call.
+				close(cancelCh)
+				for i := 0; i < n; i++ {
+					if !doneFlags[i] {
+						<-finished[i]
+					}
+				}
+				return ctx.Err()
+			default:
+			}
+		}
 		for i := 0; i < n; i++ {
 			if doneFlags[i] || atBarrier[i] {
 				continue
@@ -140,6 +238,10 @@ func RunGrouped(h *Hierarchy, kernels []func(*CoreCtx), groups []int) {
 				case <-ctxs[i].done:
 				case <-ctxs[i].barrierEnter:
 					atBarrier[i] = true
+				case <-finished[i]:
+					// The kernel panicked inside its turn: done never arrives.
+					doneFlags[i] = true
+					live--
 				}
 			case <-finished[i]:
 				doneFlags[i] = true
@@ -149,6 +251,9 @@ func RunGrouped(h *Hierarchy, kernels []func(*CoreCtx), groups []int) {
 		// Release any group whose live cores have all reached the barrier.
 		releaseReadyGroups(ctxs, doneFlags, atBarrier)
 	}
+	panicMu.Lock()
+	defer panicMu.Unlock()
+	return panicErr
 }
 
 func releaseReadyGroups(ctxs []*CoreCtx, doneFlags, atBarrier []bool) {

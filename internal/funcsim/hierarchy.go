@@ -16,6 +16,7 @@ import (
 	"doppelganger/internal/cache"
 	"doppelganger/internal/coherence"
 	"doppelganger/internal/core"
+	"doppelganger/internal/faults"
 	"doppelganger/internal/memdata"
 	"doppelganger/internal/metrics"
 	"doppelganger/internal/trace"
@@ -150,6 +151,19 @@ func (h *Hierarchy) AttachMetrics(reg *metrics.Registry) {
 	h.MSI.Attach(reg)
 	if a, ok := h.llc.(interface{ AttachMetrics(*metrics.Registry) }); ok {
 		a.AttachMetrics(reg)
+	}
+}
+
+// AttachFaults wires a fault injector into the shared LLC organization.
+// Private L1/L2 arrays are not fault targets — the paper's vulnerability
+// argument is about the large LLC arrays and DRAM — so only the LLC (and,
+// in the timing simulator, DRAM) draws. A nil injector is a no-op.
+func (h *Hierarchy) AttachFaults(inj *faults.Injector) {
+	if inj == nil {
+		return
+	}
+	if a, ok := h.llc.(interface{ AttachFaults(*faults.Injector) }); ok {
+		a.AttachFaults(inj)
 	}
 }
 

@@ -1,0 +1,210 @@
+package sweep
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sync"
+
+	"doppelganger/internal/core"
+	"doppelganger/internal/funcsim"
+	"doppelganger/internal/timesim"
+)
+
+// Checkpoint persists completed sweep results as append-only JSONL so an
+// interrupted run can resume without repeating finished simulations. One
+// record is appended (and flushed) per completed memo key, so whatever was
+// finished when a SIGINT arrives is on disk.
+//
+// Scalars (output errors) are stored as raw float64 bits, and timing runs
+// as the reduced TimingSummary, so a resumed run renders bit-identical
+// tables: exactly the fields the tables and the energy model consume are
+// round-tripped exactly. Baseline artifacts (traces, analyzers, memory
+// images) are deliberately not persisted — they are recomputed on resume,
+// which is deterministic and far cheaper than serializing them.
+type Checkpoint struct {
+	mu     sync.Mutex
+	f      *os.File
+	saved  map[string]bool
+	errs   map[string]float64
+	timing map[string]*TimingSummary
+}
+
+// TimingSummary is the subset of a timesim.Result the experiment tables and
+// the energy model consume; Evicted per-access lists are dropped (nothing
+// downstream of the runner reads them).
+type TimingSummary struct {
+	Cycles        uint64
+	PerCoreCycles []uint64
+	Instructions  uint64
+	Totals        core.Effects
+	Hier          funcsim.Stats
+}
+
+// summarize reduces a timing result to its persisted form.
+func summarize(res *timesim.Result) *TimingSummary {
+	totals := res.Totals
+	totals.Evicted = nil
+	return &TimingSummary{
+		Cycles:        res.Cycles,
+		PerCoreCycles: res.PerCoreCycles,
+		Instructions:  res.Instructions,
+		Totals:        totals,
+		Hier:          res.Hier,
+	}
+}
+
+// Result rebuilds the timesim.Result view of the summary (LLC and Metrics
+// are gone; no table consumer reads them).
+func (s *TimingSummary) Result() *timesim.Result {
+	return &timesim.Result{
+		Cycles:        s.Cycles,
+		PerCoreCycles: s.PerCoreCycles,
+		Instructions:  s.Instructions,
+		Totals:        s.Totals,
+		Hier:          s.Hier,
+	}
+}
+
+// checkpointRecord is one JSONL line.
+type checkpointRecord struct {
+	Kind   string         `json:"kind"` // "error" or "timing"
+	Key    string         `json:"key"`
+	Bits   uint64         `json:"bits,omitempty"` // math.Float64bits of the error value
+	Timing *TimingSummary `json:"timing,omitempty"`
+}
+
+// OpenCheckpoint opens (or creates) the checkpoint file at path. With
+// resume set, existing records are loaded first — feed them to
+// Runner.Resume — and new records append after them; without it the file
+// is truncated. A partial trailing line (a write cut off by a kill) is
+// tolerated and dropped.
+func OpenCheckpoint(path string, resume bool) (*Checkpoint, error) {
+	cp := &Checkpoint{
+		saved:  make(map[string]bool),
+		errs:   make(map[string]float64),
+		timing: make(map[string]*TimingSummary),
+	}
+	flags := os.O_CREATE | os.O_RDWR | os.O_APPEND
+	if !resume {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	cp.f = f
+	if resume {
+		if err := cp.load(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return cp, nil
+}
+
+// load parses the existing records (called once, before any writes).
+func (cp *Checkpoint) load() error {
+	if _, err := cp.f.Seek(0, 0); err != nil {
+		return err
+	}
+	sc := bufio.NewScanner(cp.f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec checkpointRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// A torn trailing line from an interrupted write: drop it (the
+			// task will simply recompute). Corruption mid-file would also
+			// land here, losing later records the same benign way.
+			continue
+		}
+		switch rec.Kind {
+		case "error":
+			cp.errs[rec.Key] = math.Float64frombits(rec.Bits)
+			cp.saved[rec.Key+"/error"] = true
+		case "timing":
+			if rec.Timing != nil {
+				cp.timing[rec.Key] = rec.Timing
+				cp.saved[rec.Key+"/timing"] = true
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("sweep: reading checkpoint: %w", err)
+	}
+	_, err := cp.f.Seek(0, 2)
+	return err
+}
+
+// Errors returns the loaded error records (for Runner.Resume).
+func (cp *Checkpoint) Errors() map[string]float64 { return cp.errs }
+
+// Timings returns the loaded timing records (for Runner.Resume).
+func (cp *Checkpoint) Timings() map[string]*TimingSummary { return cp.timing }
+
+// Len reports how many records are stored (loaded plus newly saved).
+func (cp *Checkpoint) Len() int {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return len(cp.saved)
+}
+
+// SaveError appends one error record. Duplicate saves of a key (every
+// singleflight waiter reports its result) write once.
+func (cp *Checkpoint) SaveError(key string, v float64) {
+	cp.append(key+"/error", checkpointRecord{Kind: "error", Key: key, Bits: math.Float64bits(v)})
+}
+
+// SaveTiming appends one timing record.
+func (cp *Checkpoint) SaveTiming(key string, res *timesim.Result) {
+	cp.append(key+"/timing", checkpointRecord{Kind: "timing", Key: key, Timing: summarize(res)})
+}
+
+func (cp *Checkpoint) append(dedup string, rec checkpointRecord) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	if cp.f == nil || cp.saved[dedup] {
+		return
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return // summaries are plain data; cannot happen
+	}
+	b = append(b, '\n')
+	if _, err := cp.f.Write(b); err != nil {
+		return // a full disk mustn't kill the sweep; resume just recomputes
+	}
+	cp.saved[dedup] = true
+}
+
+// Close flushes and closes the file.
+func (cp *Checkpoint) Close() error {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	if cp.f == nil {
+		return nil
+	}
+	err := cp.f.Close()
+	cp.f = nil
+	return err
+}
+
+// Resume primes the runner's memo caches from loaded checkpoint records:
+// tasks whose results are already on disk are skipped bit-identically, and
+// only missing keys simulate. Baselines always recompute (they are not
+// checkpointed), which is deterministic, so a resumed run's tables match an
+// uninterrupted run byte for byte.
+func (r *Runner) Resume(cp *Checkpoint) {
+	for key, v := range cp.Errors() {
+		r.errCache.Prime(key, v)
+	}
+	for key, s := range cp.Timings() {
+		r.timeCache.Prime(key, s.Result())
+	}
+}

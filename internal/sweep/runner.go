@@ -1,12 +1,15 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"doppelganger/internal/approx"
 	"doppelganger/internal/core"
+	"doppelganger/internal/faults"
 	"doppelganger/internal/metrics"
 	"doppelganger/internal/stats"
 	"doppelganger/internal/timesim"
@@ -39,6 +42,30 @@ type Runner struct {
 	// Workers bounds the engine's concurrent simulations during Prewarm
 	// (0 means GOMAXPROCS). Results are identical for every worker count.
 	Workers int
+
+	// TaskTimeout, when positive, bounds each engine task attempt with a
+	// per-task deadline; a task that exceeds it fails (and may retry).
+	TaskTimeout time.Duration
+	// Retries is how many times the engine re-runs a failed task beyond the
+	// first attempt (0: fail immediately).
+	Retries int
+	// RetryBackoff is the initial sleep before a retry, doubling per attempt
+	// (0: 250ms).
+	RetryBackoff time.Duration
+
+	// FaultRates are the per-access fault probabilities the fault-sweep
+	// experiment evaluates (nil: DefaultFaultRates).
+	FaultRates []float64
+	// FaultSeed seeds fault-site generation; every task derives an
+	// independent stream from (FaultSeed, task key), so results are
+	// identical for every worker count.
+	FaultSeed uint64
+	// FaultModel selects the fault manifestation (default bit flips).
+	FaultModel faults.Model
+
+	// Checkpoint, when non-nil, persists every completed error/timing result
+	// and skips already-persisted keys after Resume. nil disables.
+	Checkpoint *Checkpoint
 
 	// Metrics, when non-nil, aggregates instrument totals across every
 	// simulation the runner performs; each memoized task also leaves a
@@ -125,11 +152,37 @@ func (r *Runner) Benchmarks() []string {
 	return names
 }
 
+// errDo memoizes an output-error computation and, when a checkpoint is
+// attached, persists every success so a resumed run skips the key.
+func (r *Runner) errDo(key string, compute func() (float64, error)) (float64, error) {
+	v, err := r.errCache.Do(key, compute)
+	if err == nil && r.Checkpoint != nil {
+		r.Checkpoint.SaveError(key, v)
+	}
+	return v, err
+}
+
+// timeDo is errDo for timing results.
+func (r *Runner) timeDo(key string, compute func() (*timesim.Result, error)) (*timesim.Result, error) {
+	v, err := r.timeCache.Do(key, compute)
+	if err == nil && r.Checkpoint != nil {
+		r.Checkpoint.SaveTiming(key, v)
+	}
+	return v, err
+}
+
 // Baseline returns (running once) the precise baseline artifacts for a
 // benchmark: functional run with traces and snapshot analysis, plus the
 // baseline timing result. Unknown benchmark names return an error rather
 // than panicking, so a bad -only flag surfaces through the engine.
 func (r *Runner) Baseline(name string) (*baseArtifacts, error) {
+	return r.BaselineContext(context.Background(), name)
+}
+
+// BaselineContext is Baseline under a cancellable context: a cancellation
+// or deadline aborts the simulations promptly, the error is delivered to
+// every waiter, and the key is forgotten so a retry recomputes it.
+func (r *Runner) BaselineContext(ctx context.Context, name string) (*baseArtifacts, error) {
 	return r.base.Do(name, func() (*baseArtifacts, error) {
 		f, err := workloads.ByName(name)
 		if err != nil {
@@ -145,19 +198,25 @@ func (r *Runner) Baseline(name string) (*baseArtifacts, error) {
 			CompareM:           14,
 		})
 		child := r.instrument()
-		run := workloads.RunFunctional(f.New(r.Scale), workloads.BaselineBuilder(2<<20, 16), workloads.RunOptions{
+		run, err := workloads.RunFunctionalContext(ctx, f.New(r.Scale), workloads.BaselineBuilder(2<<20, 16), workloads.RunOptions{
 			Cores:         r.Cores,
 			Record:        true,
 			SnapshotEvery: r.SnapshotEvery,
 			SnapshotFn:    an.Observe,
 			Metrics:       child,
 		})
+		if err != nil {
+			return nil, err
+		}
 		r.collect("base/"+name+"/func", child)
 		r.logf("[%s] baseline timing run (%d accesses)", name, run.Recorder.Len())
 		tkey := "base/" + name + "/timing"
 		tchild := r.instrument()
-		timing := timesim.Run(run.Recorder, run.InitialMem, run.Annotations,
+		timing, err := timesim.RunContext(ctx, run.Recorder, run.InitialMem, run.Annotations,
 			workloads.BaselineBuilder(2<<20, 16), r.timesimConfigFor(tkey, tchild))
+		if err != nil {
+			return nil, err
+		}
 		r.collect(tkey, tchild)
 		return &baseArtifacts{bench: f.New(r.Scale), run: run, analyzer: an, timing: timing}, nil
 	})
@@ -186,17 +245,25 @@ func (r *Runner) timesimConfigFor(label string, reg *metrics.Registry) timesim.C
 // SplitError measures application output error for the split organization
 // with map size m and data fraction frac (Figs. 9a, 10a).
 func (r *Runner) SplitError(name string, m int, frac float64) (float64, error) {
+	return r.SplitErrorContext(context.Background(), name, m, frac)
+}
+
+// SplitErrorContext is SplitError under a cancellable context.
+func (r *Runner) SplitErrorContext(ctx context.Context, name string, m int, frac float64) (float64, error) {
 	key := fmt.Sprintf("split/%s/%d/%g", name, m, frac)
-	return r.errCache.Do(key, func() (float64, error) {
-		a, err := r.Baseline(name)
+	return r.errDo(key, func() (float64, error) {
+		a, err := r.BaselineContext(ctx, name)
 		if err != nil {
 			return 0, err
 		}
 		f, _ := workloads.ByName(name)
 		r.logf("[%s] split functional run (M=%d, data %g)", name, m, frac)
 		child := r.instrument()
-		run := workloads.RunFunctional(f.New(r.Scale), workloads.SplitBuilder(m, frac),
+		run, err := workloads.RunFunctionalContext(ctx, f.New(r.Scale), workloads.SplitBuilder(m, frac),
 			workloads.RunOptions{Cores: r.Cores, Metrics: child})
+		if err != nil {
+			return 0, err
+		}
 		r.collect(key+"/func", child)
 		return a.bench.Error(a.run.Output, run.Output), nil
 	})
@@ -205,17 +272,25 @@ func (r *Runner) SplitError(name string, m int, frac float64) (float64, error) {
 // UnifiedError is SplitError for the uniDoppelgänger organization
 // (Fig. 14a); frac is relative to the baseline LLC capacity.
 func (r *Runner) UnifiedError(name string, m int, frac float64) (float64, error) {
+	return r.UnifiedErrorContext(context.Background(), name, m, frac)
+}
+
+// UnifiedErrorContext is UnifiedError under a cancellable context.
+func (r *Runner) UnifiedErrorContext(ctx context.Context, name string, m int, frac float64) (float64, error) {
 	key := fmt.Sprintf("uni/%s/%d/%g", name, m, frac)
-	return r.errCache.Do(key, func() (float64, error) {
-		a, err := r.Baseline(name)
+	return r.errDo(key, func() (float64, error) {
+		a, err := r.BaselineContext(ctx, name)
 		if err != nil {
 			return 0, err
 		}
 		f, _ := workloads.ByName(name)
 		r.logf("[%s] unified functional run (M=%d, data %g)", name, m, frac)
 		child := r.instrument()
-		run := workloads.RunFunctional(f.New(r.Scale), workloads.UnifiedBuilder(m, frac),
+		run, err := workloads.RunFunctionalContext(ctx, f.New(r.Scale), workloads.UnifiedBuilder(m, frac),
 			workloads.RunOptions{Cores: r.Cores, Metrics: child})
+		if err != nil {
+			return 0, err
+		}
 		r.collect(key+"/func", child)
 		return a.bench.Error(a.run.Output, run.Output), nil
 	})
@@ -224,16 +299,24 @@ func (r *Runner) UnifiedError(name string, m int, frac float64) (float64, error)
 // SplitTiming replays the benchmark's traces against the split organization
 // (Figs. 9b, 10b, 11, 12).
 func (r *Runner) SplitTiming(name string, m int, frac float64) (*timesim.Result, error) {
+	return r.SplitTimingContext(context.Background(), name, m, frac)
+}
+
+// SplitTimingContext is SplitTiming under a cancellable context.
+func (r *Runner) SplitTimingContext(ctx context.Context, name string, m int, frac float64) (*timesim.Result, error) {
 	key := fmt.Sprintf("split/%s/%d/%g", name, m, frac)
-	return r.timeCache.Do(key, func() (*timesim.Result, error) {
-		a, err := r.Baseline(name)
+	return r.timeDo(key, func() (*timesim.Result, error) {
+		a, err := r.BaselineContext(ctx, name)
 		if err != nil {
 			return nil, err
 		}
 		r.logf("[%s] split timing run (M=%d, data %g)", name, m, frac)
 		child := r.instrument()
-		res := timesim.Run(a.run.Recorder, a.run.InitialMem, a.run.Annotations,
+		res, err := timesim.RunContext(ctx, a.run.Recorder, a.run.InitialMem, a.run.Annotations,
 			workloads.SplitBuilder(m, frac), r.timesimConfigFor(key+"/timing", child))
+		if err != nil {
+			return nil, err
+		}
 		r.collect(key+"/timing", child)
 		return res, nil
 	})
@@ -242,16 +325,24 @@ func (r *Runner) SplitTiming(name string, m int, frac float64) (*timesim.Result,
 // UnifiedTiming replays against uniDoppelgänger (Fig. 14b/c); frac is
 // relative to the baseline LLC capacity.
 func (r *Runner) UnifiedTiming(name string, m int, frac float64) (*timesim.Result, error) {
+	return r.UnifiedTimingContext(context.Background(), name, m, frac)
+}
+
+// UnifiedTimingContext is UnifiedTiming under a cancellable context.
+func (r *Runner) UnifiedTimingContext(ctx context.Context, name string, m int, frac float64) (*timesim.Result, error) {
 	key := fmt.Sprintf("uni/%s/%d/%g", name, m, frac)
-	return r.timeCache.Do(key, func() (*timesim.Result, error) {
-		a, err := r.Baseline(name)
+	return r.timeDo(key, func() (*timesim.Result, error) {
+		a, err := r.BaselineContext(ctx, name)
 		if err != nil {
 			return nil, err
 		}
 		r.logf("[%s] unified timing run (M=%d, data %g)", name, m, frac)
 		child := r.instrument()
-		res := timesim.Run(a.run.Recorder, a.run.InitialMem, a.run.Annotations,
+		res, err := timesim.RunContext(ctx, a.run.Recorder, a.run.InitialMem, a.run.Annotations,
 			workloads.UnifiedBuilder(m, frac), r.timesimConfigFor(key+"/timing", child))
+		if err != nil {
+			return nil, err
+		}
 		r.collect(key+"/timing", child)
 		return res, nil
 	})

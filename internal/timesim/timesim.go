@@ -9,12 +9,14 @@ package timesim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 
 	"doppelganger/internal/approx"
 	"doppelganger/internal/cache"
 	"doppelganger/internal/core"
 	"doppelganger/internal/dram"
+	"doppelganger/internal/faults"
 	"doppelganger/internal/funcsim"
 	"doppelganger/internal/memdata"
 	"doppelganger/internal/metrics"
@@ -53,6 +55,11 @@ type Config struct {
 	// DRAM optionally replaces the fixed MemLat with the banked open-row
 	// model of internal/dram (nil keeps the Table 1 fixed-latency memory).
 	DRAM *dram.Config
+
+	// Faults optionally injects faults into the replayed LLC organization
+	// and (when the DRAM model is enabled) the DRAM banks. nil keeps the
+	// zero-cost disabled path.
+	Faults *faults.Injector
 
 	// Metrics optionally threads the whole run — private caches, MSI
 	// tracker, LLC organization, DRAM and the core model itself — through a
@@ -196,12 +203,26 @@ func (q *coreQueue) Pop() interface{}   { panic("fixed-size queue") }
 // is built by llcb over a clone of the initial memory image.
 func Run(tr *trace.Recorder, initial *memdata.Store, ann *approx.Annotations,
 	llcb func(st *memdata.Store, ann *approx.Annotations) core.LLC, cfg Config) *Result {
+	res, err := RunContext(context.Background(), tr, initial, ann, llcb, cfg)
+	if err != nil {
+		// Background contexts are never cancelled.
+		panic(err)
+	}
+	return res
+}
+
+// RunContext is Run with cooperative cancellation: the event loop polls ctx
+// every few thousand replayed accesses and returns (nil, ctx.Err()) when it
+// is cancelled. With a non-cancellable context the run is identical to Run.
+func RunContext(ctx context.Context, tr *trace.Recorder, initial *memdata.Store, ann *approx.Annotations,
+	llcb func(st *memdata.Store, ann *approx.Annotations) core.LLC, cfg Config) (*Result, error) {
 
 	st := initial.Clone()
 	llc := llcb(st, ann)
 	hcfg := funcsim.Config{Cores: cfg.Cores, L1: l1Config(), L2: l2Config()}
 	h := funcsim.New(hcfg, llc, st, ann, nil)
 	h.AttachMetrics(cfg.Metrics)
+	h.AttachFaults(cfg.Faults)
 
 	// Core-model instruments; all remain nil (free no-ops) when metrics are
 	// disabled, and the occupancy observations are skipped outright.
@@ -253,8 +274,23 @@ func Run(tr *trace.Recorder, initial *memdata.Store, ann *approx.Annotations,
 	if cfg.DRAM != nil {
 		mem = dram.MustNew(*cfg.DRAM)
 		mem.AttachMetrics(cfg.Metrics)
+		mem.AttachFaults(cfg.Faults)
 	}
+	ctxDone := ctx.Done()
+	var iter uint
 	for q.Len() > 0 {
+		if ctxDone != nil {
+			// Poll cheaply: one counter increment per event, one channel check
+			// every 4096 events.
+			if iter&4095 == 0 {
+				select {
+				case <-ctxDone:
+					return nil, ctx.Err()
+				default:
+				}
+			}
+			iter++
+		}
 		c := q.ids[0]
 		cs := cores[c]
 		t := q.times[0]
@@ -398,7 +434,7 @@ func Run(tr *trace.Recorder, initial *memdata.Store, ann *approx.Annotations,
 			res.Cycles = uint64(end)
 		}
 	}
-	return res
+	return res, nil
 }
 
 // The private-cache geometries of Table 1.

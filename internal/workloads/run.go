@@ -1,9 +1,12 @@
 package workloads
 
 import (
+	"context"
+
 	"doppelganger/internal/approx"
 	"doppelganger/internal/cache"
 	"doppelganger/internal/core"
+	"doppelganger/internal/faults"
 	"doppelganger/internal/funcsim"
 	"doppelganger/internal/memdata"
 	"doppelganger/internal/metrics"
@@ -35,6 +38,10 @@ type RunOptions struct {
 	// MSI tracker, LLC organization) to the registry for the duration of the
 	// run. nil keeps the zero-cost disabled path.
 	Metrics *metrics.Registry
+
+	// Faults, when non-nil, injects faults into the LLC organization for the
+	// duration of the run. nil keeps the zero-cost disabled path.
+	Faults *faults.Injector
 }
 
 // RunResult is everything a functional run produces.
@@ -64,6 +71,19 @@ type RunResult struct {
 // hierarchy is flushed before the output is read so every dirty block
 // (including approximated writebacks) reaches memory.
 func RunFunctional(b *Benchmark, llcb LLCBuilder, opt RunOptions) *RunResult {
+	res, err := RunFunctionalContext(context.Background(), b, llcb, opt)
+	if err != nil {
+		// Background contexts are never cancelled.
+		panic(err)
+	}
+	return res
+}
+
+// RunFunctionalContext is RunFunctional with cooperative cancellation: when
+// ctx is cancelled mid-run the kernels unwind promptly and (nil, ctx.Err())
+// is returned. With a non-cancellable context the execution path is
+// identical to RunFunctional.
+func RunFunctionalContext(ctx context.Context, b *Benchmark, llcb LLCBuilder, opt RunOptions) (*RunResult, error) {
 	if opt.Cores == 0 {
 		opt.Cores = 4
 	}
@@ -78,13 +98,16 @@ func RunFunctional(b *Benchmark, llcb LLCBuilder, opt RunOptions) *RunResult {
 	llc := llcb(st, ann)
 	h := funcsim.New(HierConfig(opt.Cores), llc, st, ann, rec)
 	h.AttachMetrics(opt.Metrics)
+	h.AttachFaults(opt.Faults)
 	h.SnapshotEvery = opt.SnapshotEvery
 	h.SnapshotFn = opt.SnapshotFn
 	var groups []int
 	if b.Groups != nil {
 		groups = b.Groups(opt.Cores)
 	}
-	funcsim.RunGrouped(h, b.Kernels(opt.Cores), groups)
+	if err := funcsim.RunGroupedContext(ctx, h, b.Kernels(opt.Cores), groups); err != nil {
+		return nil, err
+	}
 	// Always take a final pre-flush snapshot so cache-resident workloads
 	// (too few fills to trigger the periodic sampler) still get analyzed.
 	if opt.SnapshotFn != nil {
@@ -115,7 +138,7 @@ func RunFunctional(b *Benchmark, llcb LLCBuilder, opt RunOptions) *RunResult {
 	res.LLC = llc
 	res.TagsAtEnd = tags
 	res.DataBlocksAtEnd = blocks
-	return res
+	return res, nil
 }
 
 // BaselineBuilder returns the conventional LLC of the given size (Table 1
