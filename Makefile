@@ -4,15 +4,19 @@
 # exercises the sweep engine and workloads at GOMAXPROCS 1 and 4, since the
 # parallel experiment engine must be correct at any worker count.
 # `faults-smoke` proves the fault-injection layer deterministic under the
-# race detector, and `test-interrupt` exercises the SIGINT/checkpoint/resume
-# path end to end; both are folded into `race`.
+# race detector, `quality-smoke` does the same for the quality guard (breaker
+# property test plus sweep determinism), and `test-interrupt` exercises the
+# SIGINT/checkpoint/resume path end to end; all three are folded into `race`.
 # `fuzz-smoke` gives each fuzz target a short budget (Go allows one -fuzz
 # pattern per package invocation, hence one line per target).
+# `audit` runs go vet always, plus staticcheck and govulncheck when they are
+# installed — missing tools skip with a note instead of failing, so the
+# target works in hermetic containers.
 
 GO      ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test race faults-smoke test-interrupt fuzz-smoke vet
+.PHONY: build test race faults-smoke quality-smoke test-interrupt fuzz-smoke vet audit
 
 build:
 	$(GO) build ./...
@@ -20,13 +24,17 @@ build:
 test:
 	$(GO) test ./...
 
-race: faults-smoke test-interrupt
+race: faults-smoke quality-smoke test-interrupt
 	$(GO) test -race ./...
 	$(GO) test -race -cpu 1,4 ./internal/sweep/... ./internal/workloads/... ./internal/timesim/...
 
 faults-smoke:
 	$(GO) test -race -cpu 1,4 -run 'TestFaultSweepDeterministic|TestFaultSeedChangesSites' ./internal/sweep/
 	$(GO) test -race -run 'TestDeterministicSites|TestModels' ./internal/faults/
+
+quality-smoke:
+	$(GO) test -race -cpu 1,4 -run 'TestQualitySweepDeterministic|TestQualityGuard' ./internal/sweep/
+	$(GO) test -race -run 'TestBreakerProperty|TestBreakerDeterminism' ./internal/quality/
 
 test-interrupt:
 	$(GO) test -run 'TestInterruptResume' ./cmd/experiments/
@@ -39,6 +47,19 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzDecompressRobustness$$ -fuzztime=$(FUZZTIME) ./internal/bdi
 	$(GO) test -fuzz=FuzzDoppelgangerOps$$ -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -fuzz=FuzzTraceRoundTrip$$ -fuzztime=$(FUZZTIME) ./internal/trace
+	$(GO) test -fuzz=FuzzCheckpointParse$$ -fuzztime=$(FUZZTIME) ./internal/sweep
 
 vet:
 	$(GO) vet ./...
+
+audit: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "audit: staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "audit: govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi

@@ -7,6 +7,7 @@
 //	doppelsim -bench jmeint+kmeans -llc unified          # multiprogrammed
 //	doppelsim -bench canneal -savetrace canneal.trace    # record a bundle
 //	doppelsim -replay canneal.trace -llc split -map 12   # replay offline
+//	doppelsim -bench jpeg -fault-rate 1e-4 -quality-budget 0.05   # guarded
 //
 // LLC organizations: baseline (conventional 2 MB), split (1 MB precise +
 // Doppelgänger, the paper's primary design), unified (uniDoppelgänger).
@@ -50,11 +51,35 @@ func main() {
 		faultSeed  = flag.Uint64("fault-seed", 1, "fault-injection seed; the same seed reproduces the same fault sites")
 		faultModel = flag.String("fault-model", "flip", "fault manifestation: flip, stuck0, stuck1")
 
+		qualityBudget = flag.Float64("quality-budget", 0, "online quality-guard output-error budget; the guard degrades the Doppelgänger to precise behaviour when its error estimate exceeds it (0 disables)")
+		canaryRate    = flag.Float64("canary-rate", 0.05, "quality-guard canary sampling rate (fraction of substitutions checked against the precise value)")
+		qualitySeed   = flag.Uint64("quality-seed", 1, "canary-sampling seed; the same seed reproduces the same canary sites")
+
 		metricsOut = flag.String("metrics-out", "", "write the run's counter snapshot as JSONL to this file")
 		traceOut   = flag.String("trace-out", "", "write a Chrome-trace JSON (chrome://tracing) of the timing replays to this file")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	budgetSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "quality-budget" {
+			budgetSet = true
+		}
+	})
+	if err := validateOptions(simOptions{
+		Scale:            *scale,
+		Cores:            *cores,
+		MapBits:          *mapBits,
+		DataFrac:         *dataFrac,
+		FaultRate:        *faultRate,
+		QualityBudget:    *qualityBudget,
+		QualityBudgetSet: budgetSet,
+		CanaryRate:       *canaryRate,
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "doppelsim: %v\n", err)
+		os.Exit(2)
+	}
 
 	fatal := func(err error) {
 		fmt.Fprintf(os.Stderr, "doppelsim: %v\n", err)
@@ -146,6 +171,24 @@ func main() {
 		})
 		inj.AttachMetrics(reg)
 	}
+	// newGuard builds one run's quality controller (a serial structure, like
+	// the injector: each concurrent simulation needs its own).
+	newGuard := func(key string) *doppelganger.QualityController {
+		if *qualityBudget <= 0 {
+			return nil
+		}
+		qc, err := doppelganger.NewQualityController(doppelganger.QualityConfig{
+			Seed:       doppelganger.DeriveQualitySeed(*qualitySeed, key),
+			Budget:     *qualityBudget,
+			CanaryRate: *canaryRate,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		return qc
+	}
+	qc := newGuard(*bench + "/" + *llc)
+	qc.AttachMetrics(reg)
 
 	opts := doppelganger.RunOptions{
 		Scale:    *scale,
@@ -155,6 +198,7 @@ func main() {
 		Metrics:  reg,
 		Trace:    tw,
 		Faults:   inj,
+		Quality:  qc,
 	}
 
 	// The functional-error measurement and the cycle-level timing
@@ -176,6 +220,7 @@ func main() {
 				Rate:  *faultRate,
 			})
 		}
+		topts.Quality = newGuard(*bench + "/" + *llc + "/timing")
 		tcWG.Add(1)
 		go func() {
 			defer tcWG.Done()
@@ -216,6 +261,14 @@ func main() {
 			s := inj.Stats(t)
 			fmt.Printf("  %-9s %d faults / %d draws\n", t.String()+":", s.Faults, s.Accesses)
 		}
+	}
+	if qc != nil {
+		s := qc.Stats()
+		fmt.Printf("quality guard:   %s (est. error %.4f, budget %g)\n", qc.State(), qc.Estimate(), *qualityBudget)
+		fmt.Printf("  canaries:      %d checked of %d draws (rate %g, seed %d)\n",
+			s.Canaries, s.CanaryDraws, *canaryRate, *qualitySeed)
+		fmt.Printf("  breaker:       %d trips, %d re-entries, %d approx loads served precisely\n",
+			s.Trips, s.Reentries, s.Bypassed)
 	}
 
 	if *timing {

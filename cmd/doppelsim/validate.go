@@ -1,0 +1,48 @@
+package main
+
+import (
+	"fmt"
+	"math"
+)
+
+// simOptions are the numeric flags validateOptions checks. QualityBudgetSet
+// reports whether -quality-budget was supplied explicitly (via flag.Visit):
+// the default 0 legitimately means "guard off", but an explicit zero or
+// negative budget is a configuration mistake worth rejecting loudly.
+type simOptions struct {
+	Scale            float64
+	Cores            int
+	MapBits          int
+	DataFrac         float64
+	FaultRate        float64
+	QualityBudget    float64
+	QualityBudgetSet bool
+	CanaryRate       float64
+}
+
+// validateOptions rejects flag values that would otherwise fail obscurely
+// mid-run (or silently simulate something other than what was asked for).
+func validateOptions(o simOptions) error {
+	if math.IsNaN(o.Scale) || o.Scale <= 0 {
+		return fmt.Errorf("-scale must be a positive number, got %v", o.Scale)
+	}
+	if o.Cores < 1 {
+		return fmt.Errorf("-cores must be at least 1, got %d", o.Cores)
+	}
+	if o.MapBits < 1 || o.MapBits > 32 {
+		return fmt.Errorf("-map must be between 1 and 32 bits, got %d", o.MapBits)
+	}
+	if math.IsNaN(o.DataFrac) || o.DataFrac < 0 || o.DataFrac > 1 {
+		return fmt.Errorf("-datafrac must be a fraction in [0,1] (0 = the organization's default), got %v", o.DataFrac)
+	}
+	if math.IsNaN(o.FaultRate) || o.FaultRate < 0 || o.FaultRate > 1 {
+		return fmt.Errorf("-fault-rate must be a probability in [0,1], got %v", o.FaultRate)
+	}
+	if o.QualityBudgetSet && (math.IsNaN(o.QualityBudget) || math.IsInf(o.QualityBudget, 0) || o.QualityBudget <= 0) {
+		return fmt.Errorf("-quality-budget must be a positive finite error fraction (e.g. 0.05; omit the flag to disable the guard), got %v", o.QualityBudget)
+	}
+	if math.IsNaN(o.CanaryRate) || o.CanaryRate < 0 || o.CanaryRate > 1 {
+		return fmt.Errorf("-canary-rate must be a probability in [0,1], got %v", o.CanaryRate)
+	}
+	return nil
+}

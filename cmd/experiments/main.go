@@ -5,6 +5,7 @@
 //	experiments [-scale 1] [-only bench1,bench2] [-quiet] [-workers N] [-serial] [-format text|csv|json|chart] all
 //	experiments table2 fig2 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 table3
 //	experiments -fault-rate 1e-5,1e-4 -seed 42 faults
+//	experiments -quality-budget 0.05 -canary-rate 0.05 -quality-seed 1 quality
 //	experiments -checkpoint run.jsonl [-resume] [-timeout 2h] [-task-timeout 10m] [-retries 2] all
 //
 // By default the full simulation grid is fanned out over a worker pool
@@ -33,7 +34,6 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
-	"strconv"
 	"strings"
 	"syscall"
 
@@ -59,6 +59,10 @@ func main() {
 		faultSeed  = flag.Uint64("seed", 1, "global fault-injection seed; results are deterministic in it at any worker count")
 		faultModel = flag.String("fault-model", "flip", "fault manifestation: flip, stuck0, stuck1")
 
+		qualityBudget = flag.Float64("quality-budget", 0.05, "quality-guard output-error budget for the quality experiment")
+		canaryRate    = flag.Float64("canary-rate", 0.05, "quality-guard canary sampling rate (fraction of substitutions checked precisely)")
+		qualitySeed   = flag.Uint64("quality-seed", 1, "global canary-sampling seed; results are deterministic in it at any worker count")
+
 		metricsOut = flag.String("metrics-out", "", "write per-task + total counter snapshots as JSONL to this file")
 		traceOut   = flag.String("trace-out", "", "write a Chrome-trace JSON (chrome://tracing) of every timing run to this file")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -67,6 +71,24 @@ func main() {
 	args := flag.Args()
 	if len(args) == 0 {
 		args = []string{"all"}
+	}
+
+	workersSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "workers" {
+			workersSet = true
+		}
+	})
+	if err := validateOptions(sweepOptions{
+		Scale:         *scale,
+		Workers:       *workers,
+		WorkersSet:    workersSet,
+		Retries:       *retries,
+		QualityBudget: *qualityBudget,
+		CanaryRate:    *canaryRate,
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(2)
 	}
 
 	var log io.Writer = os.Stderr
@@ -87,16 +109,13 @@ func main() {
 	}
 	var rates []float64
 	if *faultRates != "" {
-		for _, s := range strings.Split(*faultRates, ",") {
-			r, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
-			if err != nil || r < 0 || r > 1 {
-				fmt.Fprintf(os.Stderr, "experiments: bad -fault-rate entry %q (want a probability)\n", s)
-				os.Exit(2)
-			}
-			rates = append(rates, r)
+		if rates, err = parseRates(*faultRates); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(2)
 		}
 	}
 	ev.Faults(rates, *faultSeed, model)
+	ev.Quality(*qualityBudget, *canaryRate, *qualitySeed)
 
 	if *resume && *checkpoint == "" {
 		fmt.Fprintln(os.Stderr, "experiments: -resume requires -checkpoint")
@@ -145,6 +164,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)
 		}
+		for _, w := range ev.CheckpointWarnings() {
+			fmt.Fprintf(os.Stderr, "experiments: checkpoint: %s\n", w)
+		}
 	}
 
 	// flush persists whatever has completed — called on success AND on
@@ -180,14 +202,14 @@ func main() {
 		os.Exit(1)
 	}
 
-	order := []string{"table2", "fig2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "table3", "extras", "faults"}
+	order := []string{"table2", "fig2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "table3", "extras", "faults", "quality"}
 	want := map[string]bool{}
 	for _, a := range args {
 		if a == "all" {
-			// "all" covers the paper's tables and figures; the extras and
-			// faults tables are requested explicitly.
+			// "all" covers the paper's tables and figures; the extras, faults
+			// and quality tables are requested explicitly.
 			for _, o := range order {
-				if o != "extras" && o != "faults" {
+				if o != "extras" && o != "faults" && o != "quality" {
 					want[o] = true
 				}
 			}
@@ -279,6 +301,9 @@ func main() {
 		case "faults":
 			t, err := ev.FaultSweep()
 			emitErr(err, t)
+		case "quality":
+			a, b, err := ev.QualitySweep()
+			emitErr(err, a, b)
 		}
 	}
 	if ran == 0 {

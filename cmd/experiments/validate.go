@@ -1,0 +1,57 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// parseRates parses a comma-separated -fault-rate list. Every entry must be
+// a finite probability in [0,1]; NaN — which ParseFloat happily accepts — is
+// rejected explicitly.
+func parseRates(s string) ([]float64, error) {
+	var rates []float64
+	for _, f := range strings.Split(s, ",") {
+		r, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || math.IsNaN(r) || r < 0 || r > 1 {
+			return nil, fmt.Errorf("bad -fault-rate entry %q (want a probability in [0,1])", strings.TrimSpace(f))
+		}
+		rates = append(rates, r)
+	}
+	return rates, nil
+}
+
+// sweepOptions are the numeric flags validateOptions checks. The *Set fields
+// report whether the user supplied the flag explicitly (via flag.Visit), so
+// sentinel defaults (-workers 0 = one per CPU) stay legal while explicitly
+// requested nonsense is rejected with an actionable message.
+type sweepOptions struct {
+	Scale         float64
+	Workers       int
+	WorkersSet    bool
+	Retries       int
+	QualityBudget float64
+	CanaryRate    float64
+}
+
+// validateOptions rejects flag combinations that would otherwise fail
+// obscurely mid-sweep (or worse, silently misbehave).
+func validateOptions(o sweepOptions) error {
+	if math.IsNaN(o.Scale) || o.Scale <= 0 {
+		return fmt.Errorf("-scale must be a positive number, got %v", o.Scale)
+	}
+	if o.WorkersSet && o.Workers < 1 {
+		return fmt.Errorf("-workers must be at least 1 (omit the flag for one worker per CPU), got %d", o.Workers)
+	}
+	if o.Retries < 0 {
+		return fmt.Errorf("-retries must be non-negative, got %d", o.Retries)
+	}
+	if math.IsNaN(o.QualityBudget) || math.IsInf(o.QualityBudget, 0) || o.QualityBudget <= 0 {
+		return fmt.Errorf("-quality-budget must be a positive finite error fraction (e.g. 0.05), got %v", o.QualityBudget)
+	}
+	if math.IsNaN(o.CanaryRate) || o.CanaryRate < 0 || o.CanaryRate > 1 {
+		return fmt.Errorf("-canary-rate must be a probability in [0,1], got %v", o.CanaryRate)
+	}
+	return nil
+}

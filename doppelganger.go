@@ -37,6 +37,7 @@ import (
 	"doppelganger/internal/faults"
 	"doppelganger/internal/memdata"
 	"doppelganger/internal/metrics"
+	"doppelganger/internal/quality"
 	"doppelganger/internal/sweep"
 	"doppelganger/internal/timesim"
 	"doppelganger/internal/workloads"
@@ -86,6 +87,22 @@ type (
 	FaultConfig = faults.Config
 	// FaultModel selects the fault manifestation (bit flip or stuck-at).
 	FaultModel = faults.Model
+	// QualityController is the online quality guard: it canary-samples
+	// approximate substitutions against the precise values, maintains an
+	// EWMA error estimate, and circuit-breaks the Doppelgänger map path when
+	// the estimate exceeds its budget (approximate loads then degrade
+	// gracefully to precise LLC behaviour). nil disables the guard at zero
+	// cost. Not safe for concurrent use: give each run its own.
+	QualityController = quality.Controller
+	// QualityConfig describes one quality guard (seed, error budget, canary
+	// sampling rate, and optional EWMA/hysteresis tuning).
+	QualityConfig = quality.Config
+	// QualityState is the guard's circuit-breaker state (closed, open,
+	// half-open).
+	QualityState = quality.State
+	// QualityTransition is one breaker state change, timestamped by the
+	// ordinal of the approximate operation that caused it.
+	QualityTransition = quality.Transition
 )
 
 // NewMetricsRegistry returns an empty metrics registry.
@@ -101,6 +118,16 @@ func ParseFaultModel(s string) (FaultModel, error) { return faults.ParseModel(s)
 // DeriveFaultSeed mixes a global seed with a task key into an independent
 // per-run injector seed (the determinism contract of the fault sweep).
 func DeriveFaultSeed(seed uint64, key string) uint64 { return faults.Derive(seed, key) }
+
+// NewQualityController builds a quality guard; pass it via RunOptions.Quality.
+// It returns an error for nonsensical configurations (NaN or non-positive
+// budget, canary rate outside [0,1]).
+func NewQualityController(cfg QualityConfig) (*QualityController, error) { return quality.New(cfg) }
+
+// DeriveQualitySeed mixes a global seed with a task key into an independent
+// per-run canary-sampling seed (the determinism contract of the quality
+// sweep; same mixing as DeriveFaultSeed).
+func DeriveQualitySeed(seed uint64, key string) uint64 { return faults.Derive(seed, key) }
 
 // NewTraceWriter starts a Chrome-trace stream on w; call Close to terminate
 // the JSON envelope.
@@ -236,6 +263,10 @@ type RunOptions struct {
 	// measurement only — never the precise reference run, which stays the
 	// fault-free ground truth the error metric compares against.
 	Faults *FaultInjector
+	// Quality, when non-nil, attaches the online quality guard to the
+	// simulation under measurement only (it is a no-op on the Baseline
+	// organization, which never approximates).
+	Quality *QualityController
 }
 
 func (o *RunOptions) defaults(kind LLCKind) {
@@ -296,7 +327,7 @@ func RunBenchmarkContext(ctx context.Context, name string, kind LLCKind, opt Run
 		}()
 	}
 	run, err = workloads.RunFunctionalContext(ctx, f.New(opt.Scale), builder,
-		workloads.RunOptions{Cores: opt.Cores, Metrics: opt.Metrics, Faults: opt.Faults})
+		workloads.RunOptions{Cores: opt.Cores, Metrics: opt.Metrics, Faults: opt.Faults, Quality: opt.Quality})
 	wg.Wait()
 	if err != nil {
 		return nil, err
@@ -363,7 +394,7 @@ func RunMultiprogram(names []string, kind LLCKind, opt RunOptions) (*BenchmarkRe
 		}()
 	}
 	run := workloads.RunFunctional(mp, builder,
-		workloads.RunOptions{Cores: opt.Cores, Metrics: opt.Metrics, Faults: opt.Faults})
+		workloads.RunOptions{Cores: opt.Cores, Metrics: opt.Metrics, Faults: opt.Faults, Quality: opt.Quality})
 	wg.Wait()
 	res := &BenchmarkResult{
 		Output:         run.Output,
@@ -423,6 +454,7 @@ func RunTiming(name string, kind LLCKind, opt RunOptions) (*TimingComparison, er
 	selCfg, baseCfg := cfg, cfg
 	selCfg.Metrics = opt.Metrics
 	selCfg.Faults = opt.Faults
+	selCfg.Quality = opt.Quality
 	if opt.Trace != nil {
 		selCfg.Trace, selCfg.TracePID, selCfg.TraceLabel = opt.Trace, 1, name+" (chosen org)"
 		baseCfg.Trace, baseCfg.TracePID, baseCfg.TraceLabel = opt.Trace, 2, name+" (baseline)"
@@ -542,7 +574,8 @@ func (e *Evaluation) Faults(rates []float64, seed uint64, model FaultModel) {
 
 // CheckpointTo persists every completed simulation result to the JSONL file
 // at path as it finishes. With resume set, records already in the file are
-// loaded first and their tasks are skipped bit-identically. The returned
+// loaded first and their tasks are skipped bit-identically; a file written
+// by an incompatible schema version is rejected with an error. The returned
 // finish function flushes and closes the file.
 func (e *Evaluation) CheckpointTo(path string, resume bool) (finish func() error, err error) {
 	cp, err := sweep.OpenCheckpoint(path, resume)
@@ -554,6 +587,16 @@ func (e *Evaluation) CheckpointTo(path string, resume bool) (finish func() error
 		e.r.Resume(cp)
 	}
 	return cp.Close, nil
+}
+
+// CheckpointWarnings reports the recoverable oddities the checkpoint loader
+// tolerated (duplicate keys, torn trailing lines, unknown record kinds).
+// Empty until CheckpointTo has run, and for clean files.
+func (e *Evaluation) CheckpointWarnings() []string {
+	if e.r.Checkpoint == nil {
+		return nil
+	}
+	return e.r.Checkpoint.Warnings()
 }
 
 // Prewarm runs every simulation the paper's tables and figures need
@@ -573,8 +616,8 @@ func (e *Evaluation) PrewarmContext(ctx context.Context, extras bool) error {
 }
 
 // PrewarmFor is Prewarm restricted to the simulations the named experiments
-// (table2, fig2 … fig14, table3, extras, faults) actually render; unknown
-// names widen to the full grid.
+// (table2, fig2 … fig14, table3, extras, faults, quality) actually render;
+// unknown names widen to the full grid.
 func (e *Evaluation) PrewarmFor(names ...string) error {
 	return e.r.Prewarm(sweep.GridFor(names...))
 }
@@ -627,3 +670,20 @@ func (e *Evaluation) Extras() (*Table, error) { return e.r.Extras() }
 // configured fault model (see Faults) — how gracefully each organization
 // degrades when the memory system itself misbehaves.
 func (e *Evaluation) FaultSweep() (*Table, error) { return e.r.FaultSweep() }
+
+// Quality configures the quality-sweep experiment: the guard's output-error
+// budget (0: 5%), its canary sampling rate (0: 5%), and the global seed every
+// guarded task derives its sampling stream from. The fault rates and model
+// come from Faults. Results are deterministic at any worker count.
+func (e *Evaluation) Quality(budget, canaryRate float64, seed uint64) {
+	e.r.QualityBudget = budget
+	e.r.CanaryRate = canaryRate
+	e.r.QualitySeed = seed
+}
+
+// QualitySweep renders the quality-guard experiment: true output error with
+// the guard off versus on (plus the guard's own estimate, canary overhead and
+// breaker history) and normalized runtime with the guard off versus on, per
+// benchmark, guarded organization and fault rate — what graceful degradation
+// to precise LLC behaviour costs and saves.
+func (e *Evaluation) QualitySweep() (errT, runT *Table, err error) { return e.r.QualitySweep() }

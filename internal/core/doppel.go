@@ -8,6 +8,7 @@ import (
 	"doppelganger/internal/bdi"
 	"doppelganger/internal/faults"
 	"doppelganger/internal/memdata"
+	"doppelganger/internal/quality"
 )
 
 // DataReplacement selects the approximate data array's replacement policy.
@@ -116,6 +117,10 @@ type Stats struct {
 	TagsAtDataEviction uint64 // sum of tag-list lengths when data evicted
 	MapGens            uint64
 
+	// QualityBypasses counts approximate operations served precisely because
+	// the quality guard's breaker was open (graceful degradation).
+	QualityBypasses uint64
+
 	// Compression accounting (CompressedData mode).
 	CompressedBytes   uint64
 	UncompressedBytes uint64
@@ -171,6 +176,7 @@ type Doppelganger struct {
 	Stats      Stats
 	m          coreMetrics
 	inj        *faults.Injector
+	qc         *quality.Controller
 }
 
 // New builds a Doppelgänger cache. ann must cover every approximate address
@@ -391,6 +397,16 @@ func (d *Doppelganger) Read(addr memdata.Addr) (memdata.Block, *Effects) {
 		if d.inj != nil {
 			d.injectHit(t, de)
 		}
+		if te := &d.tags[t]; !te.precise && !te.dirty && d.qc.Sample() {
+			// Load canary: the representative being served is compared
+			// against the precise store copy. Dirty tags are skipped — their
+			// store copy predates the writeback, so the comparison would
+			// measure staleness, not approximation. The payload copy stays
+			// inside this branch so the guard-off hit path keeps zero allocs.
+			payload := d.payloadOf(de)
+			d.qc.Observe(te.region, &payload, d.store.Block(addr))
+			return payload, eff
+		}
 		return d.payloadOf(de), eff
 	}
 	data := *d.store.Block(addr)
@@ -422,6 +438,14 @@ func (d *Doppelganger) insert(addr memdata.Addr, payload *memdata.Block, dirty b
 
 	var key uint32
 	precise := region == nil
+	if !precise && !d.qc.Allow() {
+		// The quality breaker is open: degrade gracefully by caching the
+		// block precisely under its address-derived key, bypassing map
+		// generation (and therefore all approximate sharing) entirely.
+		precise = true
+		d.Stats.QualityBypasses++
+		d.m.qualityBypasses.Inc()
+	}
 	if precise {
 		key = uint32(addr.BlockAddr()) >> memdata.OffsetBits
 	} else {
@@ -443,6 +467,12 @@ func (d *Doppelganger) insert(addr memdata.Addr, payload *memdata.Block, dirty b
 		d.m.reuseLinks.Inc()
 		d.m.approxSubs.Inc()
 		eff.MTagWrites++ // head-pointer update
+		if d.qc.Sample() {
+			// Substitution canary: the resident representative replaces the
+			// incoming payload, and both are in hand right here.
+			rep := d.payloadOf(de)
+			d.qc.Observe(region, &rep, payload)
+		}
 	} else {
 		if de >= 0 {
 			// A precise data entry for this address should never survive its
@@ -589,6 +619,13 @@ func (d *Doppelganger) WriteBack(addr memdata.Addr, payload *memdata.Block) *Eff
 		return eff
 	}
 
+	if !d.qc.Allow() {
+		// The quality breaker is open: instead of regenerating a map value,
+		// migrate the tag to a precise entry holding the written payload.
+		d.migratePrecise(t, payload, eff)
+		return eff
+	}
+
 	newMap := d.cfg.MapSpec.MapValue(payload, te.region)
 	if d.inj != nil {
 		newMap = d.inj.CorruptBits(faults.MapGen, newMap, d.cfg.MapSpec.M)
@@ -600,6 +637,12 @@ func (d *Doppelganger) WriteBack(addr memdata.Addr, payload *memdata.Block) *Eff
 		d.Stats.SilentWrites++
 		d.m.silentWrites.Inc()
 		te.dirty = true
+		if d.qc.Sample() {
+			// Silent-write canary: the written values are discarded in favor
+			// of the resident representative (§3.4), a substitution.
+			rep := d.payloadOf(d.dataOf(t))
+			d.qc.Observe(te.region, &rep, payload)
+		}
 		return eff
 	}
 
@@ -614,6 +657,12 @@ func (d *Doppelganger) WriteBack(addr memdata.Addr, payload *memdata.Block) *Eff
 		d.m.remaps.Inc()
 		d.m.approxSubs.Inc()
 		eff.MTagWrites++
+		if d.qc.Sample() {
+			// Remap-onto-existing canary: the written payload lands on an
+			// already-resident representative, another substitution point.
+			rep := d.payloadOf(de)
+			d.qc.Observe(te.region, &rep, payload)
+		}
 	} else {
 		de = d.allocData(newMap, false, payload, eff)
 		d.Stats.WriteAllocs++

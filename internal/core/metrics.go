@@ -31,6 +31,7 @@ type coreMetrics struct {
 	dataEvictions     *metrics.Counter
 	mapGens           *metrics.Counter
 	approxSubs        *metrics.Counter
+	qualityBypasses   *metrics.Counter
 
 	tagsOccupied *metrics.Gauge
 	dataOccupied *metrics.Gauge
@@ -66,6 +67,7 @@ func (d *Doppelganger) AttachMetrics(reg *metrics.Registry) {
 		dataEvictions:     reg.Counter(prefix + "data_evictions"),
 		mapGens:           reg.Counter(prefix + "map_gens"),
 		approxSubs:        reg.Counter(prefix + "approx_substitutions"),
+		qualityBypasses:   reg.Counter(prefix + "quality_bypasses"),
 		tagsOccupied:      reg.Gauge(prefix + "tags_occupied"),
 		dataOccupied:      reg.Gauge(prefix + "data_occupied"),
 	}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"doppelganger/internal/memdata"
+	"doppelganger/internal/quality"
+)
+
+// uniformBlock builds a block with every F32 element set to v.
+func uniformBlock(v float64) *memdata.Block {
+	b := new(memdata.Block)
+	for i := 0; i < 16; i++ {
+		b.SetElem(memdata.F32, i, v)
+	}
+	return b
+}
+
+// TestBreakerOpenReadsBypassMapTable: with the breaker open, approximate
+// read misses must insert under precise address-derived keys — no map
+// generations, no similarity sharing, exact data served.
+func TestBreakerOpenReadsBypassMapTable(t *testing.T) {
+	d, st, r := testSetup(t, smallCfg(), 1<<16)
+	qc := quality.MustNew(quality.Config{Budget: 0.01, CanaryRate: 0, Cooldown: 1 << 30})
+	d.AttachQuality(qc)
+	qc.Observe(r, uniformBlock(100), uniformBlock(0)) // error 1 >> budget: trips
+	if qc.State() != quality.Open {
+		t.Fatalf("state %v after overrun, want open", qc.State())
+	}
+
+	gens := d.Stats.MapGens
+	// Two similar blocks that would normally share one data entry.
+	fillUniform(st, addrN(0), 42)
+	fillUniform(st, addrN(1), 42.0001)
+	d.Read(addrN(0))
+	d.Read(addrN(1))
+	check(t, d)
+	if d.Stats.MapGens != gens {
+		t.Errorf("map generations advanced while open: %d -> %d", gens, d.Stats.MapGens)
+	}
+	if d.Stats.ReuseLinks != 0 || d.DataBlocks() != 2 {
+		t.Errorf("similar blocks shared under open breaker: %d links, %d data blocks",
+			d.Stats.ReuseLinks, d.DataBlocks())
+	}
+	if d.Stats.QualityBypasses != 2 {
+		t.Errorf("quality bypasses = %d, want 2", d.Stats.QualityBypasses)
+	}
+	// Re-reads hit and return the exact memory values, not a representative.
+	data, eff := d.Read(addrN(1))
+	if !eff.Hit {
+		t.Fatal("precise entry missed on re-read")
+	}
+	if got := data.Elem(memdata.F32, 0); got != float64(float32(42.0001)) {
+		t.Errorf("read %v, want the exact value", got)
+	}
+}
+
+// TestBreakerOpenWriteBackMigratesPrecise: a writeback to an existing
+// approximate tag while the breaker is open must migrate the tag to a
+// precise entry holding the written data verbatim.
+func TestBreakerOpenWriteBackMigratesPrecise(t *testing.T) {
+	d, st, r := testSetup(t, smallCfg(), 1<<16)
+	qc := quality.MustNew(quality.Config{Budget: 0.01, CanaryRate: 0, Cooldown: 1 << 30})
+	d.AttachQuality(qc)
+
+	fillUniform(st, addrN(0), 42)
+	d.Read(addrN(0)) // approximate entry while still closed
+	qc.Observe(r, uniformBlock(100), uniformBlock(0))
+	if qc.State() != quality.Open {
+		t.Fatal("breaker did not trip")
+	}
+
+	d.WriteBack(addrN(0), uniformBlock(43.5))
+	check(t, d)
+	if d.Stats.QualityBypasses == 0 {
+		t.Error("writeback under open breaker not counted as bypass")
+	}
+	data, eff := d.Read(addrN(0))
+	if !eff.Hit {
+		t.Fatal("migrated entry missed")
+	}
+	if got := data.Elem(memdata.F32, 7); got != 43.5 {
+		t.Errorf("read %v after precise migration, want the written 43.5", got)
+	}
+}
+
+// TestGuardObservationOnly: a guard that cannot trip (huge budget) must be
+// invisible — canary sampling only observes, so the cache's behaviour is
+// bit-identical to a run with no guard at all.
+func TestGuardObservationOnly(t *testing.T) {
+	run := func(qc *quality.Controller) *Doppelganger {
+		d, _, _ := testSetup(t, smallCfg(), 1<<20)
+		d.AttachQuality(qc)
+		rng := rand.New(rand.NewSource(11))
+		for op := 0; op < 1500; op++ {
+			addr := addrN(rng.Intn(256))
+			switch rng.Intn(4) {
+			case 0, 1:
+				fillUniform(d.store, addr, float64(rng.Intn(20)*5))
+				d.Read(addr)
+			case 2:
+				d.WriteBack(addr, uniformBlock(100*rng.Float64()))
+			case 3:
+				d.EvictFor(addr)
+			}
+		}
+		return d
+	}
+	plain := run(nil)
+	guarded := run(quality.MustNew(quality.Config{Seed: 3, Budget: 10, CanaryRate: 1}))
+	if plain.Stats != guarded.Stats {
+		t.Errorf("guarded run diverged:\nplain   %+v\nguarded %+v", plain.Stats, guarded.Stats)
+	}
+	if plain.TagEntries() != guarded.TagEntries() || plain.DataBlocks() != guarded.DataBlocks() {
+		t.Errorf("occupancy diverged: %d/%d vs %d/%d",
+			plain.TagEntries(), plain.DataBlocks(), guarded.TagEntries(), guarded.DataBlocks())
+	}
+}
+
+// TestReadHitZeroAllocsNilGuard locks down the nil controller's cost on the
+// read-hit path: exactly the one pre-existing *Effects allocation every Read
+// returns, i.e. the canary hook itself contributes zero allocations.
+func TestReadHitZeroAllocsNilGuard(t *testing.T) {
+	d, st, _ := testSetup(t, smallCfg(), 1<<16)
+	fillUniform(st, addrN(0), 42)
+	d.Read(addrN(0))
+	if n := testing.AllocsPerRun(500, func() {
+		_, eff := d.Read(addrN(0))
+		if !eff.Hit {
+			t.Fatal("expected hit")
+		}
+	}); n != 1 {
+		t.Errorf("nil-guard read hit allocates %v allocs/op, want 1 (the Effects)", n)
+	}
+}
+
+// TestBreakerRecoveryResumesApproximation: after the cooldown and a clean
+// probe window the breaker re-closes and map generations resume.
+func TestBreakerRecoveryResumesApproximation(t *testing.T) {
+	d, st, r := testSetup(t, smallCfg(), 1<<20)
+	qc := quality.MustNew(quality.Config{Budget: 0.01, CanaryRate: 0, Cooldown: 4, ProbeSamples: 2})
+	d.AttachQuality(qc)
+	qc.Observe(r, uniformBlock(100), uniformBlock(0))
+	if qc.State() != quality.Open {
+		t.Fatal("breaker did not trip")
+	}
+	// Drive misses: the first few bypass (cooldown), then HalfOpen probes
+	// sample every substitution event. Reads of similar blocks generate
+	// reuse-link canaries with near-zero error, so the probe passes.
+	for i := 0; i < 64 && qc.State() != quality.Closed; i++ {
+		fillUniform(st, addrN(i), 42+float64(i%3)*0.0001)
+		d.Read(addrN(i))
+		check(t, d)
+	}
+	if qc.State() != quality.Closed {
+		t.Fatalf("breaker never re-closed (state %v, stats %+v)", qc.State(), qc.Stats())
+	}
+	if qc.Stats().Reentries == 0 {
+		t.Error("no re-entry recorded")
+	}
+	gens := d.Stats.MapGens
+	fillUniform(st, addrN(200), 77)
+	d.Read(addrN(200))
+	if d.Stats.MapGens == gens {
+		t.Error("map generation did not resume after re-entry")
+	}
+}

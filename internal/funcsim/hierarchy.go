@@ -19,6 +19,7 @@ import (
 	"doppelganger/internal/faults"
 	"doppelganger/internal/memdata"
 	"doppelganger/internal/metrics"
+	"doppelganger/internal/quality"
 	"doppelganger/internal/trace"
 )
 
@@ -164,6 +165,18 @@ func (h *Hierarchy) AttachFaults(inj *faults.Injector) {
 	}
 	if a, ok := h.llc.(interface{ AttachFaults(*faults.Injector) }); ok {
 		a.AttachFaults(inj)
+	}
+}
+
+// AttachQuality wires the online quality guard into the shared LLC
+// organization. Only the Doppelgänger variants consult it (the baseline LLC
+// never approximates); a nil controller is a no-op.
+func (h *Hierarchy) AttachQuality(qc *quality.Controller) {
+	if qc == nil {
+		return
+	}
+	if a, ok := h.llc.(interface{ AttachQuality(*quality.Controller) }); ok {
+		a.AttachQuality(qc)
 	}
 }
 

@@ -1,0 +1,501 @@
+// Package quality is an online quality guard for the approximate memory
+// hierarchy: it closes the loop the paper leaves open by *enforcing* the
+// output-error bargain at run time instead of trusting it.
+//
+// The guard combines two mechanisms:
+//
+//   - Canary sampling: a deterministic, seed-derived fraction of approximate
+//     substitutions additionally fetches the precise value next to the
+//     Doppelgänger representative and folds their normalized distance into
+//     an exponentially weighted running error estimate, kept both globally
+//     and per annotated region.
+//   - A circuit breaker wrapping approximation with the classic
+//     closed/open/half-open states. While Closed, approximation proceeds and
+//     canaries are sampled at CanaryRate. When the estimate exceeds the
+//     configured error Budget the breaker trips Open: the hierarchy degrades
+//     gracefully to precise LLC behaviour (approximate loads bypass the map
+//     table and are cached under address-derived keys). After Cooldown
+//     bypassed operations the breaker goes HalfOpen and probes re-entry:
+//     every substitution is sampled until ProbeSamples canaries have been
+//     observed, and the breaker re-closes only if their mean error is at
+//     most ReEnterFrac x Budget — the hysteresis margin that keeps a
+//     marginal workload from flapping between states.
+//
+// A Controller is wired into a simulation the same way the metrics registry
+// and the fault injector are: structures carry a controller pointer
+// unconditionally, and a nil controller is the zero-cost disabled path
+// (every method no-ops on a nil receiver, locked down by zero-alloc guards).
+//
+// Determinism: canary decisions are a pure function of the controller's seed
+// and the sequence of draws made against it. Each simulation owns one
+// controller seeded from (global seed, task key), and every functional run
+// performs its accesses serially under the gang scheduler, so the breaker's
+// transition log is bit-identical at any worker count.
+//
+// A Controller is NOT safe for concurrent use; give each simulation its own.
+package quality
+
+import (
+	"fmt"
+	"math"
+
+	"doppelganger/internal/approx"
+	"doppelganger/internal/memdata"
+	"doppelganger/internal/metrics"
+)
+
+// State is the circuit breaker's position.
+type State uint8
+
+// The breaker states.
+const (
+	// Closed: approximation active, canaries sampled at CanaryRate.
+	Closed State = iota
+	// Open: approximation bypassed; the hierarchy behaves precisely.
+	Open
+	// HalfOpen: approximation active again on probation; every substitution
+	// is sampled until the probe window fills.
+	HalfOpen
+)
+
+// String names the state as used in logs, metrics and sweep tables.
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// MarshalText renders the state name into JSON transition logs.
+func (s State) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// UnmarshalText parses a state name (checkpoint round-trips).
+func (s *State) UnmarshalText(b []byte) error {
+	switch string(b) {
+	case "closed":
+		*s = Closed
+	case "open":
+		*s = Open
+	case "half-open":
+		*s = HalfOpen
+	default:
+		return fmt.Errorf("quality: unknown state %q", b)
+	}
+	return nil
+}
+
+// Config describes one controller.
+type Config struct {
+	// Seed determines the canary sample sites; derive it from a global seed
+	// and a task key (faults.Derive) for independent per-run streams.
+	Seed uint64
+	// Budget is the error budget the breaker enforces: when the running
+	// estimate exceeds it, approximation trips off. Required, in (0, +inf).
+	Budget float64
+	// CanaryRate is the fraction of substitutions sampled while Closed.
+	// 0 disables closed-state sampling (the breaker can then never trip);
+	// 1 samples every substitution. Flag-level defaults live in the binaries
+	// and the sweep runner, not here, so an explicit 0 stays 0.
+	CanaryRate float64
+	// Alpha is the EWMA smoothing factor in (0, 1] (default 0.1): the weight
+	// of each new canary observation in the running estimate.
+	Alpha float64
+	// Cooldown is how many bypassed approximate operations the breaker stays
+	// Open before probing re-entry (default 2000).
+	Cooldown uint64
+	// ProbeSamples is the half-open probe window: how many canaries are
+	// averaged before deciding between re-closing and re-opening (default 16).
+	ProbeSamples uint64
+	// ReEnterFrac scales the Budget into the re-entry threshold: the probe
+	// mean must be at most ReEnterFrac x Budget to re-close (default 0.9).
+	// Values below 1 give the breaker a hysteresis band so an estimate
+	// hovering at the budget does not flap.
+	ReEnterFrac float64
+	// Trace, when non-nil, receives an instant event per breaker transition
+	// on process lane TracePID (timestamped by approximate-op ordinal).
+	Trace    *metrics.TraceWriter
+	TracePID int
+}
+
+// withDefaults fills the zero-value knobs whose zero is meaningless
+// (CanaryRate 0 is meaningful — sampling off — and is left alone).
+func (c Config) withDefaults() Config {
+	if c.Alpha == 0 {
+		c.Alpha = 0.1
+	}
+	if c.Cooldown == 0 {
+		c.Cooldown = 2000
+	}
+	if c.ProbeSamples == 0 {
+		c.ProbeSamples = 16
+	}
+	if c.ReEnterFrac == 0 {
+		c.ReEnterFrac = 0.9
+	}
+	return c
+}
+
+// validate rejects configurations that would disable or destabilize the
+// guard in confusing ways. The documented way to disable the guard entirely
+// is a nil Controller, not a zero budget — a zero budget is an error.
+func (c Config) validate() error {
+	if math.IsNaN(c.Budget) || c.Budget <= 0 {
+		return fmt.Errorf("quality: budget %v out of range (want a positive error fraction)", c.Budget)
+	}
+	if math.IsNaN(c.CanaryRate) || c.CanaryRate < 0 || c.CanaryRate > 1 {
+		return fmt.Errorf("quality: canary rate %v out of [0,1]", c.CanaryRate)
+	}
+	if math.IsNaN(c.Alpha) || c.Alpha <= 0 || c.Alpha > 1 {
+		return fmt.Errorf("quality: EWMA alpha %v out of (0,1]", c.Alpha)
+	}
+	if math.IsNaN(c.ReEnterFrac) || c.ReEnterFrac <= 0 || c.ReEnterFrac > 1 {
+		return fmt.Errorf("quality: re-enter fraction %v out of (0,1]", c.ReEnterFrac)
+	}
+	return nil
+}
+
+// Transition is one breaker state change, logged for determinism tests and
+// exported through the Chrome trace.
+type Transition struct {
+	// Op is the approximate-operation ordinal (Stats.ApproxOps) at decision
+	// time — a deterministic logical clock.
+	Op   uint64 `json:"op"`
+	From State  `json:"from"`
+	To   State  `json:"to"`
+	// Estimate is the running error estimate immediately after the
+	// transition (re-anchored to the probe mean on re-entry).
+	Estimate float64 `json:"estimate"`
+}
+
+// Stats counts the guard's work.
+type Stats struct {
+	// ApproxOps counts breaker consultations (approximate loads/writebacks
+	// that would generate a map value).
+	ApproxOps uint64
+	// Bypassed counts ApproxOps served precisely because the breaker was
+	// Open.
+	Bypassed uint64
+	// CanaryDraws counts substitution events offered to the sampler; Canaries
+	// counts the ones actually sampled (the canary overhead numerator).
+	CanaryDraws uint64
+	Canaries    uint64
+	// Trips counts Closed/HalfOpen -> Open transitions; Reentries counts
+	// HalfOpen -> Closed.
+	Trips     uint64
+	Reentries uint64
+}
+
+// regionEst is one annotated region's own EWMA.
+type regionEst struct {
+	est    float64
+	n      uint64
+	seeded bool
+}
+
+// ctlMetrics are the controller's registry instruments; all nil when
+// metrics are disabled.
+type ctlMetrics struct {
+	canaries, trips, reentries, bypassed *metrics.Counter
+	state, estimatePPM                   *metrics.Gauge
+}
+
+// Controller is the online quality guard. The nil controller is valid:
+// every approximate operation is allowed, nothing is sampled, nothing is
+// recorded.
+type Controller struct {
+	cfg          Config
+	state        State
+	est          float64
+	seeded       bool
+	rng          uint64 // splitmix64 state
+	cooldownLeft uint64
+	probeSum     float64
+	probeCount   uint64
+	stats        Stats
+	transitions  []Transition
+	regions      map[string]*regionEst
+	m            ctlMetrics
+}
+
+// New builds a controller, rejecting invalid configurations.
+func New(cfg Config) (*Controller, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	c := &Controller{
+		cfg:     cfg,
+		rng:     mix64(cfg.Seed),
+		regions: make(map[string]*regionEst),
+	}
+	if cfg.Trace != nil {
+		cfg.Trace.ThreadName(cfg.TracePID, 0, "quality guard")
+	}
+	return c, nil
+}
+
+// MustNew is New but panics on error (static configurations in tests).
+func MustNew(cfg Config) *Controller {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// mix64 is the splitmix64 finalizer (same stream discipline as the fault
+// injector, so seeds whiten identically).
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// next advances the splitmix64 stream.
+func (c *Controller) next() uint64 {
+	c.rng += 0x9e3779b97f4a7c15
+	return mix64(c.rng)
+}
+
+// u01 draws a uniform float64 in [0, 1) with 53 mantissa bits.
+func (c *Controller) u01() float64 {
+	return float64(c.next()>>11) * (1.0 / (1 << 53))
+}
+
+// transition moves the breaker and records the change.
+func (c *Controller) transition(to State) {
+	from := c.state
+	c.state = to
+	c.transitions = append(c.transitions, Transition{
+		Op: c.stats.ApproxOps, From: from, To: to, Estimate: c.est,
+	})
+	c.m.state.Set(int64(to))
+	if c.cfg.Trace != nil {
+		c.cfg.Trace.Instant(c.cfg.TracePID, 0, "breaker "+from.String()+"->"+to.String(),
+			"quality", float64(c.stats.ApproxOps))
+	}
+}
+
+// Allow reports whether the next approximate operation may approximate.
+// False means the breaker is Open and the caller must serve the operation
+// precisely (bypassing the map table). Allow also drives the Open-state
+// cooldown clock: after Cooldown bypassed operations the breaker goes
+// HalfOpen and the operation that observed the expiry approximates again as
+// the first probe. Nil controllers always allow.
+func (c *Controller) Allow() bool {
+	if c == nil {
+		return true
+	}
+	c.stats.ApproxOps++
+	if c.state != Open {
+		return true
+	}
+	if c.cooldownLeft > 0 {
+		c.cooldownLeft--
+	}
+	if c.cooldownLeft == 0 {
+		c.probeSum, c.probeCount = 0, 0
+		c.transition(HalfOpen)
+		return true
+	}
+	c.stats.Bypassed++
+	c.m.bypassed.Inc()
+	return false
+}
+
+// Sample reports whether this substitution event should pay for a canary
+// comparison (the caller then materializes both values and calls Observe).
+// Closed samples at CanaryRate from the seeded stream; HalfOpen samples
+// every substitution (the probe window wants evidence fast); Open never
+// samples. Nil controllers never sample.
+func (c *Controller) Sample() bool {
+	if c == nil {
+		return false
+	}
+	c.stats.CanaryDraws++
+	switch c.state {
+	case HalfOpen:
+		return true
+	case Open:
+		return false
+	}
+	if c.cfg.CanaryRate <= 0 {
+		return false
+	}
+	if c.cfg.CanaryRate >= 1 {
+		return true
+	}
+	return c.u01() < c.cfg.CanaryRate
+}
+
+// Observe feeds one canary comparison — the approximate value served
+// (substituted representative) next to the precise value it replaced — into
+// the running estimates and steps the breaker. region supplies the element
+// type and declared range that normalize the distance; a nil region (or a
+// nil controller) is a no-op.
+func (c *Controller) Observe(region *approx.Region, approxVal, precise *memdata.Block) {
+	if c == nil || region == nil {
+		return
+	}
+	e := BlockError(region, approxVal, precise)
+	c.stats.Canaries++
+	c.m.canaries.Inc()
+	if !c.seeded {
+		c.est, c.seeded = e, true
+	} else {
+		c.est += c.cfg.Alpha * (e - c.est)
+	}
+	c.m.estimatePPM.Set(int64(c.est * 1e6))
+	re := c.regions[region.Name]
+	if re == nil {
+		re = &regionEst{}
+		c.regions[region.Name] = re
+	}
+	if !re.seeded {
+		re.est, re.seeded = e, true
+	} else {
+		re.est += c.cfg.Alpha * (e - re.est)
+	}
+	re.n++
+
+	switch c.state {
+	case Closed:
+		if c.est > c.cfg.Budget {
+			c.stats.Trips++
+			c.m.trips.Inc()
+			c.cooldownLeft = c.cfg.Cooldown
+			c.transition(Open)
+		}
+	case HalfOpen:
+		c.probeSum += e
+		c.probeCount++
+		if c.probeCount >= c.cfg.ProbeSamples {
+			mean := c.probeSum / float64(c.probeCount)
+			if mean <= c.cfg.ReEnterFrac*c.cfg.Budget {
+				// Re-anchor the estimate to the probe window: the EWMA still
+				// remembers the bad period that tripped the breaker, and
+				// re-closing on stale memory would re-trip immediately.
+				c.est = mean
+				c.m.estimatePPM.Set(int64(c.est * 1e6))
+				c.stats.Reentries++
+				c.m.reentries.Inc()
+				c.transition(Closed)
+			} else {
+				c.stats.Trips++
+				c.m.trips.Inc()
+				c.cooldownLeft = c.cfg.Cooldown
+				c.transition(Open)
+			}
+		}
+	}
+}
+
+// BlockError is the canary distance metric: the mean element-wise absolute
+// difference between two blocks, normalized by the region's declared value
+// range — the same per-element normalization the paper's similarity
+// predicate uses, so the estimate is commensurable with the output-error
+// budget. Non-finite elements are clamped into the declared range first; a
+// degenerate (empty) range scores 0 for equal elements and 1 otherwise.
+func BlockError(region *approx.Region, a, b *memdata.Block) float64 {
+	n := region.Type.PerBlock()
+	span := region.Max - region.Min
+	var sum float64
+	for i := 0; i < n; i++ {
+		av := sanitize(region, a.Elem(region.Type, i))
+		bv := sanitize(region, b.Elem(region.Type, i))
+		if span <= 0 {
+			if av != bv {
+				sum++
+			}
+			continue
+		}
+		sum += math.Abs(av-bv) / span
+	}
+	return sum / float64(n)
+}
+
+// sanitize clamps v into the region's declared range, mapping NaN to Min
+// (mirroring the map-generation hash's guard against hostile payloads).
+func sanitize(region *approx.Region, v float64) float64 {
+	if math.IsNaN(v) {
+		return region.Min
+	}
+	return region.Clamp(v)
+}
+
+// State returns the breaker's position (Closed for nil controllers).
+func (c *Controller) State() State {
+	if c == nil {
+		return Closed
+	}
+	return c.state
+}
+
+// Estimate returns the running global error estimate (0 until the first
+// canary lands, and always 0 for nil controllers).
+func (c *Controller) Estimate() float64 {
+	if c == nil {
+		return 0
+	}
+	return c.est
+}
+
+// RegionEstimates returns the per-region running estimates (nil for nil
+// controllers or before any canary).
+func (c *Controller) RegionEstimates() map[string]float64 {
+	if c == nil || len(c.regions) == 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(c.regions))
+	for name, re := range c.regions {
+		out[name] = re.est
+	}
+	return out
+}
+
+// Transitions returns the breaker's transition log in decision order.
+func (c *Controller) Transitions() []Transition {
+	if c == nil {
+		return nil
+	}
+	return c.transitions
+}
+
+// Stats returns the guard's counters.
+func (c *Controller) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return c.stats
+}
+
+// Budget returns the configured error budget (0 for nil controllers).
+func (c *Controller) Budget() float64 {
+	if c == nil {
+		return 0
+	}
+	return c.cfg.Budget
+}
+
+// AttachMetrics resolves the controller's instruments in reg under the
+// "quality." prefix. A nil registry (or controller) leaves the zero-cost
+// disabled path in place.
+func (c *Controller) AttachMetrics(reg *metrics.Registry) {
+	if c == nil || reg == nil {
+		return
+	}
+	c.m = ctlMetrics{
+		canaries:    reg.Counter("quality.canaries"),
+		trips:       reg.Counter("quality.trips"),
+		reentries:   reg.Counter("quality.reentries"),
+		bypassed:    reg.Counter("quality.bypassed_ops"),
+		state:       reg.Gauge("quality.breaker_state"),
+		estimatePPM: reg.Gauge("quality.estimate_ppm"),
+	}
+	c.m.state.Set(int64(c.state))
+}

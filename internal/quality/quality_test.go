@@ -1,0 +1,323 @@
+package quality
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"doppelganger/internal/approx"
+	"doppelganger/internal/memdata"
+)
+
+func testRegion() *approx.Region {
+	return &approx.Region{
+		Name: "data", Start: 0, End: 1 << 20,
+		Type: memdata.F32, Min: 0, Max: 1,
+	}
+}
+
+// blockOf fills every F32 element with v, so BlockError between two such
+// blocks over a [0,1] region is exactly |a-b|.
+func blockOf(v float64) *memdata.Block {
+	b := new(memdata.Block)
+	for i := 0; i < memdata.F32.PerBlock(); i++ {
+		b.SetElem(memdata.F32, i, v)
+	}
+	return b
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Budget: 0},
+		{Budget: -0.1},
+		{Budget: math.NaN()},
+		{Budget: 0.05, CanaryRate: -0.1},
+		{Budget: 0.05, CanaryRate: 1.5},
+		{Budget: 0.05, CanaryRate: math.NaN()},
+		{Budget: 0.05, Alpha: -1},
+		{Budget: 0.05, Alpha: 2},
+		{Budget: 0.05, ReEnterFrac: 1.5},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d (%+v) accepted", i, cfg)
+		}
+	}
+	if _, err := New(Config{Budget: 0.05}); err != nil {
+		t.Errorf("minimal config rejected: %v", err)
+	}
+	// An explicit CanaryRate 0 means "sampling off" and must survive
+	// defaulting.
+	c := MustNew(Config{Budget: 0.05, CanaryRate: 0})
+	if c.cfg.CanaryRate != 0 {
+		t.Errorf("explicit zero canary rate was defaulted to %v", c.cfg.CanaryRate)
+	}
+}
+
+func TestStateTextRoundTrip(t *testing.T) {
+	for _, s := range []State{Closed, Open, HalfOpen} {
+		b, err := s.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got State
+		if err := got.UnmarshalText(b); err != nil {
+			t.Fatal(err)
+		}
+		if got != s {
+			t.Errorf("round trip %v -> %q -> %v", s, b, got)
+		}
+	}
+	var s State
+	if err := s.UnmarshalText([]byte("bogus")); err == nil {
+		t.Error("bogus state accepted")
+	}
+}
+
+func TestBlockError(t *testing.T) {
+	r := testRegion()
+	if got := BlockError(r, blockOf(0.3), blockOf(0.3)); got != 0 {
+		t.Errorf("identical blocks: %v", got)
+	}
+	if got := BlockError(r, blockOf(0.2), blockOf(0.7)); math.Abs(got-0.5) > 1e-6 {
+		t.Errorf("distance 0.5 scored %v", got)
+	}
+	// NaN payloads clamp to Min rather than poisoning the estimate.
+	if got := BlockError(r, blockOf(math.NaN()), blockOf(0)); got != 0 {
+		t.Errorf("NaN vs Min scored %v", got)
+	}
+	// Degenerate range: 0 iff equal.
+	deg := &approx.Region{Name: "deg", Start: 0, End: 1 << 20, Type: memdata.F32, Min: 5, Max: 5}
+	if got := BlockError(deg, blockOf(5), blockOf(5)); got != 0 {
+		t.Errorf("degenerate equal scored %v", got)
+	}
+}
+
+// observeErr feeds one canary with exactly error e (region range [0,1]).
+func observeErr(c *Controller, r *approx.Region, e float64) {
+	c.Observe(r, blockOf(e), blockOf(0))
+}
+
+// checkTransitions asserts the structural invariants of a transition log:
+// only legal edges, contiguous (each From equals the previous To, starting
+// Closed), trips happen above the budget, and re-entries happen at or below
+// the hysteresis threshold.
+func checkTransitions(t *testing.T, trs []Transition, cfg Config) {
+	t.Helper()
+	prev := Closed
+	for i, tr := range trs {
+		if tr.From != prev {
+			t.Fatalf("transition %d: from %v, previous state %v", i, tr.From, prev)
+		}
+		switch {
+		case tr.From == Closed && tr.To == Open:
+			if !(tr.Estimate > cfg.Budget) {
+				t.Fatalf("transition %d: tripped closed->open with estimate %v <= budget %v", i, tr.Estimate, cfg.Budget)
+			}
+		case tr.From == Open && tr.To == HalfOpen:
+			// Cooldown expiry; no estimate condition.
+		case tr.From == HalfOpen && tr.To == Closed:
+			if !(tr.Estimate <= cfg.ReEnterFrac*cfg.Budget) {
+				t.Fatalf("transition %d: re-closed with estimate %v > %v x budget %v", i, tr.Estimate, cfg.ReEnterFrac, cfg.Budget)
+			}
+		case tr.From == HalfOpen && tr.To == Open:
+			// Failed probe; the estimate still reflects the EWMA, not the
+			// probe mean, so no threshold condition is asserted.
+		default:
+			t.Fatalf("transition %d: illegal edge %v -> %v", i, tr.From, tr.To)
+		}
+		if i > 0 && tr.Op < trs[i-1].Op {
+			t.Fatalf("transition %d: op clock went backwards (%d after %d)", i, tr.Op, trs[i-1].Op)
+		}
+		prev = tr.To
+	}
+}
+
+// driveOp simulates one approximate operation against the guard the way the
+// cache does: consult the breaker, and if allowed, maybe pay for a canary
+// with the phase's true error.
+func driveOp(c *Controller, r *approx.Region, trueErr float64) {
+	if !c.Allow() {
+		return
+	}
+	if c.Sample() {
+		observeErr(c, r, trueErr)
+	}
+}
+
+// TestBreakerProperty is the breaker's liveness/safety property test: under
+// seeded random error traces with a persistently-low phase and a
+// persistently-high phase, the breaker (a) never stays Open once the true
+// error has been under budget for long enough, (b) never stays Closed while
+// the true error persistently exceeds the budget, and (c) only ever makes
+// legal, threshold-respecting transitions.
+func TestBreakerProperty(t *testing.T) {
+	r := testRegion()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := Config{
+			Seed:         uint64(seed),
+			Budget:       0.1,
+			CanaryRate:   0.5,
+			Cooldown:     50, // small windows so phases converge quickly
+			ProbeSamples: 8,
+		}
+		c := MustNew(cfg)
+		full := cfg.withDefaults()
+
+		// Phase 1: low error, well under budget. Must stay (or end) Closed.
+		for i := 0; i < 2000; i++ {
+			driveOp(c, r, 0.02*rng.Float64())
+		}
+		if c.State() != Closed {
+			t.Logf("seed %d: closed-phase ended %v", seed, c.State())
+			return false
+		}
+		if c.Stats().Trips != 0 {
+			t.Logf("seed %d: tripped during low phase", seed)
+			return false
+		}
+
+		// Phase 2: persistent high error. Must trip, and must not be Closed
+		// afterwards — any HalfOpen probe window re-opens on this stream.
+		for i := 0; i < 4000; i++ {
+			driveOp(c, r, 0.5+0.4*rng.Float64())
+		}
+		if c.Stats().Trips == 0 {
+			t.Logf("seed %d: high phase never tripped", seed)
+			return false
+		}
+		if c.State() == Closed {
+			t.Logf("seed %d: closed during persistent overrun", seed)
+			return false
+		}
+
+		// Phase 3: recovery. Enough low-error ops to drain any cooldown and
+		// fill a probe window; the breaker must re-close and stay closed.
+		for i := 0; i < 4000; i++ {
+			driveOp(c, r, 0.02*rng.Float64())
+		}
+		if c.State() != Closed {
+			t.Logf("seed %d: recovery ended %v", seed, c.State())
+			return false
+		}
+		if c.Stats().Reentries == 0 {
+			t.Logf("seed %d: recovered without a re-entry", seed)
+			return false
+		}
+		checkTransitions(t, c.Transitions(), full)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBreakerDeterminism: the same config and the same operation sequence
+// produce bit-identical transition logs and stats.
+func TestBreakerDeterminism(t *testing.T) {
+	r := testRegion()
+	run := func() *Controller {
+		c := MustNew(Config{Seed: 42, Budget: 0.1, CanaryRate: 0.3, Cooldown: 40, ProbeSamples: 4})
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 3000; i++ {
+			e := 0.05 * rng.Float64()
+			if i/500%2 == 1 { // alternate low and high phases
+				e = 0.3 + 0.3*rng.Float64()
+			}
+			driveOp(c, r, e)
+		}
+		return c
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a.Transitions(), b.Transitions()) {
+		t.Errorf("transition logs diverged:\n%v\n%v", a.Transitions(), b.Transitions())
+	}
+	if a.Stats() != b.Stats() {
+		t.Errorf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+	if a.Estimate() != b.Estimate() {
+		t.Errorf("estimates diverged: %v vs %v", a.Estimate(), b.Estimate())
+	}
+}
+
+// TestOpenNeverSamples: while Open (cooldown running), Sample must refuse —
+// paying for canaries on bypassed operations would be pure overhead.
+func TestOpenNeverSamples(t *testing.T) {
+	r := testRegion()
+	c := MustNew(Config{Budget: 0.01, CanaryRate: 1, Cooldown: 100})
+	driveOp(c, r, 0.9) // first canary trips immediately
+	if c.State() != Open {
+		t.Fatalf("state %v after overrun, want open", c.State())
+	}
+	for i := 0; i < 50; i++ {
+		if c.Sample() {
+			t.Fatal("sampled while open")
+		}
+	}
+}
+
+// TestHalfOpenReanchorsEstimate: a successful probe window must replace the
+// EWMA's memory of the bad period, otherwise the next canary re-trips.
+func TestHalfOpenReanchorsEstimate(t *testing.T) {
+	r := testRegion()
+	c := MustNew(Config{Budget: 0.1, CanaryRate: 1, Cooldown: 10, ProbeSamples: 4})
+	for i := 0; i < 20 && c.State() == Closed; i++ {
+		driveOp(c, r, 0.9)
+	}
+	if c.State() != Open {
+		t.Fatalf("never tripped")
+	}
+	for i := 0; i < 100 && c.State() != Closed; i++ {
+		driveOp(c, r, 0.0)
+	}
+	if c.State() != Closed {
+		t.Fatalf("never re-closed")
+	}
+	if c.Estimate() > 0.09 {
+		t.Errorf("estimate %v still remembers the bad period", c.Estimate())
+	}
+	// The very next clean canary must not re-trip.
+	driveOp(c, r, 0.0)
+	if c.State() != Closed {
+		t.Error("re-tripped immediately after re-entry")
+	}
+}
+
+func TestRegionEstimates(t *testing.T) {
+	c := MustNew(Config{Budget: 0.5, CanaryRate: 1})
+	r1 := testRegion()
+	r2 := &approx.Region{Name: "other", Start: 1 << 20, End: 2 << 20, Type: memdata.F32, Min: 0, Max: 1}
+	c.Sample()
+	observeErr(c, r1, 0.1)
+	c.Sample()
+	observeErr(c, r2, 0.3)
+	re := c.RegionEstimates()
+	if math.Abs(re["data"]-0.1) > 1e-6 || math.Abs(re["other"]-0.3) > 1e-6 {
+		t.Errorf("region estimates %v", re)
+	}
+}
+
+// TestNilControllerZeroCost locks down the disabled path: all three hot
+// hooks must be allocation-free (and behaviorally inert) on a nil receiver.
+func TestNilControllerZeroCost(t *testing.T) {
+	var c *Controller
+	r := testRegion()
+	a, b := blockOf(0.1), blockOf(0.9)
+	if got := testing.AllocsPerRun(200, func() {
+		if !c.Allow() {
+			t.Fatal("nil controller blocked")
+		}
+		if c.Sample() {
+			t.Fatal("nil controller sampled")
+		}
+		c.Observe(r, a, b)
+	}); got != 0 {
+		t.Errorf("nil controller allocated %v per op", got)
+	}
+	if c.State() != Closed || c.Estimate() != 0 || c.Transitions() != nil || (c.Stats() != Stats{}) {
+		t.Error("nil controller accessors not inert")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"sync"
@@ -12,6 +13,20 @@ import (
 	"doppelganger/internal/funcsim"
 	"doppelganger/internal/timesim"
 )
+
+// CheckpointSchemaVersion is the on-disk format version. The first line of
+// every checkpoint file is a header record carrying it; -resume refuses a
+// mismatched (or missing) version instead of silently priming caches with
+// records whose meaning may have changed.
+//
+// History: version 1 was the PR 3 format (implicit — no header, "error" and
+// "timing" records only); version 2 added the header itself and the
+// "quality" record kind.
+const CheckpointSchemaVersion = 2
+
+// maxCheckpointWarnings caps the warning log so a corrupt (or hostile) file
+// cannot balloon memory; the tail is summarized instead.
+const maxCheckpointWarnings = 20
 
 // Checkpoint persists completed sweep results as append-only JSONL so an
 // interrupted run can resume without repeating finished simulations. One
@@ -25,11 +40,13 @@ import (
 // images) are deliberately not persisted — they are recomputed on resume,
 // which is deterministic and far cheaper than serializing them.
 type Checkpoint struct {
-	mu     sync.Mutex
-	f      *os.File
-	saved  map[string]bool
-	errs   map[string]float64
-	timing map[string]*TimingSummary
+	mu       sync.Mutex
+	f        *os.File
+	saved    map[string]bool
+	errs     map[string]float64
+	timing   map[string]*TimingSummary
+	quality  map[string]*QualityOutcome
+	warnings []string
 }
 
 // TimingSummary is the subset of a timesim.Result the experiment tables and
@@ -70,22 +87,26 @@ func (s *TimingSummary) Result() *timesim.Result {
 
 // checkpointRecord is one JSONL line.
 type checkpointRecord struct {
-	Kind   string         `json:"kind"` // "error" or "timing"
-	Key    string         `json:"key"`
-	Bits   uint64         `json:"bits,omitempty"` // math.Float64bits of the error value
-	Timing *TimingSummary `json:"timing,omitempty"`
+	Kind    string          `json:"kind"` // "header", "error", "timing" or "quality"
+	Version int             `json:"version,omitempty"`
+	Key     string          `json:"key,omitempty"`
+	Bits    uint64          `json:"bits,omitempty"` // math.Float64bits of the error value
+	Timing  *TimingSummary  `json:"timing,omitempty"`
+	Quality *QualityOutcome `json:"quality,omitempty"`
 }
 
 // OpenCheckpoint opens (or creates) the checkpoint file at path. With
 // resume set, existing records are loaded first — feed them to
-// Runner.Resume — and new records append after them; without it the file
-// is truncated. A partial trailing line (a write cut off by a kill) is
-// tolerated and dropped.
+// Runner.Resume — and new records append after them; without it the file is
+// truncated and a fresh schema header is written. A partial trailing line
+// (a write cut off by a kill) is tolerated and dropped; duplicate keys keep
+// the last record, with a warning (see Warnings).
 func OpenCheckpoint(path string, resume bool) (*Checkpoint, error) {
 	cp := &Checkpoint{
-		saved:  make(map[string]bool),
-		errs:   make(map[string]float64),
-		timing: make(map[string]*TimingSummary),
+		saved:   make(map[string]bool),
+		errs:    make(map[string]float64),
+		timing:  make(map[string]*TimingSummary),
+		quality: make(map[string]*QualityOutcome),
 	}
 	flags := os.O_CREATE | os.O_RDWR | os.O_APPEND
 	if !resume {
@@ -99,47 +120,156 @@ func OpenCheckpoint(path string, resume bool) (*Checkpoint, error) {
 	if resume {
 		if err := cp.load(); err != nil {
 			f.Close()
-			return nil, err
+			return nil, fmt.Errorf("sweep: checkpoint %s: %w", path, err)
 		}
+	} else if err := cp.writeHeader(); err != nil {
+		f.Close()
+		return nil, err
 	}
 	return cp, nil
 }
 
-// load parses the existing records (called once, before any writes).
-func (cp *Checkpoint) load() error {
-	if _, err := cp.f.Seek(0, 0); err != nil {
+// writeHeader appends the schema header line.
+func (cp *Checkpoint) writeHeader() error {
+	b, err := json.Marshal(checkpointRecord{Kind: "header", Version: CheckpointSchemaVersion})
+	if err != nil {
 		return err
 	}
-	sc := bufio.NewScanner(cp.f)
+	_, err = cp.f.Write(append(b, '\n'))
+	return err
+}
+
+// checkpointData is the parsed content of a checkpoint stream, kept apart
+// from the Checkpoint's file handling so the parser can be fuzzed directly.
+type checkpointData struct {
+	errs     map[string]float64
+	timing   map[string]*TimingSummary
+	quality  map[string]*QualityOutcome
+	warnings []string
+	empty    bool // no bytes at all (a freshly created file)
+}
+
+// warnf records one warning, capped so hostile inputs cannot balloon memory.
+func (d *checkpointData) warnf(format string, args ...interface{}) {
+	if len(d.warnings) == maxCheckpointWarnings {
+		d.warnings = append(d.warnings, "... further checkpoint warnings suppressed")
+	}
+	if len(d.warnings) > maxCheckpointWarnings {
+		return
+	}
+	d.warnings = append(d.warnings, fmt.Sprintf(format, args...))
+}
+
+// parseCheckpoint reads a checkpoint stream: a schema header line first,
+// then one record per line. It enforces the schema version, tolerates
+// unparseable lines (a torn trailing write — or mid-file corruption, which
+// additionally earns a warning), and resolves duplicate keys by keeping the
+// last record with a warning.
+func parseCheckpoint(r io.Reader) (*checkpointData, error) {
+	d := &checkpointData{
+		errs:    make(map[string]float64),
+		timing:  make(map[string]*TimingSummary),
+		quality: make(map[string]*QualityOutcome),
+		empty:   true,
+	}
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	torn := 0
+	sawHeader := false
 	for sc.Scan() {
 		line := sc.Bytes()
 		if len(line) == 0 {
 			continue
 		}
+		d.empty = false
 		var rec checkpointRecord
 		if err := json.Unmarshal(line, &rec); err != nil {
-			// A torn trailing line from an interrupted write: drop it (the
-			// task will simply recompute). Corruption mid-file would also
-			// land here, losing later records the same benign way.
+			if !sawHeader {
+				return nil, fmt.Errorf("unreadable schema header: %v (not a checkpoint file? delete it or rerun without -resume)", err)
+			}
+			// A torn trailing line from an interrupted write, or corruption
+			// mid-file: drop it (the task simply recomputes).
+			torn++
+			continue
+		}
+		if !sawHeader {
+			if rec.Kind != "header" {
+				return nil, fmt.Errorf("no schema header (written by an older version?); delete the file or rerun without -resume")
+			}
+			if rec.Version != CheckpointSchemaVersion {
+				return nil, fmt.Errorf("schema version %d, this binary reads %d; delete the file or rerun without -resume",
+					rec.Version, CheckpointSchemaVersion)
+			}
+			sawHeader = true
 			continue
 		}
 		switch rec.Kind {
+		case "header":
+			d.warnf("unexpected extra header record ignored")
 		case "error":
-			cp.errs[rec.Key] = math.Float64frombits(rec.Bits)
-			cp.saved[rec.Key+"/error"] = true
-		case "timing":
-			if rec.Timing != nil {
-				cp.timing[rec.Key] = rec.Timing
-				cp.saved[rec.Key+"/timing"] = true
+			if _, dup := d.errs[rec.Key]; dup {
+				d.warnf("duplicate error record for %q: keeping the last", rec.Key)
 			}
+			d.errs[rec.Key] = math.Float64frombits(rec.Bits)
+		case "timing":
+			if rec.Timing == nil {
+				d.warnf("timing record for %q has no payload; dropped", rec.Key)
+				continue
+			}
+			if _, dup := d.timing[rec.Key]; dup {
+				d.warnf("duplicate timing record for %q: keeping the last", rec.Key)
+			}
+			d.timing[rec.Key] = rec.Timing
+		case "quality":
+			if rec.Quality == nil {
+				d.warnf("quality record for %q has no payload; dropped", rec.Key)
+				continue
+			}
+			if _, dup := d.quality[rec.Key]; dup {
+				d.warnf("duplicate quality record for %q: keeping the last", rec.Key)
+			}
+			d.quality[rec.Key] = rec.Quality
+		default:
+			d.warnf("unknown record kind %q ignored", rec.Kind)
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return fmt.Errorf("sweep: reading checkpoint: %w", err)
+		return nil, fmt.Errorf("reading checkpoint: %w", err)
 	}
-	_, err := cp.f.Seek(0, 2)
-	return err
+	if torn > 0 {
+		d.warnf("skipped %d unparseable line(s) (torn writes or corruption)", torn)
+	}
+	return d, nil
+}
+
+// load parses the existing records (called once, before any writes) and
+// leaves the file positioned for appending. An empty file (resuming into a
+// path that does not exist yet) gets the schema header written.
+func (cp *Checkpoint) load() error {
+	if _, err := cp.f.Seek(0, 0); err != nil {
+		return err
+	}
+	d, err := parseCheckpoint(cp.f)
+	if err != nil {
+		return err
+	}
+	if _, err := cp.f.Seek(0, 2); err != nil {
+		return err
+	}
+	if d.empty {
+		return cp.writeHeader()
+	}
+	cp.errs, cp.timing, cp.quality, cp.warnings = d.errs, d.timing, d.quality, d.warnings
+	for key := range d.errs {
+		cp.saved[key+"/error"] = true
+	}
+	for key := range d.timing {
+		cp.saved[key+"/timing"] = true
+	}
+	for key := range d.quality {
+		cp.saved[key+"/quality"] = true
+	}
+	return nil
 }
 
 // Errors returns the loaded error records (for Runner.Resume).
@@ -147,6 +277,13 @@ func (cp *Checkpoint) Errors() map[string]float64 { return cp.errs }
 
 // Timings returns the loaded timing records (for Runner.Resume).
 func (cp *Checkpoint) Timings() map[string]*TimingSummary { return cp.timing }
+
+// Qualities returns the loaded quality-sweep records (for Runner.Resume).
+func (cp *Checkpoint) Qualities() map[string]*QualityOutcome { return cp.quality }
+
+// Warnings returns the non-fatal anomalies the resume load tolerated
+// (duplicate keys, unparseable lines), for the caller to surface.
+func (cp *Checkpoint) Warnings() []string { return cp.warnings }
 
 // Len reports how many records are stored (loaded plus newly saved).
 func (cp *Checkpoint) Len() int {
@@ -164,6 +301,11 @@ func (cp *Checkpoint) SaveError(key string, v float64) {
 // SaveTiming appends one timing record.
 func (cp *Checkpoint) SaveTiming(key string, res *timesim.Result) {
 	cp.append(key+"/timing", checkpointRecord{Kind: "timing", Key: key, Timing: summarize(res)})
+}
+
+// SaveQuality appends one quality-sweep outcome record.
+func (cp *Checkpoint) SaveQuality(key string, q *QualityOutcome) {
+	cp.append(key+"/quality", checkpointRecord{Kind: "quality", Key: key, Quality: q})
 }
 
 func (cp *Checkpoint) append(dedup string, rec checkpointRecord) {
@@ -206,5 +348,8 @@ func (r *Runner) Resume(cp *Checkpoint) {
 	}
 	for key, s := range cp.Timings() {
 		r.timeCache.Prime(key, s.Result())
+	}
+	for key, q := range cp.Qualities() {
+		r.qualityCache.Prime(key, q)
 	}
 }

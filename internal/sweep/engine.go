@@ -33,6 +33,11 @@ type Grid struct {
 	// runs triple the functional workload and only the fault-sweep table
 	// reads them.
 	Faults bool
+	// Quality adds guarded fault-injection runs (functional plus two timing
+	// replays) per guarded organization and rate, and the unguarded fault
+	// runs the quality table's guard-off column reads. Explicit-only, like
+	// Faults.
+	Quality bool
 }
 
 // FullGrid covers every simulation the paper's tables and figures need.
@@ -60,6 +65,8 @@ func GridFor(names ...string) Grid {
 			g.Extras = true
 		case "faults":
 			g.Faults = true
+		case "quality":
+			g.Quality = true
 		case "fig13", "table3":
 			// Static hardware-model tables; no simulations.
 		default:
@@ -163,13 +170,33 @@ func (r *Runner) PrewarmContext(ctx context.Context, g Grid) error {
 				}
 			}
 		}
-		if g.Faults {
+		if g.Faults || g.Quality {
 			for _, org := range FaultOrgs {
 				org := org
 				for _, rate := range r.faultRates() {
 					rate := rate
 					variant(fmt.Sprintf("%s/fault/%s/%g", name, org, rate), func(ctx context.Context) error {
 						_, err := r.FaultErrorContext(ctx, name, org, rate)
+						return err
+					})
+				}
+			}
+		}
+		if g.Quality {
+			for _, org := range GuardedOrgs {
+				org := org
+				for _, rate := range r.faultRates() {
+					rate := rate
+					variant(fmt.Sprintf("%s/quality/%s/%g/error", name, org, rate), func(ctx context.Context) error {
+						_, err := r.QualityErrorContext(ctx, name, org, rate)
+						return err
+					})
+					variant(fmt.Sprintf("%s/quality/%s/%g/time-off", name, org, rate), func(ctx context.Context) error {
+						_, err := r.QualityTimingContext(ctx, name, org, rate, false)
+						return err
+					})
+					variant(fmt.Sprintf("%s/quality/%s/%g/time-on", name, org, rate), func(ctx context.Context) error {
+						_, err := r.QualityTimingContext(ctx, name, org, rate, true)
 						return err
 					})
 				}

@@ -1,0 +1,317 @@
+package sweep
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"doppelganger/internal/quality"
+)
+
+// --- checkpoint schema enforcement (no simulations) ---
+
+// TestCheckpointRejectsVersionMismatch: a checkpoint written by a different
+// schema version must be refused with an actionable message, not silently
+// loaded with reinterpreted records.
+func TestCheckpointRejectsVersionMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cp.jsonl")
+	content := `{"kind":"header","version":1}` + "\n" +
+		`{"kind":"error","key":"old","bits":1}` + "\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := OpenCheckpoint(path, true)
+	if err == nil {
+		t.Fatal("version-1 checkpoint accepted")
+	}
+	for _, want := range []string{"schema version 1", "delete the file"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error missing %q:\n%v", want, err)
+		}
+	}
+}
+
+// TestCheckpointRejectsMissingHeader: a file that starts with a record
+// instead of the header (a pre-versioning checkpoint) is refused.
+func TestCheckpointRejectsMissingHeader(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cp.jsonl")
+	if err := os.WriteFile(path, []byte(`{"kind":"error","key":"k","bits":1}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := OpenCheckpoint(path, true)
+	if err == nil || !strings.Contains(err.Error(), "no schema header") {
+		t.Fatalf("pre-versioning checkpoint accepted: %v", err)
+	}
+}
+
+// TestCheckpointRejectsGarbage: a first line that is not JSON at all (wrong
+// file entirely) is refused rather than treated as a torn write.
+func TestCheckpointRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cp.jsonl")
+	if err := os.WriteFile(path, []byte("PK\x03\x04 definitely not jsonl\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := OpenCheckpoint(path, true)
+	if err == nil || !strings.Contains(err.Error(), "unreadable schema header") {
+		t.Fatalf("garbage file accepted: %v", err)
+	}
+}
+
+// TestCheckpointEmptyFileResume: resuming into an empty (or not yet created)
+// path is a fresh start — the header is written so the next resume works.
+func TestCheckpointEmptyFileResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cp.jsonl")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := OpenCheckpoint(path, true)
+	if err != nil {
+		t.Fatalf("empty file refused: %v", err)
+	}
+	cp.SaveError("k", 0.5)
+	cp.Close()
+	re, err := OpenCheckpoint(path, true)
+	if err != nil {
+		t.Fatalf("second resume refused: %v", err)
+	}
+	defer re.Close()
+	if re.Errors()["k"] != 0.5 {
+		t.Errorf("record lost across empty-file resume: %v", re.Errors())
+	}
+	if len(re.Warnings()) != 0 {
+		t.Errorf("clean resume produced warnings: %v", re.Warnings())
+	}
+}
+
+// TestCheckpointDuplicateKeysLastWinWithWarning: duplicate keys (two runs
+// appending to one file) keep the last record and surface a warning.
+func TestCheckpointDuplicateKeysLastWinWithWarning(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cp.jsonl")
+	content := `{"kind":"header","version":2}` + "\n" +
+		`{"kind":"error","key":"k","bits":` + "4602678819172646912" + `}` + "\n" + // 0.5
+		`{"kind":"error","key":"k","bits":` + "4598175219545276416" + `}` + "\n" // 0.25
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := OpenCheckpoint(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp.Close()
+	if got := cp.Errors()["k"]; got != 0.25 {
+		t.Errorf("duplicate resolution kept %v, want the last (0.25)", got)
+	}
+	found := false
+	for _, w := range cp.Warnings() {
+		if strings.Contains(w, "duplicate error record") && strings.Contains(w, `"k"`) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no duplicate-key warning: %v", cp.Warnings())
+	}
+}
+
+// TestCheckpointQualityRoundTrip: a quality outcome — bits, breaker history
+// and all — survives close/reopen exactly, and Resume primes the quality
+// cache so the task is not recomputed.
+func TestCheckpointQualityRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cp.jsonl")
+	cp, err := OpenCheckpoint(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := &QualityOutcome{
+		TrueErrorBits: math.Float64bits(math.Nextafter(0.043, 1)),
+		EstimateBits:  math.Float64bits(0.0371),
+		FinalState:    quality.HalfOpen,
+		Trips:         2, Reentries: 1, Canaries: 311, CanaryDraws: 6000,
+		ApproxOps: 12345, Bypassed: 4001,
+		Transitions: []quality.Transition{
+			{Op: 100, From: quality.Closed, To: quality.Open, Estimate: 0.061},
+			{Op: 2100, From: quality.Open, To: quality.HalfOpen, Estimate: 0.061},
+		},
+	}
+	cp.SaveQuality("quality/doppel/kmeans/0.0001", out)
+	cp.SaveQuality("quality/doppel/kmeans/0.0001", &QualityOutcome{}) // duplicate: ignored
+	if err := cp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenCheckpoint(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	got := re.Qualities()["quality/doppel/kmeans/0.0001"]
+	if got == nil || !reflect.DeepEqual(got, out) {
+		t.Fatalf("quality round trip:\ngot  %+v\nwant %+v", got, out)
+	}
+	r := NewRunner(0.05)
+	r.Resume(re)
+	served, err := r.qualityCache.Do("quality/doppel/kmeans/0.0001", func() (*QualityOutcome, error) {
+		t.Fatal("resumed quality key recomputed")
+		return nil, nil
+	})
+	if err != nil || !reflect.DeepEqual(served, out) {
+		t.Fatalf("resume served %+v, %v", served, err)
+	}
+}
+
+// FuzzCheckpointParse: the resume parser must never panic, whatever the file
+// holds — it either loads, warns, or refuses with an error.
+func FuzzCheckpointParse(f *testing.F) {
+	f.Add([]byte(`{"kind":"header","version":2}` + "\n" +
+		`{"kind":"error","key":"a","bits":42}` + "\n" +
+		`{"kind":"timing","key":"b","timing":{"Cycles":7}}` + "\n" +
+		`{"kind":"quality","key":"c","quality":{"trips":1,"final_state":"open"}}` + "\n"))
+	f.Add([]byte(`{"kind":"header","version":1}` + "\n"))
+	f.Add([]byte(`{"kind":"error","key":"no-header","bits":1}` + "\n"))
+	f.Add([]byte(`{"kind":"header","version":2}` + "\n" + `{"kind":"error","key":"torn`))
+	f.Add([]byte(`{"kind":"header","version":2}` + "\n" +
+		`{"kind":"error","key":"dup","bits":1}` + "\n" +
+		`{"kind":"error","key":"dup","bits":2}` + "\n" +
+		`{"kind":"header","version":2}` + "\n" +
+		`{"kind":"mystery","key":"x"}` + "\n" +
+		`{"kind":"timing","key":"empty"}` + "\n"))
+	f.Add([]byte("\x00\xff garbage"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := parseCheckpoint(strings.NewReader(string(data)))
+		if err != nil {
+			return
+		}
+		if d.errs == nil || d.timing == nil || d.quality == nil {
+			t.Fatal("successful parse returned nil maps")
+		}
+		if len(d.warnings) > maxCheckpointWarnings+1 {
+			t.Fatalf("warning cap breached: %d", len(d.warnings))
+		}
+	})
+}
+
+// --- grid wiring (no simulations) ---
+
+// TestGridForQuality verifies the quality sweep is explicit-only, like the
+// fault sweep it extends.
+func TestGridForQuality(t *testing.T) {
+	if g := GridFor("quality"); !g.Quality {
+		t.Error("GridFor(quality) did not enable quality runs")
+	}
+	if g := GridFor("fig9"); g.Quality {
+		t.Error("fig9 grid scheduled quality runs")
+	}
+	if FullGrid(true).Quality {
+		t.Error("FullGrid scheduled quality runs")
+	}
+}
+
+// --- guarded-run behavior (simulations) ---
+
+// TestQualityGuardHugeBudgetMatchesFaultError is the observation-only
+// differential at the sweep layer: with a budget the guard can never exceed,
+// the guarded run must report the bit-identical output error of the
+// unguarded fault run — canaries observe, they never perturb, and both runs
+// derive the fault stream from the same key.
+func TestQualityGuardHugeBudgetMatchesFaultError(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	r := NewRunner(0.05)
+	r.Only = []string{"kmeans"}
+	r.FaultSeed = 42
+	r.QualitySeed = 7
+	r.QualityBudget = 100 // unreachable: the guard can only observe
+	r.CanaryRate = 1
+	off, err := r.FaultError("kmeans", "doppel", 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := r.QualityError("kmeans", "doppel", 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.TrueErrorBits != math.Float64bits(off) {
+		t.Errorf("guarded error %x, unguarded %x — observation-only guard perturbed the run",
+			q.TrueErrorBits, math.Float64bits(off))
+	}
+	if q.Trips != 0 || q.Bypassed != 0 || q.FinalState != quality.Closed {
+		t.Errorf("guard intervened under an unreachable budget: %+v", q)
+	}
+	if q.Canaries == 0 {
+		t.Error("full-rate canary sampling observed nothing")
+	}
+}
+
+// TestQualityGuardTripsOverTinyBudget: with a budget below the inherent
+// approximation error, the breaker must trip and start bypassing — the
+// graceful-degradation path engages end to end through a real workload.
+func TestQualityGuardTripsOverTinyBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	r := NewRunner(0.05)
+	r.Only = []string{"kmeans"}
+	r.FaultSeed = 42
+	r.QualityBudget = 1e-9 // below any real substitution error
+	r.CanaryRate = 1
+	q, err := r.QualityError("kmeans", "doppel", 1e-2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Trips == 0 {
+		t.Fatalf("guard never tripped over a 1e-9 budget: %+v", q)
+	}
+	if q.Bypassed == 0 {
+		t.Errorf("open breaker bypassed nothing: %+v", q)
+	}
+	if len(q.Transitions) == 0 || q.Transitions[0].From != quality.Closed || q.Transitions[0].To != quality.Open {
+		t.Errorf("first transition is not the trip: %+v", q.Transitions)
+	}
+}
+
+// TestQualitySweepDeterministic is the quality-layer acceptance check: the
+// same seeds must produce bit-identical outcomes — including the breaker
+// transition log — and byte-identical tables at any worker count.
+func TestQualitySweepDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	run := func(workers int) (string, map[string]*QualityOutcome) {
+		r := NewRunner(0.05)
+		r.Only = []string{"kmeans"}
+		r.Workers = workers
+		r.FaultSeed = 42
+		r.QualitySeed = 7
+		r.FaultRates = []float64{1e-4}
+		if err := r.Prewarm(Grid{Benchmarks: r.Only, Quality: true}); err != nil {
+			t.Fatal(err)
+		}
+		errT, runT, err := r.QualitySweep()
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw := map[string]*QualityOutcome{}
+		for _, org := range GuardedOrgs {
+			q, err := r.QualityError("kmeans", org, 1e-4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw[org] = q
+		}
+		return errT.Format() + "\n" + runT.Format(), raw
+	}
+	tbl2, raw2 := run(2)
+	tbl4, raw4 := run(4)
+	if tbl2 != tbl4 {
+		t.Errorf("quality tables differ across worker counts:\n--- workers=2 ---\n%s--- workers=4 ---\n%s", tbl2, tbl4)
+	}
+	for org, q := range raw2 {
+		if !reflect.DeepEqual(q, raw4[org]) {
+			t.Errorf("quality outcome for %s differs:\nworkers=2 %+v\nworkers=4 %+v", org, q, raw4[org])
+		}
+	}
+}

@@ -269,18 +269,18 @@ func TestCheckpointResumeBitIdentical(t *testing.T) {
 	outA := render(a)
 	cpA.Close()
 
-	// Interrupted run: keep only the first record, as if SIGINT landed
-	// after one task.
+	// Interrupted run: keep the schema header plus the first record, as if
+	// SIGINT landed after one task.
 	data, err := os.ReadFile(pathA)
 	if err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.SplitAfter(string(data), "\n")
-	if len(lines) < 2 {
-		t.Fatalf("checkpoint has %d lines, want >= 2", len(lines))
+	if len(lines) < 3 {
+		t.Fatalf("checkpoint has %d lines, want >= 3 (header plus records)", len(lines))
 	}
 	pathB := filepath.Join(dir, "b.jsonl")
-	if err := os.WriteFile(pathB, []byte(lines[0]), 0o644); err != nil {
+	if err := os.WriteFile(pathB, []byte(lines[0]+lines[1]), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	cpB, err := OpenCheckpoint(pathB, true)

@@ -63,6 +63,14 @@ type Runner struct {
 	// FaultModel selects the fault manifestation (default bit flips).
 	FaultModel faults.Model
 
+	// QualityBudget is the error budget the quality-sweep guard enforces
+	// (0: DefaultQualityBudget). QualitySeed seeds the canary sample sites
+	// per task, and CanaryRate is the closed-state sampling fraction
+	// (0: DefaultCanaryRate).
+	QualityBudget float64
+	QualitySeed   uint64
+	CanaryRate    float64
+
 	// Checkpoint, when non-nil, persists every completed error/timing result
 	// and skips already-persisted keys after Resume. nil disables.
 	Checkpoint *Checkpoint
@@ -82,9 +90,10 @@ type Runner struct {
 	taskSnaps []TaskMetrics
 	tracePIDs int
 
-	base      *memo[*baseArtifacts]
-	errCache  *memo[float64]
-	timeCache *memo[*timesim.Result]
+	base         *memo[*baseArtifacts]
+	errCache     *memo[float64]
+	timeCache    *memo[*timesim.Result]
+	qualityCache *memo[*QualityOutcome]
 }
 
 type baseArtifacts struct {
@@ -103,6 +112,7 @@ func NewRunner(scale float64) *Runner {
 		base:          newMemo[*baseArtifacts](),
 		errCache:      newMemo[float64](),
 		timeCache:     newMemo[*timesim.Result](),
+		qualityCache:  newMemo[*QualityOutcome](),
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"doppelganger/internal/funcsim"
 	"doppelganger/internal/memdata"
 	"doppelganger/internal/metrics"
+	"doppelganger/internal/quality"
 	"doppelganger/internal/trace"
 )
 
@@ -60,6 +61,11 @@ type Config struct {
 	// and (when the DRAM model is enabled) the DRAM banks. nil keeps the
 	// zero-cost disabled path.
 	Faults *faults.Injector
+
+	// Quality optionally attaches the online quality guard to the replayed
+	// LLC organization, so guarded timing runs pay (and measure) the same
+	// bypass behaviour as guarded functional runs. nil disables.
+	Quality *quality.Controller
 
 	// Metrics optionally threads the whole run — private caches, MSI
 	// tracker, LLC organization, DRAM and the core model itself — through a
@@ -223,6 +229,7 @@ func RunContext(ctx context.Context, tr *trace.Recorder, initial *memdata.Store,
 	h := funcsim.New(hcfg, llc, st, ann, nil)
 	h.AttachMetrics(cfg.Metrics)
 	h.AttachFaults(cfg.Faults)
+	h.AttachQuality(cfg.Quality)
 
 	// Core-model instruments; all remain nil (free no-ops) when metrics are
 	// disabled, and the occupancy observations are skipped outright.

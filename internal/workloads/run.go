@@ -10,6 +10,7 @@ import (
 	"doppelganger/internal/funcsim"
 	"doppelganger/internal/memdata"
 	"doppelganger/internal/metrics"
+	"doppelganger/internal/quality"
 	"doppelganger/internal/trace"
 )
 
@@ -42,6 +43,11 @@ type RunOptions struct {
 	// Faults, when non-nil, injects faults into the LLC organization for the
 	// duration of the run. nil keeps the zero-cost disabled path.
 	Faults *faults.Injector
+
+	// Quality, when non-nil, attaches the online quality guard to the LLC
+	// organization (Doppelgänger variants only). nil keeps the zero-cost
+	// disabled path.
+	Quality *quality.Controller
 }
 
 // RunResult is everything a functional run produces.
@@ -99,6 +105,7 @@ func RunFunctionalContext(ctx context.Context, b *Benchmark, llcb LLCBuilder, op
 	h := funcsim.New(HierConfig(opt.Cores), llc, st, ann, rec)
 	h.AttachMetrics(opt.Metrics)
 	h.AttachFaults(opt.Faults)
+	h.AttachQuality(opt.Quality)
 	h.SnapshotEvery = opt.SnapshotEvery
 	h.SnapshotFn = opt.SnapshotFn
 	var groups []int
