@@ -9,14 +9,22 @@
 # SIGINT/checkpoint/resume path end to end; all three are folded into `race`.
 # `fuzz-smoke` gives each fuzz target a short budget (Go allows one -fuzz
 # pattern per package invocation, hence one line per target).
+# `bench` runs the paper-table Evaluation benchmarks with -benchmem and
+# converts the output into BENCH_5.json via cmd/benchjson, joining the
+# committed pre-optimization baseline (bench_baseline_5.txt) so speedup and
+# allocation ratios travel with the numbers. `bench-smoke` runs one iteration
+# of each Evaluation benchmark as a cheap liveness check and is folded into
+# `race`.
 # `audit` runs go vet always, plus staticcheck and govulncheck when they are
 # installed — missing tools skip with a note instead of failing, so the
 # target works in hermetic containers.
 
 GO      ?= go
 FUZZTIME ?= 30s
+BENCHTIME ?= 2x
+EVAL_BENCH = Table2$$|Fig2$$|Fig7$$|Fig8$$|Fig9$$|Fig10$$|Fig11$$|Fig12$$|Fig13$$|Fig14$$|Table3$$
 
-.PHONY: build test race faults-smoke quality-smoke test-interrupt fuzz-smoke vet audit
+.PHONY: build test race faults-smoke quality-smoke test-interrupt fuzz-smoke bench bench-smoke vet audit
 
 build:
 	$(GO) build ./...
@@ -24,9 +32,16 @@ build:
 test:
 	$(GO) test ./...
 
-race: faults-smoke quality-smoke test-interrupt
+race: faults-smoke quality-smoke test-interrupt bench-smoke
 	$(GO) test -race ./...
 	$(GO) test -race -cpu 1,4 ./internal/sweep/... ./internal/workloads/... ./internal/timesim/...
+
+bench:
+	$(GO) test -run xxx -bench '$(EVAL_BENCH)' -benchmem -benchtime $(BENCHTIME) . | tee bench_current_5.txt
+	$(GO) run ./cmd/benchjson -baseline bench_baseline_5.txt -note "make bench, benchtime $(BENCHTIME)" -o BENCH_5.json bench_current_5.txt
+
+bench-smoke:
+	$(GO) test -run xxx -bench '$(EVAL_BENCH)' -benchtime 1x .
 
 faults-smoke:
 	$(GO) test -race -cpu 1,4 -run 'TestFaultSweepDeterministic|TestFaultSeedChangesSites' ./internal/sweep/

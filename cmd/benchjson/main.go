@@ -1,0 +1,177 @@
+// Command benchjson converts `go test -bench -benchmem` output into a
+// machine-readable JSON report, optionally joining a baseline run captured
+// with the same flags so speedup ratios travel with the numbers.
+//
+// Usage:
+//
+//	go test -bench 'Evaluation...' -benchmem . | benchjson -o BENCH.json
+//	benchjson -baseline old.txt -o BENCH.json current.txt
+//
+// Input lines it understands look like:
+//
+//	BenchmarkTable2  2  1158404084 ns/op  258907864 B/op  127411 allocs/op
+//
+// Everything else (goos/goarch headers, PASS/ok trailers) is ignored, so the
+// raw `go test` output can be piped straight in.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result is one parsed benchmark line.
+type result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// entry is one benchmark in the report: the current numbers, the baseline's
+// (when provided), and the resulting ratios (>1 means the current run is
+// better: faster, or fewer allocations/bytes).
+type entry struct {
+	Name string `json:"name"`
+	result
+	Baseline    *result `json:"baseline,omitempty"`
+	NsSpeedup   float64 `json:"ns_speedup,omitempty"`
+	AllocsRatio float64 `json:"allocs_ratio,omitempty"`
+	BytesRatio  float64 `json:"bytes_ratio,omitempty"`
+}
+
+type report struct {
+	Note       string  `json:"note"`
+	Benchmarks []entry `json:"benchmarks"`
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "", "prior -bench output to join as the baseline")
+	out := flag.String("o", "", "output file (default stdout)")
+	note := flag.String("note", "", "free-form provenance note stored in the report")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	} else if flag.NArg() > 1 {
+		fatal(fmt.Errorf("at most one input file, got %d", flag.NArg()))
+	}
+
+	current, err := parse(in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(current) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found in input"))
+	}
+
+	var baseline map[string]result
+	if *baselinePath != "" {
+		f, err := os.Open(*baselinePath)
+		if err != nil {
+			fatal(err)
+		}
+		baseline, err = parse(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	rep := report{Note: *note}
+	names := make([]string, 0, len(current))
+	for name := range current {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		e := entry{Name: name, result: current[name]}
+		if b, ok := baseline[name]; ok {
+			bb := b
+			e.Baseline = &bb
+			e.NsSpeedup = ratio(b.NsPerOp, e.NsPerOp)
+			e.AllocsRatio = ratio(b.AllocsPerOp, e.AllocsPerOp)
+			e.BytesRatio = ratio(b.BytesPerOp, e.BytesPerOp)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, e)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+// ratio returns old/new rounded to two decimals, or 0 when undefined.
+func ratio(old, new float64) float64 {
+	if old == 0 || new == 0 {
+		return 0
+	}
+	return float64(int(old/new*100+0.5)) / 100
+}
+
+// parse extracts benchmark results from -bench output. A repeated name (from
+// -count > 1) keeps the last occurrence.
+func parse(r io.Reader) (map[string]result, error) {
+	out := map[string]result{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		// Strip the -cpu suffix (BenchmarkX-8) if present.
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		var res result
+		seen := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp = v
+				seen = true
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			}
+		}
+		if seen {
+			out[name] = res
+		}
+	}
+	return out, sc.Err()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

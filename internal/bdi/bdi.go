@@ -121,16 +121,68 @@ func Compress(b *memdata.Block) Compressed {
 }
 
 // CompressedSize returns the best payload size without materializing it.
+// This is the hot entry point (the storage-savings analyzers call it for
+// every snapshot block), so it probes applicability without building any
+// payloads and performs no allocations.
 func CompressedSize(b *memdata.Block) int {
 	best := memdata.BlockSize
 	for s := Zeros; s < numSchemes; s++ {
-		if sz := s.PayloadSize(); sz < best {
-			if _, ok := tryScheme(b, s); ok {
-				best = sz
-			}
+		if sz := s.PayloadSize(); sz < best && schemeFits(b, s) {
+			best = sz
 		}
 	}
 	return best
+}
+
+// schemeFits reports whether the scheme can encode the block, mirroring
+// tryScheme's applicability decisions without materializing a payload.
+func schemeFits(b *memdata.Block, s Scheme) bool {
+	switch s {
+	case Zeros:
+		for _, v := range b {
+			if v != 0 {
+				return false
+			}
+		}
+		return true
+	case Repeat:
+		first := binary.LittleEndian.Uint64(b[0:8])
+		for i := 8; i < memdata.BlockSize; i += 8 {
+			if binary.LittleEndian.Uint64(b[i:]) != first {
+				return false
+			}
+		}
+		return true
+	}
+	g, ok := s.geom()
+	if !ok {
+		return false
+	}
+	return fitsBaseDelta(b, g)
+}
+
+// fitsBaseDelta reports whether every word of the block encodes as a narrow
+// delta from the base or from zero, with the same base selection as
+// tryBaseDelta (TestFitsMatchesTry locks the two together).
+func fitsBaseDelta(b *memdata.Block, g geometry) bool {
+	words := memdata.BlockSize / g.baseBytes
+	var vals [memdata.BlockSize / 2]int64 // at most 32 words (2-byte base)
+	for i := 0; i < words; i++ {
+		vals[i] = readWord(b[i*g.baseBytes:], g.baseBytes)
+	}
+	base := vals[0]
+	for _, v := range vals[:words] {
+		if !fitsDelta(v, g.deltaBytes) { // not representable from zero
+			base = v
+			break
+		}
+	}
+	for _, v := range vals[:words] {
+		if !fitsDelta(v-base, g.deltaBytes) && !fitsDelta(v, g.deltaBytes) {
+			return false
+		}
+	}
+	return true
 }
 
 func tryScheme(b *memdata.Block, s Scheme) ([]byte, bool) {

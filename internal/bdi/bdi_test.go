@@ -193,3 +193,51 @@ func TestFloatDataCompressesPoorly(t *testing.T) {
 		t.Errorf("random floats compressed to %d bytes; expected poor compression", sz)
 	}
 }
+
+// TestFitsMatchesTry locks the allocation-free applicability probe to the
+// real encoder, scheme by scheme: schemeFits must say yes exactly when
+// tryScheme produces a payload.
+func TestFitsMatchesTry(t *testing.T) {
+	f := func(raw [64]byte, mode uint8) bool {
+		b := memdata.Block(raw)
+		switch mode % 4 {
+		case 1: // small 4-byte deltas around a large base
+			for i := 0; i < 64; i += 4 {
+				binary.LittleEndian.PutUint32(b[i:], 0x40000000+uint32(b[i])%128)
+			}
+		case 2: // mixed immediates and based words (8-byte geometry)
+			for i := 0; i < 64; i += 16 {
+				binary.LittleEndian.PutUint64(b[i:], uint64(b[i])%100)       // immediate
+				binary.LittleEndian.PutUint64(b[i+8:], 1<<40+uint64(b[i+8])) // based
+			}
+		case 3: // repeated word
+			v := binary.LittleEndian.Uint64(b[:8])
+			for i := 8; i < 64; i += 8 {
+				binary.LittleEndian.PutUint64(b[i:], v)
+			}
+		}
+		for s := Zeros; s < numSchemes; s++ {
+			_, ok := tryScheme(&b, s)
+			if schemeFits(&b, s) != ok {
+				t.Logf("scheme %v: fits=%v try=%v", s, !ok, ok)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCompressedSizeZeroAllocs: the snapshot analyzers call CompressedSize
+// for every resident block; the probe must not allocate.
+func TestCompressedSizeZeroAllocs(t *testing.T) {
+	var b memdata.Block
+	for i := 0; i < 64; i += 4 {
+		binary.LittleEndian.PutUint32(b[i:], 7000+uint32(i))
+	}
+	if n := testing.AllocsPerRun(500, func() { _ = CompressedSize(&b) }); n != 0 {
+		t.Errorf("CompressedSize allocates %v allocs/op, want 0", n)
+	}
+}

@@ -1,0 +1,139 @@
+package coherence
+
+import (
+	"math/bits"
+
+	"doppelganger/internal/memdata"
+)
+
+// Directory geometry, mirroring the memdata arena: 64 lines per slab (one
+// slab covers the same 4 KiB address span as one arena page) reached
+// through a two-level radix index over the slab number, with a presence
+// bitmap standing in for map membership.
+const (
+	slabLineBits = 6
+	slabLines    = 1 << slabLineBits
+	slabShift    = memdata.OffsetBits + slabLineBits // address bits per slab
+	slabLineMask = slabLines - 1
+
+	dirRadixBits = 10
+	dirRadixSize = 1 << dirRadixBits
+	dirRadixMask = dirRadixSize - 1
+)
+
+// dirSlab holds the directory lines of one 4 KiB address span inline — no
+// per-line heap object — plus the bitmap of which lines currently exist.
+type dirSlab struct {
+	present uint64
+	lines   [slabLines]Line
+}
+
+type dirLeaf struct {
+	slabs [dirRadixSize]*dirSlab
+}
+
+// Directory is the LLC-level MSI directory: full-map sharer vectors per
+// block (Table 3), stored in paged slabs indexed by block address. Lookups
+// and steady-state Entry calls are two array indexings and a bitmap test
+// with zero allocations; entries come and go (back-invalidations delete
+// them) without creating garbage.
+//
+// A Directory is not safe for concurrent use; the hierarchy serializes
+// access like it does the backing store.
+type Directory struct {
+	root [dirRadixSize]*dirLeaf
+	n    int
+}
+
+// NewDirectory returns an empty directory.
+func NewDirectory() *Directory { return &Directory{} }
+
+func (d *Directory) index(ba memdata.Addr) (sn, li uint32) {
+	a := uint32(ba)
+	return a >> slabShift, (a >> memdata.OffsetBits) & slabLineMask
+}
+
+// Lookup returns the entry for block ba, or nil when none exists. It never
+// allocates.
+func (d *Directory) Lookup(ba memdata.Addr) *Line {
+	sn, li := d.index(ba)
+	lf := d.root[sn>>dirRadixBits]
+	if lf == nil {
+		return nil
+	}
+	sl := lf.slabs[sn&dirRadixMask]
+	if sl == nil || sl.present&(1<<li) == 0 {
+		return nil
+	}
+	return &sl.lines[li]
+}
+
+// Entry returns the entry for block ba, creating it in the Invalid state
+// with no sharers and no owner if it does not exist. Steady-state calls on
+// an existing entry perform no allocations.
+func (d *Directory) Entry(ba memdata.Addr) *Line {
+	sn, li := d.index(ba)
+	lf := d.root[sn>>dirRadixBits]
+	if lf == nil {
+		lf = new(dirLeaf)
+		d.root[sn>>dirRadixBits] = lf
+	}
+	sl := lf.slabs[sn&dirRadixMask]
+	if sl == nil {
+		sl = new(dirSlab)
+		lf.slabs[sn&dirRadixMask] = sl
+	}
+	if sl.present&(1<<li) == 0 {
+		sl.present |= 1 << li
+		sl.lines[li] = Line{Owner: -1}
+		d.n++
+	}
+	return &sl.lines[li]
+}
+
+// Remove deletes block ba's entry, returning its final value and whether it
+// existed.
+func (d *Directory) Remove(ba memdata.Addr) (Line, bool) {
+	sn, li := d.index(ba)
+	lf := d.root[sn>>dirRadixBits]
+	if lf == nil {
+		return Line{}, false
+	}
+	sl := lf.slabs[sn&dirRadixMask]
+	if sl == nil || sl.present&(1<<li) == 0 {
+		return Line{}, false
+	}
+	old := sl.lines[li]
+	sl.lines[li] = Line{}
+	sl.present &^= 1 << li
+	d.n--
+	return old, true
+}
+
+// Len reports how many entries exist.
+func (d *Directory) Len() int { return d.n }
+
+// Reset drops every entry, releasing the slabs.
+func (d *Directory) Reset() {
+	d.root = [dirRadixSize]*dirLeaf{}
+	d.n = 0
+}
+
+// ForEach visits every entry in ascending block-address order.
+func (d *Directory) ForEach(fn func(ba memdata.Addr, l *Line)) {
+	for li, lf := range d.root {
+		if lf == nil {
+			continue
+		}
+		for si, sl := range lf.slabs {
+			if sl == nil || sl.present == 0 {
+				continue
+			}
+			base := memdata.Addr(uint32(li)<<(dirRadixBits+slabShift) | uint32(si)<<slabShift)
+			for t := sl.present; t != 0; t &= t - 1 {
+				i := bits.TrailingZeros64(t)
+				fn(base+memdata.Addr(i<<memdata.OffsetBits), &sl.lines[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package coherence
+
+import (
+	"math/rand"
+	"testing"
+
+	"doppelganger/internal/memdata"
+)
+
+// TestDirectoryDifferential drives the slab directory and the obvious
+// map-backed reference through the same random Entry/Lookup/Remove sequence
+// and requires them to stay indistinguishable, including the full contents
+// enumerated by ForEach.
+func TestDirectoryDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	d := NewDirectory()
+	ref := map[memdata.Addr]*Line{}
+
+	randLine := func() Line {
+		return Line{
+			State:   State(rng.Intn(3)),
+			Sharers: SharerSet(rng.Intn(16)),
+			Owner:   int8(rng.Intn(5) - 1),
+		}
+	}
+	for op := 0; op < 20000; op++ {
+		// Confine to 512 blocks across several slabs and both radix levels.
+		ba := memdata.Addr(rng.Intn(512)*memdata.BlockSize) + memdata.Addr(rng.Intn(2))<<22
+		ba = ba.BlockAddr()
+		switch rng.Intn(5) {
+		case 0, 1: // Entry: create-or-get, then mutate through the pointer
+			dl := d.Entry(ba)
+			rl := ref[ba]
+			if rl == nil {
+				want := Line{Owner: -1}
+				if *dl != want {
+					t.Fatalf("op %d: fresh Entry(%v) = %+v, want %+v", op, ba, *dl, want)
+				}
+				rl = &Line{Owner: -1}
+				ref[ba] = rl
+			} else if *dl != *rl {
+				t.Fatalf("op %d: Entry(%v) = %+v, ref %+v", op, ba, *dl, *rl)
+			}
+			nl := randLine()
+			*dl, *rl = nl, nl
+		case 2: // Lookup
+			dl := d.Lookup(ba)
+			rl := ref[ba]
+			if (dl == nil) != (rl == nil) {
+				t.Fatalf("op %d: Lookup(%v) existence mismatch", op, ba)
+			}
+			if dl != nil && *dl != *rl {
+				t.Fatalf("op %d: Lookup(%v) = %+v, ref %+v", op, ba, *dl, *rl)
+			}
+		case 3: // Remove
+			got, ok := d.Remove(ba)
+			rl := ref[ba]
+			if ok != (rl != nil) {
+				t.Fatalf("op %d: Remove(%v) ok = %v, ref %v", op, ba, ok, rl != nil)
+			}
+			if ok {
+				if got != *rl {
+					t.Fatalf("op %d: Remove(%v) = %+v, ref %+v", op, ba, got, *rl)
+				}
+				delete(ref, ba)
+			}
+		case 4: // occasional full reset
+			if rng.Intn(50) == 0 {
+				d.Reset()
+				ref = map[memdata.Addr]*Line{}
+			}
+		}
+		if d.Len() != len(ref) {
+			t.Fatalf("op %d: Len() = %d, ref %d", op, d.Len(), len(ref))
+		}
+	}
+
+	visited := 0
+	last := memdata.Addr(0)
+	d.ForEach(func(ba memdata.Addr, l *Line) {
+		if visited > 0 && ba <= last {
+			t.Fatalf("ForEach out of order: %v after %v", ba, last)
+		}
+		last = ba
+		visited++
+		rl := ref[ba]
+		if rl == nil {
+			t.Fatalf("ForEach visited unknown entry %v", ba)
+		}
+		if *l != *rl {
+			t.Fatalf("ForEach entry %v = %+v, ref %+v", ba, *l, *rl)
+		}
+	})
+	if visited != len(ref) {
+		t.Fatalf("ForEach visited %d entries, ref has %d", visited, len(ref))
+	}
+}
+
+// TestDirectorySteadyStateZeroAllocs locks down the directory's promise:
+// Lookup never allocates, and Entry on an existing slab allocates nothing.
+func TestDirectorySteadyStateZeroAllocs(t *testing.T) {
+	d := NewDirectory()
+	d.Entry(0x1000)
+	d.Remove(0x2000) // absent
+	if n := testing.AllocsPerRun(1000, func() {
+		_ = d.Lookup(0x1000)
+		_ = d.Lookup(0x9000)       // absent, same leaf
+		_ = d.Entry(0x1000 + 0x40) // new line in the existing slab
+		d.Remove(0x1000 + 0x40)
+	}); n != 0 {
+		t.Errorf("steady-state directory ops allocate %v allocs/op, want 0", n)
+	}
+}

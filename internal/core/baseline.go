@@ -15,6 +15,7 @@ type Baseline struct {
 	store *memdata.Store
 	ann   *approx.Annotations // used only to label Snapshot blocks
 	inj   *faults.Injector
+	eff   Effects // scratch, returned by operations (valid until the next op)
 }
 
 // NewBaseline builds a conventional LLC over the given backing store.
@@ -29,7 +30,9 @@ func (b *Baseline) Array() *cache.Cache { return b.arr }
 
 // Read implements LLC.
 func (b *Baseline) Read(addr memdata.Addr) (memdata.Block, *Effects) {
-	eff := &Effects{PTagReads: 1}
+	eff := &b.eff
+	eff.reset()
+	eff.PTagReads = 1
 	if l := b.arr.Lookup(addr); l != nil {
 		eff.Hit = true
 		eff.PDataReads = 1
@@ -57,7 +60,9 @@ func (b *Baseline) Read(addr memdata.Addr) (memdata.Block, *Effects) {
 
 // WriteBack implements LLC: a dirty block arriving from a private L2.
 func (b *Baseline) WriteBack(addr memdata.Addr, data *memdata.Block) *Effects {
-	eff := &Effects{PTagReads: 1}
+	eff := &b.eff
+	eff.reset()
+	eff.PTagReads = 1
 	if l := b.arr.Lookup(addr); l != nil {
 		eff.Hit = true
 		l.Data = *data
@@ -74,7 +79,9 @@ func (b *Baseline) WriteBack(addr memdata.Addr, data *memdata.Block) *Effects {
 
 // EvictFor implements LLC.
 func (b *Baseline) EvictFor(addr memdata.Addr) *Effects {
-	eff := &Effects{PTagReads: 1}
+	eff := &b.eff
+	eff.reset()
+	eff.PTagReads = 1
 	if old, ok := b.arr.Invalidate(addr); ok {
 		eff.Evicted = append(eff.Evicted, Eviction{Addr: old.Addr, Dirty: old.Dirty})
 		if old.Dirty {

@@ -177,6 +177,7 @@ type Doppelganger struct {
 	m          coreMetrics
 	inj        *faults.Injector
 	qc         *quality.Controller
+	eff        Effects // scratch, returned by operations (valid until the next op)
 }
 
 // New builds a Doppelgänger cache. ann must cover every approximate address
@@ -385,7 +386,9 @@ func (d *Doppelganger) unlink(t int32) (freedData bool) {
 func (d *Doppelganger) Read(addr memdata.Addr) (memdata.Block, *Effects) {
 	d.Stats.Reads++
 	d.m.reads.Inc()
-	eff := &Effects{DTagReads: 1}
+	eff := &d.eff
+	eff.reset()
+	eff.DTagReads = 1
 	if t := d.probeTag(addr); t != nilTag {
 		d.Stats.ReadHits++
 		d.m.readHits.Inc()
@@ -593,7 +596,9 @@ func (d *Doppelganger) evictTag(t int32, eff *Effects) {
 func (d *Doppelganger) WriteBack(addr memdata.Addr, payload *memdata.Block) *Effects {
 	d.Stats.WriteBacks++
 	d.m.writeBacks.Inc()
-	eff := &Effects{DTagReads: 1}
+	eff := &d.eff
+	eff.reset()
+	eff.DTagReads = 1
 	t := d.probeTag(addr)
 	if t == nilTag {
 		// Inclusivity corner: tag already evicted. Insert fresh as dirty.
@@ -677,7 +682,9 @@ func (d *Doppelganger) WriteBack(addr memdata.Addr, payload *memdata.Block) *Eff
 
 // EvictFor implements LLC: invalidate addr's tag if present.
 func (d *Doppelganger) EvictFor(addr memdata.Addr) *Effects {
-	eff := &Effects{DTagReads: 1}
+	eff := &d.eff
+	eff.reset()
+	eff.DTagReads = 1
 	if t := d.probeTag(addr); t != nilTag {
 		d.evictTag(t, eff)
 	}

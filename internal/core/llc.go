@@ -53,6 +53,13 @@ type Effects struct {
 // effects into run totals for the energy model.
 func (e *Effects) Add(o *Effects) { e.add(o) }
 
+// reset clears e for reuse as an organization's scratch effects, keeping the
+// Evicted backing array so steady-state operations allocate nothing.
+func (e *Effects) reset() {
+	ev := e.Evicted[:0]
+	*e = Effects{Evicted: ev}
+}
+
 // add accumulates o into e (used by the split organization to merge the
 // effects of routing plus the chosen side).
 func (e *Effects) add(o *Effects) {
@@ -87,6 +94,11 @@ type SnapshotBlock struct {
 // All organizations fetch from and write back to the backing store they
 // were constructed with. Reads return the block payload forwarded to L2 —
 // on a Doppelgänger hit this is the representative (approximate) data.
+//
+// The *Effects returned by Read, WriteBack, and EvictFor is owned by the
+// organization and valid only until the next operation on it: callers must
+// consume (or copy, e.g. via Add) the effects before issuing another
+// operation. The hierarchy's absorb path honors this.
 type LLC interface {
 	// Read services an L2 read miss for addr's block.
 	Read(addr memdata.Addr) (memdata.Block, *Effects)

@@ -37,8 +37,8 @@ func checkGlobalCoherence(h *Hierarchy) error {
 			if err != nil {
 				return
 			}
-			dl, ok := h.dir[l.Addr]
-			if !ok {
+			dl := h.dir.Lookup(l.Addr)
+			if dl == nil {
 				err = fmt.Errorf("core %d: %s block %v has no directory entry", c, level, l.Addr)
 				return
 			}

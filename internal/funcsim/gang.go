@@ -9,41 +9,180 @@ import (
 	"doppelganger/internal/memdata"
 )
 
+// The gang serializes memory accesses with a token ring: exactly one core
+// goroutine holds the grant token at a time, and after its turn it hands the
+// token directly to the next runnable core in rotation order. There is no
+// scheduler goroutine in the loop, so each access costs one goroutine switch
+// (the old dedicated scheduler cost two: kernel -> scheduler -> next kernel),
+// and a phase where a single core is the only runnable one costs none at all.
+// The rotation order is identical to the old scheduler's round-robin —
+// including barrier release happening exactly at rotation boundaries and a
+// finished or crashed core being retired at its own rotation slot — so the
+// deterministic interleaving, and therefore every simulated result, is
+// bit-identical.
+//
+// All rotation bookkeeping (doneFlags, atBarrier, live counts) is guarded by
+// the token itself: only the holder touches it, and the channel handoff
+// publishes it to the next holder.
+type gang struct {
+	ctxs      []*CoreCtx
+	doneFlags []bool
+	atBarrier []bool
+	live      int
+	// Scratch for releaseReadyGroups, indexed by barrier group.
+	liveInGroup []int
+	waitInGroup []int
+	// allDone is closed by the last core to retire; the Run caller parks on
+	// it instead of participating in the rotation.
+	allDone chan struct{}
+}
+
+// nextRunnable returns the index of the core the token should go to after
+// from's turn: the next live, non-waiting core in rotation order. Crossing
+// the end of the core list is the rotation boundary, where barrier groups
+// whose live cores are all waiting get released — exactly where the old
+// dedicated scheduler did it between rotations. Returns -1 only if every
+// live core is parked at a barrier that can no longer complete (a kernel
+// bug: the run hangs, as it always did, but without spinning).
+func (g *gang) nextRunnable(from int) int {
+	for i := from + 1; i < len(g.ctxs); i++ {
+		if !g.doneFlags[i] && !g.atBarrier[i] {
+			return i
+		}
+	}
+	g.releaseReadyGroups()
+	for i := 0; i < len(g.ctxs); i++ {
+		if !g.doneFlags[i] && !g.atBarrier[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// releaseReadyGroups releases every barrier group whose live cores have all
+// reached the barrier. The barrierLeave channels are buffered, so release
+// never blocks — a released core picks the signal up when it parks (or, when
+// a lone core released its own group, already holds the token and consumes
+// the signal immediately).
+func (g *gang) releaseReadyGroups() {
+	for i := range g.liveInGroup {
+		g.liveInGroup[i], g.waitInGroup[i] = 0, 0
+	}
+	for i, c := range g.ctxs {
+		if g.doneFlags[i] {
+			continue
+		}
+		g.liveInGroup[c.group]++
+		if g.atBarrier[i] {
+			g.waitInGroup[c.group]++
+		}
+	}
+	for grp, waiting := range g.waitInGroup {
+		if waiting == 0 || waiting != g.liveInGroup[grp] {
+			continue
+		}
+		for i, c := range g.ctxs {
+			if g.atBarrier[i] && c.group == grp {
+				g.atBarrier[i] = false
+				c.barrierLeave <- struct{}{}
+			}
+		}
+	}
+}
+
 // CoreCtx is the per-core handle a workload kernel uses to touch memory.
 // Kernels run as goroutines, but every memory access is serialized through
-// the gang scheduler in deterministic round-robin order, so functional
-// results (and therefore application error) are reproducible run-to-run.
+// the grant token in deterministic round-robin order, so functional results
+// (and therefore application error) are reproducible run-to-run.
 type CoreCtx struct {
-	id           int
-	group        int // barrier group (program id in multiprogrammed runs)
-	h            *Hierarchy
-	grant        chan struct{}
-	done         chan struct{}
-	barrierEnter chan struct{}
+	id    int
+	group int // barrier group (program id in multiprogrammed runs)
+	h     *Hierarchy
+	g     *gang
+	grant chan struct{}
+	// barrierLeave carries the barrier-release signal; buffered so the
+	// releasing token holder never blocks on it.
 	barrierLeave chan struct{}
-	// cancel is closed by the scheduler when its context is cancelled; nil
-	// for non-context runs, which keep the bare channel receives below.
+	// granted tracks (on this core's goroutine only) whether the token is
+	// currently held; it stays true across turns when this core is the only
+	// runnable one, eliding the channel round-trip entirely.
+	granted bool
+	// cancel is closed by the runner when its context is cancelled; nil for
+	// non-context runs, which keep the bare channel operations below.
 	cancel chan struct{}
 }
 
 // runCanceled is the panic token a kernel goroutine unwinds with when the
 // run's context is cancelled; the goroutine wrapper recovers it. Kernels
-// block on scheduler channels, so panic-unwind is the only way to free them
+// block on token rendezvous, so panic-unwind is the only way to free them
 // without threading a context through every workload kernel.
 type runCanceled struct{}
 
 // Core returns the core id of this context.
 func (c *CoreCtx) Core() int { return c.id }
 
-// acquire waits for a scheduler grant, unwinding if the run is cancelled.
-func (c *CoreCtx) acquire() {
+// acquireOK waits for the token, reporting false if the run was cancelled
+// instead. A core that kept the token after its last turn returns at once.
+func (c *CoreCtx) acquireOK() bool {
+	if c.granted {
+		return true
+	}
 	if c.cancel == nil {
 		<-c.grant
-		return
+	} else {
+		select {
+		case <-c.grant:
+		case <-c.cancel:
+			return false
+		}
+	}
+	c.granted = true
+	return true
+}
+
+// acquire waits for the token, unwinding if the run is cancelled.
+func (c *CoreCtx) acquire() {
+	if !c.acquireOK() {
+		panic(runCanceled{})
+	}
+}
+
+// passOK hands the token to the next runnable core, reporting false if the
+// run was cancelled instead. When this core is itself the next runnable one
+// it simply keeps the token (polling cancellation so a lone cancellable
+// kernel still unwinds between accesses).
+func (c *CoreCtx) passOK() bool {
+	next := c.g.nextRunnable(c.id)
+	if next == c.id {
+		if c.cancel != nil {
+			select {
+			case <-c.cancel:
+				return false
+			default:
+			}
+		}
+		return true
+	}
+	c.granted = false
+	if next < 0 {
+		return true // kernel-level barrier deadlock: drop the token
+	}
+	nc := c.g.ctxs[next]
+	if c.cancel == nil {
+		nc.grant <- struct{}{}
+		return true
 	}
 	select {
-	case <-c.grant:
+	case nc.grant <- struct{}{}:
+		return true
 	case <-c.cancel:
+		return false
+	}
+}
+
+// pass hands the token on, unwinding if the run is cancelled.
+func (c *CoreCtx) pass() {
+	if !c.passOK() {
 		panic(runCanceled{})
 	}
 }
@@ -51,13 +190,11 @@ func (c *CoreCtx) acquire() {
 func (c *CoreCtx) turn(fn func()) {
 	c.acquire()
 	fn()
-	// The scheduler that granted the turn is already waiting on done, so
-	// this send never blocks across a cancellation.
-	c.done <- struct{}{}
+	c.pass()
 }
 
 // Work accounts n non-memory instructions (arithmetic between accesses).
-// It only touches this core's trace state, so no scheduler turn is needed.
+// It only touches this core's trace state, so no turn is needed.
 func (c *CoreCtx) Work(n int) {
 	if c.h.rec != nil {
 		c.h.rec.Work(c.id, n)
@@ -70,7 +207,8 @@ func (c *CoreCtx) Work(n int) {
 // participate; in multiprogrammed runs each program is its own group.
 func (c *CoreCtx) Barrier() {
 	c.acquire()
-	c.barrierEnter <- struct{}{}
+	c.g.atBarrier[c.id] = true
+	c.pass()
 	if c.cancel == nil {
 		<-c.barrierLeave
 		return
@@ -155,18 +293,21 @@ func RunGrouped(h *Hierarchy, kernels []func(*CoreCtx), groups []int) {
 }
 
 // RunGroupedContext is RunGrouped with cooperative cancellation and panic
-// containment. When ctx is cancelled the scheduler stops granting turns,
-// every kernel goroutine unwinds at its next scheduler rendezvous, and
-// ctx.Err() is returned; the simulation state is then abandoned mid-flight
-// (callers discard it). A kernel that panics is captured on its own
-// goroutine and returned as an error carrying the stack — the crash fails
-// this run, never the process; the remaining kernels complete normally (a
-// crashed core counts as finished, so its barrier group is not stranded).
-// With a non-cancellable context the cancellation machinery is inert: the
-// per-core cancel channel stays nil and every rendezvous keeps its bare
-// channel operation.
+// containment. When ctx is cancelled the token stops circulating, every
+// kernel goroutine unwinds at its next rendezvous, and ctx.Err() is
+// returned; the simulation state is then abandoned mid-flight (callers
+// discard it). A kernel that panics is captured on its own goroutine and
+// returned as an error carrying the stack — the crash fails this run, never
+// the process; the remaining kernels complete normally (a crashed core
+// counts as finished, so its barrier group is not stranded). With a
+// non-cancellable context the cancellation machinery is inert: the per-core
+// cancel channel stays nil and every rendezvous keeps its bare channel
+// operation.
 func RunGroupedContext(ctx context.Context, h *Hierarchy, kernels []func(*CoreCtx), groups []int) error {
 	n := len(kernels)
+	if n == 0 {
+		return nil
+	}
 	ctxDone := ctx.Done()
 	var cancelCh chan struct{}
 	if ctxDone != nil {
@@ -175,108 +316,100 @@ func RunGroupedContext(ctx context.Context, h *Hierarchy, kernels []func(*CoreCt
 	var panicMu sync.Mutex
 	var panicErr error
 	ctxs := make([]*CoreCtx, n)
-	finished := make([]chan struct{}, n)
+	maxGroup := 0
 	for i := 0; i < n; i++ {
-		g := 0
+		grp := 0
 		if groups != nil {
-			g = groups[i]
+			grp = groups[i]
+		}
+		if grp > maxGroup {
+			maxGroup = grp
 		}
 		ctxs[i] = &CoreCtx{
-			id: i, group: g, h: h,
+			id: i, group: grp, h: h,
 			grant:        make(chan struct{}),
-			done:         make(chan struct{}),
-			barrierEnter: make(chan struct{}),
-			barrierLeave: make(chan struct{}),
+			barrierLeave: make(chan struct{}, 1),
 			cancel:       cancelCh,
 		}
+	}
+	g := &gang{
+		ctxs:        ctxs,
+		doneFlags:   make([]bool, n),
+		atBarrier:   make([]bool, n),
+		live:        n,
+		liveInGroup: make([]int, maxGroup+1),
+		waitInGroup: make([]int, maxGroup+1),
+		allDone:     make(chan struct{}),
+	}
+	finished := make([]chan struct{}, n)
+	for i := 0; i < n; i++ {
+		ctxs[i].g = g
 		finished[i] = make(chan struct{})
 		go func(i int) {
+			c := ctxs[i]
 			defer close(finished[i])
 			defer func() {
 				if r := recover(); r != nil {
 					if _, ok := r.(runCanceled); ok {
-						return
+						return // cancelled: the runner joins via finished
 					}
 					panicMu.Lock()
 					if panicErr == nil { // keep the first crash's stack
 						panicErr = fmt.Errorf("funcsim: kernel %d panicked: %v\n%s", i, r, debug.Stack())
 					}
 					panicMu.Unlock()
+					// A mid-turn crash still holds the token, so the retire
+					// handshake below runs at this very rotation slot; an
+					// out-of-turn crash waits for its next slot like normal
+					// completion.
 				}
+				if !c.acquireOK() {
+					return
+				}
+				g.doneFlags[c.id] = true
+				g.live--
+				if g.live == 0 {
+					close(g.allDone)
+					return
+				}
+				c.passOK()
 			}()
-			kernels[i](ctxs[i])
+			kernels[i](c)
 		}(i)
 	}
-	live := n
-	doneFlags := make([]bool, n)
-	atBarrier := make([]bool, n)
-	for live > 0 {
-		if ctxDone != nil {
-			select {
-			case <-ctxDone:
-				// Between rotations every live kernel is parked at a grant or
-				// barrier-leave rendezvous (or computing towards one), so
-				// closing cancel unwinds them all; wait for the unwind so no
-				// goroutine outlives the call.
-				close(cancelCh)
-				for i := 0; i < n; i++ {
-					if !doneFlags[i] {
-						<-finished[i]
-					}
-				}
-				return ctx.Err()
-			default:
+	// Seed the token: core 0 is live and runnable at the start, matching the
+	// old scheduler's first grant.
+	if cancelCh == nil {
+		ctxs[0].grant <- struct{}{}
+		<-g.allDone
+	} else {
+		select {
+		case ctxs[0].grant <- struct{}{}:
+		case <-ctxDone:
+			close(cancelCh)
+			for i := 0; i < n; i++ {
+				<-finished[i]
 			}
+			return ctx.Err()
 		}
-		for i := 0; i < n; i++ {
-			if doneFlags[i] || atBarrier[i] {
-				continue
+		select {
+		case <-ctxDone:
+			// Every live kernel is parked at (or computing towards) a token
+			// or barrier rendezvous that also selects on cancel, so closing
+			// it unwinds them all; wait for the unwind so no goroutine
+			// outlives the call.
+			close(cancelCh)
+			for i := 0; i < n; i++ {
+				<-finished[i]
 			}
-			select {
-			case ctxs[i].grant <- struct{}{}:
-				select {
-				case <-ctxs[i].done:
-				case <-ctxs[i].barrierEnter:
-					atBarrier[i] = true
-				case <-finished[i]:
-					// The kernel panicked inside its turn: done never arrives.
-					doneFlags[i] = true
-					live--
-				}
-			case <-finished[i]:
-				doneFlags[i] = true
-				live--
-			}
+			return ctx.Err()
+		case <-g.allDone:
 		}
-		// Release any group whose live cores have all reached the barrier.
-		releaseReadyGroups(ctxs, doneFlags, atBarrier)
+	}
+	for i := 0; i < n; i++ {
+		<-finished[i]
 	}
 	panicMu.Lock()
 	defer panicMu.Unlock()
 	return panicErr
-}
-
-func releaseReadyGroups(ctxs []*CoreCtx, doneFlags, atBarrier []bool) {
-	liveInGroup := map[int]int{}
-	waitInGroup := map[int]int{}
-	for i, ctx := range ctxs {
-		if doneFlags[i] {
-			continue
-		}
-		liveInGroup[ctx.group]++
-		if atBarrier[i] {
-			waitInGroup[ctx.group]++
-		}
-	}
-	for g, waiting := range waitInGroup {
-		if waiting == 0 || waiting != liveInGroup[g] {
-			continue
-		}
-		for i, ctx := range ctxs {
-			if atBarrier[i] && ctx.group == g {
-				atBarrier[i] = false
-				ctx.barrierLeave <- struct{}{}
-			}
-		}
-	}
 }

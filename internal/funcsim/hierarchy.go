@@ -64,7 +64,7 @@ type Hierarchy struct {
 	l1    []*cache.Cache
 	l2    []*cache.Cache
 	llc   core.LLC
-	dir   map[memdata.Addr]*coherence.Line
+	dir   *coherence.Directory
 	store *memdata.Store
 	ann   *approx.Annotations
 	rec   *trace.Recorder
@@ -109,7 +109,7 @@ func New(cfg Config, llc core.LLC, store *memdata.Store, ann *approx.Annotations
 		l1:    make([]*cache.Cache, cfg.Cores),
 		l2:    make([]*cache.Cache, cfg.Cores),
 		llc:   llc,
-		dir:   make(map[memdata.Addr]*coherence.Line),
+		dir:   coherence.NewDirectory(),
 		store: store,
 		ann:   ann,
 		rec:   rec,
@@ -195,12 +195,7 @@ func (h *Hierarchy) Recorder() *trace.Recorder { return h.rec }
 
 // dirLine returns (allocating) the directory entry for a block.
 func (h *Hierarchy) dirLine(ba memdata.Addr) *coherence.Line {
-	l, ok := h.dir[ba]
-	if !ok {
-		l = &coherence.Line{Owner: -1}
-		h.dir[ba] = l
-	}
-	return l
+	return h.dir.Entry(ba)
 }
 
 // access performs one memory operation for a core and returns a pointer to
@@ -440,9 +435,8 @@ func (h *Hierarchy) applyEffects(eff *core.Effects) {
 				h.m.memWrites.Inc()
 			}
 		}
-		if dl, ok := h.dir[ev.Addr]; ok {
+		if dl, ok := h.dir.Remove(ev.Addr); ok {
 			h.MSI.Transition(dl.State, coherence.Invalid)
-			delete(h.dir, ev.Addr)
 		}
 	}
 }
@@ -481,7 +475,7 @@ func (h *Hierarchy) fillL2(c int, ba memdata.Addr, data *memdata.Block, st coher
 			victimData = l1old.Data
 			victimDirty = true
 		}
-		if dl, ok := h.dir[victimAddr]; ok {
+		if dl := h.dir.Lookup(victimAddr); dl != nil {
 			dl.Sharers = dl.Sharers.Remove(c)
 			if dl.State == coherence.Modified && int(dl.Owner) == c {
 				h.setDirState(dl, coherence.Shared)
@@ -536,7 +530,7 @@ func (h *Hierarchy) Flush() {
 		eff := h.llc.EvictFor(sb.Addr)
 		h.absorb(eff)
 	}
-	h.dir = make(map[memdata.Addr]*coherence.Line)
+	h.dir.Reset()
 }
 
 // --- inspection views (used by the coherence property tests) ---
@@ -548,8 +542,8 @@ func (h *Hierarchy) Cores() int { return h.cfg.Cores }
 // its state, owner core (-1 if none), the sharer cores, and whether an entry
 // exists at all.
 func (h *Hierarchy) DirView(ba memdata.Addr) (st coherence.State, owner int, sharers []int, ok bool) {
-	dl, present := h.dir[ba.BlockAddr()]
-	if !present {
+	dl := h.dir.Lookup(ba.BlockAddr())
+	if dl == nil {
 		return coherence.Invalid, -1, nil, false
 	}
 	dl.Sharers.ForEach(h.cfg.Cores, func(c int) { sharers = append(sharers, c) })

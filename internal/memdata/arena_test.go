@@ -1,0 +1,231 @@
+package memdata
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// storeModel is the obvious map-backed reference implementation the paged
+// arena must be indistinguishable from (block-granular first-touch zero-fill
+// included). The differential tests below drive a Store and a storeModel
+// with the same operation sequence and compare exhaustively.
+type storeModel map[Addr]*Block
+
+func (m storeModel) block(addr Addr) *Block {
+	ba := addr.BlockAddr()
+	b := m[ba]
+	if b == nil {
+		b = new(Block)
+		m[ba] = b
+	}
+	return b
+}
+
+func (m storeModel) clone() storeModel {
+	c := make(storeModel, len(m))
+	for a, b := range m {
+		nb := *b
+		c[a] = &nb
+	}
+	return c
+}
+
+// pair is one store under test plus its reference model.
+type pair struct {
+	s *Store
+	m storeModel
+}
+
+// step applies one random operation to p, checking read results against the
+// model as it goes.
+func (p *pair) step(t *testing.T, rng *rand.Rand) {
+	t.Helper()
+	// Confine the address space so clones collide on shared pages often.
+	addr := Addr(rng.Intn(64*PageBlocks)) * BlockSize
+	switch rng.Intn(4) {
+	case 0: // whole-block write
+		var b Block
+		rng.Read(b[:])
+		p.s.WriteBlock(addr, &b)
+		*p.m.block(addr) = b
+	case 1: // word write
+		off := Addr(rng.Intn(BlockSize/8)) * 8
+		v := rng.Uint64()
+		p.s.WriteU64(addr+off, v)
+		mb := p.m.block(addr)
+		for i := 0; i < 8; i++ {
+			mb[int(off)+i] = byte(v >> uint(8*i))
+		}
+	case 2: // word read (zero-fills on first touch)
+		off := Addr(rng.Intn(BlockSize/8)) * 8
+		got := p.s.ReadU64(addr + off)
+		mb := p.m.block(addr)
+		var want uint64
+		for i := 0; i < 8; i++ {
+			want |= uint64(mb[int(off)+i]) << uint(8*i)
+		}
+		if got != want {
+			t.Fatalf("ReadU64(%v) = %#x, want %#x", addr+off, got, want)
+		}
+	case 3: // byte poke through the raw block pointer
+		b := p.s.Block(addr)
+		i := rng.Intn(BlockSize)
+		b[i] ^= 0xA5
+		p.m.block(addr)[i] ^= 0xA5
+	}
+}
+
+// verify checks that p.s and p.m agree exactly: same touched set, same
+// payloads, and ForEachBlock visits each touched block once in ascending
+// address order.
+func (p *pair) verify(t *testing.T, label string) {
+	t.Helper()
+	if p.s.Len() != len(p.m) {
+		t.Fatalf("%s: Len() = %d, model has %d blocks", label, p.s.Len(), len(p.m))
+	}
+	for a, want := range p.m {
+		got := p.s.Peek(a)
+		if got == nil {
+			t.Fatalf("%s: block %v missing", label, a)
+		}
+		if *got != *want {
+			t.Fatalf("%s: block %v payload mismatch", label, a)
+		}
+	}
+	visited := 0
+	last := Addr(0)
+	p.s.ForEachBlock(func(a Addr, b *Block) {
+		if visited > 0 && a <= last {
+			t.Fatalf("%s: ForEachBlock out of order: %v after %v", label, a, last)
+		}
+		last = a
+		visited++
+		want := p.m[a]
+		if want == nil {
+			t.Fatalf("%s: ForEachBlock visited unknown block %v", label, a)
+		}
+		if *b != *want {
+			t.Fatalf("%s: ForEachBlock block %v payload mismatch", label, a)
+		}
+	})
+	if visited != len(p.m) {
+		t.Fatalf("%s: ForEachBlock visited %d blocks, model has %d", label, visited, len(p.m))
+	}
+}
+
+// TestStoreDifferential drives the paged store and the map model through the
+// same random operation sequence and requires them to stay indistinguishable.
+func TestStoreDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	p := &pair{s: NewStore(), m: storeModel{}}
+	for i := 0; i < 4000; i++ {
+		p.step(t, rng)
+	}
+	p.verify(t, "store")
+}
+
+// TestCloneAliasingProperty is the copy-on-write soundness test: after
+// cloning, mutations through any store in the family (parent included) are
+// never observable through any other member. Each store carries its own
+// reference model, forked at clone time, so any page-sharing leak shows up
+// as a divergence from the model.
+func TestCloneAliasingProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	parent := &pair{s: NewStore(), m: storeModel{}}
+	for i := 0; i < 600; i++ {
+		parent.step(t, rng)
+	}
+
+	family := []*pair{parent}
+	for c := 0; c < 3; c++ {
+		family = append(family, &pair{s: parent.s.Clone(), m: parent.m.clone()})
+	}
+
+	// Interleave mutations across the whole family, including the parent,
+	// cloning one more grandchild mid-stream to exercise re-sharing of
+	// already-privatized pages.
+	for i := 0; i < 3000; i++ {
+		family[rng.Intn(len(family))].step(t, rng)
+		if i == 1500 {
+			src := family[rng.Intn(len(family))]
+			family = append(family, &pair{s: src.s.Clone(), m: src.m.clone()})
+		}
+	}
+	for i, p := range family {
+		p.verify(t, map[bool]string{true: "parent", false: "clone"}[i == 0])
+	}
+}
+
+// TestConcurrentCloneThenMutate mirrors the sweep's real usage: many
+// goroutines concurrently clone one quiescent store, then each mutates its
+// private clone. Run under -race this proves the atomic shared-flag protocol.
+func TestConcurrentCloneThenMutate(t *testing.T) {
+	src := NewStore()
+	for i := 0; i < 256; i++ {
+		src.WriteU64(Addr(i)*BlockSize, uint64(i)+1)
+	}
+	const clones = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, clones)
+	for g := 0; g < clones; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := src.Clone()
+			for i := 0; i < 256; i++ {
+				a := Addr(i) * BlockSize
+				if got := c.ReadU64(a); got != uint64(i)+1 {
+					errs <- "clone saw wrong initial value"
+					return
+				}
+				c.WriteU64(a, uint64(g)<<32|uint64(i))
+			}
+			for i := 0; i < 256; i++ {
+				if got := c.ReadU64(Addr(i) * BlockSize); got != uint64(g)<<32|uint64(i) {
+					errs <- "clone lost its own write"
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	for i := 0; i < 256; i++ {
+		if got := src.ReadU64(Addr(i) * BlockSize); got != uint64(i)+1 {
+			t.Fatalf("parent block %d clobbered by a clone: %#x", i, got)
+		}
+	}
+}
+
+// TestStoreBlockSteadyStateZeroAllocs locks down the arena's core promise:
+// once a page is owned, Block lookups allocate nothing.
+func TestStoreBlockSteadyStateZeroAllocs(t *testing.T) {
+	s := NewStore()
+	s.WriteU64(0x1000, 1)
+	s.WriteU64(0x80000, 2) // second leaf path too
+	if n := testing.AllocsPerRun(1000, func() {
+		_ = s.Block(0x1000)
+		_ = s.Block(0x80000)
+	}); n != 0 {
+		t.Errorf("steady-state Block allocates %v allocs/op, want 0", n)
+	}
+}
+
+// TestCloneFaultCostIsOnePage: the first write through a clone pays exactly
+// one page copy; subsequent accesses to that page are free again.
+func TestCloneFaultCostIsOnePage(t *testing.T) {
+	s := NewStore()
+	s.WriteU64(0x1000, 1)
+	c := s.Clone()
+	c.WriteU64(0x1000, 2) // COW fault: privatize the page
+	if n := testing.AllocsPerRun(1000, func() { _ = c.Block(0x1000) }); n != 0 {
+		t.Errorf("post-fault Block allocates %v allocs/op, want 0", n)
+	}
+	if got := s.ReadU64(0x1000); got != 1 {
+		t.Fatalf("parent sees clone write: %#x", got)
+	}
+}

@@ -3,37 +3,124 @@ package memdata
 import (
 	"encoding/binary"
 	"math"
+	"math/bits"
+	"sync/atomic"
 )
 
-// Store is the sparse backing store that stands in for main memory. It maps
-// block addresses to block payloads and allocates zero-filled blocks on
-// first touch, so workloads can lay out multi-megabyte footprints without
-// reserving real memory for untouched regions.
+// Arena geometry. Blocks are grouped into fixed pages of 64 contiguous
+// blocks (4 KiB of payload) allocated in one shot, and pages are reached
+// through a two-level radix index over the 20-bit page number of the 32-bit
+// physical address space: 10 bits select a leaf, 10 bits select the page
+// within it. A steady-state Block lookup is therefore two array indexings
+// and no hashing, no per-block heap object, and no pointer chase through
+// map buckets.
+const (
+	pageBlockBits = 6
+	// PageBlocks is the number of cache blocks per arena page.
+	PageBlocks = 1 << pageBlockBits
+	pageShift  = OffsetBits + pageBlockBits // address bits covered by one page
+	blockMask  = PageBlocks - 1
+
+	radixBits = 10
+	radixSize = 1 << radixBits
+	radixMask = radixSize - 1
+)
+
+// page is one arena page: PageBlocks contiguous blocks, a bitmap of which
+// of them have been touched (so first-touch zero-fill semantics and Len stay
+// block-granular), and a copy-on-write flag.
 //
-// A Store is not safe for concurrent use; the simulators serialize access.
+// Clone marks every page of the cloned store shared instead of deep-copying
+// it. From then on the page may be referenced by several Stores, none of
+// which may mutate it in place; the first Block call through any of them
+// swaps in a private copy of just that page. The flag is accessed
+// atomically because the sweep's timing-replay tasks clone one quiescent
+// initial image from several goroutines concurrently; the payload itself
+// needs no synchronization since a shared page is never written.
+type page struct {
+	touched uint64
+	shared  uint32
+	blocks  [PageBlocks]Block
+}
+
+// leaf is the second radix level. Leaves are always store-private (Clone
+// copies them), so installing a new or copied page never races with other
+// stores sharing the same pages.
+type leaf struct {
+	pages [radixSize]*page
+}
+
+// Store is the sparse backing store that stands in for main memory. It maps
+// block addresses to dense arena pages of contiguous block storage and
+// allocates zero-filled pages on first touch, so workloads can lay out
+// multi-megabyte footprints without reserving real memory for untouched
+// regions.
+//
+// A Store is not safe for concurrent mutation; the simulators serialize
+// access. Concurrent Clone calls on a quiescent store are safe, and each
+// clone may then be used from its own goroutine: clones share pages
+// copy-on-write and never write through a shared page.
 type Store struct {
-	blocks map[Addr]*Block
+	root    [radixSize]*leaf
+	touched int
 }
 
 // NewStore returns an empty backing store.
 func NewStore() *Store {
-	return &Store{blocks: make(map[Addr]*Block)}
+	return &Store{}
 }
 
-// Block returns the block containing addr, allocating it on first touch.
+// Block returns the block containing addr, allocating its page on first
+// touch. The returned pointer stays valid until the next Block or
+// WriteBlock call on this store (a copy-on-write fault may relocate the
+// page). Steady-state hits on an owned page perform no allocations.
 func (s *Store) Block(addr Addr) *Block {
-	ba := addr.BlockAddr()
-	b, ok := s.blocks[ba]
-	if !ok {
-		b = new(Block)
-		s.blocks[ba] = b
+	pn := uint32(addr) >> pageShift
+	lf := s.root[pn>>radixBits]
+	if lf == nil {
+		lf = new(leaf)
+		s.root[pn>>radixBits] = lf
 	}
-	return b
+	p := lf.pages[pn&radixMask]
+	if p == nil {
+		p = new(page)
+		lf.pages[pn&radixMask] = p
+	} else if atomic.LoadUint32(&p.shared) != 0 {
+		// Copy-on-write fault: replace the shared page with a private copy.
+		// Every Block call may be used to mutate the returned payload, so
+		// even first-touch reads of a shared page pay the copy.
+		np := new(page)
+		np.touched = p.touched
+		np.blocks = p.blocks
+		p = np
+		lf.pages[pn&radixMask] = np
+	}
+	bi := (uint32(addr) >> OffsetBits) & blockMask
+	if p.touched&(1<<bi) == 0 {
+		p.touched |= 1 << bi
+		s.touched++
+	}
+	return &p.blocks[bi]
 }
 
 // Peek returns the block containing addr or nil if it was never touched.
+// The returned block must be treated as read-only: it may live on a page
+// shared copy-on-write with other stores.
 func (s *Store) Peek(addr Addr) *Block {
-	return s.blocks[addr.BlockAddr()]
+	pn := uint32(addr) >> pageShift
+	lf := s.root[pn>>radixBits]
+	if lf == nil {
+		return nil
+	}
+	p := lf.pages[pn&radixMask]
+	if p == nil {
+		return nil
+	}
+	bi := (uint32(addr) >> OffsetBits) & blockMask
+	if p.touched&(1<<bi) == 0 {
+		return nil
+	}
+	return &p.blocks[bi]
 }
 
 // WriteBlock replaces the payload of the block containing addr.
@@ -42,22 +129,49 @@ func (s *Store) WriteBlock(addr Addr, b *Block) {
 }
 
 // Len reports how many blocks have been touched.
-func (s *Store) Len() int { return len(s.blocks) }
+func (s *Store) Len() int { return s.touched }
 
-// ForEachBlock visits every touched block in unspecified order.
+// ForEachBlock visits every touched block in ascending address order. The
+// visited blocks must be treated as read-only: they may live on pages
+// shared copy-on-write with other stores.
 func (s *Store) ForEachBlock(fn func(addr Addr, b *Block)) {
-	for a, b := range s.blocks {
-		fn(a, b)
+	for li, lf := range s.root {
+		if lf == nil {
+			continue
+		}
+		for pi, p := range lf.pages {
+			if p == nil || p.touched == 0 {
+				continue
+			}
+			base := Addr(uint32(li)<<(radixBits+pageShift) | uint32(pi)<<pageShift)
+			for t := p.touched; t != 0; t &= t - 1 {
+				bi := bits.TrailingZeros64(t)
+				fn(base+Addr(bi<<OffsetBits), &p.blocks[bi])
+			}
+		}
 	}
 }
 
-// Clone deep-copies the store, used to snapshot the initial memory image so
-// the timing simulator can replay traces from the same starting state.
+// Clone snapshots the store copy-on-write, used to capture the initial
+// memory image the timing simulator replays traces from. Only the radix
+// index is copied; both stores keep referencing the same pages, every one
+// of which is marked shared, and whichever store mutates a page first (the
+// parent included) pays for a private copy of just that page. Cloning the
+// same quiescent store from several goroutines concurrently is safe.
 func (s *Store) Clone() *Store {
-	c := NewStore()
-	for a, b := range s.blocks {
-		nb := *b
-		c.blocks[a] = &nb
+	c := &Store{touched: s.touched}
+	for li, lf := range s.root {
+		if lf == nil {
+			continue
+		}
+		nl := new(leaf)
+		*nl = *lf
+		c.root[li] = nl
+		for _, p := range lf.pages {
+			if p != nil {
+				atomic.StoreUint32(&p.shared, 1)
+			}
+		}
 	}
 	return c
 }

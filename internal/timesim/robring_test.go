@@ -1,0 +1,60 @@
+package timesim
+
+import (
+	"container/list"
+	"math/rand"
+	"testing"
+)
+
+// TestRobRingDifferential drives the ring through a random push/pop sequence
+// against a doubly-linked-list reference, forcing growth mid-stream and
+// wraparound across the power-of-two boundary many times.
+func TestRobRingDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var r robRing
+	ref := list.New()
+	next := uint64(0)
+	for op := 0; op < 50000; op++ {
+		if r.n != ref.Len() {
+			t.Fatalf("op %d: n = %d, ref %d", op, r.n, ref.Len())
+		}
+		if ref.Len() > 0 && rng.Intn(2) == 0 {
+			want := ref.Remove(ref.Front()).(robEntry)
+			if got := *r.at(0); got != want {
+				t.Fatalf("op %d: front = %+v, want %+v", op, got, want)
+			}
+			r.popFront()
+		} else {
+			e := robEntry{instr: next, complete: float64(rng.Intn(1000))}
+			next++
+			r.push(e)
+			ref.PushBack(e)
+		}
+		// Spot-check a random interior index.
+		if ref.Len() > 0 {
+			i := rng.Intn(ref.Len())
+			el := ref.Front()
+			for k := 0; k < i; k++ {
+				el = el.Next()
+			}
+			if got, want := *r.at(i), el.Value.(robEntry); got != want {
+				t.Fatalf("op %d: at(%d) = %+v, want %+v", op, i, got, want)
+			}
+		}
+	}
+}
+
+// TestRobRingSteadyStateZeroAllocs: once grown to the working-set size, the
+// ring never allocates again — the property the slice re-slicing lacked.
+func TestRobRingSteadyStateZeroAllocs(t *testing.T) {
+	var r robRing
+	for i := 0; i < 100; i++ {
+		r.push(robEntry{instr: uint64(i)})
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		r.push(robEntry{instr: 1})
+		r.popFront()
+	}); n != 0 {
+		t.Errorf("steady-state push/pop allocates %v allocs/op, want 0", n)
+	}
+}

@@ -128,7 +128,7 @@ type coreState struct {
 
 	// rob holds in-flight memory ops as (instruction index, completion
 	// cycle) with monotone completion (in-order retirement).
-	rob []robEntry
+	rob robRing
 
 	// Stall accounting: cycles the next op's issue was pushed back waiting
 	// for ROB retirement / a free MSHR. Dumped into the registry at run end.
@@ -139,6 +139,36 @@ type coreState struct {
 type robEntry struct {
 	instr    uint64
 	complete float64
+}
+
+// robRing is a growable ring buffer of in-flight memory ops. Retirement
+// used to re-slice a plain slice (rob = rob[1:]), which pinned every
+// retired entry for the rest of the run and forced append to grow a fresh
+// backing array over and over; the ring reuses one power-of-two array and
+// reaches steady state after at most one growth past the ROB depth.
+type robRing struct {
+	buf  []robEntry // power-of-two length
+	head int
+	n    int
+}
+
+func (r *robRing) at(i int) *robEntry { return &r.buf[(r.head+i)&(len(r.buf)-1)] }
+
+func (r *robRing) popFront() {
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+}
+
+func (r *robRing) push(e robEntry) {
+	if r.n == len(r.buf) {
+		grown := make([]robEntry, max(2*len(r.buf), 128))
+		for i := 0; i < r.n; i++ {
+			grown[i] = *r.at(i)
+		}
+		r.buf, r.head = grown, 0
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = e
+	r.n++
 }
 
 // ready computes the cycle at which this core's next memory op can issue,
@@ -153,26 +183,26 @@ func (cs *coreState) ready(cfg Config) float64 {
 	// nextInstr-ROB has retired. Retirement is in order, so the retire time
 	// is the completion of the newest memory op at or before it.
 	base := t
-	for len(cs.rob) > 0 && cs.rob[0].instr+uint64(cfg.ROB) <= nextInstr {
-		if cs.rob[0].complete > t {
-			t = cs.rob[0].complete
+	for cs.rob.n > 0 && cs.rob.at(0).instr+uint64(cfg.ROB) <= nextInstr {
+		if c := cs.rob.at(0).complete; c > t {
+			t = c
 		}
-		cs.rob = cs.rob[1:]
+		cs.rob.popFront()
 	}
 	cs.robStall += t - base
 	// MSHRs: at most MSHRs memory ops in flight.
 	base = t
-	for inflight(cs.rob, t) >= cfg.MSHRs {
-		t = earliestAfter(cs.rob, t)
+	for inflight(&cs.rob, t) >= cfg.MSHRs {
+		t = earliestAfter(&cs.rob, t)
 	}
 	cs.mshrStall += t - base
 	return t
 }
 
-func inflight(rob []robEntry, t float64) int {
+func inflight(rob *robRing, t float64) int {
 	n := 0
-	for i := len(rob) - 1; i >= 0; i-- {
-		if rob[i].complete > t {
+	for i := rob.n - 1; i >= 0; i-- {
+		if rob.at(i).complete > t {
 			n++
 		} else {
 			break // completions are monotone
@@ -181,10 +211,10 @@ func inflight(rob []robEntry, t float64) int {
 	return n
 }
 
-func earliestAfter(rob []robEntry, t float64) float64 {
-	for _, e := range rob {
-		if e.complete > t {
-			return e.complete
+func earliestAfter(rob *robRing, t float64) float64 {
+	for i := 0; i < rob.n; i++ {
+		if c := rob.at(i).complete; c > t {
+			return c
 		}
 	}
 	return t
@@ -385,13 +415,13 @@ func RunContext(ctx context.Context, tr *trace.Recorder, initial *memdata.Store,
 		cs.instr += uint64(r.Gap) + 1
 		instructions += uint64(r.Gap) + 1
 		cs.dispatch = t + 1/float64(cfg.Width)
-		if len(cs.rob) > 0 && cs.rob[len(cs.rob)-1].complete > complete {
-			complete = cs.rob[len(cs.rob)-1].complete // in-order retire
+		if cs.rob.n > 0 && cs.rob.at(cs.rob.n-1).complete > complete {
+			complete = cs.rob.at(cs.rob.n - 1).complete // in-order retire
 		}
-		cs.rob = append(cs.rob, robEntry{instr: cs.instr, complete: complete})
+		cs.rob.push(robEntry{instr: cs.instr, complete: complete})
 		if tm.robOcc != nil {
-			tm.robOcc.Observe(float64(len(cs.rob)))
-			tm.mshrOcc.Observe(float64(inflight(cs.rob, t)))
+			tm.robOcc.Observe(float64(cs.rob.n))
+			tm.mshrOcc.Observe(float64(inflight(&cs.rob, t)))
 		}
 		if complete > cs.finish {
 			cs.finish = complete
