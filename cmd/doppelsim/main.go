@@ -55,6 +55,10 @@ func main() {
 		canaryRate    = flag.Float64("canary-rate", 0.05, "quality-guard canary sampling rate (fraction of substitutions checked against the precise value)")
 		qualitySeed   = flag.Uint64("quality-seed", 1, "canary-sampling seed; the same seed reproduces the same canary sites")
 
+		traceDir     = flag.String("trace-dir", "", "persistent trace-cache directory: record each simulation's capture file on first run, replay it afterwards")
+		traceCapture = flag.Bool("trace-capture", false, "force re-recording captures in -trace-dir even when valid ones exist")
+		traceReplay  = flag.Bool("trace-replay", false, "forbid kernel execution: fail any simulation without a valid capture in -trace-dir")
+
 		metricsOut = flag.String("metrics-out", "", "write the run's counter snapshot as JSONL to this file")
 		traceOut   = flag.String("trace-out", "", "write a Chrome-trace JSON (chrome://tracing) of the timing replays to this file")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -76,6 +80,9 @@ func main() {
 		QualityBudget:    *qualityBudget,
 		QualityBudgetSet: budgetSet,
 		CanaryRate:       *canaryRate,
+		TraceDir:         *traceDir,
+		TraceCapture:     *traceCapture,
+		TraceReplay:      *traceReplay,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "doppelsim: %v\n", err)
 		os.Exit(2)
@@ -191,14 +198,17 @@ func main() {
 	qc.AttachMetrics(reg)
 
 	opts := doppelganger.RunOptions{
-		Scale:    *scale,
-		MapBits:  *mapBits,
-		DataFrac: *dataFrac,
-		Cores:    *cores,
-		Metrics:  reg,
-		Trace:    tw,
-		Faults:   inj,
-		Quality:  qc,
+		Scale:        *scale,
+		MapBits:      *mapBits,
+		DataFrac:     *dataFrac,
+		Cores:        *cores,
+		Metrics:      reg,
+		Trace:        tw,
+		Faults:       inj,
+		Quality:      qc,
+		TraceDir:     *traceDir,
+		TraceCapture: *traceCapture,
+		TraceReplay:  *traceReplay,
 	}
 
 	// The functional-error measurement and the cycle-level timing

@@ -18,6 +18,9 @@ type simOptions struct {
 	QualityBudget    float64
 	QualityBudgetSet bool
 	CanaryRate       float64
+	TraceDir         string
+	TraceCapture     bool
+	TraceReplay      bool
 }
 
 // validateOptions rejects flag values that would otherwise fail obscurely
@@ -43,6 +46,12 @@ func validateOptions(o simOptions) error {
 	}
 	if math.IsNaN(o.CanaryRate) || o.CanaryRate < 0 || o.CanaryRate > 1 {
 		return fmt.Errorf("-canary-rate must be a probability in [0,1], got %v", o.CanaryRate)
+	}
+	if (o.TraceCapture || o.TraceReplay) && o.TraceDir == "" {
+		return fmt.Errorf("-trace-capture and -trace-replay require -trace-dir")
+	}
+	if o.TraceCapture && o.TraceReplay {
+		return fmt.Errorf("-trace-capture and -trace-replay are mutually exclusive (capture re-records, replay forbids recording)")
 	}
 	return nil
 }

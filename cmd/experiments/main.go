@@ -63,6 +63,10 @@ func main() {
 		canaryRate    = flag.Float64("canary-rate", 0.05, "quality-guard canary sampling rate (fraction of substitutions checked precisely)")
 		qualitySeed   = flag.Uint64("quality-seed", 1, "global canary-sampling seed; results are deterministic in it at any worker count")
 
+		traceDir     = flag.String("trace-dir", "", "persistent trace-cache directory: record each functional cell's capture on first run, replay on later sweeps (zero kernel executions when warm)")
+		traceCapture = flag.Bool("trace-capture", false, "force re-recording captures in -trace-dir even when valid ones exist")
+		traceReplay  = flag.Bool("trace-replay", false, "forbid kernel execution: fail any cell without a valid capture in -trace-dir")
+
 		metricsOut = flag.String("metrics-out", "", "write per-task + total counter snapshots as JSONL to this file")
 		traceOut   = flag.String("trace-out", "", "write a Chrome-trace JSON (chrome://tracing) of every timing run to this file")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -86,6 +90,9 @@ func main() {
 		Retries:       *retries,
 		QualityBudget: *qualityBudget,
 		CanaryRate:    *canaryRate,
+		TraceDir:      *traceDir,
+		TraceCapture:  *traceCapture,
+		TraceReplay:   *traceReplay,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(2)
@@ -116,6 +123,9 @@ func main() {
 	}
 	ev.Faults(rates, *faultSeed, model)
 	ev.Quality(*qualityBudget, *canaryRate, *qualitySeed)
+	if *traceDir != "" {
+		ev.Traces(*traceDir, *traceCapture, *traceReplay)
+	}
 
 	if *resume && *checkpoint == "" {
 		fmt.Fprintln(os.Stderr, "experiments: -resume requires -checkpoint")

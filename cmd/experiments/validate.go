@@ -33,6 +33,9 @@ type sweepOptions struct {
 	Retries       int
 	QualityBudget float64
 	CanaryRate    float64
+	TraceDir      string
+	TraceCapture  bool
+	TraceReplay   bool
 }
 
 // validateOptions rejects flag combinations that would otherwise fail
@@ -52,6 +55,12 @@ func validateOptions(o sweepOptions) error {
 	}
 	if math.IsNaN(o.CanaryRate) || o.CanaryRate < 0 || o.CanaryRate > 1 {
 		return fmt.Errorf("-canary-rate must be a probability in [0,1], got %v", o.CanaryRate)
+	}
+	if (o.TraceCapture || o.TraceReplay) && o.TraceDir == "" {
+		return fmt.Errorf("-trace-capture and -trace-replay require -trace-dir")
+	}
+	if o.TraceCapture && o.TraceReplay {
+		return fmt.Errorf("-trace-capture and -trace-replay are mutually exclusive (capture re-records, replay forbids recording)")
 	}
 	return nil
 }

@@ -26,7 +26,10 @@ package doppelganger
 
 import (
 	"context"
+	"fmt"
 	"io"
+	"os"
+	"strings"
 	"sync"
 	"time"
 
@@ -40,6 +43,7 @@ import (
 	"doppelganger/internal/quality"
 	"doppelganger/internal/sweep"
 	"doppelganger/internal/timesim"
+	"doppelganger/internal/trace"
 	"doppelganger/internal/workloads"
 )
 
@@ -267,6 +271,19 @@ type RunOptions struct {
 	// simulation under measurement only (it is a no-op on the Baseline
 	// organization, which never approximates).
 	Quality *QualityController
+
+	// TraceDir, when non-empty, enables the persistent trace cache: each
+	// distinct (benchmark, organization, scale, cores) simulation records a
+	// capture file there on its first run and is replayed from it afterwards
+	// without executing any kernel. Runs with Faults or Quality attached are
+	// exempt from routing (their injector identity is not knowable here) and
+	// always execute live; the precise reference run is always eligible.
+	// TraceCapture forces re-recording even over a valid capture;
+	// TraceReplay forbids kernel execution, failing eligible runs that have
+	// no valid capture. Both require TraceDir.
+	TraceDir     string
+	TraceCapture bool
+	TraceReplay  bool
 }
 
 func (o *RunOptions) defaults(kind LLCKind) {
@@ -286,6 +303,60 @@ func (o *RunOptions) defaults(kind LLCKind) {
 	if o.Cores == 0 {
 		o.Cores = 4
 	}
+}
+
+// cellKey names the sweep-compatible cell a facade run corresponds to, so
+// doppelsim and an experiments sweep over the same trace directory share
+// capture files.
+func cellKey(name string, kind LLCKind, opt *RunOptions) string {
+	switch kind {
+	case SplitDoppelganger:
+		return fmt.Sprintf("split/%s/%d/%g", name, opt.MapBits, opt.DataFrac)
+	case UniDoppelganger:
+		return fmt.Sprintf("uni/%s/%d/%g", name, opt.MapBits, opt.DataFrac)
+	}
+	return "base/" + name
+}
+
+// runRouted is the facade's trace-cache gateway: without a trace directory
+// it is exactly the live path; with one, it replays a valid capture of the
+// identified simulation, or records one (atomically) from a live run. mk
+// must return a fresh benchmark instance per call — replay needs its own to
+// re-derive the Output closure's addresses.
+func runRouted(ctx context.Context, opt *RunOptions, name, key string, mk func() *workloads.Benchmark,
+	llcb workloads.LLCBuilder, ropt workloads.RunOptions) (*workloads.RunResult, error) {
+	if opt.TraceDir == "" {
+		return workloads.RunFunctionalContext(ctx, mk(), llcb, ropt)
+	}
+	ident := workloads.CaptureIdent(key, opt.Scale, opt.Cores, "")
+	path := workloads.CapturePath(opt.TraceDir, ident)
+	if !opt.TraceCapture {
+		c, err := workloads.LoadCapture(path, ident, opt.Cores)
+		if err == nil {
+			return workloads.ReplayFunctionalContext(ctx, mk(), c, llcb, ropt)
+		}
+		if opt.TraceReplay {
+			return nil, fmt.Errorf("doppelganger: trace replay: no usable capture for %s: %w", key, err)
+		}
+	}
+	ropt.Record = true
+	run, err := workloads.RunFunctionalContext(ctx, mk(), llcb, ropt)
+	if err != nil {
+		return nil, err
+	}
+	c, err := workloads.CaptureOf(run, trace.FileHeader{
+		Benchmark: name, Scale: opt.Scale, Cores: opt.Cores, ConfigKey: ident,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(opt.TraceDir, 0o755); err != nil {
+		return nil, fmt.Errorf("doppelganger: trace dir: %w", err)
+	}
+	if err := c.WriteFile(path); err != nil {
+		return nil, err
+	}
+	return run, nil
 }
 
 // RunBenchmark executes the named workload functionally against the chosen
@@ -318,16 +389,23 @@ func RunBenchmarkContext(ctx context.Context, name string, kind LLCKind, opt Run
 	var run, precise *workloads.RunResult
 	var preciseErr error
 	var wg sync.WaitGroup
+	mk := func() *workloads.Benchmark { return f.New(opt.Scale) }
 	if kind != Baseline {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			precise, preciseErr = workloads.RunFunctionalContext(ctx, f.New(opt.Scale), workloads.BaselineBuilder(2<<20, 16),
-				workloads.RunOptions{Cores: opt.Cores})
+			precise, preciseErr = runRouted(ctx, &opt, name, "base/"+name, mk,
+				workloads.BaselineBuilder(2<<20, 16), workloads.RunOptions{Cores: opt.Cores})
 		}()
 	}
-	run, err = workloads.RunFunctionalContext(ctx, f.New(opt.Scale), builder,
-		workloads.RunOptions{Cores: opt.Cores, Metrics: opt.Metrics, Faults: opt.Faults, Quality: opt.Quality})
+	mopt := workloads.RunOptions{Cores: opt.Cores, Metrics: opt.Metrics, Faults: opt.Faults, Quality: opt.Quality}
+	if opt.Faults != nil || opt.Quality != nil {
+		// The injector/guard identity is not part of the capture key at this
+		// layer, so a faulted or guarded measurement always runs live.
+		run, err = workloads.RunFunctionalContext(ctx, mk(), builder, mopt)
+	} else {
+		run, err = runRouted(ctx, &opt, name, cellKey(name, kind, &opt), mk, builder, mopt)
+	}
 	wg.Wait()
 	if err != nil {
 		return nil, err
@@ -377,25 +455,50 @@ func RunMultiprogram(names []string, kind LLCKind, opt RunOptions) (*BenchmarkRe
 	case UniDoppelganger:
 		builder = workloads.UnifiedBuilder(opt.MapBits, opt.DataFrac)
 	}
-	// A multiprogram Benchmark carries mutable captured state, so the
-	// concurrent precise reference run gets its own instance from build().
-	var precise *workloads.RunResult
+	// A multiprogram Benchmark carries mutable captured state, so every
+	// routed run gets its own instance from build().
+	mk := func() *workloads.Benchmark {
+		b, err := build()
+		if err != nil {
+			// build() succeeded above with identical inputs.
+			panic(err)
+		}
+		return b
+	}
+	mpName := strings.Join(names, "+")
+	ctx := context.Background()
+	var precise, run *workloads.RunResult
+	var preciseErr, runErr error
 	var wg sync.WaitGroup
 	if kind != Baseline {
-		mp2, err := build()
-		if err != nil {
-			return nil, err
-		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			precise = workloads.RunFunctional(mp2, workloads.BaselineBuilder(2<<20, 16),
-				workloads.RunOptions{Cores: opt.Cores})
+			precise, preciseErr = runRouted(ctx, &opt, mpName, "mp/base/"+mpName, mk,
+				workloads.BaselineBuilder(2<<20, 16), workloads.RunOptions{Cores: opt.Cores})
 		}()
 	}
-	run := workloads.RunFunctional(mp, builder,
-		workloads.RunOptions{Cores: opt.Cores, Metrics: opt.Metrics, Faults: opt.Faults, Quality: opt.Quality})
+	// Error scoring must use an instance whose own Output pass ran (a
+	// multiprogram Benchmark learns its per-program output lengths there),
+	// so track which instance the measured run actually used.
+	measured := mp
+	mopt := workloads.RunOptions{Cores: opt.Cores, Metrics: opt.Metrics, Faults: opt.Faults, Quality: opt.Quality}
+	if opt.Faults != nil || opt.Quality != nil {
+		run, runErr = workloads.RunFunctionalContext(ctx, mp, builder, mopt)
+	} else {
+		mkMeasured := func() *workloads.Benchmark {
+			measured = mk()
+			return measured
+		}
+		run, runErr = runRouted(ctx, &opt, mpName, "mp/"+cellKey(mpName, kind, &opt), mkMeasured, builder, mopt)
+	}
 	wg.Wait()
+	if runErr != nil {
+		return nil, runErr
+	}
+	if preciseErr != nil {
+		return nil, preciseErr
+	}
 	res := &BenchmarkResult{
 		Output:         run.Output,
 		LLCTags:        run.TagsAtEnd,
@@ -404,7 +507,7 @@ func RunMultiprogram(names []string, kind LLCKind, opt RunOptions) (*BenchmarkRe
 		AvgTagsPerData: run.AvgTagsPerData,
 	}
 	if precise != nil {
-		res.Error = mp.Error(precise.Output, run.Output)
+		res.Error = measured.Error(precise.Output, run.Output)
 	}
 	return res, nil
 }
@@ -436,8 +539,12 @@ func RunTiming(name string, kind LLCKind, opt RunOptions) (*TimingComparison, er
 	if err != nil {
 		return nil, err
 	}
-	run := workloads.RunFunctional(f.New(opt.Scale), workloads.BaselineBuilder(2<<20, 16),
-		workloads.RunOptions{Cores: opt.Cores, Record: true})
+	run, err := runRouted(context.Background(), &opt, name, "base/"+name,
+		func() *workloads.Benchmark { return f.New(opt.Scale) },
+		workloads.BaselineBuilder(2<<20, 16), workloads.RunOptions{Cores: opt.Cores, Record: true})
+	if err != nil {
+		return nil, err
+	}
 	cfg := timesim.DefaultConfig()
 	cfg.Cores = opt.Cores
 	builder := workloads.BaselineBuilder(2<<20, 16)
@@ -597,6 +704,20 @@ func (e *Evaluation) CheckpointWarnings() []string {
 		return nil
 	}
 	return e.r.Checkpoint.Warnings()
+}
+
+// Traces enables the evaluation's persistent trace cache in dir: every
+// functional cell (baseline, split, unified, custom, fault, quality)
+// records a capture file on its first live run and replays it on later
+// sweeps over the same directory, executing zero kernels when the cache is
+// warm. capture forces re-recording over valid captures; replay forbids
+// kernel execution, failing any cell without a valid capture. Captures are
+// identity-checked (benchmark, scale, cores, seeds, knobs) and re-recorded
+// when stale; results are bit-identical to live runs either way.
+func (e *Evaluation) Traces(dir string, capture, replay bool) {
+	e.r.TraceDir = dir
+	e.r.TraceCapture = capture
+	e.r.TraceReplay = replay
 }
 
 // Prewarm runs every simulation the paper's tables and figures need

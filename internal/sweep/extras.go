@@ -127,11 +127,15 @@ func (r *Runner) customErrorContext(ctx context.Context, name string, cfg core.C
 		if err != nil {
 			return 0, err
 		}
-		f, _ := workloads.ByName(name)
 		r.logf("[%s] custom functional run (%s)", name, tag)
 		child := r.instrument()
-		run, err := workloads.RunFunctionalContext(ctx, f.New(r.Scale), workloads.CustomSplitBuilder(cfg),
-			workloads.RunOptions{Cores: r.Cores, Metrics: child})
+		run, err := r.funcRun(ctx, funcReq{
+			key:  key,
+			name: name,
+			llcb: workloads.CustomSplitBuilder(cfg),
+			opt:  workloads.RunOptions{Cores: r.Cores, Metrics: child},
+			fast: true,
+		})
 		if err != nil {
 			return 0, err
 		}

@@ -63,17 +63,24 @@ func (r *Runner) FaultErrorContext(ctx context.Context, name, org string, rate f
 		if err != nil {
 			return 0, err
 		}
-		f, _ := workloads.ByName(name)
 		r.logf("[%s] fault functional run (%s, rate %g)", name, org, rate)
+		seed := faults.Derive(r.FaultSeed, key)
 		inj := faults.New(faults.Config{
-			Seed:  faults.Derive(r.FaultSeed, key),
+			Seed:  seed,
 			Model: r.FaultModel,
 			Rate:  rate,
 		})
 		child := r.instrument()
 		inj.AttachMetrics(child)
-		run, err := workloads.RunFunctionalContext(ctx, f.New(r.Scale), builder,
-			workloads.RunOptions{Cores: r.Cores, Metrics: child, Faults: inj})
+		run, err := r.funcRun(ctx, funcReq{
+			key:   key,
+			name:  name,
+			extra: fmt.Sprintf("|fseed=%d|fmodel=%s", r.FaultSeed, r.FaultModel),
+			seed:  seed,
+			llcb:  builder,
+			opt:   workloads.RunOptions{Cores: r.Cores, Metrics: child, Faults: inj},
+			fast:  true,
+		})
 		if err != nil {
 			return 0, err
 		}

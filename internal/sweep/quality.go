@@ -122,10 +122,10 @@ func (r *Runner) QualityErrorContext(ctx context.Context, name, org string, rate
 		if err != nil {
 			return nil, err
 		}
-		f, _ := workloads.ByName(name)
 		r.logf("[%s] guarded functional run (%s, rate %g, budget %g)", name, org, rate, r.qualityBudget())
+		seed := faults.Derive(r.FaultSeed, fmt.Sprintf("fault/%s/%s/%g", org, name, rate))
 		inj := faults.New(faults.Config{
-			Seed:  faults.Derive(r.FaultSeed, fmt.Sprintf("fault/%s/%s/%g", org, name, rate)),
+			Seed:  seed,
 			Model: r.FaultModel,
 			Rate:  rate,
 		})
@@ -136,8 +136,20 @@ func (r *Runner) QualityErrorContext(ctx context.Context, name, org string, rate
 		child := r.instrument()
 		inj.AttachMetrics(child)
 		qc.AttachMetrics(child)
-		run, err := workloads.RunFunctionalContext(ctx, f.New(r.Scale), builder,
-			workloads.RunOptions{Cores: r.Cores, Metrics: child, Faults: inj, Quality: qc})
+		// Not a fast cell: the outcome needs the guard's breaker history, so
+		// a warm cache replays the stream through a fresh hierarchy with this
+		// identically-seeded injector and guard attached — both draw per LLC
+		// operation, and replay preserves the exact operation sequence, so
+		// the guard relives the live run decision for decision.
+		run, err := r.funcRun(ctx, funcReq{
+			key:  key,
+			name: name,
+			extra: fmt.Sprintf("|fseed=%d|fmodel=%s|qseed=%d|budget=%g|canary=%g",
+				r.FaultSeed, r.FaultModel, r.QualitySeed, r.qualityBudget(), r.canaryRate()),
+			seed: seed,
+			llcb: builder,
+			opt:  workloads.RunOptions{Cores: r.Cores, Metrics: child, Faults: inj, Quality: qc},
+		})
 		if err != nil {
 			return nil, err
 		}

@@ -13,6 +13,7 @@ import (
 	"doppelganger/internal/metrics"
 	"doppelganger/internal/stats"
 	"doppelganger/internal/timesim"
+	"doppelganger/internal/trace"
 	"doppelganger/internal/workloads"
 )
 
@@ -75,6 +76,15 @@ type Runner struct {
 	// and skips already-persisted keys after Resume. nil disables.
 	Checkpoint *Checkpoint
 
+	// TraceDir, when non-empty, enables the persistent trace cache: every
+	// functional cell records a capture file there on its first live run and
+	// is replayed from it on later sweeps (see tracecache.go). TraceCapture
+	// forces re-recording even when a valid capture exists; TraceReplay
+	// forbids kernel execution, failing any cell without a valid capture.
+	TraceDir     string
+	TraceCapture bool
+	TraceReplay  bool
+
 	// Metrics, when non-nil, aggregates instrument totals across every
 	// simulation the runner performs; each memoized task also leaves a
 	// labeled per-task snapshot (see WriteMetricsJSONL). nil disables all
@@ -94,6 +104,7 @@ type Runner struct {
 	errCache     *memo[float64]
 	timeCache    *memo[*timesim.Result]
 	qualityCache *memo[*QualityOutcome]
+	traceCache   *memo[*trace.Capture]
 }
 
 type baseArtifacts struct {
@@ -113,6 +124,7 @@ func NewRunner(scale float64) *Runner {
 		errCache:      newMemo[float64](),
 		timeCache:     newMemo[*timesim.Result](),
 		qualityCache:  newMemo[*QualityOutcome](),
+		traceCache:    newMemo[*trace.Capture](),
 	}
 }
 
@@ -208,12 +220,17 @@ func (r *Runner) BaselineContext(ctx context.Context, name string) (*baseArtifac
 			CompareM:           14,
 		})
 		child := r.instrument()
-		run, err := workloads.RunFunctionalContext(ctx, f.New(r.Scale), workloads.BaselineBuilder(2<<20, 16), workloads.RunOptions{
-			Cores:         r.Cores,
-			Record:        true,
-			SnapshotEvery: r.SnapshotEvery,
-			SnapshotFn:    an.Observe,
-			Metrics:       child,
+		run, err := r.funcRun(ctx, funcReq{
+			key:  "base/" + name,
+			name: name,
+			llcb: workloads.BaselineBuilder(2<<20, 16),
+			opt: workloads.RunOptions{
+				Cores:         r.Cores,
+				Record:        true,
+				SnapshotEvery: r.SnapshotEvery,
+				SnapshotFn:    an.Observe,
+				Metrics:       child,
+			},
 		})
 		if err != nil {
 			return nil, err
@@ -266,11 +283,15 @@ func (r *Runner) SplitErrorContext(ctx context.Context, name string, m int, frac
 		if err != nil {
 			return 0, err
 		}
-		f, _ := workloads.ByName(name)
 		r.logf("[%s] split functional run (M=%d, data %g)", name, m, frac)
 		child := r.instrument()
-		run, err := workloads.RunFunctionalContext(ctx, f.New(r.Scale), workloads.SplitBuilder(m, frac),
-			workloads.RunOptions{Cores: r.Cores, Metrics: child})
+		run, err := r.funcRun(ctx, funcReq{
+			key:  key,
+			name: name,
+			llcb: workloads.SplitBuilder(m, frac),
+			opt:  workloads.RunOptions{Cores: r.Cores, Metrics: child},
+			fast: true,
+		})
 		if err != nil {
 			return 0, err
 		}
@@ -293,11 +314,15 @@ func (r *Runner) UnifiedErrorContext(ctx context.Context, name string, m int, fr
 		if err != nil {
 			return 0, err
 		}
-		f, _ := workloads.ByName(name)
 		r.logf("[%s] unified functional run (M=%d, data %g)", name, m, frac)
 		child := r.instrument()
-		run, err := workloads.RunFunctionalContext(ctx, f.New(r.Scale), workloads.UnifiedBuilder(m, frac),
-			workloads.RunOptions{Cores: r.Cores, Metrics: child})
+		run, err := r.funcRun(ctx, funcReq{
+			key:  key,
+			name: name,
+			llcb: workloads.UnifiedBuilder(m, frac),
+			opt:  workloads.RunOptions{Cores: r.Cores, Metrics: child},
+			fast: true,
+		})
 		if err != nil {
 			return 0, err
 		}

@@ -1,0 +1,140 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"doppelganger/internal/trace"
+	"doppelganger/internal/workloads"
+)
+
+// The sweep's trace cache: every functional cell records its own capture the
+// first time it runs live, and every later sweep over the same trace
+// directory replays the capture instead of executing kernels. Recording
+// per cell (rather than only the precise baseline) is what makes replay
+// bit-identical: approximate load values propagate through kernel
+// arithmetic into store payloads, so an approximate cell's access stream
+// differs from the baseline's and must be captured from the cell itself.
+//
+// Captures are keyed by a full identity string (cell key + scale + cores +
+// any seeds or knobs the cell's result depends on). The identity is stored
+// in the file header and re-checked on load, so a capture recorded under a
+// different configuration is stale and is re-recorded (or, under
+// -trace-replay, rejected with an actionable error) rather than silently
+// replayed.
+
+// funcReq describes one functional cell to funcRun: its memo key, the
+// benchmark, any identity the key doesn't already carry (seeds, budgets),
+// the LLC organization, and the run options. fast marks cells that consume
+// only the run's output: on a warm cache they are served straight from the
+// capture without rebuilding a hierarchy (their attachments see no traffic
+// and their metrics snapshots stay empty).
+type funcReq struct {
+	key   string
+	name  string
+	extra string // identity beyond key/scale/cores, "|k=v" formatted
+	seed  uint64 // recorded in the file header (0 when the cell is unseeded)
+	llcb  workloads.LLCBuilder
+	opt   workloads.RunOptions
+	fast  bool
+}
+
+// traceIdent is the full identity a capture must match to be replayed for
+// this request. Cells the CLI facade can also run (baseline, split, uni)
+// use the same keys, so doppelsim and a sweep share captures in one
+// directory.
+func (r *Runner) traceIdent(req funcReq) string {
+	return workloads.CaptureIdent(req.key, r.Scale, r.Cores, req.extra)
+}
+
+// tracePath maps an identity to its file in the trace directory.
+func (r *Runner) tracePath(ident string) string {
+	return workloads.CapturePath(r.TraceDir, ident)
+}
+
+// funcRun is the gateway every functional cell goes through. Without a
+// trace directory it is exactly the live path. With one, the first run of a
+// cell executes live (recording) and persists a capture; later runs replay
+// it: output-only cells are served from the embedded output, and cells that
+// need cache-state side effects (baseline snapshots, quality guards) replay
+// the stream through a fresh hierarchy, which evolves bit-identically to
+// the live run.
+//
+// A failure anywhere — the live run, encoding, or persisting — propagates
+// as the cell's error, and both this cache and the cell memos forget
+// errors, so a retry re-records instead of replaying a poisoned entry.
+func (r *Runner) funcRun(ctx context.Context, req funcReq) (*workloads.RunResult, error) {
+	f, err := workloads.ByName(req.name)
+	if err != nil {
+		return nil, err
+	}
+	if r.TraceDir == "" {
+		return workloads.RunFunctionalContext(ctx, f.New(r.Scale), req.llcb, req.opt)
+	}
+	ident := r.traceIdent(req)
+	path := r.tracePath(ident)
+	var live *workloads.RunResult
+	capture, err := r.traceCache.Do(ident, func() (*trace.Capture, error) {
+		if !r.TraceCapture {
+			// Output-only cells never rebuild a hierarchy, so skip
+			// materializing the memory image and trace streams they would
+			// not use (the file is still fully integrity-checked). An
+			// ident's fast-ness never varies between requests, so the memo
+			// can never hand a lite capture to a hierarchy replay.
+			load := workloads.LoadCapture
+			if req.fast {
+				load = workloads.LoadCaptureOutput
+			}
+			c, lerr := load(path, ident, r.Cores)
+			if lerr == nil {
+				r.logf("[%s] replaying capture %s (%s)", req.name, filepath.Base(path), req.key)
+				return c, nil
+			}
+			if r.TraceReplay {
+				return nil, fmt.Errorf("sweep: -trace-replay: no usable capture for %s: %w", req.key, lerr)
+			}
+			if !errors.Is(lerr, os.ErrNotExist) {
+				r.logf("[%s] capture %s unusable (%v); re-recording", req.name, filepath.Base(path), lerr)
+			}
+		}
+		opt := req.opt
+		opt.Record = true
+		run, rerr := workloads.RunFunctionalContext(ctx, f.New(r.Scale), req.llcb, opt)
+		if rerr != nil {
+			return nil, rerr
+		}
+		c, cerr := workloads.CaptureOf(run, trace.FileHeader{
+			Benchmark: req.name,
+			Scale:     r.Scale,
+			Cores:     r.Cores,
+			Seed:      req.seed,
+			ConfigKey: ident,
+		})
+		if cerr != nil {
+			return nil, cerr
+		}
+		if merr := os.MkdirAll(r.TraceDir, 0o755); merr != nil {
+			return nil, fmt.Errorf("sweep: trace dir: %w", merr)
+		}
+		if werr := c.WriteFile(path); werr != nil {
+			return nil, werr
+		}
+		live = run
+		return c, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if live != nil {
+		// This call recorded the capture: its live result already carries
+		// every side effect (snapshots, metrics, guard state).
+		return live, nil
+	}
+	if req.fast {
+		return &workloads.RunResult{Output: capture.Output}, nil
+	}
+	return workloads.ReplayFunctionalContext(ctx, f.New(r.Scale), capture, req.llcb, req.opt)
+}

@@ -1,0 +1,781 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"hash/crc64"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"doppelganger/internal/approx"
+	"doppelganger/internal/memdata"
+)
+
+// Capture file format "DGTC" (DoppelGänger Trace Capture), version 1.
+//
+//	preamble (16 bytes, little-endian):
+//	  magic   [4]byte  "DGTC"
+//	  version uint16   (1)
+//	  flags   uint16   (reserved, 0)
+//	  digest  uint64   CRC64-ECMA over every byte after the preamble
+//	sections, each:
+//	  id      uint8
+//	  length  uvarint  (payload bytes)
+//	  payload [length]byte
+//	  crc     uint32   CRC32-IEEE over payload
+//	section order is fixed: header, annotations, memory, traces, order,
+//	output, end. The end section has an empty payload and terminates the
+//	file; trailing bytes after it are rejected.
+//
+// Payloads (all integers uvarint unless sized, floats as IEEE-754 bits):
+//
+//	header:      benchLen+bytes, scaleBits u64, cores, seed u64,
+//	             keyLen+bytes (ConfigKey: the full cell identity string)
+//	annotations: count, then per region: nameLen+bytes, start, end,
+//	             type u8, minBits u64, maxBits u64
+//	memory:      count, then per block (ascending block number): first
+//	             block number absolute, later ones as gap from the
+//	             previous (>= 1), then 64 raw bytes
+//	traces:      cores, then per core: count, then per record:
+//	             flags u8 (bit0 write, bit1 approx, bits 2.. size),
+//	             addr zigzag-delta from the previous record's addr,
+//	             gap, and (writes only) val
+//	order:       count (== total records), then one core id per access
+//	output:      count, then count × u64 float bits
+//
+// The decoder never trusts a length or count from the file: payloads are
+// read in bounded chunks so a hostile length fails at the true EOF, and
+// every in-payload count is checked against the bytes actually present
+// before anything proportional to it is allocated.
+const (
+	captureMagic   = "DGTC"
+	CaptureVersion = 1
+)
+
+// Section ids, in required file order.
+const (
+	secHeader = iota + 1
+	secAnnotations
+	secMemory
+	secTraces
+	secOrder
+	secOutput
+	secEnd = 0xFF
+)
+
+// Decoder hardening caps (initial allocation bounds, not format limits).
+const (
+	maxNameLen   = 4096
+	maxRegions   = 1 << 16
+	maxCores     = 1024
+	capCapRec    = 1 << 16 // initial record-slice capacity
+	readChunk    = 64 << 10
+	maxSectionSz = 1 << 31 // sanity bound on a claimed section length
+)
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// FileHeader identifies what a capture file holds and which configuration
+// produced it. ConfigKey is the full cell identity (benchmark, scale,
+// cores, organization, seeds, ...): a reader that derives a different
+// identity for the same file must treat the capture as stale.
+type FileHeader struct {
+	Benchmark string
+	Scale     float64
+	Cores     int
+	Seed      uint64
+	ConfigKey string
+}
+
+// Capture is everything one recorded functional run persists: enough to
+// replay the run bit-identically (initial image + annotations + globally
+// ordered access stream) and to serve its output without replaying.
+type Capture struct {
+	Header      FileHeader
+	Annotations *approx.Annotations
+	InitialMem  *memdata.Store
+	Recorder    *Recorder
+	Output      []float64
+}
+
+// --- encoding ---
+
+type sectionWriter struct {
+	buf bytes.Buffer
+	tmp [binary.MaxVarintLen64]byte
+}
+
+func (w *sectionWriter) uvarint(v uint64) {
+	n := binary.PutUvarint(w.tmp[:], v)
+	w.buf.Write(w.tmp[:n])
+}
+
+func (w *sectionWriter) varint(v int64) {
+	n := binary.PutVarint(w.tmp[:], v)
+	w.buf.Write(w.tmp[:n])
+}
+
+func (w *sectionWriter) u64(v uint64) {
+	binary.LittleEndian.PutUint64(w.tmp[:8], v)
+	w.buf.Write(w.tmp[:8])
+}
+
+func (w *sectionWriter) str(s string) {
+	w.uvarint(uint64(len(s)))
+	w.buf.WriteString(s)
+}
+
+// appendSection frames one section (id, length, payload, crc) onto out.
+func appendSection(out *bytes.Buffer, id byte, payload []byte) {
+	out.WriteByte(id)
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(payload)))
+	out.Write(tmp[:n])
+	out.Write(payload)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
+	out.Write(crc[:])
+}
+
+// encode renders the capture's section stream (everything after the
+// preamble). The byte stream is deterministic: memory blocks are emitted in
+// ascending address order and every other collection is already ordered.
+func (c *Capture) encode() ([]byte, error) {
+	if c.Recorder == nil || c.InitialMem == nil || c.Annotations == nil {
+		return nil, fmt.Errorf("trace: capture is missing recorder, memory image or annotations")
+	}
+	if len(c.Recorder.Order) != c.Recorder.Len() {
+		return nil, fmt.Errorf("trace: capture recorder has no global-order index (%d entries for %d records)",
+			len(c.Recorder.Order), c.Recorder.Len())
+	}
+	if len(c.Recorder.Cores) > maxCores {
+		return nil, fmt.Errorf("trace: capture has %d cores (max %d)", len(c.Recorder.Cores), maxCores)
+	}
+	var out bytes.Buffer
+	var w sectionWriter
+
+	w.str(c.Header.Benchmark)
+	w.u64(math.Float64bits(c.Header.Scale))
+	w.uvarint(uint64(c.Header.Cores))
+	w.u64(c.Header.Seed)
+	w.str(c.Header.ConfigKey)
+	appendSection(&out, secHeader, w.buf.Bytes())
+	w.buf.Reset()
+
+	regions := c.Annotations.Regions()
+	w.uvarint(uint64(len(regions)))
+	for _, rg := range regions {
+		w.str(rg.Name)
+		w.uvarint(uint64(rg.Start))
+		w.uvarint(uint64(rg.End))
+		w.buf.WriteByte(byte(rg.Type))
+		w.u64(math.Float64bits(rg.Min))
+		w.u64(math.Float64bits(rg.Max))
+	}
+	appendSection(&out, secAnnotations, w.buf.Bytes())
+	w.buf.Reset()
+
+	// Memory image in ascending block order: ForEachBlock iterates the
+	// arena's page directory sorted, so identical stores yield identical
+	// bytes (unlike the legacy bundle's map-order walk).
+	nblocks := 0
+	c.InitialMem.ForEachBlock(func(memdata.Addr, *memdata.Block) { nblocks++ })
+	w.uvarint(uint64(nblocks))
+	prevPN := uint64(0)
+	first := true
+	c.InitialMem.ForEachBlock(func(a memdata.Addr, blk *memdata.Block) {
+		pn := uint64(a) >> memdata.OffsetBits
+		if first {
+			w.uvarint(pn)
+			first = false
+		} else {
+			w.uvarint(pn - prevPN)
+		}
+		prevPN = pn
+		w.buf.Write(blk[:])
+	})
+	appendSection(&out, secMemory, w.buf.Bytes())
+	w.buf.Reset()
+
+	w.uvarint(uint64(len(c.Recorder.Cores)))
+	for _, t := range c.Recorder.Cores {
+		w.uvarint(uint64(len(t)))
+		prev := uint64(0)
+		for i := range t {
+			rec := &t[i]
+			flags := uint64(rec.Size) << 2
+			if rec.Write {
+				flags |= 1
+			}
+			if rec.Approx {
+				flags |= 2
+			}
+			w.uvarint(flags)
+			w.varint(int64(uint64(rec.Addr)) - int64(prev))
+			prev = uint64(rec.Addr)
+			w.uvarint(uint64(rec.Gap))
+			if rec.Write {
+				w.uvarint(rec.Val)
+			}
+		}
+	}
+	appendSection(&out, secTraces, w.buf.Bytes())
+	w.buf.Reset()
+
+	w.uvarint(uint64(len(c.Recorder.Order)))
+	for _, core := range c.Recorder.Order {
+		w.uvarint(uint64(core))
+	}
+	appendSection(&out, secOrder, w.buf.Bytes())
+	w.buf.Reset()
+
+	w.uvarint(uint64(len(c.Output)))
+	for _, v := range c.Output {
+		w.u64(math.Float64bits(v))
+	}
+	appendSection(&out, secOutput, w.buf.Bytes())
+	w.buf.Reset()
+
+	appendSection(&out, secEnd, nil)
+	return out.Bytes(), nil
+}
+
+// WriteTo serializes the capture. The whole section stream is buffered
+// first so the preamble can carry its content digest.
+func (c *Capture) WriteTo(w io.Writer) (int64, error) {
+	body, err := c.encode()
+	if err != nil {
+		return 0, err
+	}
+	var pre [16]byte
+	copy(pre[:4], captureMagic)
+	binary.LittleEndian.PutUint16(pre[4:], CaptureVersion)
+	binary.LittleEndian.PutUint16(pre[6:], 0)
+	binary.LittleEndian.PutUint64(pre[8:], crc64.Checksum(body, crcTable))
+	n, err := w.Write(pre[:])
+	if err != nil {
+		return int64(n), err
+	}
+	m, err := w.Write(body)
+	return int64(n + m), err
+}
+
+// WriteFile persists the capture atomically: the bytes land in a temp file
+// in the destination directory and are renamed into place only after a
+// successful write, so a crash or failure mid-write can never leave a torn
+// file where a consumer expects a capture.
+func (c *Capture) WriteFile(path string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("trace: capture %s: %w", path, err)
+	}
+	if _, err := c.WriteTo(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("trace: capture %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("trace: capture %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("trace: capture %s: %w", path, err)
+	}
+	return nil
+}
+
+// --- decoding ---
+
+// hashReader counts and digests every byte it passes through.
+type hashReader struct {
+	r   io.Reader
+	sum uint64
+}
+
+func (h *hashReader) Read(p []byte) (int, error) {
+	n, err := h.r.Read(p)
+	h.sum = crc64.Update(h.sum, crcTable, p[:n])
+	return n, err
+}
+
+func (h *hashReader) ReadByte() (byte, error) {
+	var b [1]byte
+	_, err := io.ReadFull(h, b[:])
+	return b[0], err
+}
+
+// readCapped reads exactly n claimed bytes, growing in bounded chunks so a
+// hostile length allocates at most one chunk beyond the bytes actually
+// present before the short read surfaces.
+func readCapped(r io.Reader, n uint64) ([]byte, error) {
+	if n > maxSectionSz {
+		return nil, fmt.Errorf("implausible section length %d", n)
+	}
+	buf := make([]byte, 0, min64(n, readChunk))
+	var chunk [readChunk]byte
+	for uint64(len(buf)) < n {
+		want := n - uint64(len(buf))
+		if want > readChunk {
+			want = readChunk
+		}
+		k, err := io.ReadFull(r, chunk[:want])
+		buf = append(buf, chunk[:k]...)
+		if err != nil {
+			return nil, fmt.Errorf("section truncated at byte %d of claimed %d: %w", len(buf), n, err)
+		}
+	}
+	return buf, nil
+}
+
+// payload is a bounds-checked cursor over one section's bytes.
+type payload struct {
+	b   []byte
+	off int
+}
+
+func (p *payload) remaining() int { return len(p.b) - p.off }
+
+func (p *payload) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(p.b[p.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("truncated uvarint at offset %d", p.off)
+	}
+	p.off += n
+	return v, nil
+}
+
+func (p *payload) varint() (int64, error) {
+	v, n := binary.Varint(p.b[p.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("truncated varint at offset %d", p.off)
+	}
+	p.off += n
+	return v, nil
+}
+
+func (p *payload) u64() (uint64, error) {
+	if p.remaining() < 8 {
+		return 0, fmt.Errorf("truncated u64 at offset %d", p.off)
+	}
+	v := binary.LittleEndian.Uint64(p.b[p.off:])
+	p.off += 8
+	return v, nil
+}
+
+func (p *payload) byte() (byte, error) {
+	if p.remaining() < 1 {
+		return 0, fmt.Errorf("truncated byte at offset %d", p.off)
+	}
+	b := p.b[p.off]
+	p.off++
+	return b, nil
+}
+
+func (p *payload) bytes(n uint64) ([]byte, error) {
+	if uint64(p.remaining()) < n {
+		return nil, fmt.Errorf("claimed %d bytes with %d remaining", n, p.remaining())
+	}
+	b := p.b[p.off : p.off+int(n)]
+	p.off += int(n)
+	return b, nil
+}
+
+func (p *payload) str(cap uint64, what string) (string, error) {
+	n, err := p.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > cap {
+		return "", fmt.Errorf("%s length %d exceeds cap %d", what, n, cap)
+	}
+	b, err := p.bytes(n)
+	if err != nil {
+		return "", fmt.Errorf("%s: %w", what, err)
+	}
+	return string(b), nil
+}
+
+func (p *payload) done() error {
+	if p.off != len(p.b) {
+		return fmt.Errorf("%d trailing bytes", len(p.b)-p.off)
+	}
+	return nil
+}
+
+// ReadCapture decodes a capture stream written by WriteTo, verifying the
+// per-section CRCs and the whole-file digest. Every failure names what was
+// wrong and where; no input makes it panic or allocate unboundedly.
+func ReadCapture(r io.Reader) (*Capture, error) {
+	return readCapture(r, false)
+}
+
+// ReadCaptureOutput decodes only a capture's header, annotations and output
+// vector. The memory, trace and order sections are still fully read and
+// verified (section CRCs and the whole-file digest), but nothing
+// proportional to their contents is materialized — the cheap path for
+// consumers that serve a capture's result without replaying it. The
+// cross-section order/stream consistency check is necessarily skipped.
+func ReadCaptureOutput(r io.Reader) (*Capture, error) {
+	return readCapture(r, true)
+}
+
+func readCapture(r io.Reader, outputOnly bool) (*Capture, error) {
+	var pre [16]byte
+	if _, err := io.ReadFull(r, pre[:]); err != nil {
+		return nil, fmt.Errorf("trace: capture preamble: %w", err)
+	}
+	if string(pre[:4]) != captureMagic {
+		return nil, fmt.Errorf("trace: bad capture magic %q (want %q)", pre[:4], captureMagic)
+	}
+	if v := binary.LittleEndian.Uint16(pre[4:]); v != CaptureVersion {
+		return nil, fmt.Errorf("trace: unsupported capture version %d (this reader handles %d)", v, CaptureVersion)
+	}
+	if fl := binary.LittleEndian.Uint16(pre[6:]); fl != 0 {
+		return nil, fmt.Errorf("trace: unknown capture flags %#x (reserved, must be zero)", fl)
+	}
+	wantDigest := binary.LittleEndian.Uint64(pre[8:])
+
+	hr := &hashReader{r: r}
+	c := &Capture{}
+	want := []byte{secHeader, secAnnotations, secMemory, secTraces, secOrder, secOutput, secEnd}
+	for _, wantID := range want {
+		id, err := hr.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("trace: capture truncated before section %d: %w", wantID, err)
+		}
+		if id != wantID {
+			return nil, fmt.Errorf("trace: capture section %d out of order (want %d)", id, wantID)
+		}
+		length, err := binary.ReadUvarint(hr)
+		if err != nil {
+			return nil, fmt.Errorf("trace: capture section %d length: %w", id, err)
+		}
+		body, err := readCapped(hr, length)
+		if err != nil {
+			return nil, fmt.Errorf("trace: capture section %d: %w", id, err)
+		}
+		var crcb [4]byte
+		if _, err := io.ReadFull(hr, crcb[:]); err != nil {
+			return nil, fmt.Errorf("trace: capture section %d crc: %w", id, err)
+		}
+		if got, wantCRC := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(crcb[:]); got != wantCRC {
+			return nil, fmt.Errorf("trace: capture section %d crc mismatch (got %08x, want %08x)", id, got, wantCRC)
+		}
+		p := &payload{b: body}
+		skipped := false
+		switch id {
+		case secHeader:
+			err = decodeHeader(p, &c.Header)
+		case secAnnotations:
+			c.Annotations, err = decodeAnnotations(p)
+		case secMemory:
+			if skipped = outputOnly; !skipped {
+				c.InitialMem, err = decodeMemory(p)
+			}
+		case secTraces:
+			if skipped = outputOnly; !skipped {
+				c.Recorder, err = decodeTraces(p)
+			}
+		case secOrder:
+			if skipped = outputOnly; !skipped {
+				err = decodeOrder(p, c.Recorder)
+			}
+		case secOutput:
+			c.Output, err = decodeOutput(p)
+		case secEnd:
+			if length != 0 {
+				err = fmt.Errorf("non-empty end section")
+			}
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: capture section %d: %w", id, err)
+		}
+		if id != secEnd && !skipped {
+			if err := p.done(); err != nil {
+				return nil, fmt.Errorf("trace: capture section %d: %w", id, err)
+			}
+		}
+	}
+	if hr.sum != wantDigest {
+		return nil, fmt.Errorf("trace: capture digest mismatch (got %016x, want %016x): file corrupt or tampered", hr.sum, wantDigest)
+	}
+	var extra [1]byte
+	if n, _ := io.ReadFull(hr, extra[:]); n != 0 {
+		return nil, fmt.Errorf("trace: trailing bytes after capture end section")
+	}
+	if !outputOnly {
+		// The cursor validation doubles as the cross-section consistency
+		// check: order entries must name real cores and match every
+		// stream's length.
+		if _, err := c.Recorder.Cursor(); err != nil {
+			return nil, fmt.Errorf("trace: capture order index: %w", err)
+		}
+	}
+	return c, nil
+}
+
+// ReadCaptureFile opens and decodes one capture file.
+func ReadCaptureFile(path string) (*Capture, error) {
+	return readCaptureFile(path, false)
+}
+
+// ReadCaptureOutputFile is ReadCaptureFile via ReadCaptureOutput: fully
+// verified, but only header, annotations and output are materialized.
+func ReadCaptureOutputFile(path string) (*Capture, error) {
+	return readCaptureFile(path, true)
+}
+
+func readCaptureFile(path string, outputOnly bool) (*Capture, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	c, err := readCapture(f, outputOnly)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return c, nil
+}
+
+func decodeHeader(p *payload, h *FileHeader) error {
+	var err error
+	if h.Benchmark, err = p.str(maxNameLen, "benchmark name"); err != nil {
+		return err
+	}
+	bits, err := p.u64()
+	if err != nil {
+		return err
+	}
+	h.Scale = math.Float64frombits(bits)
+	cores, err := p.uvarint()
+	if err != nil {
+		return err
+	}
+	if cores > maxCores {
+		return fmt.Errorf("implausible core count %d", cores)
+	}
+	h.Cores = int(cores)
+	if h.Seed, err = p.u64(); err != nil {
+		return err
+	}
+	h.ConfigKey, err = p.str(maxNameLen, "config key")
+	return err
+}
+
+func decodeAnnotations(p *payload) (*approx.Annotations, error) {
+	count, err := p.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if count > maxRegions {
+		return nil, fmt.Errorf("implausible region count %d", count)
+	}
+	// Each region needs at least name-len + start + end + type + 16 float
+	// bytes; checking against the payload stops a hostile count before the
+	// slice is committed.
+	if count*20 > uint64(p.remaining()) {
+		return nil, fmt.Errorf("region count %d exceeds payload (%d bytes)", count, p.remaining())
+	}
+	regions := make([]approx.Region, count)
+	for i := range regions {
+		name, err := p.str(maxNameLen, "region name")
+		if err != nil {
+			return nil, err
+		}
+		start, err := p.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		end, err := p.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if start > math.MaxUint32 || end > math.MaxUint32 {
+			return nil, fmt.Errorf("region %q bounds exceed the 32-bit address space", name)
+		}
+		typ, err := p.byte()
+		if err != nil {
+			return nil, err
+		}
+		if memdata.ElemType(typ) > memdata.F64 {
+			return nil, fmt.Errorf("region %q has unknown element type %d", name, typ)
+		}
+		minBits, err := p.u64()
+		if err != nil {
+			return nil, err
+		}
+		maxBits, err := p.u64()
+		if err != nil {
+			return nil, err
+		}
+		regions[i] = approx.Region{
+			Name:  name,
+			Start: memdata.Addr(start),
+			End:   memdata.Addr(end),
+			Type:  memdata.ElemType(typ),
+			Min:   math.Float64frombits(minBits),
+			Max:   math.Float64frombits(maxBits),
+		}
+	}
+	ann, err := approx.NewAnnotations(regions...)
+	if err != nil {
+		return nil, fmt.Errorf("annotations invalid: %w", err)
+	}
+	return ann, nil
+}
+
+func decodeMemory(p *payload) (*memdata.Store, error) {
+	count, err := p.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	// A block costs at least 65 payload bytes, so the count is verifiable
+	// up front without trusting it.
+	if count > uint64(p.remaining())/(memdata.BlockSize+1)+1 {
+		return nil, fmt.Errorf("block count %d exceeds payload (%d bytes)", count, p.remaining())
+	}
+	st := memdata.NewStore()
+	pn := uint64(0)
+	for i := uint64(0); i < count; i++ {
+		d, err := p.uvarint()
+		if err != nil {
+			return nil, fmt.Errorf("block %d: %w", i, err)
+		}
+		if i == 0 {
+			pn = d
+		} else {
+			if d == 0 {
+				return nil, fmt.Errorf("block %d: zero gap (blocks must ascend)", i)
+			}
+			pn += d
+		}
+		if pn > math.MaxUint32>>memdata.OffsetBits {
+			return nil, fmt.Errorf("block %d: address beyond the 32-bit space", i)
+		}
+		raw, err := p.bytes(memdata.BlockSize)
+		if err != nil {
+			return nil, fmt.Errorf("block %d: %w", i, err)
+		}
+		var blk memdata.Block
+		copy(blk[:], raw)
+		st.WriteBlock(memdata.Addr(pn<<memdata.OffsetBits), &blk)
+	}
+	return st, nil
+}
+
+func decodeTraces(p *payload) (*Recorder, error) {
+	cores, err := p.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if cores > maxCores {
+		return nil, fmt.Errorf("implausible core count %d", cores)
+	}
+	rec := NewRecorder(int(cores))
+	for c := 0; c < int(cores); c++ {
+		count, err := p.uvarint()
+		if err != nil {
+			return nil, fmt.Errorf("core %d count: %w", c, err)
+		}
+		// A record is at least 3 bytes (flags + addr delta + gap).
+		if count > uint64(p.remaining())/3+1 {
+			return nil, fmt.Errorf("core %d: record count %d exceeds payload (%d bytes)", c, count, p.remaining())
+		}
+		t := make(Trace, 0, min64(count, capCapRec))
+		prev := uint64(0)
+		for i := uint64(0); i < count; i++ {
+			flags, err := p.uvarint()
+			if err != nil {
+				return nil, fmt.Errorf("core %d record %d: %w", c, i, err)
+			}
+			if flags>>2 > 0xFF {
+				return nil, fmt.Errorf("core %d record %d: size %d exceeds a byte", c, i, flags>>2)
+			}
+			delta, err := p.varint()
+			if err != nil {
+				return nil, fmt.Errorf("core %d record %d: %w", c, i, err)
+			}
+			addr := int64(prev) + delta
+			if addr < 0 || addr > math.MaxUint32 {
+				return nil, fmt.Errorf("core %d record %d: address delta leaves the 32-bit space", c, i)
+			}
+			prev = uint64(addr)
+			gap, err := p.uvarint()
+			if err != nil {
+				return nil, fmt.Errorf("core %d record %d: %w", c, i, err)
+			}
+			if gap > math.MaxUint32 {
+				return nil, fmt.Errorf("core %d record %d: gap %d exceeds 32 bits", c, i, gap)
+			}
+			r := Record{
+				Addr:   memdata.Addr(addr),
+				Gap:    uint32(gap),
+				Size:   uint8(flags >> 2),
+				Write:  flags&1 != 0,
+				Approx: flags&2 != 0,
+			}
+			if r.Write {
+				if r.Val, err = p.uvarint(); err != nil {
+					return nil, fmt.Errorf("core %d record %d: %w", c, i, err)
+				}
+			}
+			t = append(t, r)
+		}
+		rec.Cores[c] = t
+	}
+	return rec, nil
+}
+
+func decodeOrder(p *payload, rec *Recorder) error {
+	count, err := p.uvarint()
+	if err != nil {
+		return err
+	}
+	if count > uint64(p.remaining())+1 {
+		return fmt.Errorf("order count %d exceeds payload (%d bytes)", count, p.remaining())
+	}
+	if rec == nil {
+		return fmt.Errorf("order section before traces")
+	}
+	if count != uint64(rec.Len()) {
+		return fmt.Errorf("order count %d does not match %d recorded accesses", count, rec.Len())
+	}
+	order := make([]uint16, 0, min64(count, capCapRec))
+	for i := uint64(0); i < count; i++ {
+		core, err := p.uvarint()
+		if err != nil {
+			return fmt.Errorf("order entry %d: %w", i, err)
+		}
+		if core >= uint64(len(rec.Cores)) {
+			return fmt.Errorf("order entry %d names core %d of %d", i, core, len(rec.Cores))
+		}
+		order = append(order, uint16(core))
+	}
+	rec.Order = order
+	return nil
+}
+
+func decodeOutput(p *payload) ([]float64, error) {
+	count, err := p.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if count*8 > uint64(p.remaining()) {
+		return nil, fmt.Errorf("output count %d exceeds payload (%d bytes)", count, p.remaining())
+	}
+	out := make([]float64, count)
+	for i := range out {
+		bits, err := p.u64()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = math.Float64frombits(bits)
+	}
+	return out, nil
+}

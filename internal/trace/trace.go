@@ -3,9 +3,19 @@
 // mirroring the paper's methodology split (§4): application error is
 // measured functionally, performance by simulating the same access stream
 // against each LLC organization.
+//
+// Traces persist in two on-disk forms: the legacy per-core record stream
+// (serialize.go, "DPTR", kept for trace bundles) and the capture file
+// (file.go, "DGTC"): a versioned, CRC-guarded container holding everything
+// a replay needs — header, annotations, initial memory image, per-core
+// streams, the global interleaving order, and the run's output.
 package trace
 
-import "doppelganger/internal/memdata"
+import (
+	"fmt"
+
+	"doppelganger/internal/memdata"
+)
 
 // Record is one dynamic memory operation by a core. Gap counts the
 // non-memory instructions executed since the previous record, which the
@@ -25,8 +35,17 @@ type Record struct {
 type Trace []Record
 
 // Recorder accumulates per-core traces during functional simulation.
+//
+// Order records the global interleaving: one entry per Access, in the order
+// the hierarchy performed them. The gang scheduler serializes every access,
+// so appending here is race-free, and the recorded order IS the order in
+// which the shared LLC observed the stream — replaying Cores[...] in Order
+// reproduces the exact functional state evolution of the live run. (The
+// timing simulator ignores Order: it re-schedules the per-core streams by
+// its own ready times.)
 type Recorder struct {
 	Cores   []Trace
+	Order   []uint16 // core id per access, in global access order
 	pending []uint32 // non-memory instructions awaiting the next record
 }
 
@@ -56,6 +75,7 @@ func (r *Recorder) Access(core int, addr memdata.Addr, write bool, size int, val
 		Write:  write,
 		Approx: approxFlag,
 	})
+	r.Order = append(r.Order, uint16(core))
 	r.pending[core] = 0
 }
 
@@ -78,4 +98,62 @@ func (r *Recorder) Instructions() uint64 {
 		}
 	}
 	return total
+}
+
+// Cursor iterates a recorder's accesses in the recorded global order — the
+// steady-state read path of functional replay. Construction validates the
+// order index once so Next can be a handful of slice operations with no
+// allocation and no per-step bounds reasoning.
+type Cursor struct {
+	cores []Trace
+	order []uint16
+	pos   []int
+	i     int
+}
+
+// Cursor returns a global-order iterator over the recorded accesses. It
+// fails if the recorder carries no order index (e.g. a legacy "DPTR"
+// stream) or if the index is inconsistent with the per-core streams.
+func (r *Recorder) Cursor() (*Cursor, error) {
+	if len(r.Order) != r.Len() {
+		return nil, fmt.Errorf("trace: order index has %d entries for %d records (recorded before global-order capture, or corrupt)",
+			len(r.Order), r.Len())
+	}
+	counts := make([]int, len(r.Cores))
+	for _, c := range r.Order {
+		if int(c) >= len(r.Cores) {
+			return nil, fmt.Errorf("trace: order index names core %d of %d", c, len(r.Cores))
+		}
+		counts[c]++
+	}
+	for c, n := range counts {
+		if n != len(r.Cores[c]) {
+			return nil, fmt.Errorf("trace: order index has %d accesses for core %d, stream has %d", n, c, len(r.Cores[c]))
+		}
+	}
+	return &Cursor{cores: r.Cores, order: r.Order, pos: make([]int, len(r.Cores))}, nil
+}
+
+// Len returns the total number of accesses the cursor walks.
+func (c *Cursor) Len() int { return len(c.order) }
+
+// Next returns the next access in global order: the issuing core and a
+// pointer into the recorded stream. It returns (-1, nil) once exhausted.
+func (c *Cursor) Next() (core int, rec *Record) {
+	if c.i >= len(c.order) {
+		return -1, nil
+	}
+	cr := c.order[c.i]
+	c.i++
+	p := c.pos[cr]
+	c.pos[cr] = p + 1
+	return int(cr), &c.cores[cr][p]
+}
+
+// Reset rewinds the cursor to the first access without allocating.
+func (c *Cursor) Reset() {
+	c.i = 0
+	for i := range c.pos {
+		c.pos[i] = 0
+	}
 }
