@@ -5,7 +5,7 @@
 // Usage:
 //
 //	go test -bench 'Evaluation...' -benchmem . | benchjson -o BENCH.json
-//	benchjson -baseline old.txt -o BENCH.json current.txt
+//	benchjson -baseline old.txt -benchtime 2x -count 5 -o BENCH.json current.txt
 //
 // Input lines it understands look like:
 //
@@ -13,6 +13,14 @@
 //
 // Everything else (goos/goarch headers, PASS/ok trailers) is ignored, so the
 // raw `go test` output can be piped straight in.
+//
+// Repeated names (from -count > 1) aggregate into mean and standard
+// deviation rather than keeping the last line. When a baseline is joined,
+// each entry's speedup is checked against the run-to-run noise of both
+// samples: a row whose |speedup - 1| is within two combined relative
+// standard deviations is flagged "within_noise" — a reminder that the
+// difference is not evidence. Single-sample runs fall back to a 2% noise
+// floor per side.
 package main
 
 import (
@@ -21,22 +29,27 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
 )
 
-// result is one parsed benchmark line.
+// result is one benchmark's aggregated numbers: means over the repeats, plus
+// the ns/op spread when there was more than one.
 type result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
+	NsStddev    float64 `json:"ns_stddev,omitempty"`
+	Repeats     int     `json:"repeats,omitempty"`
 	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
 }
 
 // entry is one benchmark in the report: the current numbers, the baseline's
 // (when provided), and the resulting ratios (>1 means the current run is
-// better: faster, or fewer allocations/bytes).
+// better: faster, or fewer allocations/bytes). WithinNoise marks speedups
+// indistinguishable from run-to-run variance.
 type entry struct {
 	Name string `json:"name"`
 	result
@@ -44,10 +57,13 @@ type entry struct {
 	NsSpeedup   float64 `json:"ns_speedup,omitempty"`
 	AllocsRatio float64 `json:"allocs_ratio,omitempty"`
 	BytesRatio  float64 `json:"bytes_ratio,omitempty"`
+	WithinNoise bool    `json:"within_noise,omitempty"`
 }
 
 type report struct {
 	Note       string  `json:"note"`
+	Benchtime  string  `json:"benchtime,omitempty"`
+	Count      int     `json:"count,omitempty"`
 	Benchmarks []entry `json:"benchmarks"`
 }
 
@@ -55,6 +71,8 @@ func main() {
 	baselinePath := flag.String("baseline", "", "prior -bench output to join as the baseline")
 	out := flag.String("o", "", "output file (default stdout)")
 	note := flag.String("note", "", "free-form provenance note stored in the report")
+	benchtime := flag.String("benchtime", "", "the -benchtime the run used (recorded in the report)")
+	count := flag.Int("count", 0, "the -count the run used (recorded in the report)")
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
@@ -77,33 +95,38 @@ func main() {
 		fatal(fmt.Errorf("no benchmark lines found in input"))
 	}
 
-	var baseline map[string]result
+	baseline := map[string]result{}
 	if *baselinePath != "" {
 		f, err := os.Open(*baselinePath)
 		if err != nil {
 			fatal(err)
 		}
-		baseline, err = parse(f)
+		samples, err := parse(f)
 		f.Close()
 		if err != nil {
 			fatal(err)
 		}
+		for name, s := range samples {
+			baseline[name] = aggregate(s)
+		}
 	}
 
-	rep := report{Note: *note}
+	rep := report{Note: *note, Benchtime: *benchtime, Count: *count}
 	names := make([]string, 0, len(current))
 	for name := range current {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		e := entry{Name: name, result: current[name]}
+		cur := aggregate(current[name])
+		e := entry{Name: name, result: cur}
 		if b, ok := baseline[name]; ok {
 			bb := b
 			e.Baseline = &bb
-			e.NsSpeedup = ratio(b.NsPerOp, e.NsPerOp)
-			e.AllocsRatio = ratio(b.AllocsPerOp, e.AllocsPerOp)
-			e.BytesRatio = ratio(b.BytesPerOp, e.BytesPerOp)
+			e.NsSpeedup = ratio(b.NsPerOp, cur.NsPerOp)
+			e.AllocsRatio = ratio(b.AllocsPerOp, cur.AllocsPerOp)
+			e.BytesRatio = ratio(b.BytesPerOp, cur.BytesPerOp)
+			e.WithinNoise = withinNoise(cur, b)
 		}
 		rep.Benchmarks = append(rep.Benchmarks, e)
 	}
@@ -122,6 +145,49 @@ func main() {
 	}
 }
 
+// aggregate folds one benchmark's repeats into means plus the ns/op
+// standard deviation (population; a noise estimate, not an inference).
+func aggregate(samples []result) result {
+	n := float64(len(samples))
+	var agg result
+	agg.Repeats = len(samples)
+	for _, s := range samples {
+		agg.NsPerOp += s.NsPerOp / n
+		agg.BytesPerOp += s.BytesPerOp / n
+		agg.AllocsPerOp += s.AllocsPerOp / n
+	}
+	if len(samples) > 1 {
+		var ss float64
+		for _, s := range samples {
+			d := s.NsPerOp - agg.NsPerOp
+			ss += d * d
+		}
+		agg.NsStddev = math.Sqrt(ss / n)
+	}
+	return agg
+}
+
+// noiseFloorRel is the assumed per-side relative noise when a sample has no
+// spread information (a single repeat).
+const noiseFloorRel = 0.02
+
+// withinNoise reports whether |speedup - 1| is inside two combined relative
+// standard deviations of the two samples — i.e. the measured difference
+// could plausibly be run-to-run variance rather than a real change.
+func withinNoise(cur, base result) bool {
+	if cur.NsPerOp == 0 || base.NsPerOp == 0 {
+		return false
+	}
+	rel := func(r result) float64 {
+		if r.Repeats < 2 || r.NsStddev == 0 {
+			return noiseFloorRel
+		}
+		return r.NsStddev / r.NsPerOp
+	}
+	combined := math.Hypot(rel(cur), rel(base))
+	return math.Abs(base.NsPerOp/cur.NsPerOp-1) <= 2*combined
+}
+
 // ratio returns old/new rounded to two decimals, or 0 when undefined.
 func ratio(old, new float64) float64 {
 	if old == 0 || new == 0 {
@@ -130,10 +196,10 @@ func ratio(old, new float64) float64 {
 	return float64(int(old/new*100+0.5)) / 100
 }
 
-// parse extracts benchmark results from -bench output. A repeated name (from
-// -count > 1) keeps the last occurrence.
-func parse(r io.Reader) (map[string]result, error) {
-	out := map[string]result{}
+// parse extracts benchmark samples from -bench output: every occurrence of a
+// name (from -count > 1) is kept for aggregation.
+func parse(r io.Reader) (map[string][]result, error) {
+	out := map[string][]result{}
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		fields := strings.Fields(sc.Text())
@@ -165,7 +231,7 @@ func parse(r io.Reader) (map[string]result, error) {
 			}
 		}
 		if seen {
-			out[name] = res
+			out[name] = append(out[name], res)
 		}
 	}
 	return out, sc.Err()

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseAggregatesRepeats(t *testing.T) {
+	in := `goos: linux
+BenchmarkTable2-8  2  100 ns/op  64 B/op  3 allocs/op
+BenchmarkTable2-8  2  120 ns/op  64 B/op  3 allocs/op
+BenchmarkTable2-8  2  110 ns/op  64 B/op  3 allocs/op
+BenchmarkFig2-8    1  500 ns/op
+PASS
+`
+	samples, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples["Table2"]) != 3 || len(samples["Fig2"]) != 1 {
+		t.Fatalf("sample counts: Table2 %d, Fig2 %d", len(samples["Table2"]), len(samples["Fig2"]))
+	}
+	agg := aggregate(samples["Table2"])
+	if agg.Repeats != 3 || math.Abs(agg.NsPerOp-110) > 1e-9 {
+		t.Fatalf("aggregate = %+v, want mean 110 over 3 repeats", agg)
+	}
+	// Population stddev of {100, 120, 110} around 110 is sqrt(200/3).
+	if want := math.Sqrt(200.0 / 3.0); math.Abs(agg.NsStddev-want) > 1e-9 {
+		t.Fatalf("stddev = %v, want %v", agg.NsStddev, want)
+	}
+	if single := aggregate(samples["Fig2"]); single.NsStddev != 0 || single.Repeats != 1 {
+		t.Fatalf("single sample aggregate = %+v, want no stddev", single)
+	}
+}
+
+func TestWithinNoise(t *testing.T) {
+	mk := func(mean, stddev float64, repeats int) result {
+		return result{NsPerOp: mean, NsStddev: stddev, Repeats: repeats}
+	}
+	cases := []struct {
+		name      string
+		cur, base result
+		want      bool
+	}{
+		// 1% apparent speedup under 5% per-side spread: noise.
+		{"noisy small delta", mk(100, 5, 5), mk(101, 5, 5), true},
+		// 2x speedup under the same spread: real.
+		{"large delta", mk(100, 5, 5), mk(200, 5, 5), false},
+		// Single samples: the 2% floor applies, so 3% is within 2*combined
+		// (~5.7%) but 20% is not.
+		{"single samples small", mk(100, 0, 1), mk(103, 0, 1), true},
+		{"single samples large", mk(100, 0, 1), mk(120, 0, 1), false},
+		// Tight repeats resolve deltas the single-sample floor cannot.
+		{"tight spread resolves", mk(100, 0.5, 10), mk(103, 0.5, 10), false},
+	}
+	for _, tc := range cases {
+		if got := withinNoise(tc.cur, tc.base); got != tc.want {
+			t.Errorf("%s: withinNoise = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}

@@ -1,9 +1,6 @@
 package main
 
-import (
-	"fmt"
-	"math"
-)
+import "doppelganger/internal/flagcheck"
 
 // simOptions are the numeric flags validateOptions checks. QualityBudgetSet
 // reports whether -quality-budget was supplied explicitly (via flag.Visit):
@@ -25,33 +22,22 @@ type simOptions struct {
 
 // validateOptions rejects flag values that would otherwise fail obscurely
 // mid-run (or silently simulate something other than what was asked for).
+// The checks themselves live in internal/flagcheck, shared with experiments
+// and sweepd.
 func validateOptions(o simOptions) error {
-	if math.IsNaN(o.Scale) || o.Scale <= 0 {
-		return fmt.Errorf("-scale must be a positive number, got %v", o.Scale)
+	var budgetErr error
+	if o.QualityBudgetSet {
+		budgetErr = flagcheck.PositiveFraction("-quality-budget",
+			"e.g. 0.05; omit the flag to disable the guard", o.QualityBudget)
 	}
-	if o.Cores < 1 {
-		return fmt.Errorf("-cores must be at least 1, got %d", o.Cores)
-	}
-	if o.MapBits < 1 || o.MapBits > 32 {
-		return fmt.Errorf("-map must be between 1 and 32 bits, got %d", o.MapBits)
-	}
-	if math.IsNaN(o.DataFrac) || o.DataFrac < 0 || o.DataFrac > 1 {
-		return fmt.Errorf("-datafrac must be a fraction in [0,1] (0 = the organization's default), got %v", o.DataFrac)
-	}
-	if math.IsNaN(o.FaultRate) || o.FaultRate < 0 || o.FaultRate > 1 {
-		return fmt.Errorf("-fault-rate must be a probability in [0,1], got %v", o.FaultRate)
-	}
-	if o.QualityBudgetSet && (math.IsNaN(o.QualityBudget) || math.IsInf(o.QualityBudget, 0) || o.QualityBudget <= 0) {
-		return fmt.Errorf("-quality-budget must be a positive finite error fraction (e.g. 0.05; omit the flag to disable the guard), got %v", o.QualityBudget)
-	}
-	if math.IsNaN(o.CanaryRate) || o.CanaryRate < 0 || o.CanaryRate > 1 {
-		return fmt.Errorf("-canary-rate must be a probability in [0,1], got %v", o.CanaryRate)
-	}
-	if (o.TraceCapture || o.TraceReplay) && o.TraceDir == "" {
-		return fmt.Errorf("-trace-capture and -trace-replay require -trace-dir")
-	}
-	if o.TraceCapture && o.TraceReplay {
-		return fmt.Errorf("-trace-capture and -trace-replay are mutually exclusive (capture re-records, replay forbids recording)")
-	}
-	return nil
+	return flagcheck.First(
+		flagcheck.PositiveScale("-scale", o.Scale),
+		flagcheck.AtLeast("-cores", o.Cores, 1),
+		flagcheck.IntRange("-map", o.MapBits, 1, 32, "bits"),
+		flagcheck.Fraction("-datafrac", "0 = the organization's default", o.DataFrac),
+		flagcheck.Probability("-fault-rate", o.FaultRate),
+		budgetErr,
+		flagcheck.Probability("-canary-rate", o.CanaryRate),
+		flagcheck.TraceFlags(o.TraceDir, o.TraceCapture, o.TraceReplay),
+	)
 }

@@ -1,25 +1,11 @@
 package main
 
-import (
-	"fmt"
-	"math"
-	"strconv"
-	"strings"
-)
+import "doppelganger/internal/flagcheck"
 
-// parseRates parses a comma-separated -fault-rate list. Every entry must be
-// a finite probability in [0,1]; NaN — which ParseFloat happily accepts — is
-// rejected explicitly.
+// parseRates parses a comma-separated -fault-rate list (see
+// flagcheck.Rates: finite probabilities in [0,1], NaN rejected explicitly).
 func parseRates(s string) ([]float64, error) {
-	var rates []float64
-	for _, f := range strings.Split(s, ",") {
-		r, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
-		if err != nil || math.IsNaN(r) || r < 0 || r > 1 {
-			return nil, fmt.Errorf("bad -fault-rate entry %q (want a probability in [0,1])", strings.TrimSpace(f))
-		}
-		rates = append(rates, r)
-	}
-	return rates, nil
+	return flagcheck.Rates("-fault-rate", s)
 }
 
 // sweepOptions are the numeric flags validateOptions checks. The *Set fields
@@ -39,28 +25,15 @@ type sweepOptions struct {
 }
 
 // validateOptions rejects flag combinations that would otherwise fail
-// obscurely mid-sweep (or worse, silently misbehave).
+// obscurely mid-sweep (or worse, silently misbehave). The checks themselves
+// live in internal/flagcheck, shared with doppelsim and sweepd.
 func validateOptions(o sweepOptions) error {
-	if math.IsNaN(o.Scale) || o.Scale <= 0 {
-		return fmt.Errorf("-scale must be a positive number, got %v", o.Scale)
-	}
-	if o.WorkersSet && o.Workers < 1 {
-		return fmt.Errorf("-workers must be at least 1 (omit the flag for one worker per CPU), got %d", o.Workers)
-	}
-	if o.Retries < 0 {
-		return fmt.Errorf("-retries must be non-negative, got %d", o.Retries)
-	}
-	if math.IsNaN(o.QualityBudget) || math.IsInf(o.QualityBudget, 0) || o.QualityBudget <= 0 {
-		return fmt.Errorf("-quality-budget must be a positive finite error fraction (e.g. 0.05), got %v", o.QualityBudget)
-	}
-	if math.IsNaN(o.CanaryRate) || o.CanaryRate < 0 || o.CanaryRate > 1 {
-		return fmt.Errorf("-canary-rate must be a probability in [0,1], got %v", o.CanaryRate)
-	}
-	if (o.TraceCapture || o.TraceReplay) && o.TraceDir == "" {
-		return fmt.Errorf("-trace-capture and -trace-replay require -trace-dir")
-	}
-	if o.TraceCapture && o.TraceReplay {
-		return fmt.Errorf("-trace-capture and -trace-replay are mutually exclusive (capture re-records, replay forbids recording)")
-	}
-	return nil
+	return flagcheck.First(
+		flagcheck.PositiveScale("-scale", o.Scale),
+		flagcheck.Workers("-workers", o.WorkersSet, o.Workers),
+		flagcheck.NonNegative("-retries", o.Retries),
+		flagcheck.PositiveFraction("-quality-budget", "e.g. 0.05", o.QualityBudget),
+		flagcheck.Probability("-canary-rate", o.CanaryRate),
+		flagcheck.TraceFlags(o.TraceDir, o.TraceCapture, o.TraceReplay),
+	)
 }

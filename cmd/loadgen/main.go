@@ -1,0 +1,234 @@
+// Command loadgen hammers a running sweepd with concurrent job submissions
+// and reports client-side latency percentiles plus the server's own stats.
+//
+// Usage:
+//
+//	sweepd -scale 0.02 -only kmeans,inversek2j -addr :8734 &
+//	loadgen -addr 127.0.0.1:8734 -n 10000 -c 512 -o BENCH_8.json
+//
+// The generator cycles a deterministic grid of sweep cells over the
+// benchmarks in -benches, so most submissions hit the server's result memo —
+// the realistic service pattern — while still forcing a spread of distinct
+// simulations. 429 refusals are retried after the server's own Retry-After
+// header (the admission contract); every other failure counts against the
+// run. The output JSON records totals, latency percentiles (p50/p95/p99),
+// throughput, and the server's /v1/stats snapshot at the end of the run.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// cell mirrors the server's job body (loadgen speaks only the wire format —
+// it deliberately does not import the server package).
+type cell struct {
+	Kind  string  `json:"kind"`
+	Bench string  `json:"bench,omitempty"`
+	M     int     `json:"m,omitempty"`
+	Frac  float64 `json:"frac,omitempty"`
+	Org   string  `json:"org,omitempty"`
+	Rate  float64 `json:"rate,omitempty"`
+}
+
+// grid generates the i-th submission deterministically: benchmarks round-
+// robin, kinds and parameters cycle at coprime strides so the same cell
+// recurs (memo hits) without the stream ever being a single hot key.
+func grid(benches []string, i int) cell {
+	// Fracs must land the Doppelgänger data array on whole sets (entries
+	// divisible by ways) or the server rejects the cell as bad geometry.
+	ms := []int{8, 10, 12, 14, 16}
+	fracs := []float64{0.125, 0.25, 0.5, 0.75, 1}
+	rates := []float64{1e-5, 1e-4, 1e-3}
+	bench := benches[i%len(benches)]
+	switch (i / 7) % 6 {
+	case 0:
+		return cell{Kind: "split-error", Bench: bench, M: ms[i%len(ms)], Frac: fracs[(i/3)%len(fracs)]}
+	case 1:
+		return cell{Kind: "uni-error", Bench: bench, M: ms[(i/2)%len(ms)], Frac: fracs[i%len(fracs)]}
+	case 2:
+		return cell{Kind: "split-timing", Bench: bench, M: ms[i%len(ms)], Frac: fracs[(i/5)%len(fracs)]}
+	case 3:
+		return cell{Kind: "baseline-timing", Bench: bench}
+	case 4:
+		return cell{Kind: "fault-error", Bench: bench, Org: "doppel", Rate: rates[i%len(rates)]}
+	default:
+		return cell{Kind: "quality-error", Bench: bench, Org: "doppel", Rate: rates[(i/2)%len(rates)]}
+	}
+}
+
+// report is the output JSON schema (BENCH_8.json).
+type report struct {
+	Addr        string  `json:"addr"`
+	Requests    int     `json:"requests"`
+	Concurrency int     `json:"concurrency"`
+	Benches     string  `json:"benches"`
+	Succeeded   int64   `json:"succeeded"`
+	Failed      int64   `json:"failed"`
+	ShedRetries int64   `json:"shed_retries"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Throughput  float64 `json:"throughput_rps"`
+	LatencyMS   struct {
+		P50  float64 `json:"p50"`
+		P95  float64 `json:"p95"`
+		P99  float64 `json:"p99"`
+		Max  float64 `json:"max"`
+		Mean float64 `json:"mean"`
+	} `json:"latency_ms"`
+	ServerStats json.RawMessage `json:"server_stats,omitempty"`
+}
+
+// percentile reads the p-th percentile (0..100) from a sorted sample by the
+// nearest-rank method; an empty sample reads 0.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(p/100*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// retryAfter parses a 429's Retry-After header, defaulting to 100ms — the
+// client half of the admission contract.
+func retryAfter(h http.Header) time.Duration {
+	if secs, err := strconv.Atoi(h.Get("Retry-After")); err == nil && secs > 0 {
+		return time.Duration(secs) * time.Second
+	}
+	return 100 * time.Millisecond
+}
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8734", "sweepd address")
+		n       = flag.Int("n", 10000, "total submissions")
+		c       = flag.Int("c", 512, "concurrent clients")
+		benches = flag.String("benches", "kmeans,inversek2j", "benchmarks to spread cells over (must match the server's -only)")
+		out     = flag.String("o", "", "write the report JSON here (default stdout)")
+		retries = flag.Int("retries", 100, "429 retries per submission before counting it failed")
+	)
+	flag.Parse()
+	if *n < 1 || *c < 1 {
+		fmt.Fprintln(os.Stderr, "loadgen: -n and -c must be at least 1")
+		os.Exit(2)
+	}
+
+	bl := strings.Split(*benches, ",")
+	client := &http.Client{Timeout: 5 * time.Minute}
+	url := "http://" + *addr + "/v1/jobs"
+
+	var succeeded, failed, shed atomic.Int64
+	latencies := make([]float64, *n) // ms; index per submission, -1 = failed
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				body, _ := json.Marshal(grid(bl, i))
+				t0 := time.Now()
+				ok := false
+				for attempt := 0; attempt <= *retries; attempt++ {
+					resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+					if err != nil {
+						break
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode == http.StatusOK {
+						ok = true
+						break
+					}
+					if resp.StatusCode != http.StatusTooManyRequests {
+						break
+					}
+					shed.Add(1)
+					time.Sleep(retryAfter(resp.Header))
+				}
+				if ok {
+					succeeded.Add(1)
+					latencies[i] = float64(time.Since(t0).Microseconds()) / 1000
+				} else {
+					failed.Add(1)
+					latencies[i] = -1
+				}
+			}
+		}()
+	}
+	for i := 0; i < *n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	wall := time.Since(start)
+
+	var sample []float64
+	var sum float64
+	for _, l := range latencies {
+		if l >= 0 {
+			sample = append(sample, l)
+			sum += l
+		}
+	}
+	sort.Float64s(sample)
+
+	r := report{
+		Addr:        *addr,
+		Requests:    *n,
+		Concurrency: *c,
+		Benches:     *benches,
+		Succeeded:   succeeded.Load(),
+		Failed:      failed.Load(),
+		ShedRetries: shed.Load(),
+		WallSeconds: wall.Seconds(),
+		Throughput:  float64(succeeded.Load()) / wall.Seconds(),
+	}
+	r.LatencyMS.P50 = percentile(sample, 50)
+	r.LatencyMS.P95 = percentile(sample, 95)
+	r.LatencyMS.P99 = percentile(sample, 99)
+	r.LatencyMS.Max = percentile(sample, 100)
+	if len(sample) > 0 {
+		r.LatencyMS.Mean = sum / float64(len(sample))
+	}
+	if resp, err := client.Get("http://" + *addr + "/v1/stats"); err == nil {
+		if b, err := io.ReadAll(resp.Body); err == nil {
+			r.ServerStats = json.RawMessage(b)
+		}
+		resp.Body.Close()
+	}
+
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(1)
+	}
+	b = append(b, '\n')
+	if *out == "" {
+		os.Stdout.Write(b)
+	} else if err := os.WriteFile(*out, b, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(1)
+	}
+	if failed.Load() > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: %d submission(s) failed\n", failed.Load())
+		os.Exit(1)
+	}
+}

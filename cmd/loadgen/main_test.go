@@ -1,0 +1,75 @@
+package main
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		p, want float64
+	}{
+		{50, 5}, {95, 10}, {99, 10}, {100, 10}, {0, 1}, {10, 1},
+	}
+	for _, tc := range cases {
+		if got := percentile(sorted, tc.p); got != tc.want {
+			t.Errorf("percentile(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if got := percentile(nil, 50); got != 0 {
+		t.Errorf("empty sample percentile = %v, want 0", got)
+	}
+}
+
+func TestRetryAfter(t *testing.T) {
+	h := http.Header{}
+	if d := retryAfter(h); d != 100*time.Millisecond {
+		t.Errorf("missing header: %v, want 100ms default", d)
+	}
+	h.Set("Retry-After", "3")
+	if d := retryAfter(h); d != 3*time.Second {
+		t.Errorf("Retry-After 3: %v, want 3s", d)
+	}
+	h.Set("Retry-After", "garbage")
+	if d := retryAfter(h); d != 100*time.Millisecond {
+		t.Errorf("garbage header: %v, want 100ms default", d)
+	}
+}
+
+// TestGridValidCells pins the generator to the server's wire grammar: every
+// generated cell carries a kind the server accepts, with in-range parameters.
+func TestGridValidCells(t *testing.T) {
+	benches := []string{"kmeans", "inversek2j"}
+	kinds := map[string]bool{}
+	distinct := map[cell]bool{}
+	for i := 0; i < 10000; i++ {
+		c := grid(benches, i)
+		kinds[c.Kind] = true
+		distinct[c] = true
+		if c.Bench == "" {
+			t.Fatalf("cell %d has no bench", i)
+		}
+		switch c.Kind {
+		case "split-error", "uni-error", "split-timing":
+			if c.M < 1 || c.M > 32 || !(c.Frac > 0 && c.Frac <= 1) {
+				t.Fatalf("cell %d out of range: %+v", i, c)
+			}
+		case "fault-error", "quality-error":
+			if c.Org == "" || c.Rate <= 0 || c.Rate > 1 {
+				t.Fatalf("cell %d out of range: %+v", i, c)
+			}
+		case "baseline-timing":
+		default:
+			t.Fatalf("cell %d has unknown kind %q", i, c.Kind)
+		}
+	}
+	if len(kinds) != 6 {
+		t.Errorf("generator exercised %d kinds, want 6", len(kinds))
+	}
+	// The stream must repeat cells (memo hits) while spreading real work.
+	if len(distinct) < 50 || len(distinct) > 5000 {
+		t.Errorf("distinct cells = %d, want a spread well below the stream length", len(distinct))
+	}
+}

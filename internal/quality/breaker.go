@@ -1,0 +1,239 @@
+package quality
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Breaker is the Controller's closed/open/half-open state machine lifted out
+// of the canary-sampling context so other subsystems can guard arbitrary
+// operations with the same discipline: an EWMA over scalar failure
+// observations (0 = success, 1 = failure, fractions for partial credit), a
+// budget that trips the breaker Open, a cooldown counted in Allow consults
+// before a HalfOpen probe window, and a hysteresis band on re-entry so a
+// marginal dependency does not flap. The sweep server uses one Breaker per
+// worker shard to quarantine shards after repeated panics, timeouts or
+// corrupt responses.
+//
+// Unlike Controller (one per serial simulation), a Breaker is safe for
+// concurrent use: the server observes outcomes from many dispatcher
+// goroutines at once. A nil *Breaker is the disabled path — Allow always
+// permits and Observe is a no-op — mirroring the package's nil-controller
+// convention.
+type Breaker struct {
+	mu           sync.Mutex
+	cfg          BreakerConfig
+	state        State
+	est          float64
+	cooldownLeft uint64
+	probeSum     float64
+	probeCount   uint64
+	trips        uint64
+	reentries    uint64
+	transitions  []Transition
+	ops          uint64 // Allow consults: the breaker's logical clock
+}
+
+// BreakerConfig describes one breaker.
+type BreakerConfig struct {
+	// Budget is the failure-rate budget in (0, 1]: when the EWMA failure
+	// estimate exceeds it the breaker trips Open.
+	Budget float64
+	// Alpha is the EWMA smoothing factor in (0, 1] (default 0.3). The
+	// estimate starts at 0 (healthy), so roughly ceil(log(1-Budget)/log(1-
+	// Alpha)) consecutive failures are needed for the first trip — "repeated"
+	// failures, never a single blip.
+	Alpha float64
+	// Cooldown is how many Allow consults the breaker stays Open before
+	// probing re-entry (default 32).
+	Cooldown uint64
+	// ProbeSamples is the half-open probe window (default 3).
+	ProbeSamples uint64
+	// ReEnterFrac scales Budget into the re-entry threshold (default 0.5):
+	// the probe mean must be at most ReEnterFrac x Budget to re-close.
+	ReEnterFrac float64
+}
+
+// withDefaults fills the zero-value knobs.
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Alpha == 0 {
+		c.Alpha = 0.3
+	}
+	if c.Cooldown == 0 {
+		c.Cooldown = 32
+	}
+	if c.ProbeSamples == 0 {
+		c.ProbeSamples = 3
+	}
+	if c.ReEnterFrac == 0 {
+		c.ReEnterFrac = 0.5
+	}
+	return c
+}
+
+// validate rejects configurations that could never trip or never re-close.
+func (c BreakerConfig) validate() error {
+	if math.IsNaN(c.Budget) || c.Budget <= 0 || c.Budget > 1 {
+		return fmt.Errorf("quality: breaker budget %v out of (0,1]", c.Budget)
+	}
+	if math.IsNaN(c.Alpha) || c.Alpha <= 0 || c.Alpha > 1 {
+		return fmt.Errorf("quality: breaker alpha %v out of (0,1]", c.Alpha)
+	}
+	if math.IsNaN(c.ReEnterFrac) || c.ReEnterFrac <= 0 || c.ReEnterFrac > 1 {
+		return fmt.Errorf("quality: breaker re-enter fraction %v out of (0,1]", c.ReEnterFrac)
+	}
+	return nil
+}
+
+// NewBreaker builds a breaker, rejecting invalid configurations. The breaker
+// starts Closed with a zero (healthy) estimate.
+func NewBreaker(cfg BreakerConfig) (*Breaker, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Breaker{cfg: cfg}, nil
+}
+
+// MustNewBreaker is NewBreaker but panics on error (static test configs).
+func MustNewBreaker(cfg BreakerConfig) *Breaker {
+	b, err := NewBreaker(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// transitionLocked moves the breaker and records the change; mu held.
+func (b *Breaker) transitionLocked(to State) {
+	from := b.state
+	b.state = to
+	b.transitions = append(b.transitions, Transition{
+		Op: b.ops, From: from, To: to, Estimate: b.est,
+	})
+}
+
+// Allow reports whether the guarded operation may proceed. False means the
+// breaker is Open and the caller should route around the dependency. Allow
+// drives the Open-state cooldown clock exactly like Controller.Allow: after
+// Cooldown denied consults the breaker goes HalfOpen and the consult that
+// observed the expiry proceeds as the first probe. Nil breakers always
+// allow.
+func (b *Breaker) Allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ops++
+	if b.state != Open {
+		return true
+	}
+	if b.cooldownLeft > 0 {
+		b.cooldownLeft--
+	}
+	if b.cooldownLeft == 0 {
+		b.probeSum, b.probeCount = 0, 0
+		b.transitionLocked(HalfOpen)
+		return true
+	}
+	return false
+}
+
+// Observe feeds one outcome (0 = success, 1 = failure, fractions allowed;
+// non-finite values are clamped into [0,1]) into the estimate and steps the
+// state machine: Closed trips Open when the EWMA exceeds Budget; HalfOpen
+// accumulates the probe window and either re-closes (re-anchoring the
+// estimate to the probe mean, the Controller's hysteresis trick) or
+// re-opens. Observations made while Open still update the EWMA so recovery
+// evidence is not thrown away. Nil breakers ignore observations.
+func (b *Breaker) Observe(failure float64) {
+	if b == nil {
+		return
+	}
+	if math.IsNaN(failure) || failure < 0 {
+		failure = 0
+	} else if failure > 1 {
+		failure = 1
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.est += b.cfg.Alpha * (failure - b.est)
+	switch b.state {
+	case Closed:
+		if b.est > b.cfg.Budget {
+			b.trips++
+			b.cooldownLeft = b.cfg.Cooldown
+			b.transitionLocked(Open)
+		}
+	case HalfOpen:
+		b.probeSum += failure
+		b.probeCount++
+		if b.probeCount >= b.cfg.ProbeSamples {
+			mean := b.probeSum / float64(b.probeCount)
+			if mean <= b.cfg.ReEnterFrac*b.cfg.Budget {
+				b.est = mean
+				b.reentries++
+				b.transitionLocked(Closed)
+			} else {
+				b.trips++
+				b.cooldownLeft = b.cfg.Cooldown
+				b.transitionLocked(Open)
+			}
+		}
+	}
+}
+
+// State returns the breaker's position (Closed for nil breakers).
+func (b *Breaker) State() State {
+	if b == nil {
+		return Closed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Estimate returns the running failure-rate estimate (0 for nil breakers).
+func (b *Breaker) Estimate() float64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.est
+}
+
+// Trips and Reentries count the breaker's Open entries and HalfOpen->Closed
+// recoveries.
+func (b *Breaker) Trips() uint64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}
+
+// Reentries counts successful recoveries (HalfOpen -> Closed).
+func (b *Breaker) Reentries() uint64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.reentries
+}
+
+// Transitions returns a copy of the state-change log in decision order.
+func (b *Breaker) Transitions() []Transition {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]Transition, len(b.transitions))
+	copy(out, b.transitions)
+	return out
+}

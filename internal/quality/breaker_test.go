@@ -1,0 +1,185 @@
+package quality
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// TestBreakerTripsOnRepeatedFailures: a healthy breaker survives one failure
+// but trips after repeated ones, denies while Open, probes after the
+// cooldown, and recovers on successful probes.
+func TestBreakerTripsOnRepeatedFailures(t *testing.T) {
+	b := MustNewBreaker(BreakerConfig{Budget: 0.5, Alpha: 0.3, Cooldown: 4, ProbeSamples: 2})
+	if !b.Allow() {
+		t.Fatal("fresh breaker denied")
+	}
+	b.Observe(1)
+	if b.State() != Closed {
+		t.Fatalf("one failure tripped the breaker (est %v)", b.Estimate())
+	}
+	for i := 0; i < 5 && b.State() == Closed; i++ {
+		b.Observe(1)
+	}
+	if b.State() != Open {
+		t.Fatalf("repeated failures did not trip: state %v est %v", b.State(), b.Estimate())
+	}
+	if b.Trips() != 1 {
+		t.Fatalf("trips = %d, want 1", b.Trips())
+	}
+	// Open: denied until the cooldown expires, then one probe consult allowed.
+	denied := 0
+	for b.State() == Open {
+		if !b.Allow() {
+			denied++
+		}
+		if denied > 100 {
+			t.Fatal("cooldown never expired")
+		}
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state after cooldown = %v, want half-open", b.State())
+	}
+	if denied == 0 {
+		t.Fatal("open breaker never denied")
+	}
+	// Successful probes re-close and re-anchor the estimate.
+	b.Observe(0)
+	b.Observe(0)
+	if b.State() != Closed {
+		t.Fatalf("clean probes did not re-close: %v", b.State())
+	}
+	if b.Estimate() != 0 {
+		t.Fatalf("estimate not re-anchored to probe mean: %v", b.Estimate())
+	}
+	if b.Reentries() != 1 {
+		t.Fatalf("reentries = %d, want 1", b.Reentries())
+	}
+}
+
+// TestBreakerFailedProbeReopens: a failing probe window re-opens instead of
+// re-closing.
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	b := MustNewBreaker(BreakerConfig{Budget: 0.4, Alpha: 0.5, Cooldown: 2, ProbeSamples: 2})
+	for b.State() == Closed {
+		b.Observe(1)
+	}
+	for b.State() == Open {
+		b.Allow()
+	}
+	b.Observe(1)
+	b.Observe(1)
+	if b.State() != Open {
+		t.Fatalf("failed probe window left state %v, want open", b.State())
+	}
+	if b.Trips() != 2 {
+		t.Fatalf("trips = %d, want 2", b.Trips())
+	}
+}
+
+// TestBreakerNil: the nil breaker is the disabled path.
+func TestBreakerNil(t *testing.T) {
+	var b *Breaker
+	if !b.Allow() {
+		t.Fatal("nil breaker denied")
+	}
+	b.Observe(1)
+	if b.State() != Closed || b.Estimate() != 0 || b.Trips() != 0 || b.Reentries() != 0 || b.Transitions() != nil {
+		t.Fatal("nil breaker accumulated state")
+	}
+}
+
+// TestBreakerConfigValidation rejects impossible budgets and factors.
+func TestBreakerConfigValidation(t *testing.T) {
+	bad := []BreakerConfig{
+		{Budget: 0},
+		{Budget: -1},
+		{Budget: 2},
+		{Budget: math.NaN()},
+		{Budget: 0.5, Alpha: 1.5},
+		{Budget: 0.5, ReEnterFrac: 2},
+	}
+	for _, cfg := range bad {
+		if _, err := NewBreaker(cfg); err == nil {
+			t.Errorf("NewBreaker(%+v) accepted", cfg)
+		}
+	}
+	if _, err := NewBreaker(BreakerConfig{Budget: 0.5}); err != nil {
+		t.Fatalf("defaulted config rejected: %v", err)
+	}
+}
+
+// TestBreakerProperty: under any observation sequence the breaker holds its
+// invariants — the estimate stays in [0,1], transitions alternate between
+// distinct states, Open always eventually yields to HalfOpen under Allow
+// pressure (liveness), and trips >= reentries.
+func TestGenericBreakerProperty(t *testing.T) {
+	f := func(seed uint64, obs []bool) bool {
+		b := MustNewBreaker(BreakerConfig{Budget: 0.3, Alpha: 0.4, Cooldown: 3, ProbeSamples: 2})
+		for _, fail := range obs {
+			if b.Allow() {
+				v := 0.0
+				if fail {
+					v = 1.0
+				}
+				b.Observe(v)
+			}
+			if e := b.Estimate(); e < 0 || e > 1 || math.IsNaN(e) {
+				return false
+			}
+		}
+		// Liveness: keep consulting without failures; the breaker must
+		// eventually permit work again.
+		for i := 0; i < 64; i++ {
+			if b.Allow() {
+				b.Observe(0)
+			}
+		}
+		if b.State() == Open {
+			return false
+		}
+		tr := b.Transitions()
+		for i, x := range tr {
+			if x.From == x.To {
+				return false
+			}
+			if i > 0 && tr[i-1].To != x.From {
+				return false
+			}
+		}
+		return b.Trips() >= b.Reentries()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBreakerConcurrent: hammer one breaker from many goroutines under the
+// race detector; counters must stay coherent.
+func TestBreakerConcurrent(t *testing.T) {
+	b := MustNewBreaker(BreakerConfig{Budget: 0.5, Alpha: 0.2, Cooldown: 8, ProbeSamples: 2})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if b.Allow() {
+					b.Observe(float64((g + i) % 2))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if e := b.Estimate(); e < 0 || e > 1 {
+		t.Fatalf("estimate out of range: %v", e)
+	}
+	tr := b.Transitions()
+	for i := 1; i < len(tr); i++ {
+		if tr[i-1].To != tr[i].From {
+			t.Fatalf("transition log incoherent at %d: %+v -> %+v", i, tr[i-1], tr[i])
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// tokenBucket is the admission throttle: submissions draw one token each,
+// tokens refill at `rate` per second up to `burst`. When empty, admit
+// reports how long until a token will exist — the Retry-After the 429
+// response carries, so well-behaved clients back off exactly as long as
+// needed instead of guessing.
+//
+// The clock is injectable so the admission tests are deterministic.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+func newTokenBucket(rate, burst float64) *tokenBucket {
+	b := &tokenBucket{rate: rate, burst: burst, tokens: burst, now: time.Now}
+	b.last = b.now()
+	return b
+}
+
+// admit draws one token. On refusal it returns the wait until the bucket
+// will next hold a whole token (never less than a millisecond, so the
+// Retry-After header is non-zero).
+func (b *tokenBucket) admit() (bool, time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	b.tokens += now.Sub(b.last).Seconds() * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+	if wait < time.Millisecond {
+		wait = time.Millisecond
+	}
+	return false, wait
+}

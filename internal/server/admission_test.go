@@ -1,0 +1,60 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// TestTokenBucket drives the bucket on a fake clock: the burst admits, an
+// empty bucket refuses with an accurate Retry-After, and refills restore
+// admission without exceeding the burst cap.
+func TestTokenBucket(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := newTokenBucket(10, 3) // 10 tokens/s, burst 3
+	b.now = func() time.Time { return now }
+	b.last = now
+
+	for i := 0; i < 3; i++ {
+		if ok, _ := b.admit(); !ok {
+			t.Fatalf("burst token %d refused", i)
+		}
+	}
+	ok, retry := b.admit()
+	if ok {
+		t.Fatal("empty bucket admitted")
+	}
+	// One token at 10/s is 100ms away.
+	if retry < 50*time.Millisecond || retry > 150*time.Millisecond {
+		t.Fatalf("retry-after = %v, want ~100ms", retry)
+	}
+
+	now = now.Add(retry)
+	if ok, _ := b.admit(); !ok {
+		t.Fatal("refused after waiting the advertised Retry-After")
+	}
+
+	// A long idle period must not bank more than the burst.
+	now = now.Add(time.Hour)
+	admitted := 0
+	for i := 0; i < 10; i++ {
+		if ok, _ := b.admit(); ok {
+			admitted++
+		}
+	}
+	if admitted != 3 {
+		t.Fatalf("after idle, admitted %d, want the burst cap 3", admitted)
+	}
+}
+
+// TestTokenBucketRetryAfterFloor verifies the Retry-After never collapses to
+// zero (the header would be meaningless).
+func TestTokenBucketRetryAfterFloor(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := newTokenBucket(1e6, 1)
+	b.now = func() time.Time { return now }
+	b.last = now
+	b.admit()
+	if ok, retry := b.admit(); ok || retry < time.Millisecond {
+		t.Fatalf("admit = %v, retry %v; want refusal with at least 1ms", ok, retry)
+	}
+}

@@ -1,0 +1,71 @@
+package server
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ring is a consistent-hash ring over shard indices. Each shard owns
+// `replicas` virtual points, so load spreads evenly and adding or removing a
+// shard only remaps the keys adjacent to its points. The ring gives every
+// route key a full preference order — the shard owning the first point at or
+// after the key's hash, then the next distinct shard clockwise, and so on —
+// which is exactly what hedged dispatch and retry need: the primary placement
+// keeps same-benchmark cells together (shared warm baselines), and the
+// fallbacks are deterministic rather than random.
+type ring struct {
+	points []ringPoint // sorted by hash
+	shards int
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// defaultReplicas is enough virtual points that a handful of shards spread
+// within a few percent of even.
+const defaultReplicas = 64
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// newRing builds the ring for n shards.
+func newRing(n, replicas int) *ring {
+	if replicas <= 0 {
+		replicas = defaultReplicas
+	}
+	r := &ring{points: make([]ringPoint, 0, n*replicas), shards: n}
+	for s := 0; s < n; s++ {
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("shard-%d-point-%d", s, v)), shard: s})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r
+}
+
+// order returns every shard exactly once, in the key's preference order:
+// walk clockwise from the key's hash collecting the first point of each
+// distinct shard. The slice is freshly allocated (callers rotate it).
+func (r *ring) order(key string) []int {
+	out := make([]int, 0, r.shards)
+	if len(r.points) == 0 {
+		return out
+	}
+	seen := make([]bool, r.shards)
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	for i := 0; i < len(r.points) && len(out) < r.shards; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.shard] {
+			seen[p.shard] = true
+			out = append(out, p.shard)
+		}
+	}
+	return out
+}

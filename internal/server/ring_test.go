@@ -1,0 +1,79 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingOrderComplete verifies every key gets a full preference order:
+// all shards, each exactly once, deterministically.
+func TestRingOrderComplete(t *testing.T) {
+	r := newRing(5, 0)
+	for _, key := range []string{"kmeans", "jpeg", "figure/fig10", ""} {
+		seq := r.order(key)
+		if len(seq) != 5 {
+			t.Fatalf("order(%q) = %v, want all 5 shards", key, seq)
+		}
+		seen := map[int]bool{}
+		for _, s := range seq {
+			if s < 0 || s >= 5 || seen[s] {
+				t.Fatalf("order(%q) = %v: out of range or duplicate", key, seq)
+			}
+			seen[s] = true
+		}
+		again := r.order(key)
+		for i := range seq {
+			if seq[i] != again[i] {
+				t.Fatalf("order(%q) not deterministic: %v then %v", key, seq, again)
+			}
+		}
+	}
+}
+
+// TestRingSpread verifies virtual nodes spread primary ownership across
+// shards: over many keys no shard owns everything and none starves to zero.
+func TestRingSpread(t *testing.T) {
+	const shards, keys = 4, 4096
+	r := newRing(shards, 0)
+	counts := make([]int, shards)
+	for i := 0; i < keys; i++ {
+		counts[r.order(fmt.Sprintf("bench-%d", i))[0]]++
+	}
+	for s, n := range counts {
+		// Even would be 1024; accept a generous band (consistent hashing
+		// with 64 points per shard stays well inside it).
+		if n < keys/shards/4 || n > keys*3/shards {
+			t.Fatalf("shard %d owns %d of %d keys: spread too skewed (%v)", s, n, keys, counts)
+		}
+	}
+}
+
+// TestRingStability verifies the consistent-hashing property: growing the
+// ring by one shard only remaps the keys the new shard takes — every other
+// key keeps its primary.
+func TestRingStability(t *testing.T) {
+	const keys = 2048
+	small, big := newRing(4, 0), newRing(5, 0)
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("bench-%d", i)
+		before, after := small.order(key)[0], big.order(key)[0]
+		if before != after {
+			if after != 4 {
+				t.Fatalf("key %q moved from shard %d to %d, not to the new shard", key, before, after)
+			}
+			moved++
+		}
+	}
+	// The new shard should take roughly 1/5 of the keys, never the majority.
+	if moved == 0 || moved > keys/2 {
+		t.Fatalf("adding a shard moved %d of %d keys", moved, keys)
+	}
+}
+
+// TestRingEmpty covers the degenerate no-shard ring.
+func TestRingEmpty(t *testing.T) {
+	if seq := newRing(0, 0).order("x"); len(seq) != 0 {
+		t.Fatalf("empty ring returned %v", seq)
+	}
+}

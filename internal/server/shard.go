@@ -1,0 +1,144 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync/atomic"
+
+	"doppelganger/internal/quality"
+	"doppelganger/internal/sweep"
+)
+
+// errShardDead marks outcomes from a killed shard; the dispatcher treats it
+// like any other shard failure (observe, retry elsewhere) but the shard is
+// additionally skipped by future candidate selection.
+var errShardDead = errors.New("server: shard is dead")
+
+// errShardBusy is a non-blocking enqueue refusal: the shard's queue is full.
+var errShardBusy = errors.New("server: shard queue full")
+
+// ChaosHooks are the fault-injection points the chaos test uses. Both hooks
+// run on the shard's worker goroutine, inside its panic shield.
+type ChaosHooks struct {
+	// BeforeExec runs before the cell computes; it may sleep (latency
+	// injection) or panic (worker crash). The shield converts the panic to a
+	// job failure and the shard survives.
+	BeforeExec func(shard int, key string)
+	// CorruptPayload, when non-nil, may mutate the payload bytes AFTER the
+	// checksum was sealed — modeling wire or memory corruption between the
+	// shard and the dispatcher. Return the (possibly rewritten) bytes.
+	CorruptPayload func(shard int, key string, payload []byte) []byte
+}
+
+// shard is one worker pool: a bounded job queue, ShardWorkers goroutines
+// draining it into a private sweep.Runner, and a circuit breaker fed by the
+// dispatcher. The runner is per-shard on purpose — its memo caches and warm
+// baseline artifacts are isolated, so a quarantined or killed shard cannot
+// poison results for the others (the shared checkpoint persists only
+// verified successes).
+type shard struct {
+	id      int
+	runner  *sweep.Runner
+	breaker *quality.Breaker
+	jobs    chan *job
+	ctx     context.Context // canceled by Kill or server close
+	kill    context.CancelFunc
+	dead    atomic.Bool
+}
+
+// job is one dispatch attempt traveling to a shard. done is buffered for
+// every copy the dispatcher may enqueue (primary + hedges), so a worker's
+// send never blocks even when the dispatcher has already moved on.
+type job struct {
+	cell Cell
+	key  string
+	ctx  context.Context // the job deadline
+	done chan outcome
+}
+
+// outcome is a shard's reply: sealed payload bytes and their checksum, or an
+// error.
+type outcome struct {
+	shard   int
+	payload []byte
+	sum     uint64
+	err     error
+}
+
+// loop drains the shard's queue. A dead shard keeps answering — with
+// errShardDead — so queued jobs fail fast to the dispatcher instead of
+// hanging; the loop only exits when the server itself shuts down.
+func (sh *shard) loop(s *Server) {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case j := <-sh.jobs:
+			out := sh.exec(s, j)
+			s.queueDepth.Add(-1)
+			s.depthGauge.Add(-1)
+			select {
+			case j.done <- out:
+			default: // dispatcher already has an answer for this attempt
+			}
+		}
+	}
+}
+
+// exec runs one job under the panic shield, the chaos hooks, and a context
+// that dies with either the job deadline or the shard (a killed shard
+// aborts its in-flight simulations mid-access).
+func (sh *shard) exec(s *Server, j *job) (out outcome) {
+	out.shard = sh.id
+	defer func() {
+		if p := recover(); p != nil {
+			s.m.panics.Inc()
+			out = outcome{shard: sh.id, err: fmt.Errorf("server: shard %d panic on %s: %v\n%s", sh.id, j.key, p, debug.Stack())}
+		}
+	}()
+	if sh.dead.Load() {
+		out.err = errShardDead
+		return out
+	}
+	if hook := s.chaos.BeforeExec; hook != nil {
+		hook(sh.id, j.key)
+	}
+	ctx, cancel := context.WithCancel(j.ctx)
+	defer cancel()
+	stop := context.AfterFunc(sh.ctx, cancel)
+	defer stop()
+
+	payload, err := executeCell(ctx, sh.runner, j.cell)
+	if err != nil {
+		if sh.dead.Load() {
+			// The kill raced the simulation: report the cause, not the symptom.
+			err = fmt.Errorf("%w (in-flight job aborted: %v)", errShardDead, err)
+		}
+		out.err = err
+		return out
+	}
+	out.sum = checksum(payload)
+	if hook := s.chaos.CorruptPayload; hook != nil {
+		payload = hook(sh.id, j.key, payload)
+	}
+	out.payload = payload
+	return out
+}
+
+// enqueue offers a job to the shard without blocking.
+func (sh *shard) enqueue(s *Server, j *job) error {
+	if sh.dead.Load() {
+		return errShardDead
+	}
+	select {
+	case sh.jobs <- j:
+		s.queueDepth.Add(1)
+		s.depthGauge.Add(1)
+		return nil
+	default:
+		return errShardBusy
+	}
+}

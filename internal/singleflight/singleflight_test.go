@@ -1,0 +1,158 @@
+package singleflight
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMemoSingleflight proves the cache's central guarantee: N goroutines
+// requesting the same key observe exactly one computation and all receive
+// its value.
+func TestMemoSingleflight(t *testing.T) {
+	m := New[int]()
+	const goroutines = 32
+	var computed atomic.Int64
+	var wg sync.WaitGroup
+	results := make([]int, goroutines)
+	errs := make([]error, goroutines)
+	start := make(chan struct{})
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			results[i], errs[i] = m.Do("key", func() (int, error) {
+				computed.Add(1)
+				time.Sleep(10 * time.Millisecond) // widen the race window
+				return 7, nil
+			})
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	if n := computed.Load(); n != 1 {
+		t.Fatalf("computed %d times, want 1", n)
+	}
+	if n := m.Computes(); n != 1 {
+		t.Fatalf("Computes() = %d, want 1", n)
+	}
+	for i := 0; i < goroutines; i++ {
+		if errs[i] != nil {
+			t.Fatalf("goroutine %d: %v", i, errs[i])
+		}
+		if results[i] != 7 {
+			t.Fatalf("goroutine %d got %d, want 7", i, results[i])
+		}
+	}
+}
+
+// TestMemoDistinctKeysConcurrent proves the mutex only guards the entry
+// map: two different keys must be able to compute at the same time. Each
+// computation waits for the other to start — if one held the lock during
+// compute, this would deadlock (and trip the test timeout).
+func TestMemoDistinctKeysConcurrent(t *testing.T) {
+	m := New[string]()
+	aStarted := make(chan struct{})
+	bStarted := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		m.Do("a", func() (string, error) {
+			close(aStarted)
+			<-bStarted
+			return "a", nil
+		})
+	}()
+	go func() {
+		defer wg.Done()
+		m.Do("b", func() (string, error) {
+			close(bStarted)
+			<-aStarted
+			return "b", nil
+		})
+	}()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("distinct keys serialized: computations could not overlap")
+	}
+	if m.Computes() != 2 || m.Len() != 2 {
+		t.Fatalf("computes %d, len %d, want 2, 2", m.Computes(), m.Len())
+	}
+}
+
+// TestMemoErrorForgotten verifies errors are delivered to the caller but
+// not cached: a failed key recomputes on the next Do, so a bounded-retry
+// loop (and a resumed run) gets a fresh attempt instead of a replayed
+// failure.
+func TestMemoErrorForgotten(t *testing.T) {
+	m := New[int]()
+	boom := errors.New("boom")
+	var computed atomic.Int64
+	for i := 0; i < 3; i++ {
+		if _, err := m.Do("bad", func() (int, error) {
+			computed.Add(1)
+			return 0, boom
+		}); !errors.Is(err, boom) {
+			t.Fatalf("call %d: err = %v, want %v", i, err, boom)
+		}
+	}
+	if computed.Load() != 3 {
+		t.Fatalf("failed computation ran %d times, want 3 (failures must be forgotten)", computed.Load())
+	}
+	if m.Len() != 0 {
+		t.Fatalf("failed key stayed cached (len %d)", m.Len())
+	}
+	// After the failures, a successful compute caches normally.
+	v, err := m.Do("bad", func() (int, error) { return 9, nil })
+	if err != nil || v != 9 {
+		t.Fatalf("recovery compute = %d, %v, want 9, nil", v, err)
+	}
+	if _, err := m.Do("bad", func() (int, error) { t.Fatal("recomputed a cached success"); return 0, nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMemoPanicBecomesError verifies a panicking computation is converted
+// to an error carrying the panic stack rather than stranding waiters on the
+// entry's ready channel, and that the key is then free to recompute.
+func TestMemoPanicBecomesError(t *testing.T) {
+	m := New[int]()
+	_, err := m.Do("p", func() (int, error) { panic("kaboom") })
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("err = %v, want panic converted to error", err)
+	}
+	if !strings.Contains(err.Error(), "singleflight_test.go") {
+		t.Fatalf("err = %v, want the panic stack naming the crash site", err)
+	}
+	// The panicked key is forgotten, so a retry recomputes and succeeds.
+	v, err2 := m.Do("p", func() (int, error) { return 1, nil })
+	if err2 != nil || v != 1 {
+		t.Fatalf("retry after panic = %d, %v, want 1, nil", v, err2)
+	}
+}
+
+// TestMemoPrime verifies primed entries behave like cached successes (no
+// recompute, no compute count) and never clobber an existing entry.
+func TestMemoPrime(t *testing.T) {
+	m := New[int]()
+	m.Prime("k", 5)
+	v, err := m.Do("k", func() (int, error) { t.Fatal("recomputed a primed key"); return 0, nil })
+	if err != nil || v != 5 {
+		t.Fatalf("Do on primed key = %d, %v, want 5, nil", v, err)
+	}
+	if m.Computes() != 0 {
+		t.Fatalf("Computes() = %d after prime, want 0", m.Computes())
+	}
+	m.Prime("k", 6) // must not replace
+	if v, _ := m.Do("k", func() (int, error) { return 0, nil }); v != 5 {
+		t.Fatalf("Prime overwrote an existing entry: got %d, want 5", v)
+	}
+}

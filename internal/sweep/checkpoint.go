@@ -60,6 +60,11 @@ type TimingSummary struct {
 	Hier          funcsim.Stats
 }
 
+// Summarize reduces a timing result to the exact fields the tables and the
+// energy model consume — the canonical wire/persist form shared by the
+// checkpoint file and the sweep server's job responses.
+func Summarize(res *timesim.Result) *TimingSummary { return summarize(res) }
+
 // summarize reduces a timing result to its persisted form.
 func summarize(res *timesim.Result) *TimingSummary {
 	totals := res.Totals

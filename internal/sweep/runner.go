@@ -11,6 +11,7 @@ import (
 	"doppelganger/internal/core"
 	"doppelganger/internal/faults"
 	"doppelganger/internal/metrics"
+	"doppelganger/internal/singleflight"
 	"doppelganger/internal/stats"
 	"doppelganger/internal/timesim"
 	"doppelganger/internal/trace"
@@ -100,11 +101,11 @@ type Runner struct {
 	taskSnaps []TaskMetrics
 	tracePIDs int
 
-	base         *memo[*baseArtifacts]
-	errCache     *memo[float64]
-	timeCache    *memo[*timesim.Result]
-	qualityCache *memo[*QualityOutcome]
-	traceCache   *memo[*trace.Capture]
+	base         *singleflight.Memo[*baseArtifacts]
+	errCache     *singleflight.Memo[float64]
+	timeCache    *singleflight.Memo[*timesim.Result]
+	qualityCache *singleflight.Memo[*QualityOutcome]
+	traceCache   *singleflight.Memo[*trace.Capture]
 }
 
 type baseArtifacts struct {
@@ -120,11 +121,11 @@ func NewRunner(scale float64) *Runner {
 		Scale:         scale,
 		Cores:         4,
 		SnapshotEvery: 20000,
-		base:          newMemo[*baseArtifacts](),
-		errCache:      newMemo[float64](),
-		timeCache:     newMemo[*timesim.Result](),
-		qualityCache:  newMemo[*QualityOutcome](),
-		traceCache:    newMemo[*trace.Capture](),
+		base:          singleflight.New[*baseArtifacts](),
+		errCache:      singleflight.New[float64](),
+		timeCache:     singleflight.New[*timesim.Result](),
+		qualityCache:  singleflight.New[*QualityOutcome](),
+		traceCache:    singleflight.New[*trace.Capture](),
 	}
 }
 
@@ -247,6 +248,17 @@ func (r *Runner) BaselineContext(ctx context.Context, name string) (*baseArtifac
 		r.collect(tkey, tchild)
 		return &baseArtifacts{bench: f.New(r.Scale), run: run, analyzer: an, timing: timing}, nil
 	})
+}
+
+// BaselineTimingContext exposes the benchmark's precise baseline timing run
+// (the denominator of every normalized-runtime column) without the rest of
+// the baseline artifacts; the sweep server serves it as a job kind.
+func (r *Runner) BaselineTimingContext(ctx context.Context, name string) (*timesim.Result, error) {
+	a, err := r.BaselineContext(ctx, name)
+	if err != nil {
+		return nil, err
+	}
+	return a.timing, nil
 }
 
 func (r *Runner) timesimConfig() timesim.Config {

@@ -530,6 +530,36 @@ func ReadCaptureOutputFile(path string) (*Capture, error) {
 	return readCaptureFile(path, true)
 }
 
+// FileDigest reads just a capture file's 16-byte preamble and returns its
+// whole-file CRC64-ECMA digest. The magic, version and reserved flags are
+// verified, but the sections are not read — this is the cheap identity the
+// sweep server folds into its content-addressed result keys, so a re-recorded
+// (changed) capture lands under a different result-cache key without the
+// server decoding megabytes of trace. It does NOT verify the digest matches
+// the body; consumers that replay the capture still go through ReadCapture's
+// full verification.
+func FileDigest(path string) (uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	var pre [16]byte
+	if _, err := io.ReadFull(f, pre[:]); err != nil {
+		return 0, fmt.Errorf("%s: trace: capture preamble: %w", path, err)
+	}
+	if string(pre[:4]) != captureMagic {
+		return 0, fmt.Errorf("%s: trace: bad capture magic %q (want %q)", path, pre[:4], captureMagic)
+	}
+	if v := binary.LittleEndian.Uint16(pre[4:]); v != CaptureVersion {
+		return 0, fmt.Errorf("%s: trace: unsupported capture version %d (this reader handles %d)", path, v, CaptureVersion)
+	}
+	if fl := binary.LittleEndian.Uint16(pre[6:]); fl != 0 {
+		return 0, fmt.Errorf("%s: trace: unknown capture flags %#x (reserved, must be zero)", path, fl)
+	}
+	return binary.LittleEndian.Uint64(pre[8:]), nil
+}
+
 func readCaptureFile(path string, outputOnly bool) (*Capture, error) {
 	f, err := os.Open(path)
 	if err != nil {

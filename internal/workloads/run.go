@@ -189,6 +189,20 @@ func UnifiedBuilder(m int, dataFrac float64) LLCBuilder {
 	}
 }
 
+// SplitDoppelConfig exposes SplitBuilder's Doppelgänger geometry so callers
+// (the sweep server's job validation) can reject impossible (m, dataFrac)
+// combinations up front instead of panicking mid-simulation.
+func SplitDoppelConfig(m int, dataFrac float64) core.Config {
+	return doppelCfg("doppel", 16<<10, m, dataFrac)
+}
+
+// UnifiedDoppelConfig is SplitDoppelConfig for UnifiedBuilder's geometry.
+func UnifiedDoppelConfig(m int, dataFrac float64) core.Config {
+	cfg := doppelCfg("unidoppel", 32<<10, m, dataFrac)
+	cfg.Unified = true
+	return cfg
+}
+
 func doppelCfg(name string, tagEntries, m int, dataFrac float64) core.Config {
 	dataEntries := int(float64(tagEntries) * dataFrac)
 	return core.Config{
