@@ -1,0 +1,38 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// TestMain lets the soak's crash rounds re-exec this test binary as a
+// recording worker: the parent sets CHAOSSOAK_WORKER and SIGKILLs the child
+// mid-record.
+func TestMain(m *testing.M) {
+	maybeWorker()
+	os.Exit(m.Run())
+}
+
+// TestChaosSoakShort is the `make chaos-smoke` entry: a handful of chaos
+// rounds under -race. The full 50-round soak runs via the binary (see
+// BENCH_9.json); this keeps CI wall-clock sane while still covering every
+// fault class most seeds hit within five rounds.
+func TestChaosSoakShort(t *testing.T) {
+	rounds := 5
+	if testing.Short() {
+		rounds = 3
+	}
+	rep, err := Run(Config{Rounds: rounds, Scale: 0.02, Seed: 7, Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("round %d: %v", rep.FailedRound, err)
+	}
+	if !rep.ByteIdentical {
+		t.Error("soak completed without the byte-identical verdict")
+	}
+	if rep.CorruptionsInjected > 0 && rep.Quarantined != rep.CorruptionsInjected {
+		t.Errorf("injected %d corruptions but quarantined %d", rep.CorruptionsInjected, rep.Quarantined)
+	}
+	if rep.Records == 0 {
+		t.Error("soak never recorded a capture (rounds did nothing)")
+	}
+}

@@ -58,6 +58,7 @@ func main() {
 		traceDir     = flag.String("trace-dir", "", "persistent trace-cache directory: record each simulation's capture file on first run, replay it afterwards")
 		traceCapture = flag.Bool("trace-capture", false, "force re-recording captures in -trace-dir even when valid ones exist")
 		traceReplay  = flag.Bool("trace-replay", false, "forbid kernel execution: fail any simulation without a valid capture in -trace-dir")
+		traceVerify  = flag.String("trace-verify", "open", "startup scrub strictness for -trace-dir: off (sweep temp files only), open (verify each capture's digest), full (fully decode each capture)")
 
 		metricsOut = flag.String("metrics-out", "", "write the run's counter snapshot as JSONL to this file")
 		traceOut   = flag.String("trace-out", "", "write a Chrome-trace JSON (chrome://tracing) of the timing replays to this file")
@@ -83,6 +84,7 @@ func main() {
 		TraceDir:         *traceDir,
 		TraceCapture:     *traceCapture,
 		TraceReplay:      *traceReplay,
+		TraceVerify:      *traceVerify,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "doppelsim: %v\n", err)
 		os.Exit(2)
@@ -91,6 +93,20 @@ func main() {
 	fatal := func(err error) {
 		fmt.Fprintf(os.Stderr, "doppelsim: %v\n", err)
 		os.Exit(1)
+	}
+	if *traceDir != "" {
+		// Lock and scrub the trace directory before any run trusts its
+		// contents: orphaned temps are swept, condemned captures quarantined.
+		store, err := doppelganger.OpenTraceStore(*traceDir, *traceVerify)
+		if err != nil {
+			fatal(err)
+		}
+		defer store.Close()
+		if rep := store.Report; !rep.Skipped &&
+			(rep.TempsRemoved > 0 || rep.Quarantined > 0 || rep.Unreadable > 0) {
+			fmt.Fprintf(os.Stderr, "doppelsim: trace scrub: removed %d temp(s), quarantined %d, %d unreadable (%d verified)\n",
+				rep.TempsRemoved, rep.Quarantined, rep.Unreadable, rep.Verified)
+		}
 	}
 	if *pprofAddr != "" {
 		go func() {

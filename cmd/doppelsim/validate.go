@@ -18,6 +18,7 @@ type simOptions struct {
 	TraceDir         string
 	TraceCapture     bool
 	TraceReplay      bool
+	TraceVerify      string
 }
 
 // validateOptions rejects flag values that would otherwise fail obscurely
@@ -39,5 +40,6 @@ func validateOptions(o simOptions) error {
 		budgetErr,
 		flagcheck.Probability("-canary-rate", o.CanaryRate),
 		flagcheck.TraceFlags(o.TraceDir, o.TraceCapture, o.TraceReplay),
+		flagcheck.TraceVerify("-trace-verify", o.TraceVerify),
 	)
 }

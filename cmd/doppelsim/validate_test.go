@@ -40,6 +40,7 @@ func TestValidateOptions(t *testing.T) {
 		{"infinite budget", simOptions{Scale: 1, Cores: 1, MapBits: 14, QualityBudget: math.Inf(1), QualityBudgetSet: true}, "-quality-budget"},
 		{"canary above one", simOptions{Scale: 1, Cores: 1, MapBits: 14, CanaryRate: 2}, "-canary-rate"},
 		{"NaN canary", simOptions{Scale: 1, Cores: 1, MapBits: 14, CanaryRate: math.NaN()}, "-canary-rate"},
+		{"bad trace verify", simOptions{Scale: 1, Cores: 1, MapBits: 14, TraceVerify: "always"}, "-trace-verify"},
 	}
 	for _, tc := range bad {
 		err := validateOptions(tc.o)

@@ -66,6 +66,7 @@ func main() {
 		traceDir     = flag.String("trace-dir", "", "persistent trace-cache directory: record each functional cell's capture on first run, replay on later sweeps (zero kernel executions when warm)")
 		traceCapture = flag.Bool("trace-capture", false, "force re-recording captures in -trace-dir even when valid ones exist")
 		traceReplay  = flag.Bool("trace-replay", false, "forbid kernel execution: fail any cell without a valid capture in -trace-dir")
+		traceVerify  = flag.String("trace-verify", "open", "startup scrub strictness for -trace-dir: off (sweep temp files only), open (verify each capture's digest), full (fully decode each capture)")
 
 		metricsOut = flag.String("metrics-out", "", "write per-task + total counter snapshots as JSONL to this file")
 		traceOut   = flag.String("trace-out", "", "write a Chrome-trace JSON (chrome://tracing) of every timing run to this file")
@@ -93,6 +94,7 @@ func main() {
 		TraceDir:      *traceDir,
 		TraceCapture:  *traceCapture,
 		TraceReplay:   *traceReplay,
+		TraceVerify:   *traceVerify,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(2)
@@ -124,6 +126,20 @@ func main() {
 	ev.Faults(rates, *faultSeed, model)
 	ev.Quality(*qualityBudget, *canaryRate, *qualitySeed)
 	if *traceDir != "" {
+		// Open the store first: lock the directory for the run's lifetime
+		// and scrub it (sweep orphaned temps, quarantine condemned captures)
+		// before any cell trusts its contents.
+		store, err := doppelganger.OpenTraceStore(*traceDir, *traceVerify)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		defer store.Close()
+		if rep := store.Report; log != nil && !rep.Skipped &&
+			(rep.TempsRemoved > 0 || rep.Quarantined > 0 || rep.Unreadable > 0) {
+			fmt.Fprintf(os.Stderr, "experiments: trace scrub: removed %d temp(s), quarantined %d, %d unreadable (%d verified)\n",
+				rep.TempsRemoved, rep.Quarantined, rep.Unreadable, rep.Verified)
+		}
 		ev.Traces(*traceDir, *traceCapture, *traceReplay)
 	}
 

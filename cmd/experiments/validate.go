@@ -22,6 +22,7 @@ type sweepOptions struct {
 	TraceDir      string
 	TraceCapture  bool
 	TraceReplay   bool
+	TraceVerify   string
 }
 
 // validateOptions rejects flag combinations that would otherwise fail
@@ -35,5 +36,6 @@ func validateOptions(o sweepOptions) error {
 		flagcheck.PositiveFraction("-quality-budget", "e.g. 0.05", o.QualityBudget),
 		flagcheck.Probability("-canary-rate", o.CanaryRate),
 		flagcheck.TraceFlags(o.TraceDir, o.TraceCapture, o.TraceReplay),
+		flagcheck.TraceVerify("-trace-verify", o.TraceVerify),
 	)
 }

@@ -249,6 +249,7 @@ func TestValidateOptions(t *testing.T) {
 		{"hedge", func(o *sweepdOptions) { o.HedgeAfter = -time.Second }, "-hedge-after"},
 		{"canary", func(o *sweepdOptions) { o.CanaryRate = 1.5 }, "-canary-rate"},
 		{"trace replay without dir", func(o *sweepdOptions) { o.TraceReplay = true }, "-trace-dir"},
+		{"bad trace verify", func(o *sweepdOptions) { o.TraceVerify = "sometimes" }, "-trace-verify"},
 		{"resume without files", func(o *sweepdOptions) { o.Resume = true }, "-resume"},
 	}
 	for _, tc := range bad {

@@ -39,6 +39,7 @@ import (
 	"doppelganger/internal/quality"
 	"doppelganger/internal/server"
 	"doppelganger/internal/sweep"
+	"doppelganger/internal/trace"
 )
 
 func main() {
@@ -80,6 +81,7 @@ func main() {
 		traceDir     = flag.String("trace-dir", "", "persistent trace-cache directory (record on first run, replay after)")
 		traceCapture = flag.Bool("trace-capture", false, "force re-recording captures in -trace-dir")
 		traceReplay  = flag.Bool("trace-replay", false, "forbid kernel execution: fail any cell without a valid capture")
+		traceVerify  = flag.String("trace-verify", "open", "startup scrub strictness for -trace-dir: off (sweep temp files only), open (verify each capture's digest), full (fully decode each capture)")
 	)
 	flag.Parse()
 
@@ -106,6 +108,7 @@ func main() {
 		TraceDir:      *traceDir,
 		TraceCapture:  *traceCapture,
 		TraceReplay:   *traceReplay,
+		TraceVerify:   *traceVerify,
 		Resume:        *resume,
 		StatePath:     *statePath,
 		Checkpoint:    *checkpoint,
@@ -113,6 +116,10 @@ func main() {
 		fail(err)
 	}
 	model, err := faults.ParseModel(*faultModel)
+	if err != nil {
+		fail(err)
+	}
+	verifyMode, err := trace.ParseVerifyMode(*traceVerify)
 	if err != nil {
 		fail(err)
 	}
@@ -163,6 +170,7 @@ func main() {
 		TraceDir:      *traceDir,
 		TraceCapture:  *traceCapture,
 		TraceReplay:   *traceReplay,
+		TraceVerify:   verifyMode,
 		Checkpoint:    cp,
 		Log:           logw,
 	}

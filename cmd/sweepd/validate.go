@@ -31,6 +31,7 @@ type sweepdOptions struct {
 	TraceDir      string
 	TraceCapture  bool
 	TraceReplay   bool
+	TraceVerify   string
 	Resume        bool
 	StatePath     string
 	Checkpoint    string
@@ -53,6 +54,7 @@ func validateOptions(o sweepdOptions) error {
 		flagcheck.PositiveFraction("-quality-budget", "e.g. 0.05", o.QualityBudget),
 		flagcheck.Probability("-canary-rate", o.CanaryRate),
 		flagcheck.TraceFlags(o.TraceDir, o.TraceCapture, o.TraceReplay),
+		flagcheck.TraceVerify("-trace-verify", o.TraceVerify),
 	); err != nil {
 		return err
 	}

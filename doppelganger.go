@@ -323,20 +323,38 @@ func cellKey(name string, kind LLCKind, opt *RunOptions) string {
 // identified simulation, or records one (atomically) from a live run. mk
 // must return a fresh benchmark instance per call — replay needs its own to
 // re-derive the Output closure's addresses.
+//
+// Storage faults never fail a run (outside TraceReplay): corrupt or stale
+// captures are quarantined and re-recorded, and an unavailable store —
+// read errors, ENOSPC, unwritable dir — degrades the run to plain live
+// execution. Both recoveries count on opt.Metrics under trace.*, matching
+// the sweep runner's instrumentation.
 func runRouted(ctx context.Context, opt *RunOptions, name, key string, mk func() *workloads.Benchmark,
 	llcb workloads.LLCBuilder, ropt workloads.RunOptions) (*workloads.RunResult, error) {
 	if opt.TraceDir == "" {
 		return workloads.RunFunctionalContext(ctx, mk(), llcb, ropt)
 	}
+	fsys := trace.OS
 	ident := workloads.CaptureIdent(key, opt.Scale, opt.Cores, "")
 	path := workloads.CapturePath(opt.TraceDir, ident)
+	persist := true
 	if !opt.TraceCapture {
-		c, err := workloads.LoadCapture(path, ident, opt.Cores)
-		if err == nil {
-			return workloads.ReplayFunctionalContext(ctx, mk(), c, llcb, ropt)
-		}
-		if opt.TraceReplay {
+		c, outcome, err := workloads.LoadCaptureRecover(fsys, opt.TraceDir, path, ident, opt.Cores, false)
+		if opt.TraceReplay && outcome != workloads.LoadOK {
+			if err == nil {
+				err = os.ErrNotExist
+			}
 			return nil, fmt.Errorf("doppelganger: trace replay: no usable capture for %s: %w", key, err)
+		}
+		switch outcome {
+		case workloads.LoadOK:
+			opt.Metrics.Counter("trace.replays").Add(1)
+			return workloads.ReplayFunctionalContext(ctx, mk(), c, llcb, ropt)
+		case workloads.LoadQuarantined:
+			opt.Metrics.Counter("trace.quarantines").Add(1)
+		case workloads.LoadUnavailable:
+			persist = false
+			opt.Metrics.Counter("trace.degraded").Add(1)
 		}
 	}
 	ropt.Record = true
@@ -350,13 +368,25 @@ func runRouted(ctx context.Context, opt *RunOptions, name, key string, mk func()
 	if err != nil {
 		return nil, err
 	}
-	if err := os.MkdirAll(opt.TraceDir, 0o755); err != nil {
-		return nil, fmt.Errorf("doppelganger: trace dir: %w", err)
-	}
-	if err := c.WriteFile(path); err != nil {
-		return nil, err
+	if persist {
+		if err := persistRouted(fsys, opt.TraceDir, path, c); err != nil {
+			// Graceful degradation: the live run is complete and correct;
+			// losing the capture only costs the next run a re-record.
+			opt.Metrics.Counter("trace.degraded").Add(1)
+		} else {
+			opt.Metrics.Counter("trace.records").Add(1)
+		}
 	}
 	return run, nil
+}
+
+// persistRouted commits one facade-recorded capture: ensure the directory,
+// then the atomic durable write.
+func persistRouted(fsys trace.FS, dir, path string, c *trace.Capture) error {
+	if err := fsys.MkdirAll(dir); err != nil {
+		return fmt.Errorf("doppelganger: trace dir: %w", err)
+	}
+	return c.WriteFileFS(fsys, path)
 }
 
 // RunBenchmark executes the named workload functionally against the chosen
@@ -718,6 +748,30 @@ func (e *Evaluation) Traces(dir string, capture, replay bool) {
 	e.r.TraceDir = dir
 	e.r.TraceCapture = capture
 	e.r.TraceReplay = replay
+}
+
+// TraceStore is an opened, locked, scrubbed trace directory (see
+// OpenTraceStore); TraceScrubReport is what its startup janitor did.
+type (
+	TraceStore       = trace.Store
+	TraceScrubReport = trace.ScrubReport
+)
+
+// OpenTraceStore prepares a trace directory for use: creates it, takes the
+// advisory cross-process lock, and — when this process is alone in the
+// directory — scrubs it (sweeping orphaned temp files and, per the verify
+// mode "off", "open" or "full", checking each capture's integrity and
+// quarantining the condemned) before settling into the long-lived shared
+// lock. Callers should hold the store for the life of the process and
+// Close it on the way out. Opening the store is recommended hygiene before
+// any run that uses a trace dir, and what the -trace-verify flag does in
+// the bundled binaries.
+func OpenTraceStore(dir, verify string) (*TraceStore, error) {
+	mode, err := trace.ParseVerifyMode(verify)
+	if err != nil {
+		return nil, err
+	}
+	return trace.OpenStore(trace.OS, dir, mode)
 }
 
 // Prewarm runs every simulation the paper's tables and figures need

@@ -108,6 +108,18 @@ func TraceFlags(dir string, capture, replay bool) error {
 	return nil
 }
 
+// TraceVerify rejects unknown -trace-verify spellings; the legal modes are
+// off (temp sweep only), open (preamble + whole-file digest) and full
+// (complete decode). The empty string is the unset struct zero and stays
+// legal — binaries default the flag itself to "open".
+func TraceVerify(flag, v string) error {
+	switch v {
+	case "", "off", "open", "full":
+		return nil
+	}
+	return fmt.Errorf("%s must be off, open or full, got %q", flag, v)
+}
+
 // Rates parses a comma-separated probability list (the -fault-rate flag).
 // Every entry must be a finite probability in [0,1]; NaN is rejected
 // explicitly.

@@ -62,6 +62,9 @@ func (s *Server) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		// Refresh the degraded-mode gauge from the counters before
+		// rendering, so scrapes see the current level.
+		s.degradedGauge.Set(int64(s.reg.CounterValue("trace.degraded")))
 		w.Header().Set("Content-Type", "application/jsonl")
 		s.reg.WriteJSONL(w, "server")
 	})

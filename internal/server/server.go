@@ -101,10 +101,16 @@ type Config struct {
 	CanaryRate    float64
 
 	// Trace-cache flags (the warm-trace deployment records once, then every
-	// sweep replays).
+	// sweep replays). TraceVerify selects how hard the startup janitor
+	// checks each capture before the server reports ready (default
+	// trace.VerifyOff; the sweepd flag defaults to "open"). TraceFS, when
+	// non-nil, replaces the filesystem under the trace cache — the chaos
+	// tests' fault seam.
 	TraceDir     string
 	TraceCapture bool
 	TraceReplay  bool
+	TraceVerify  trace.VerifyMode
+	TraceFS      trace.FS
 
 	// Checkpoint, when non-nil, persists every completed result and primes
 	// every shard runner from already-loaded records (resume). The caller
@@ -197,6 +203,13 @@ type Server struct {
 	cancel  context.CancelFunc
 	wg      sync.WaitGroup
 
+	// traceStore holds the opened (locked, scrubbed) trace directory for
+	// the server's lifetime; nil without a TraceDir. degradedGauge mirrors
+	// the trace.degraded counter so dashboards see degraded mode as a
+	// level, not just a rate.
+	traceStore    *trace.Store
+	degradedGauge *metrics.Gauge
+
 	chaos ChaosHooks
 }
 
@@ -264,6 +277,38 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.latency = reg.Histogram("server.latency_ms", []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000})
 	s.depthGauge = reg.Gauge("server.queue_depth")
+	s.degradedGauge = reg.Gauge("server.trace.degraded_cells")
+
+	// Open (lock + scrub) the trace store before any shard worker starts
+	// and before New returns — /readyz cannot say ready until the directory
+	// has been swept of orphaned temp files and condemned captures.
+	fsys := cfg.TraceFS
+	if fsys == nil {
+		fsys = trace.OS
+	}
+	if cfg.TraceDir != "" {
+		st, err := trace.OpenStore(fsys, cfg.TraceDir, cfg.TraceVerify)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		s.traceStore = st
+		rep := st.Report
+		if rep.Skipped {
+			if log != nil {
+				fmt.Fprintf(log, "trace store %s: scrub skipped (directory shared with a live process)\n", cfg.TraceDir)
+			}
+		} else {
+			reg.Counter("trace.scrub.temps_removed").Add(uint64(rep.TempsRemoved))
+			reg.Counter("trace.scrub.verified").Add(uint64(rep.Verified))
+			reg.Counter("trace.scrub.quarantined").Add(uint64(rep.Quarantined))
+			reg.Counter("trace.scrub.unreadable").Add(uint64(rep.Unreadable))
+			if log != nil && (rep.TempsRemoved > 0 || rep.Quarantined > 0 || rep.Unreadable > 0) {
+				fmt.Fprintf(log, "trace store %s: scrub removed %d temp(s), quarantined %d, %d unreadable (%d verified)\n",
+					cfg.TraceDir, rep.TempsRemoved, rep.Quarantined, rep.Unreadable, rep.Verified)
+			}
+		}
+	}
 
 	for i := 0; i < cfg.Shards; i++ {
 		r := sweep.NewRunner(cfg.Scale)
@@ -280,6 +325,7 @@ func New(cfg Config) (*Server, error) {
 		r.TraceDir = cfg.TraceDir
 		r.TraceCapture = cfg.TraceCapture
 		r.TraceReplay = cfg.TraceReplay
+		r.TraceFS = cfg.TraceFS
 		r.Checkpoint = cfg.Checkpoint
 		if cfg.Checkpoint != nil {
 			r.Resume(cfg.Checkpoint)
@@ -681,11 +727,14 @@ wait:
 	return left, err
 }
 
-// Close hard-stops the server (workers exit, in-flight jobs abort). Drain
-// first for a graceful exit.
+// Close hard-stops the server (workers exit, in-flight jobs abort) and
+// releases the trace-store lock. Drain first for a graceful exit.
 func (s *Server) Close() {
 	s.cancel()
 	s.wg.Wait()
+	if s.traceStore != nil {
+		s.traceStore.Close()
+	}
 }
 
 // Computes reports how many distinct results were actually computed (the
@@ -723,7 +772,18 @@ type Stats struct {
 	Retries    uint64       `json:"retries"`
 	Corrupt    uint64       `json:"corrupt"`
 	Panics     uint64       `json:"panics"`
-	Shards     []ShardStats `json:"shards"`
+
+	// Trace-store health: replayed/recorded captures, captures condemned to
+	// quarantine (then transparently re-recorded), and cells that degraded
+	// to live execution because the store was unavailable. TraceScrub is
+	// what the startup janitor did (nil without a trace dir).
+	TraceReplays     uint64             `json:"trace_replays,omitempty"`
+	TraceRecords     uint64             `json:"trace_records,omitempty"`
+	TraceQuarantined uint64             `json:"trace_quarantined,omitempty"`
+	TraceDegraded    uint64             `json:"trace_degraded,omitempty"`
+	TraceScrub       *trace.ScrubReport `json:"trace_scrub,omitempty"`
+
+	Shards []ShardStats `json:"shards"`
 }
 
 // Stats snapshots the server's health.
@@ -744,7 +804,20 @@ func (s *Server) Stats() Stats {
 		Retries:    s.m.retries.Value(),
 		Corrupt:    s.m.corrupt.Value(),
 		Panics:     s.m.panics.Value(),
+
+		TraceReplays: s.reg.CounterValue("trace.replays"),
+		TraceRecords: s.reg.CounterValue("trace.records"),
+		TraceQuarantined: s.reg.CounterValue("trace.quarantines") +
+			s.reg.CounterValue("trace.scrub.quarantined"),
+		TraceDegraded: s.reg.CounterValue("trace.degraded"),
 	}
+	if s.traceStore != nil {
+		rep := s.traceStore.Report
+		st.TraceScrub = &rep
+	}
+	// Mirror the degraded count onto the gauge so /metrics shows degraded
+	// mode as a level alongside the raw counter.
+	s.degradedGauge.Set(int64(st.TraceDegraded))
 	for _, sh := range s.shards {
 		st.Shards = append(st.Shards, ShardStats{
 			ID:        sh.id,

@@ -7,6 +7,9 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"doppelganger/internal/metrics"
+	"doppelganger/internal/trace"
 )
 
 // The replay differential suite: a sweep served from a warm trace directory
@@ -268,46 +271,189 @@ func TestReplayResumeDeterministic(t *testing.T) {
 	}
 }
 
-// TestCaptureErrorForgotten is the poisoned-entry regression test: when
-// persisting a capture fails, the error must propagate as the cell's error
-// AND be forgotten, so a retry after the operator fixes the directory
-// re-records instead of replaying nothing forever.
-func TestCaptureErrorForgotten(t *testing.T) {
+// TestTracePersistFailureDegradesLive is the graceful-degradation proof: a
+// cell whose capture cannot be persisted (here: the trace dir cannot even
+// be created) must NOT fail — it degrades to plain live execution with the
+// same bits, counts itself in trace.degraded, and a later runner over a
+// healthy directory records normally.
+func TestTracePersistFailureDegradesLive(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs simulations")
+	}
+	want, err := traceRunner(0.02, "", "kmeans").SplitError("kmeans", BaseMapBits, BaseDataFrac)
+	if err != nil {
+		t.Fatal(err)
 	}
 	blocker := filepath.Join(t.TempDir(), "not-a-dir")
 	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	r := traceRunner(0.02, filepath.Join(blocker, "traces"), "kmeans")
-	if _, err := r.SplitError("kmeans", BaseMapBits, BaseDataFrac); err == nil {
-		t.Fatal("capture into an uncreatable directory succeeded")
-	}
-	if n := r.traceCache.Len(); n != 0 {
-		t.Fatalf("trace cache kept %d poisoned entries", n)
-	}
-	// Same runner, directory fixed: the retry must re-record and succeed.
-	r.TraceDir = t.TempDir()
+	r.Metrics = metrics.NewRegistry()
 	v, err := r.SplitError("kmeans", BaseMapBits, BaseDataFrac)
 	if err != nil {
-		t.Fatalf("retry after fixing the trace dir failed: %v", err)
+		t.Fatalf("cell failed instead of degrading to live execution: %v", err)
 	}
-	ents, err := os.ReadDir(r.TraceDir)
+	if math.Float64bits(v) != math.Float64bits(want) {
+		t.Errorf("degraded cell diverged from live: %x vs %x", math.Float64bits(v), math.Float64bits(want))
+	}
+	if n := r.Metrics.CounterValue("trace.degraded"); n == 0 {
+		t.Error("degraded cells not counted in trace.degraded")
+	}
+	if n := r.Metrics.CounterValue("trace.records"); n != 0 {
+		t.Errorf("unwritable store still claims %d recorded captures", n)
+	}
+	// A fresh runner over a healthy directory records normally and replays
+	// to the same bits.
+	dir := t.TempDir()
+	h := traceRunner(0.02, dir, "kmeans")
+	hv, err := h.SplitError("kmeans", BaseMapBits, BaseDataFrac)
+	if err != nil {
+		t.Fatalf("healthy-dir run failed: %v", err)
+	}
+	if math.Float64bits(hv) != math.Float64bits(want) {
+		t.Errorf("healthy-dir run diverged from live: %x vs %x", math.Float64bits(hv), math.Float64bits(want))
+	}
+	ents, err := os.ReadDir(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Two captures: the split cell and the precise baseline it scores against.
 	if len(ents) != 2 {
-		t.Fatalf("retry persisted %d captures, want 2", len(ents))
+		t.Fatalf("healthy run persisted %d captures, want 2", len(ents))
 	}
-	// And the recorded capture replays to the same bits in a fresh runner.
-	w, err := traceRunner(0.02, r.TraceDir, "kmeans").SplitError("kmeans", BaseMapBits, BaseDataFrac)
+	w, err := traceRunner(0.02, dir, "kmeans").SplitError("kmeans", BaseMapBits, BaseDataFrac)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if math.Float64bits(w) != math.Float64bits(v) {
-		t.Errorf("replay of retried capture diverged: %x vs %x", math.Float64bits(w), math.Float64bits(v))
+	if math.Float64bits(w) != math.Float64bits(want) {
+		t.Errorf("replay diverged: %x vs %x", math.Float64bits(w), math.Float64bits(want))
+	}
+}
+
+// TestTraceCorruptQuarantinedAndRerecorded is the self-healing proof: every
+// capture in a warm directory is damaged on disk, and the next sweep must
+// (1) produce bits identical to the cold run, (2) move each damaged file to
+// the quarantine exactly once, and (3) leave behind freshly recorded,
+// replayable captures.
+func TestTraceCorruptQuarantinedAndRerecorded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	dir := t.TempDir()
+	cold, err := traceRunner(0.02, dir, "kmeans").SplitError("kmeans", BaseMapBits, BaseDataFrac)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	damaged := 0
+	for _, e := range ents {
+		if !strings.HasSuffix(e.Name(), ".dgt") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)/2] ^= 0x20
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		damaged++
+	}
+	if damaged == 0 {
+		t.Fatal("cold run persisted no captures to damage")
+	}
+
+	r := traceRunner(0.02, dir, "kmeans")
+	r.Metrics = metrics.NewRegistry()
+	healed, err := r.SplitError("kmeans", BaseMapBits, BaseDataFrac)
+	if err != nil {
+		t.Fatalf("sweep over a damaged directory failed instead of healing: %v", err)
+	}
+	if math.Float64bits(healed) != math.Float64bits(cold) {
+		t.Errorf("healed run diverged: %x vs %x", math.Float64bits(healed), math.Float64bits(cold))
+	}
+	if n := r.Metrics.CounterValue("trace.quarantines"); n != uint64(damaged) {
+		t.Errorf("quarantined %d captures, damaged %d", n, damaged)
+	}
+	qents, err := os.ReadDir(filepath.Join(dir, ".quarantine"))
+	if err != nil {
+		t.Fatalf("no quarantine directory after healing: %v", err)
+	}
+	qcaptures := 0
+	for _, e := range qents {
+		if strings.HasSuffix(e.Name(), ".dgt") {
+			qcaptures++
+		}
+	}
+	if qcaptures != damaged {
+		t.Errorf("quarantine holds %d captures, want %d", qcaptures, damaged)
+	}
+	// The re-recorded captures replay to the same bits — no quarantine loop.
+	w := traceRunner(0.02, dir, "kmeans")
+	w.Metrics = metrics.NewRegistry()
+	wv, err := w.SplitError("kmeans", BaseMapBits, BaseDataFrac)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(wv) != math.Float64bits(cold) {
+		t.Errorf("post-heal replay diverged: %x vs %x", math.Float64bits(wv), math.Float64bits(cold))
+	}
+	if n := w.Metrics.CounterValue("trace.quarantines"); n != 0 {
+		t.Errorf("healed directory quarantined %d more captures: quarantine loop", n)
+	}
+	if n := w.Metrics.CounterValue("trace.replays"); n == 0 {
+		t.Error("post-heal run replayed nothing")
+	}
+}
+
+// TestTraceUnavailableDegradesLive covers the other error family: when the
+// I/O path cannot produce bytes (device errors, not damage), the cell runs
+// live with identical bits, nothing is quarantined, and the on-disk capture
+// survives for when the disk recovers.
+func TestTraceUnavailableDegradesLive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	dir := t.TempDir()
+	cold, err := traceRunner(0.02, dir, "kmeans").SplitError("kmeans", BaseMapBits, BaseDataFrac)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	chaos := trace.NewChaosFS(1)
+	chaos.ReadErr = 1 // every read fails: the store is unavailable, not damaged
+	r := traceRunner(0.02, dir, "kmeans")
+	r.TraceFS = chaos
+	r.Metrics = metrics.NewRegistry()
+	v, err := r.SplitError("kmeans", BaseMapBits, BaseDataFrac)
+	if err != nil {
+		t.Fatalf("unavailable store failed the cell instead of degrading: %v", err)
+	}
+	if math.Float64bits(v) != math.Float64bits(cold) {
+		t.Errorf("degraded cell diverged: %x vs %x", math.Float64bits(v), math.Float64bits(cold))
+	}
+	if n := r.Metrics.CounterValue("trace.degraded"); n == 0 {
+		t.Error("degraded cells not counted in trace.degraded")
+	}
+	if n := r.Metrics.CounterValue("trace.quarantines"); n != 0 {
+		t.Errorf("device errors quarantined %d healthy captures", n)
+	}
+	after, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(before) {
+		t.Errorf("degraded run changed the directory: %d -> %d entries", len(before), len(after))
 	}
 }
 

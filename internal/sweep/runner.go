@@ -85,6 +85,9 @@ type Runner struct {
 	TraceDir     string
 	TraceCapture bool
 	TraceReplay  bool
+	// TraceFS, when non-nil, replaces the real filesystem under the trace
+	// cache — the fault-injection seam chaos tests drive. nil means the OS.
+	TraceFS trace.FS
 
 	// Metrics, when non-nil, aggregates instrument totals across every
 	// simulation the runner performs; each memoized task also leaves a

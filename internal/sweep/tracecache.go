@@ -2,7 +2,6 @@ package sweep
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -55,6 +54,15 @@ func (r *Runner) tracePath(ident string) string {
 	return workloads.CapturePath(r.TraceDir, ident)
 }
 
+// traceFS is the filesystem the trace cache runs on: the injected seam
+// when chaos tests set one, the real OS otherwise.
+func (r *Runner) traceFS() trace.FS {
+	if r.TraceFS != nil {
+		return r.TraceFS
+	}
+	return trace.OS
+}
+
 // funcRun is the gateway every functional cell goes through. Without a
 // trace directory it is exactly the live path. With one, the first run of a
 // cell executes live (recording) and persists a capture; later runs replay
@@ -63,9 +71,14 @@ func (r *Runner) tracePath(ident string) string {
 // the stream through a fresh hierarchy, which evolves bit-identically to
 // the live run.
 //
-// A failure anywhere — the live run, encoding, or persisting — propagates
-// as the cell's error, and both this cache and the cell memos forget
-// errors, so a retry re-records instead of replaying a poisoned entry.
+// Storage faults never fail a cell (outside -trace-replay): a corrupt or
+// stale capture is quarantined and transparently re-recorded, and an
+// unavailable store — read errors, ENOSPC, unwritable dir — degrades the
+// cell to plain live execution, counted in the trace.degraded metric.
+// Either way the cell's row is bit-identical to a clean run's. A failure of
+// the live run itself still propagates, and both this cache and the cell
+// memos forget errors, so a retry re-records instead of replaying a
+// poisoned entry.
 func (r *Runner) funcRun(ctx context.Context, req funcReq) (*workloads.RunResult, error) {
 	f, err := workloads.ByName(req.name)
 	if err != nil {
@@ -74,30 +87,42 @@ func (r *Runner) funcRun(ctx context.Context, req funcReq) (*workloads.RunResult
 	if r.TraceDir == "" {
 		return workloads.RunFunctionalContext(ctx, f.New(r.Scale), req.llcb, req.opt)
 	}
+	fsys := r.traceFS()
 	ident := r.traceIdent(req)
 	path := r.tracePath(ident)
 	var live *workloads.RunResult
 	capture, err := r.traceCache.Do(ident, func() (*trace.Capture, error) {
+		persist := true
 		if !r.TraceCapture {
 			// Output-only cells never rebuild a hierarchy, so skip
 			// materializing the memory image and trace streams they would
 			// not use (the file is still fully integrity-checked). An
 			// ident's fast-ness never varies between requests, so the memo
 			// can never hand a lite capture to a hierarchy replay.
-			load := workloads.LoadCapture
-			if req.fast {
-				load = workloads.LoadCaptureOutput
-			}
-			c, lerr := load(path, ident, r.Cores)
-			if lerr == nil {
-				r.logf("[%s] replaying capture %s (%s)", req.name, filepath.Base(path), req.key)
-				return c, nil
-			}
-			if r.TraceReplay {
+			c, outcome, lerr := workloads.LoadCaptureRecover(fsys, r.TraceDir, path, ident, r.Cores, req.fast)
+			if r.TraceReplay && outcome != workloads.LoadOK {
+				if lerr == nil {
+					lerr = os.ErrNotExist
+				}
 				return nil, fmt.Errorf("sweep: -trace-replay: no usable capture for %s: %w", req.key, lerr)
 			}
-			if !errors.Is(lerr, os.ErrNotExist) {
+			switch outcome {
+			case workloads.LoadOK:
+				r.Metrics.Counter("trace.replays").Add(1)
+				r.logf("[%s] replaying capture %s (%s)", req.name, filepath.Base(path), req.key)
+				return c, nil
+			case workloads.LoadMiss:
+				// Cold cache: record below.
+			case workloads.LoadQuarantined:
+				r.Metrics.Counter("trace.quarantines").Add(1)
 				r.logf("[%s] capture %s unusable (%v); re-recording", req.name, filepath.Base(path), lerr)
+			case workloads.LoadUnavailable:
+				// The bytes may be fine but the I/O path is not: leave the
+				// file alone, run live, and don't trust the store with a
+				// new write either.
+				persist = false
+				r.Metrics.Counter("trace.degraded").Add(1)
+				r.logf("[%s] trace store unavailable (%v); running %s live unrecorded", req.name, lerr, req.key)
 			}
 		}
 		opt := req.opt
@@ -116,13 +141,18 @@ func (r *Runner) funcRun(ctx context.Context, req funcReq) (*workloads.RunResult
 		if cerr != nil {
 			return nil, cerr
 		}
-		if merr := os.MkdirAll(r.TraceDir, 0o755); merr != nil {
-			return nil, fmt.Errorf("sweep: trace dir: %w", merr)
-		}
-		if werr := c.WriteFile(path); werr != nil {
-			return nil, werr
-		}
 		live = run
+		if persist {
+			if perr := persistCapture(fsys, r.TraceDir, path, c); perr != nil {
+				// Graceful degradation: the cell's live result is complete
+				// and bit-identical to what a recorded run would produce —
+				// losing the capture only costs the next sweep a re-record.
+				r.Metrics.Counter("trace.degraded").Add(1)
+				r.logf("[%s] capture %s not persisted (%v); serving live result", req.name, filepath.Base(path), perr)
+			} else {
+				r.Metrics.Counter("trace.records").Add(1)
+			}
+		}
 		return c, nil
 	})
 	if err != nil {
@@ -137,4 +167,13 @@ func (r *Runner) funcRun(ctx context.Context, req funcReq) (*workloads.RunResult
 		return &workloads.RunResult{Output: capture.Output}, nil
 	}
 	return workloads.ReplayFunctionalContext(ctx, f.New(r.Scale), capture, req.llcb, req.opt)
+}
+
+// persistCapture commits one freshly recorded capture: ensure the
+// directory, then the atomic durable write.
+func persistCapture(fsys trace.FS, dir, path string, c *trace.Capture) error {
+	if err := fsys.MkdirAll(dir); err != nil {
+		return fmt.Errorf("sweep: trace dir: %w", err)
+	}
+	return c.WriteFileFS(fsys, path)
 }

@@ -1,0 +1,233 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// ChaosFS wraps another FS (the real one by default) and injects faults:
+// probabilistic open/read/write/rename errors, short writes, per-operation
+// latency, and bounded ENOSPC windows in which every mutating operation
+// fails with syscall.ENOSPC. All randomness comes from one seeded source
+// under a mutex, so a soak round is reproducible from its seed.
+//
+// Injected errors are real errno values (ENOSPC, EIO) wrapped with an
+// "injected" marker, so production classification code sees exactly what a
+// failing disk would produce while tests can still tell injected faults
+// from genuine ones.
+type ChaosFS struct {
+	Inner FS // defaults to OS when nil
+
+	// Fault probabilities in [0,1], applied per operation.
+	OpenErr    float64 // Open fails with EIO
+	ReadErr    float64 // a File.Read fails with EIO
+	WriteErr   float64 // a File.Write fails with EIO
+	RenameErr  float64 // Rename fails with EIO after removing the source ("torn rename")
+	ShortWrite float64 // a File.Write persists only half its bytes then fails
+
+	// Latency sleeps before every operation when non-zero.
+	Latency time.Duration
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	enospc int // mutating ops remaining that fail with ENOSPC
+	counts FaultCounts
+}
+
+// FaultCounts tallies the faults a ChaosFS actually injected.
+type FaultCounts struct {
+	OpenErrs    int `json:"open_errs"`
+	ReadErrs    int `json:"read_errs"`
+	WriteErrs   int `json:"write_errs"`
+	RenameErrs  int `json:"rename_errs"`
+	ShortWrites int `json:"short_writes"`
+	ENOSPC      int `json:"enospc"`
+}
+
+// Total is every injected fault across all kinds.
+func (c FaultCounts) Total() int {
+	return c.OpenErrs + c.ReadErrs + c.WriteErrs + c.RenameErrs + c.ShortWrites + c.ENOSPC
+}
+
+// NewChaosFS builds a chaos filesystem over the real one with the given
+// seed and no faults armed; set the probability fields before use.
+func NewChaosFS(seed int64) *ChaosFS {
+	return &ChaosFS{Inner: OS, rng: rand.New(rand.NewSource(seed))}
+}
+
+// ENOSPCWindow arms a window in which the next n mutating operations
+// (writes, syncs, renames, temp creation, mkdir) fail with ENOSPC, then the
+// disk "recovers". Windows do not stack; the larger remainder wins.
+func (c *ChaosFS) ENOSPCWindow(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n > c.enospc {
+		c.enospc = n
+	}
+}
+
+// Counts returns a snapshot of the injected-fault tallies.
+func (c *ChaosFS) Counts() FaultCounts {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts
+}
+
+func (c *ChaosFS) inner() FS {
+	if c.Inner != nil {
+		return c.Inner
+	}
+	return OS
+}
+
+// roll decides one probabilistic fault under the lock.
+func (c *ChaosFS) roll(p float64, count *int) bool {
+	if p <= 0 {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rng.Float64() >= p {
+		return false
+	}
+	*count++
+	return true
+}
+
+// spendENOSPC consumes one op from an armed ENOSPC window.
+func (c *ChaosFS) spendENOSPC() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.enospc <= 0 {
+		return false
+	}
+	c.enospc--
+	c.counts.ENOSPC++
+	return true
+}
+
+func (c *ChaosFS) sleep() {
+	if c.Latency > 0 {
+		time.Sleep(c.Latency)
+	}
+}
+
+func injected(op string, errno error) error {
+	return fmt.Errorf("chaosfs: injected %s: %w", op, errno)
+}
+
+func (c *ChaosFS) Open(name string) (File, error) {
+	c.sleep()
+	if c.roll(c.OpenErr, &c.counts.OpenErrs) {
+		return nil, injected("open "+name, syscall.EIO)
+	}
+	f, err := c.inner().Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &chaosFile{fs: c, f: f}, nil
+}
+
+func (c *ChaosFS) CreateTemp(dir, pattern string) (File, error) {
+	c.sleep()
+	if c.spendENOSPC() {
+		return nil, injected("create "+dir, syscall.ENOSPC)
+	}
+	f, err := c.inner().CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &chaosFile{fs: c, f: f}, nil
+}
+
+// Rename injects two distinct failures: ENOSPC (metadata has nowhere to
+// go, source survives) and the torn rename — the source is consumed but
+// the destination never appears, exactly what a crash between a rename's
+// unlink and link phases leaves behind on non-atomic filesystems.
+func (c *ChaosFS) Rename(oldpath, newpath string) error {
+	c.sleep()
+	if c.spendENOSPC() {
+		return injected("rename "+oldpath, syscall.ENOSPC)
+	}
+	if c.roll(c.RenameErr, &c.counts.RenameErrs) {
+		c.inner().Remove(oldpath)
+		return injected("rename "+oldpath, syscall.EIO)
+	}
+	return c.inner().Rename(oldpath, newpath)
+}
+
+func (c *ChaosFS) Remove(name string) error {
+	c.sleep()
+	return c.inner().Remove(name)
+}
+
+func (c *ChaosFS) MkdirAll(dir string) error {
+	c.sleep()
+	if c.spendENOSPC() {
+		return injected("mkdir "+dir, syscall.ENOSPC)
+	}
+	return c.inner().MkdirAll(dir)
+}
+
+func (c *ChaosFS) ReadDir(dir string) ([]os.DirEntry, error) {
+	c.sleep()
+	return c.inner().ReadDir(dir)
+}
+
+func (c *ChaosFS) Stat(name string) (os.FileInfo, error) {
+	c.sleep()
+	return c.inner().Stat(name)
+}
+
+func (c *ChaosFS) SyncDir(dir string) error {
+	c.sleep()
+	if c.spendENOSPC() {
+		return injected("syncdir "+dir, syscall.ENOSPC)
+	}
+	return c.inner().SyncDir(dir)
+}
+
+// chaosFile threads per-call read/write faults through a real file handle.
+type chaosFile struct {
+	fs *ChaosFS
+	f  File
+}
+
+func (cf *chaosFile) Read(p []byte) (int, error) {
+	cf.fs.sleep()
+	if cf.fs.roll(cf.fs.ReadErr, &cf.fs.counts.ReadErrs) {
+		return 0, injected("read "+cf.f.Name(), syscall.EIO)
+	}
+	return cf.f.Read(p)
+}
+
+func (cf *chaosFile) Write(p []byte) (int, error) {
+	cf.fs.sleep()
+	if cf.fs.spendENOSPC() {
+		return 0, injected("write "+cf.f.Name(), syscall.ENOSPC)
+	}
+	if cf.fs.roll(cf.fs.ShortWrite, &cf.fs.counts.ShortWrites) {
+		n, _ := cf.f.Write(p[:len(p)/2])
+		return n, injected("short write "+cf.f.Name(), syscall.EIO)
+	}
+	if cf.fs.roll(cf.fs.WriteErr, &cf.fs.counts.WriteErrs) {
+		return 0, injected("write "+cf.f.Name(), syscall.EIO)
+	}
+	return cf.f.Write(p)
+}
+
+func (cf *chaosFile) Close() error { return cf.f.Close() }
+
+func (cf *chaosFile) Sync() error {
+	cf.fs.sleep()
+	if cf.fs.spendENOSPC() {
+		return injected("sync "+cf.f.Name(), syscall.ENOSPC)
+	}
+	return cf.f.Sync()
+}
+
+func (cf *chaosFile) Name() string { return cf.f.Name() }

@@ -1,0 +1,23 @@
+package trace
+
+import "errors"
+
+// ErrCorrupt marks a capture file whose bytes are wrong: bad magic,
+// truncation, CRC or digest mismatch, or a semantically invalid section.
+// The file can never become readable again on its own — the remedy is to
+// quarantine it and re-record.
+var ErrCorrupt = errors.New("corrupt capture")
+
+// ErrStale marks a capture file that decoded cleanly but was recorded under
+// a different identity (configuration, seed, core count, code revision).
+// Like corruption, staleness is a property of the file, not the I/O path:
+// quarantine and re-record.
+var ErrStale = errors.New("stale capture")
+
+// IsQuarantineable reports whether err condemns the file itself (corrupt or
+// stale — move it to quarantine and re-record) as opposed to the I/O path
+// (device error, permission, ENOSPC — leave the file alone and fall back to
+// live execution: the bytes may be fine once the disk recovers).
+func IsQuarantineable(err error) bool {
+	return errors.Is(err, ErrCorrupt) || errors.Is(err, ErrStale)
+}

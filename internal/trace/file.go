@@ -8,7 +8,6 @@ import (
 	"hash/crc64"
 	"io"
 	"math"
-	"os"
 	"path/filepath"
 
 	"doppelganger/internal/approx"
@@ -264,27 +263,45 @@ func (c *Capture) WriteTo(w io.Writer) (int64, error) {
 	return int64(n + m), err
 }
 
-// WriteFile persists the capture atomically: the bytes land in a temp file
-// in the destination directory and are renamed into place only after a
-// successful write, so a crash or failure mid-write can never leave a torn
-// file where a consumer expects a capture.
+// WriteFile persists the capture atomically on the real filesystem; see
+// WriteFileFS for the commit protocol.
 func (c *Capture) WriteFile(path string) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	return c.WriteFileFS(OS, path)
+}
+
+// WriteFileFS persists the capture atomically and durably: the bytes land
+// in a temp file in the destination directory, are fsynced, and only then
+// renamed into place — so a crash or failure mid-write can never leave a
+// torn file where a consumer expects a capture. After the rename the parent
+// directory is fsynced too: rename makes the capture visible, the directory
+// sync makes it durable, and only after both is the capture committed (a
+// crash between them may lose the file, never corrupt it).
+func (c *Capture) WriteFileFS(fsys FS, path string) error {
+	tmp, err := fsys.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("trace: capture %s: %w", path, err)
 	}
-	if _, err := c.WriteTo(tmp); err != nil {
+	cleanup := func(err error) error {
 		tmp.Close()
-		os.Remove(tmp.Name())
+		fsys.Remove(tmp.Name())
 		return fmt.Errorf("trace: capture %s: %w", path, err)
+	}
+	if _, err := c.WriteTo(tmp); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(err)
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
+		fsys.Remove(tmp.Name())
 		return fmt.Errorf("trace: capture %s: %w", path, err)
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
+	if err := fsys.Rename(tmp.Name(), path); err != nil {
+		fsys.Remove(tmp.Name())
 		return fmt.Errorf("trace: capture %s: %w", path, err)
+	}
+	if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
+		return fmt.Errorf("trace: capture %s: dir sync: %w", path, err)
 	}
 	return nil
 }
@@ -521,13 +538,24 @@ func readCapture(r io.Reader, outputOnly bool) (*Capture, error) {
 
 // ReadCaptureFile opens and decodes one capture file.
 func ReadCaptureFile(path string) (*Capture, error) {
-	return readCaptureFile(path, false)
+	return readCaptureFile(OS, path, false)
 }
 
 // ReadCaptureOutputFile is ReadCaptureFile via ReadCaptureOutput: fully
 // verified, but only header, annotations and output are materialized.
 func ReadCaptureOutputFile(path string) (*Capture, error) {
-	return readCaptureFile(path, true)
+	return readCaptureFile(OS, path, true)
+}
+
+// ReadCaptureFileFS is ReadCaptureFile on an injected filesystem.
+func ReadCaptureFileFS(fsys FS, path string) (*Capture, error) {
+	return readCaptureFile(fsys, path, false)
+}
+
+// ReadCaptureOutputFileFS is ReadCaptureOutputFile on an injected
+// filesystem.
+func ReadCaptureOutputFileFS(fsys FS, path string) (*Capture, error) {
+	return readCaptureFile(fsys, path, true)
 }
 
 // FileDigest reads just a capture file's 16-byte preamble and returns its
@@ -539,36 +567,90 @@ func ReadCaptureOutputFile(path string) (*Capture, error) {
 // the body; consumers that replay the capture still go through ReadCapture's
 // full verification.
 func FileDigest(path string) (uint64, error) {
-	f, err := os.Open(path)
+	return FileDigestFS(OS, path)
+}
+
+// FileDigestFS is FileDigest on an injected filesystem. Decode failures
+// (bad magic, version, flags, short preamble) wrap ErrCorrupt; failures of
+// the I/O path itself (open, device read errors) do not.
+func FileDigestFS(fsys FS, path string) (uint64, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return 0, err
 	}
 	defer f.Close()
+	tr := &trackReader{r: f}
 	var pre [16]byte
-	if _, err := io.ReadFull(f, pre[:]); err != nil {
-		return 0, fmt.Errorf("%s: trace: capture preamble: %w", path, err)
+	if _, err := io.ReadFull(tr, pre[:]); err != nil {
+		if tr.err != nil {
+			return 0, fmt.Errorf("%s: trace: capture preamble: %w", path, tr.err)
+		}
+		return 0, fmt.Errorf("%s: trace: %w: capture preamble: %v", path, ErrCorrupt, err)
 	}
 	if string(pre[:4]) != captureMagic {
-		return 0, fmt.Errorf("%s: trace: bad capture magic %q (want %q)", path, pre[:4], captureMagic)
+		return 0, fmt.Errorf("%s: trace: %w: bad capture magic %q (want %q)", path, ErrCorrupt, pre[:4], captureMagic)
 	}
 	if v := binary.LittleEndian.Uint16(pre[4:]); v != CaptureVersion {
-		return 0, fmt.Errorf("%s: trace: unsupported capture version %d (this reader handles %d)", path, v, CaptureVersion)
+		return 0, fmt.Errorf("%s: trace: %w: unsupported capture version %d (this reader handles %d)", path, ErrCorrupt, v, CaptureVersion)
 	}
 	if fl := binary.LittleEndian.Uint16(pre[6:]); fl != 0 {
-		return 0, fmt.Errorf("%s: trace: unknown capture flags %#x (reserved, must be zero)", path, fl)
+		return 0, fmt.Errorf("%s: trace: %w: unknown capture flags %#x (reserved, must be zero)", path, ErrCorrupt, fl)
 	}
 	return binary.LittleEndian.Uint64(pre[8:]), nil
 }
 
-func readCaptureFile(path string, outputOnly bool) (*Capture, error) {
-	f, err := os.Open(path)
+// checkPreamble validates a preamble's magic, version and reserved flags.
+func checkPreamble(pre [16]byte) error {
+	if string(pre[:4]) != captureMagic {
+		return fmt.Errorf("bad capture magic %q (want %q)", pre[:4], captureMagic)
+	}
+	if v := binary.LittleEndian.Uint16(pre[4:]); v != CaptureVersion {
+		return fmt.Errorf("unsupported capture version %d (this reader handles %d)", v, CaptureVersion)
+	}
+	if fl := binary.LittleEndian.Uint16(pre[6:]); fl != 0 {
+		return fmt.Errorf("unknown capture flags %#x (reserved, must be zero)", fl)
+	}
+	return nil
+}
+
+// preambleDigest extracts the whole-file CRC64 the preamble claims.
+func preambleDigest(pre [16]byte) uint64 { return binary.LittleEndian.Uint64(pre[8:]) }
+
+// trackReader remembers the last non-EOF error the underlying reader
+// returned. The decoder cannot tell a truncated file (reads hit EOF early —
+// the bytes on disk are wrong: corrupt) from a failing device (reads error
+// out — the bytes may be fine: unavailable); the tracked error makes the
+// distinction at the file level.
+type trackReader struct {
+	r   io.Reader
+	err error
+}
+
+func (t *trackReader) Read(p []byte) (int, error) {
+	n, err := t.r.Read(p)
+	if err != nil && err != io.EOF {
+		t.err = err
+	}
+	return n, err
+}
+
+func readCaptureFile(fsys FS, path string, outputOnly bool) (*Capture, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
+		// Open errors pass through unclassified: os.ErrNotExist is a cache
+		// miss, anything else is the I/O path failing, not the file.
 		return nil, err
 	}
 	defer f.Close()
-	c, err := readCapture(f, outputOnly)
+	tr := &trackReader{r: f}
+	c, err := readCapture(tr, outputOnly)
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		if tr.err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		// Every byte came off the disk successfully and the decoder still
+		// rejected them: the file itself is damaged.
+		return nil, fmt.Errorf("%s: %w: %w", path, ErrCorrupt, err)
 	}
 	return c, nil
 }

@@ -1,0 +1,13 @@
+//go:build !unix
+
+package trace
+
+import "os"
+
+// Platforms without flock get no cross-process exclusion: the scrub always
+// proceeds (reporting the lock as acquired) and shared/unlock are no-ops.
+// Per-file atomic rename still protects concurrent processes' data.
+
+func flockTryExclusive(*os.File) (bool, error) { return true, nil }
+func flockShared(*os.File) error               { return nil }
+func flockUnlock(*os.File) error               { return nil }

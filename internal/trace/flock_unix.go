@@ -1,0 +1,32 @@
+//go:build unix
+
+package trace
+
+import (
+	"errors"
+	"os"
+	"syscall"
+)
+
+// flockTryExclusive attempts LOCK_EX non-blocking; held-elsewhere reports
+// (false, nil) rather than an error.
+func flockTryExclusive(f *os.File) (bool, error) {
+	err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+	if err == nil {
+		return true, nil
+	}
+	if errors.Is(err, syscall.EWOULDBLOCK) || errors.Is(err, syscall.EAGAIN) {
+		return false, nil
+	}
+	return false, err
+}
+
+// flockShared takes LOCK_SH, blocking; on the fd that holds LOCK_EX this is
+// the atomic downgrade.
+func flockShared(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_SH)
+}
+
+func flockUnlock(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+}

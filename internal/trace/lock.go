@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// LockName is the advisory lock file a trace directory's cooperating
+// processes flock. The file carries no data; only its lock state matters.
+const LockName = ".lock"
+
+// DirLock is a held advisory lock on a trace directory. The protocol:
+//
+//   - Every process that opens a trace dir holds the lock SHARED for as
+//     long as it uses the directory. Readers, writers and re-recorders all
+//     coexist under shared locks — per-file atomic rename keeps them safe.
+//   - The startup janitor (scrub) needs the directory quiescent, so it
+//     upgrades to EXCLUSIVE, non-blocking, first: if any other process is
+//     already working in the directory the scrub is skipped (that process
+//     scrubbed at its own startup), and the opener degrades to a plain
+//     shared lock.
+//
+// Locks are advisory flock(2): they coordinate cooperating doppelgänger
+// processes, not arbitrary tools. On platforms without flock the lock is a
+// no-op and scrubbing is always attempted.
+type DirLock struct {
+	f *os.File
+}
+
+// lockDir opens (creating if needed) the lock file and returns it unlocked.
+// The lock file always lives on the real filesystem even when an FS seam is
+// injected: flock coordinates real processes, and injected fault
+// filesystems must not be able to break cross-process mutual exclusion.
+func lockDir(dir string) (*DirLock, error) {
+	f, err := os.OpenFile(filepath.Join(dir, LockName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("trace: lock %s: %w", dir, err)
+	}
+	return &DirLock{f: f}, nil
+}
+
+// TryExclusive attempts a non-blocking upgrade to the exclusive lock,
+// reporting whether it was acquired.
+func (l *DirLock) TryExclusive() (bool, error) {
+	if l == nil || l.f == nil {
+		return false, nil
+	}
+	return flockTryExclusive(l.f)
+}
+
+// Shared takes (or downgrades to) the shared lock, blocking until any
+// exclusive holder — another process's startup scrub — finishes.
+func (l *DirLock) Shared() error {
+	if l == nil || l.f == nil {
+		return nil
+	}
+	return flockShared(l.f)
+}
+
+// Release drops the lock and closes the file.
+func (l *DirLock) Release() error {
+	if l == nil || l.f == nil {
+		return nil
+	}
+	err := flockUnlock(l.f)
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}

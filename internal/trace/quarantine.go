@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// QuarantineDir is the subdirectory of a trace dir that holds condemned
+// capture files. Scrub and the janitor never descend into it, so a
+// quarantined file can never be replayed, re-verified, or re-quarantined —
+// the one-way door that makes "quarantine exactly once" a structural
+// property rather than a bookkeeping one.
+const QuarantineDir = ".quarantine"
+
+// maxQuarantineSuffix bounds the collision suffixes Quarantine tries before
+// overwriting the oldest duplicate; a single identity being condemned this
+// many times means the recorder itself is broken, and keeping every copy
+// would turn a bug into a disk leak.
+const maxQuarantineSuffix = 16
+
+// Quarantine moves a condemned capture file into <traceDir>/.quarantine/
+// and drops a "<name>.reason" file beside it explaining why. It returns the
+// destination path. The move is a rename, so it is atomic and cannot
+// half-copy the evidence; if the file is already gone (another process
+// raced the same corruption and won) the quarantine is considered done and
+// ("", nil) is returned. The reason file is best effort — failing to write
+// it never fails the quarantine, because the quarantine's job is to unblock
+// re-recording, not to archive forensics.
+func Quarantine(fsys FS, traceDir, path, reason string) (string, error) {
+	qdir := filepath.Join(traceDir, QuarantineDir)
+	if err := fsys.MkdirAll(qdir); err != nil {
+		return "", fmt.Errorf("trace: quarantine dir: %w", err)
+	}
+	base := filepath.Base(path)
+	dest := filepath.Join(qdir, base)
+	for i := 2; i <= maxQuarantineSuffix; i++ {
+		if _, err := fsys.Stat(dest); errors.Is(err, os.ErrNotExist) {
+			break
+		}
+		dest = filepath.Join(qdir, fmt.Sprintf("%s.%d", base, i))
+	}
+	if err := fsys.Rename(path, dest); err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return "", nil
+		}
+		return "", fmt.Errorf("trace: quarantine %s: %w", path, err)
+	}
+	writeReason(fsys, qdir, dest+".reason", reason)
+	return dest, nil
+}
+
+// writeReason persists the condemnation reason atomically and best-effort.
+func writeReason(fsys FS, qdir, path, reason string) {
+	tmp, err := fsys.CreateTemp(qdir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return
+	}
+	if _, err := io.WriteString(tmp, strings.TrimSpace(reason)+"\n"); err != nil {
+		tmp.Close()
+		fsys.Remove(tmp.Name())
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		fsys.Remove(tmp.Name())
+		return
+	}
+	if err := fsys.Rename(tmp.Name(), path); err != nil {
+		fsys.Remove(tmp.Name())
+	}
+}

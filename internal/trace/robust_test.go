@@ -1,0 +1,390 @@
+package trace
+
+import (
+	"encoding/binary"
+	"hash/crc64"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The crash-consistency suite: the atomic-write commit protocol, the
+// corrupt-vs-unavailable error taxonomy, quarantine's one-way door, and the
+// startup janitor — each proven against the injectable filesystem seam.
+
+// spyFS records the order of mutating filesystem operations so tests can
+// assert the commit protocol, delegating the work to the real OS.
+type spyFS struct {
+	FS
+	ops []string
+}
+
+func (s *spyFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := s.FS.CreateTemp(dir, pattern)
+	s.ops = append(s.ops, "create-temp")
+	if err != nil {
+		return nil, err
+	}
+	return &spyFile{File: f, fs: s}, nil
+}
+
+func (s *spyFS) Rename(oldpath, newpath string) error {
+	s.ops = append(s.ops, "rename->"+filepath.Base(newpath))
+	return s.FS.Rename(oldpath, newpath)
+}
+
+func (s *spyFS) SyncDir(dir string) error {
+	s.ops = append(s.ops, "sync-dir")
+	return s.FS.SyncDir(dir)
+}
+
+type spyFile struct {
+	File
+	fs *spyFS
+}
+
+func (f *spyFile) Sync() error {
+	f.fs.ops = append(f.fs.ops, "fsync")
+	return f.File.Sync()
+}
+
+func (f *spyFile) Close() error {
+	f.fs.ops = append(f.fs.ops, "close")
+	return f.File.Close()
+}
+
+// TestWriteFileCommitProtocol pins the durability order of the atomic write:
+// the temp file is fsynced and closed before the rename makes it visible,
+// and the parent directory is fsynced after — the step that makes the rename
+// itself durable. Any other order has a crash window that loses or tears a
+// "committed" capture.
+func TestWriteFileCommitProtocol(t *testing.T) {
+	spy := &spyFS{FS: OS}
+	path := filepath.Join(t.TempDir(), "c.dgt")
+	if err := testCapture(t).WriteFileFS(spy, path); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"create-temp", "fsync", "close", "rename->c.dgt", "sync-dir"}
+	if len(spy.ops) != len(want) {
+		t.Fatalf("op sequence %v, want %v", spy.ops, want)
+	}
+	for i := range want {
+		if spy.ops[i] != want[i] {
+			t.Fatalf("op %d = %q, want %q (full sequence %v)", i, spy.ops[i], want[i], spy.ops)
+		}
+	}
+	if _, err := ReadCaptureFile(path); err != nil {
+		t.Fatalf("committed capture does not read back: %v", err)
+	}
+}
+
+// TestWriteFileFailureLeavesNoDebris drives every write-path fault the
+// chaos filesystem can inject at full probability and checks the two
+// invariants that make failure safe: no temp file survives, and a valid
+// capture already at the destination is untouched.
+func TestWriteFileFailureLeavesNoDebris(t *testing.T) {
+	c := testCapture(t)
+	cases := []struct {
+		name string
+		prep func(*ChaosFS)
+	}{
+		{"enospc", func(f *ChaosFS) { f.ENOSPCWindow(100) }},
+		{"write-error", func(f *ChaosFS) { f.WriteErr = 1 }},
+		{"short-write", func(f *ChaosFS) { f.ShortWrite = 1 }},
+		{"torn-rename", func(f *ChaosFS) { f.RenameErr = 1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "c.dgt")
+			if err := c.WriteFile(path); err != nil {
+				t.Fatal(err)
+			}
+			chaos := NewChaosFS(1)
+			tc.prep(chaos)
+			if err := c.WriteFileFS(chaos, path); err == nil {
+				t.Fatal("injected fault did not surface")
+			}
+			ents, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range ents {
+				if strings.Contains(e.Name(), ".tmp-") {
+					t.Errorf("failed write left temp %s", e.Name())
+				}
+			}
+			if _, err := ReadCaptureFile(path); err != nil {
+				t.Errorf("failed write damaged the existing capture: %v", err)
+			}
+		})
+	}
+}
+
+// TestReadErrorClassification separates the two failure families consumers
+// must treat differently: damaged bytes (quarantine and re-record) wrap
+// ErrCorrupt; an I/O path that cannot produce bytes (degrade to live, the
+// file may be fine) does not.
+func TestReadErrorClassification(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.dgt")
+	if err := testCapture(t).WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	chaos := NewChaosFS(1)
+	chaos.ReadErr = 1
+	if _, err := ReadCaptureFileFS(chaos, path); err == nil {
+		t.Fatal("read errors did not surface")
+	} else if IsQuarantineable(err) {
+		t.Errorf("device read error classified as quarantineable: %v", err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, mutate := range map[string]func([]byte) []byte{
+		"bitflip":  func(b []byte) []byte { b[len(b)/2] ^= 0x40; return b },
+		"truncate": func(b []byte) []byte { return b[:len(b)*2/3] },
+		"empty":    func(b []byte) []byte { return nil },
+	} {
+		bad := filepath.Join(dir, name+".dgt")
+		if err := os.WriteFile(bad, mutate(append([]byte(nil), data...)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadCaptureFileFS(OS, bad); err == nil {
+			t.Errorf("%s: damaged capture accepted", name)
+		} else if !IsQuarantineable(err) {
+			t.Errorf("%s: damage not classified quarantineable: %v", name, err)
+		}
+	}
+}
+
+// TestQuarantineOneWayDoor checks the quarantine mechanics: the condemned
+// file moves (never copies) into .quarantine with a reason alongside,
+// repeats get collision suffixes, and a file that is already gone — another
+// process won the race — counts as done.
+func TestQuarantineOneWayDoor(t *testing.T) {
+	dir := t.TempDir()
+	plant := func() string {
+		path := filepath.Join(dir, "bad.dgt")
+		if err := os.WriteFile(path, []byte("not a capture"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	dest, err := Quarantine(OS, dir, plant(), "because tests")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Dir(dest) != filepath.Join(dir, QuarantineDir) {
+		t.Fatalf("quarantined to %s, want inside %s", dest, QuarantineDir)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "bad.dgt")); !os.IsNotExist(err) {
+		t.Error("condemned file still present in the trace dir")
+	}
+	reason, err := os.ReadFile(dest + ".reason")
+	if err != nil {
+		t.Fatalf("no reason file: %v", err)
+	}
+	if strings.TrimSpace(string(reason)) != "because tests" {
+		t.Errorf("reason = %q", reason)
+	}
+
+	dest2, err := Quarantine(OS, dir, plant(), "again")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dest2 == dest || !strings.HasSuffix(dest2, ".2") {
+		t.Errorf("second quarantine of the same name went to %s", dest2)
+	}
+
+	gone, err := Quarantine(OS, dir, filepath.Join(dir, "missing.dgt"), "race")
+	if err != nil {
+		t.Fatalf("quarantining an already-moved file must be benign, got %v", err)
+	}
+	if gone != "" {
+		t.Errorf("racing quarantine reported destination %q, want \"\"", gone)
+	}
+}
+
+// TestOpenStoreScrub exercises one janitor pass over a mixed directory:
+// valid captures verify, damaged ones quarantine, orphaned temps vanish,
+// foreign files and the quarantine subdirectory are left alone.
+func TestOpenStoreScrub(t *testing.T) {
+	dir := t.TempDir()
+	c := testCapture(t)
+	if err := c.WriteFile(filepath.Join(dir, "good.dgt")); err != nil {
+		t.Fatal(err)
+	}
+	data := encodeCapture(t, c)
+	data[len(data)/2] ^= 0x10
+	if err := os.WriteFile(filepath.Join(dir, "bad.dgt"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "orphan.dgt.tmp-42"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("keep"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, QuarantineDir), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, QuarantineDir, "old.dgt"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := OpenStore(OS, dir, VerifyOpen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rep := s.Report
+	if rep.Skipped {
+		t.Fatal("scrub skipped with no other process in the directory")
+	}
+	if rep.Verified != 1 || rep.Quarantined != 1 || rep.TempsRemoved != 1 || rep.Unreadable != 0 {
+		t.Fatalf("report %+v, want 1 verified / 1 quarantined / 1 temp / 0 unreadable", rep)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "bad.dgt")); !os.IsNotExist(err) {
+		t.Error("damaged capture still in the trace dir")
+	}
+	if _, err := os.Stat(filepath.Join(dir, QuarantineDir, "bad.dgt")); err != nil {
+		t.Errorf("damaged capture not in quarantine: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "orphan.dgt.tmp-42")); !os.IsNotExist(err) {
+		t.Error("orphan temp survived the janitor")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "notes.txt")); err != nil {
+		t.Errorf("foreign file was touched: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, QuarantineDir, "old.dgt")); err != nil {
+		t.Errorf("janitor descended into the quarantine: %v", err)
+	}
+	if _, err := ReadCaptureFile(filepath.Join(dir, "good.dgt")); err != nil {
+		t.Errorf("valid capture damaged by the scrub: %v", err)
+	}
+}
+
+// TestOpenStoreSharedSkipsScrub proves the lock protocol: while one store
+// holds the directory's shared lock, a second opener cannot take the
+// exclusive lock, so it skips the scrub (the live process' files must not
+// be swept from under it) and still becomes usable. Once the first store
+// closes, the next opener scrubs normally.
+func TestOpenStoreSharedSkipsScrub(t *testing.T) {
+	dir := t.TempDir()
+	first, err := OpenStore(OS, dir, VerifyOpen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orphan := filepath.Join(dir, "w.dgt.tmp-7")
+	if err := os.WriteFile(orphan, []byte("in flight"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	second, err := OpenStore(OS, dir, VerifyOpen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Report.Skipped {
+		t.Error("second opener scrubbed a directory another store holds")
+	}
+	if _, err := os.Stat(orphan); err != nil {
+		t.Errorf("live temp swept by a sharing opener: %v", err)
+	}
+	second.Close()
+	first.Close()
+
+	third, err := OpenStore(OS, dir, VerifyOpen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer third.Close()
+	if third.Report.Skipped {
+		t.Error("scrub still skipped after every holder closed")
+	}
+	if third.Report.TempsRemoved != 1 {
+		t.Errorf("post-release scrub removed %d temps, want 1", third.Report.TempsRemoved)
+	}
+}
+
+// TestVerifyFileModes separates the three strictness levels: off accepts
+// anything, open catches any changed byte via the whole-file digest, and
+// full catches a file whose preamble digest was forged to match damaged
+// contents — only a complete decode sees the section CRCs fail.
+func TestVerifyFileModes(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.dgt")
+	if err := testCapture(t).WriteFile(good); err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []VerifyMode{VerifyOff, VerifyOpen, VerifyFull} {
+		if err := VerifyFile(OS, good, mode); err != nil {
+			t.Errorf("%v rejects a valid capture: %v", mode, err)
+		}
+	}
+
+	data := encodeCapture(t, testCapture(t))
+	data[len(data)-4] ^= 0x01
+	flipped := filepath.Join(dir, "flipped.dgt")
+	if err := os.WriteFile(flipped, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyFile(OS, flipped, VerifyOff); err != nil {
+		t.Errorf("off mode inspected the file: %v", err)
+	}
+	for _, mode := range []VerifyMode{VerifyOpen, VerifyFull} {
+		if err := VerifyFile(OS, flipped, mode); !IsQuarantineable(err) {
+			t.Errorf("%v on a flipped byte: %v, want quarantineable", mode, err)
+		}
+	}
+
+	// Forge a file that passes the open check — valid preamble, digest
+	// computed over the damaged body — but cannot decode. Only full catches
+	// it.
+	body := append([]byte(nil), encodeCapture(t, testCapture(t))[16:]...)
+	body[len(body)/2] ^= 0x80
+	forged := make([]byte, 16+len(body))
+	copy(forged, captureMagic)
+	binary.LittleEndian.PutUint16(forged[4:], CaptureVersion)
+	binary.LittleEndian.PutUint64(forged[8:], crc64.Checksum(body, crcTable))
+	copy(forged[16:], body)
+	forgedPath := filepath.Join(dir, "forged.dgt")
+	if err := os.WriteFile(forgedPath, forged, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyFile(OS, forgedPath, VerifyOpen); err != nil {
+		t.Errorf("open mode rejected the forged-digest file (digest is valid): %v", err)
+	}
+	if err := VerifyFile(OS, forgedPath, VerifyFull); !IsQuarantineable(err) {
+		t.Errorf("full mode on a forged digest: %v, want quarantineable", err)
+	}
+}
+
+// TestChaosFSDeterministic pins the chaos filesystem's seeding contract:
+// the same seed injects the same fault schedule, so a failing soak round
+// can be replayed exactly.
+func TestChaosFSDeterministic(t *testing.T) {
+	run := func(seed int64) FaultCounts {
+		chaos := NewChaosFS(seed)
+		chaos.OpenErr, chaos.ReadErr, chaos.WriteErr = 0.3, 0.3, 0.3
+		dir := t.TempDir()
+		c := testCapture(t)
+		for i := 0; i < 20; i++ {
+			c.WriteFileFS(chaos, filepath.Join(dir, "c.dgt"))
+			ReadCaptureFileFS(chaos, filepath.Join(dir, "c.dgt"))
+		}
+		return chaos.Counts()
+	}
+	a, b := run(42), run(42)
+	if a != b {
+		t.Errorf("same seed, different fault schedule: %+v vs %+v", a, b)
+	}
+	if a.Total() == 0 {
+		t.Error("no faults injected at 30% rates over 40 operations")
+	}
+}

@@ -1,0 +1,207 @@
+package trace
+
+import (
+	"fmt"
+	"hash/crc64"
+	"io"
+	"strings"
+)
+
+// VerifyMode selects how hard OpenStore's startup janitor looks at each
+// capture file before trusting the directory.
+type VerifyMode int
+
+const (
+	// VerifyOff only sweeps orphaned temp files; capture files are taken at
+	// their word until a consumer decodes them.
+	VerifyOff VerifyMode = iota
+	// VerifyOpen additionally streams every capture through its whole-file
+	// CRC64 digest (preamble validity + content integrity, no decoding) —
+	// cheap enough for startup, strong enough to catch bit rot and torn
+	// writes.
+	VerifyOpen
+	// VerifyFull fully decodes every capture: every section CRC, every
+	// semantic bound, the cross-section consistency check. The paranoid
+	// (and slow) setting for post-incident scrubs and chaos harnesses.
+	VerifyFull
+)
+
+// ParseVerifyMode maps the -trace-verify flag spellings onto modes.
+func ParseVerifyMode(s string) (VerifyMode, error) {
+	switch s {
+	case "off":
+		return VerifyOff, nil
+	case "open":
+		return VerifyOpen, nil
+	case "full":
+		return VerifyFull, nil
+	}
+	return 0, fmt.Errorf("unknown trace verify mode %q (want off, open or full)", s)
+}
+
+func (m VerifyMode) String() string {
+	switch m {
+	case VerifyOff:
+		return "off"
+	case VerifyOpen:
+		return "open"
+	case VerifyFull:
+		return "full"
+	}
+	return fmt.Sprintf("VerifyMode(%d)", int(m))
+}
+
+// ScrubReport is what one startup janitor pass did to a trace directory.
+type ScrubReport struct {
+	// Skipped: another process already held the directory (shared lock), so
+	// the janitor stood down — that process scrubbed at its own startup.
+	Skipped bool `json:"skipped,omitempty"`
+	// TempsRemoved counts orphaned atomic-write temp files swept away.
+	TempsRemoved int `json:"temps_removed"`
+	// Verified counts capture files that passed the configured check.
+	Verified int `json:"verified"`
+	// Quarantined counts capture files condemned and moved aside.
+	Quarantined int `json:"quarantined"`
+	// Unreadable counts capture files the I/O path could not produce bytes
+	// for (device errors). They are left in place: the disk may recover,
+	// and consumers degrade to live execution meanwhile.
+	Unreadable int `json:"unreadable"`
+}
+
+// Store is an opened, locked, scrubbed trace directory. Hold it for the
+// life of the process (the shared lock tells other processes' janitors the
+// directory is live) and Close it on the way out.
+type Store struct {
+	Dir    string
+	Report ScrubReport
+	lock   *DirLock
+}
+
+// OpenStore prepares a trace directory for use: creates it if missing,
+// takes the advisory directory lock, and — if this process is the only one
+// in the directory — runs the janitor (sweep orphaned temp files, verify
+// captures per mode, quarantine the condemned) before downgrading to the
+// long-lived shared lock. If other processes already share the directory
+// the scrub is skipped (Report.Skipped) and the store is usable
+// immediately.
+func OpenStore(fsys FS, dir string, mode VerifyMode) (*Store, error) {
+	if err := fsys.MkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("trace: store %s: %w", dir, err)
+	}
+	lock, err := lockDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{Dir: dir, lock: lock}
+	got, err := lock.TryExclusive()
+	if err != nil {
+		lock.Release()
+		return nil, fmt.Errorf("trace: store %s: %w", dir, err)
+	}
+	if got {
+		s.Report, err = scrub(fsys, dir, mode)
+		if err != nil {
+			lock.Release()
+			return nil, err
+		}
+	} else {
+		s.Report.Skipped = true
+	}
+	if err := lock.Shared(); err != nil {
+		lock.Release()
+		return nil, fmt.Errorf("trace: store %s: %w", dir, err)
+	}
+	return s, nil
+}
+
+// Close releases the directory lock.
+func (s *Store) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.lock.Release()
+}
+
+// scrub is the janitor body; the caller holds the exclusive lock. Per-file
+// failures never abort the pass — a janitor that dies on the first bad file
+// would leave the rest of the directory unswept.
+func scrub(fsys FS, dir string, mode VerifyMode) (ScrubReport, error) {
+	var rep ScrubReport
+	entries, err := fsys.ReadDir(dir)
+	if err != nil {
+		return rep, fmt.Errorf("trace: scrub %s: %w", dir, err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || name == LockName {
+			continue
+		}
+		full := dir + "/" + name
+		if strings.Contains(name, ".tmp-") {
+			// An orphaned atomic-write temp: its writer died before the
+			// rename, so nothing references it and nothing ever will.
+			if fsys.Remove(full) == nil {
+				rep.TempsRemoved++
+			}
+			continue
+		}
+		if !strings.HasSuffix(name, ".dgt") || mode == VerifyOff {
+			continue
+		}
+		switch err := VerifyFile(fsys, full, mode); {
+		case err == nil:
+			rep.Verified++
+		case IsQuarantineable(err):
+			if _, qerr := Quarantine(fsys, dir, full, err.Error()); qerr == nil {
+				rep.Quarantined++
+			} else {
+				rep.Unreadable++
+			}
+		default:
+			rep.Unreadable++
+		}
+	}
+	return rep, nil
+}
+
+// VerifyFile checks one capture file at the given strictness. VerifyOff
+// accepts everything; VerifyOpen validates the preamble and the whole-file
+// CRC64 digest without decoding; VerifyFull fully decodes. Damage to the
+// file wraps ErrCorrupt (or ErrStale); I/O-path failures do not.
+func VerifyFile(fsys FS, path string, mode VerifyMode) error {
+	switch mode {
+	case VerifyOff:
+		return nil
+	case VerifyFull:
+		_, err := ReadCaptureFileFS(fsys, path)
+		return err
+	}
+	f, err := fsys.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr := &trackReader{r: f}
+	var pre [16]byte
+	if _, err := io.ReadFull(tr, pre[:]); err != nil {
+		if tr.err != nil {
+			return fmt.Errorf("%s: trace: capture preamble: %w", path, tr.err)
+		}
+		return fmt.Errorf("%s: trace: %w: capture preamble: %v", path, ErrCorrupt, err)
+	}
+	if err := checkPreamble(pre); err != nil {
+		return fmt.Errorf("%s: trace: %w: %v", path, ErrCorrupt, err)
+	}
+	want := preambleDigest(pre)
+	h := crc64.New(crcTable)
+	if _, err := io.Copy(h, tr); err != nil {
+		if tr.err != nil {
+			return fmt.Errorf("%s: trace: capture body: %w", path, tr.err)
+		}
+		return fmt.Errorf("%s: trace: %w: capture body: %v", path, ErrCorrupt, err)
+	}
+	if got := h.Sum64(); got != want {
+		return fmt.Errorf("%s: trace: %w: digest mismatch (got %016x, want %016x)", path, ErrCorrupt, got, want)
+	}
+	return nil
+}

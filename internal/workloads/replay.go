@@ -2,8 +2,10 @@ package workloads
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
+	"os"
 	"path/filepath"
 
 	"doppelganger/internal/approx"
@@ -72,12 +74,62 @@ func loadCapture(read func(string) (*trace.Capture, error), path, configKey stri
 		return nil, err
 	}
 	if c.Header.ConfigKey != configKey {
-		return nil, fmt.Errorf("%s: stale capture: recorded for %q, wanted %q", path, c.Header.ConfigKey, configKey)
+		return nil, fmt.Errorf("%s: %w: recorded for %q, wanted %q", path, trace.ErrStale, c.Header.ConfigKey, configKey)
 	}
 	if c.Header.Cores != cores {
-		return nil, fmt.Errorf("%s: stale capture: recorded with %d cores, wanted %d", path, c.Header.Cores, cores)
+		return nil, fmt.Errorf("%s: %w: recorded with %d cores, wanted %d", path, trace.ErrStale, c.Header.Cores, cores)
 	}
 	return c, nil
+}
+
+// LoadOutcome classifies what LoadCaptureRecover did, so callers can pick
+// the right recovery without re-deriving it from error chains.
+type LoadOutcome int
+
+const (
+	// LoadOK: the capture decoded, matched its identity, and is returned.
+	LoadOK LoadOutcome = iota
+	// LoadMiss: no capture exists at the path — the ordinary cold-cache
+	// case; record one.
+	LoadMiss
+	// LoadQuarantined: the file was corrupt or stale; it has been moved to
+	// the quarantine and the path is now free to re-record.
+	LoadQuarantined
+	// LoadUnavailable: the I/O path failed (device error, permissions) —
+	// the file was left alone and the caller should fall back to live
+	// execution without persisting.
+	LoadUnavailable
+)
+
+// LoadCaptureRecover is the self-healing load: it reads and identity-checks
+// the capture at path, and on failure routes the file to the right remedy —
+// corrupt or stale captures are quarantined under traceDir (freeing the
+// path for transparent re-recording), missing files report a plain miss,
+// and I/O failures report the store unavailable. The returned error
+// explains any non-OK outcome; for LoadMiss it is nil.
+func LoadCaptureRecover(fsys trace.FS, traceDir, path, configKey string, cores int, outputOnly bool) (*trace.Capture, LoadOutcome, error) {
+	read := func(p string) (*trace.Capture, error) { return trace.ReadCaptureFileFS(fsys, p) }
+	if outputOnly {
+		read = func(p string) (*trace.Capture, error) { return trace.ReadCaptureOutputFileFS(fsys, p) }
+	}
+	c, err := loadCapture(read, path, configKey, cores)
+	if err == nil {
+		return c, LoadOK, nil
+	}
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, LoadMiss, nil
+	}
+	if trace.IsQuarantineable(err) {
+		dest, qerr := trace.Quarantine(fsys, traceDir, path, err.Error())
+		if qerr != nil {
+			return nil, LoadUnavailable, fmt.Errorf("%w (quarantine failed: %v)", err, qerr)
+		}
+		if dest == "" {
+			dest = "(already quarantined by a racing process)"
+		}
+		return nil, LoadQuarantined, fmt.Errorf("%w (quarantined to %s)", err, dest)
+	}
+	return nil, LoadUnavailable, err
 }
 
 // ReplayFunctionalContext reproduces a recorded functional run against the
