@@ -16,6 +16,7 @@ import (
 	"doppelganger/internal/core"
 	"doppelganger/internal/memdata"
 	"doppelganger/internal/sweep"
+	"doppelganger/internal/trace"
 )
 
 // benchScale keeps the per-iteration experiment runs tractable.
@@ -153,6 +154,52 @@ func BenchmarkFuncSweep(b *testing.B) {
 		}
 	}
 	sweepOnce() // populate the trace directory outside the timer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sweepOnce()
+	}
+}
+
+// BenchmarkFuncSweepBatched is BenchmarkFuncSweep through the decoded-capture
+// cache — the sweepd deployment, where one long-lived in-memory cache
+// outlives every sweep over the trace directory. Each capture file is read
+// and decoded once for the cache's lifetime instead of once per sweep, and
+// baseline outputs are scored straight from their decoded captures, so a
+// warm sweep rebuilds no hierarchy at all. With DOPPEL_BENCH_LIVE=1 the
+// cache has nothing to serve and every cell executes live, identical to
+// BenchmarkFuncSweep — so against the committed live baseline this row is
+// the single-pass substrate's speedup, and the gap over the FuncSweep row
+// is the decoded-cache win over per-cell file replay.
+func BenchmarkFuncSweepBatched(b *testing.B) {
+	dir := b.TempDir()
+	if os.Getenv("DOPPEL_BENCH_LIVE") != "" {
+		dir = "" // no trace cache: every cell runs its kernels
+	}
+	cache := trace.NewDecodedCache(512 << 20)
+	sweepOnce := func() {
+		r := sweep.NewRunner(benchScale)
+		r.TraceDir = dir
+		r.DecodedCache = cache
+		r.ReplayBatch = 8
+		for _, name := range r.Benchmarks() {
+			for _, m := range sweep.MapSpaces {
+				if _, err := r.SplitError(name, m, sweep.BaseDataFrac); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for _, frac := range sweep.DataFracs {
+				if _, err := r.SplitError(name, sweep.BaseMapBits, frac); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for _, frac := range sweep.UniFracs {
+				if _, err := r.UnifiedError(name, sweep.BaseMapBits, frac); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	sweepOnce() // populate the trace directory and decoded cache untimed
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sweepOnce()

@@ -1,0 +1,57 @@
+package funcsim
+
+import (
+	"context"
+	"fmt"
+
+	"doppelganger/internal/trace"
+)
+
+// ReplayBatchContext drives K independent hierarchies through one recorded
+// access stream in a single pass: the global-order cursor is walked once and
+// every record is applied to each hierarchy in turn. This is the
+// decode-once/simulate-many inner loop — the front-end work (decode, order
+// validation, cursor stepping) is paid once instead of K times, while each
+// hierarchy keeps fully private state (its own store clone, LLC, map table,
+// directory, fault injector and quality guard), so lane i's functional
+// evolution is bit-identical to replaying the stream through it alone.
+//
+// Every hierarchy must have been built over its own clone of the recording
+// run's initial memory image, with no recorder attached. The steady-state
+// loop allocates nothing.
+func ReplayBatchContext(ctx context.Context, hs []*Hierarchy, rec *trace.Recorder) error {
+	cur, err := rec.Cursor()
+	if err != nil {
+		return err
+	}
+	return ReplayBatchCursor(ctx, hs, cur)
+}
+
+// ReplayBatchCursor is ReplayBatchContext over an already-validated cursor
+// (which it consumes from its current position). Callers that fan several
+// batches off one decoded capture reset and reuse the cursor between calls.
+func ReplayBatchCursor(ctx context.Context, hs []*Hierarchy, cur *trace.Cursor) error {
+	for i, h := range hs {
+		if h == nil {
+			return fmt.Errorf("funcsim: batch lane %d is nil", i)
+		}
+	}
+	done := ctx.Done()
+	for i := 0; ; i++ {
+		if done != nil && i%replayPollEvery == 0 {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
+		}
+		c, r := cur.Next()
+		if c < 0 {
+			return nil
+		}
+		rec := *r
+		for _, h := range hs {
+			h.Replay(c, rec)
+		}
+	}
+}

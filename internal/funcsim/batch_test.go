@@ -1,0 +1,148 @@
+package funcsim
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"doppelganger/internal/cache"
+	"doppelganger/internal/core"
+	"doppelganger/internal/memdata"
+	"doppelganger/internal/trace"
+)
+
+// batchStream builds a deterministic recorded stream over a small working
+// set: two cores, mixed reads and writes, enough reuse to exercise fills,
+// evictions and writebacks in every lane.
+func batchStream(t testing.TB) (*trace.Recorder, *memdata.Store) {
+	t.Helper()
+	init := memdata.NewStore()
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 256; i++ {
+		init.WriteU64(memdata.Addr(0x4000+i*64), rng.Uint64())
+	}
+	rec := trace.NewRecorder(2)
+	for i := 0; i < 4000; i++ {
+		core := i % 2
+		addr := memdata.Addr(0x4000 + uint32(rng.Intn(256))*64)
+		if rng.Intn(4) == 0 {
+			rec.Access(core, addr, true, 8, rng.Uint64(), false)
+		} else {
+			rec.Access(core, addr, false, 8, 0, false)
+		}
+		if rng.Intn(16) == 0 {
+			rec.Work(core, rng.Intn(5))
+		}
+	}
+	return rec, init
+}
+
+// batchLanes builds k hierarchies with per-lane LLC geometry (so lanes truly
+// diverge) over private clones of the initial image.
+func batchLanes(init *memdata.Store, k int) ([]*Hierarchy, []*memdata.Store) {
+	hs := make([]*Hierarchy, k)
+	sts := make([]*memdata.Store, k)
+	for i := range hs {
+		st := init.Clone()
+		llc := core.NewBaseline(cache.Config{Name: "LLC", SizeBytes: 1 << (12 + uint(i%3)), Ways: 4}, st, nil)
+		hs[i] = New(testConfig(2), llc, st, nil, nil)
+		sts[i] = st
+	}
+	return hs, sts
+}
+
+func storesEqual(t *testing.T, lane int, got, want *memdata.Store) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("lane %d: %d blocks touched, want %d", lane, got.Len(), want.Len())
+	}
+	want.ForEachBlock(func(a memdata.Addr, blk *memdata.Block) {
+		g := got.Peek(a)
+		if g == nil {
+			t.Fatalf("lane %d: block %#x missing", lane, a)
+		}
+		if *g != *blk {
+			t.Fatalf("lane %d: block %#x diverged", lane, a)
+		}
+	})
+}
+
+// The batched inner loop must be invisible: each lane of one batched pass
+// ends in exactly the state a sequential ReplayStreamContext pass leaves.
+func TestReplayBatchMatchesSequential(t *testing.T) {
+	rec, init := batchStream(t)
+	const k = 4
+
+	bhs, bsts := batchLanes(init, k)
+	if err := ReplayBatchContext(context.Background(), bhs, rec); err != nil {
+		t.Fatal(err)
+	}
+	shs, ssts := batchLanes(init, k)
+	for i, h := range shs {
+		if err := ReplayStreamContext(context.Background(), h, rec); err != nil {
+			t.Fatalf("lane %d sequential: %v", i, err)
+		}
+	}
+	for i := range bhs {
+		bhs[i].Flush()
+		shs[i].Flush()
+		storesEqual(t, i, bsts[i], ssts[i])
+	}
+}
+
+func TestReplayBatchCancelled(t *testing.T) {
+	rec, init := batchStream(t)
+	hs, _ := batchLanes(init, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := ReplayBatchContext(ctx, hs, rec); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestReplayBatchNilLane(t *testing.T) {
+	rec, init := batchStream(t)
+	hs, _ := batchLanes(init, 2)
+	hs[1] = nil
+	if err := ReplayBatchContext(context.Background(), hs, rec); err == nil {
+		t.Fatal("nil lane accepted")
+	}
+}
+
+// Satellite: the steady-state batched-replay inner loop — shared cursor
+// fan-out included — allocates nothing, so batching N configs costs N times
+// the cache work and zero garbage.
+func TestReplayBatchZeroAlloc(t *testing.T) {
+	rec, init := batchStream(t)
+	// Lanes whose LLC holds the whole working set: L1/L2 evictions and
+	// writebacks still fire every pass (the paths that used to allocate),
+	// but the LLC's eviction bookkeeping reaches a true steady state, so
+	// any allocation left is the batch loop's own.
+	hs := make([]*Hierarchy, 4)
+	for i := range hs {
+		st := init.Clone()
+		llc := core.NewBaseline(cache.Config{Name: "LLC", SizeBytes: 64 << 10, Ways: 4 << uint(i%2)}, st, nil)
+		hs[i] = New(testConfig(2), llc, st, nil, nil)
+	}
+	cur, err := rec.Cursor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm passes fault in every store page and cache structure and let the
+	// per-organization Effects scratch slices reach their high-water marks.
+	for w := 0; w < 3; w++ {
+		if err := ReplayBatchCursor(context.Background(), hs, cur); err != nil {
+			t.Fatal(err)
+		}
+		cur.Reset()
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		cur.Reset()
+		if err := ReplayBatchCursor(context.Background(), hs, cur); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("batched replay inner loop allocates %.1f per pass, want 0", allocs)
+	}
+}

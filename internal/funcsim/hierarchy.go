@@ -88,6 +88,13 @@ type Hierarchy struct {
 
 	// Last describes the most recent access for the timing model.
 	Last Outcome
+
+	// wbScratch stages a dirty L2 victim's payload for the LLC writeback.
+	// Passing a stack copy's address through the core.LLC interface makes
+	// escape analysis heap-allocate one Block per eviction; the reusable
+	// field keeps the replay and live hot loops allocation-free. The LLC
+	// never retains the pointer (the Effects contract), so reuse is safe.
+	wbScratch memdata.Block
 }
 
 // Outcome classifies one access for the cycle-level timing model: which
@@ -468,11 +475,11 @@ func (h *Hierarchy) fillL2(c int, ba memdata.Addr, data *memdata.Block, st coher
 	v := h.l2[c].Victim(ba)
 	if v.Valid {
 		victimAddr := v.Addr
-		victimData := v.Data
+		h.wbScratch = v.Data
 		victimDirty := v.Dirty
 		// Enforce inclusion: drop the L1 copy, merging its dirty data.
 		if l1old, ok := h.l1[c].Invalidate(victimAddr); ok && l1old.Dirty {
-			victimData = l1old.Data
+			h.wbScratch = l1old.Data
 			victimDirty = true
 		}
 		if dl := h.dir.Lookup(victimAddr); dl != nil {
@@ -483,7 +490,7 @@ func (h *Hierarchy) fillL2(c int, ba memdata.Addr, data *memdata.Block, st coher
 			}
 		}
 		if victimDirty {
-			h.writebackToLLC(victimAddr, &victimData)
+			h.writebackToLLC(victimAddr, &h.wbScratch)
 		}
 	}
 	h.l2[c].Install(v, ba, data)

@@ -112,6 +112,16 @@ type Config struct {
 	TraceVerify  trace.VerifyMode
 	TraceFS      trace.FS
 
+	// DecodedCacheMB, when positive (and TraceDir is set), bounds a single
+	// decoded-capture LRU shared by every shard runner: a capture any shard
+	// decodes is replayable by the rest without re-reading the file, and
+	// cells are ring-routed by capture digest so repeat submissions land on
+	// the shard already holding their stream. ReplayBatch, when > 1, lets
+	// each shard's engine replay that many identical-stream quality cells
+	// in a single pass (sweep.Runner.ReplayBatch).
+	DecodedCacheMB int
+	ReplayBatch    int
+
 	// Checkpoint, when non-nil, persists every completed result and primes
 	// every shard runner from already-loaded records (resume). The caller
 	// owns and closes it.
@@ -210,6 +220,12 @@ type Server struct {
 	traceStore    *trace.Store
 	degradedGauge *metrics.Gauge
 
+	// decoded is the decoded-capture LRU every shard runner shares (nil
+	// unless DecodedCacheMB is set); traceFS is the filesystem captures are
+	// probed through (digest routing reads 16-byte preambles on it).
+	decoded *trace.DecodedCache
+	traceFS trace.FS
+
 	chaos ChaosHooks
 }
 
@@ -286,6 +302,11 @@ func New(cfg Config) (*Server, error) {
 	if fsys == nil {
 		fsys = trace.OS
 	}
+	s.traceFS = fsys
+	if cfg.TraceDir != "" && cfg.DecodedCacheMB > 0 {
+		s.decoded = trace.NewDecodedCache(int64(cfg.DecodedCacheMB) << 20)
+		s.decoded.AttachMetrics(reg)
+	}
 	if cfg.TraceDir != "" {
 		st, err := trace.OpenStore(fsys, cfg.TraceDir, cfg.TraceVerify)
 		if err != nil {
@@ -326,6 +347,8 @@ func New(cfg Config) (*Server, error) {
 		r.TraceCapture = cfg.TraceCapture
 		r.TraceReplay = cfg.TraceReplay
 		r.TraceFS = cfg.TraceFS
+		r.DecodedCache = s.decoded
+		r.ReplayBatch = cfg.ReplayBatch
 		r.Checkpoint = cfg.Checkpoint
 		if cfg.Checkpoint != nil {
 			r.Resume(cfg.Checkpoint)
@@ -504,12 +527,37 @@ func (s *Server) dispatch(ctx context.Context, c Cell, key string) ([]byte, uint
 	return nil, 0, -1, fmt.Errorf("server: job %s failed after %d attempt(s): %w", key, s.cfg.Retries+1, lastErr)
 }
 
+// routeKey picks the consistent-hash key for a cell. Plain servers route by
+// benchmark (Cell.RouteKey), keeping a benchmark's cells — and their memoized
+// baseline — on one shard. With a shared decoded-capture cache, cells route
+// by the digest of the capture file they replay: every cell replaying one
+// stream lands on the shard whose queue already carries its siblings, so the
+// quality-batch planner sees whole groups and the LRU isn't duplicated
+// across shards. Cells whose capture isn't on disk yet (cold directory) fall
+// back to benchmark routing; once recorded, resubmissions route by digest.
+func (s *Server) routeKey(c Cell) string {
+	if s.decoded == nil || len(s.shards) == 0 {
+		return c.RouteKey()
+	}
+	// Every shard runner is configured identically; shard 0's maps the cell
+	// to its capture identity.
+	ident, ok := s.shards[0].runner.CellCaptureIdent(c.Kind, c.Bench, c.Org, c.M, c.Frac, c.Rate)
+	if !ok {
+		return c.RouteKey()
+	}
+	d, err := trace.FileDigestFS(s.traceFS, workloads.CapturePath(s.cfg.TraceDir, ident))
+	if err != nil {
+		return c.RouteKey()
+	}
+	return fmt.Sprintf("digest:%016x", d)
+}
+
 // attempt runs one dispatch round: enqueue on the first live, breaker-
 // allowed, non-full candidate in ring order; hedge onto the next one if the
 // answer is slow; verify the payload checksum on receipt. Corrupt or failed
 // outcomes feed the shard's breaker and fall through to the next candidate.
 func (s *Server) attempt(ctx context.Context, c Cell, key string, rotation int) ([]byte, uint64, int, error) {
-	seq := s.ring.order(c.RouteKey())
+	seq := s.ring.order(s.routeKey(c))
 	if len(seq) == 0 {
 		return nil, 0, -1, errors.New("server: no shards")
 	}
@@ -757,21 +805,21 @@ type ShardStats struct {
 
 // Stats is the /v1/stats payload.
 type Stats struct {
-	Draining   bool         `json:"draining"`
-	Ready      bool         `json:"ready"`
-	QueueDepth int64        `json:"queue_depth"`
-	Pending    int          `json:"pending"`
-	Accepted   uint64       `json:"accepted"`
-	Completed  uint64       `json:"completed"`
-	Failed     uint64       `json:"failed"`
-	CacheHits  uint64       `json:"cache_hits"`
-	Computes   int64        `json:"computes"`
-	ShedRate   uint64       `json:"shed_rate"`
-	ShedQueue  uint64       `json:"shed_queue"`
-	Hedges     uint64       `json:"hedges"`
-	Retries    uint64       `json:"retries"`
-	Corrupt    uint64       `json:"corrupt"`
-	Panics     uint64       `json:"panics"`
+	Draining   bool   `json:"draining"`
+	Ready      bool   `json:"ready"`
+	QueueDepth int64  `json:"queue_depth"`
+	Pending    int    `json:"pending"`
+	Accepted   uint64 `json:"accepted"`
+	Completed  uint64 `json:"completed"`
+	Failed     uint64 `json:"failed"`
+	CacheHits  uint64 `json:"cache_hits"`
+	Computes   int64  `json:"computes"`
+	ShedRate   uint64 `json:"shed_rate"`
+	ShedQueue  uint64 `json:"shed_queue"`
+	Hedges     uint64 `json:"hedges"`
+	Retries    uint64 `json:"retries"`
+	Corrupt    uint64 `json:"corrupt"`
+	Panics     uint64 `json:"panics"`
 
 	// Trace-store health: replayed/recorded captures, captures condemned to
 	// quarantine (then transparently re-recorded), and cells that degraded
@@ -782,6 +830,10 @@ type Stats struct {
 	TraceQuarantined uint64             `json:"trace_quarantined,omitempty"`
 	TraceDegraded    uint64             `json:"trace_degraded,omitempty"`
 	TraceScrub       *trace.ScrubReport `json:"trace_scrub,omitempty"`
+
+	// DecodedCache snapshots the shared decoded-capture LRU (nil when the
+	// cache is off): hit/miss/eviction counts plus current resident bytes.
+	DecodedCache *trace.DecodedCacheStats `json:"decoded_cache,omitempty"`
 
 	Shards []ShardStats `json:"shards"`
 }
@@ -814,6 +866,10 @@ func (s *Server) Stats() Stats {
 	if s.traceStore != nil {
 		rep := s.traceStore.Report
 		st.TraceScrub = &rep
+	}
+	if s.decoded != nil {
+		dc := s.decoded.Stats()
+		st.DecodedCache = &dc
 	}
 	// Mirror the degraded count onto the gauge so /metrics shows degraded
 	// mode as a level alongside the raw counter.

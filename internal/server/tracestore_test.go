@@ -93,6 +93,83 @@ func TestServerTraceDirUnusable(t *testing.T) {
 	}
 }
 
+// TestServerDecodedCacheAndDigestRouting covers the shared decoded-capture
+// layer above the trace store: cells route by benchmark until their capture
+// exists, then by its digest; a warm restart replays through the decoded
+// cache; and the cache's counters surface in /v1/stats and Stats().
+func TestServerDecodedCacheAndDigestRouting(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	dir := t.TempDir()
+	cell := Cell{Kind: "split-error", Bench: "kmeans", M: 14, Frac: 0.25}
+
+	cfg := testConfig()
+	cfg.TraceDir = dir
+	cfg.TraceVerify = trace.VerifyOpen
+	cfg.DecodedCacheMB = 64
+	cfg.ReplayBatch = 8
+	cfg.Log = nil
+
+	first, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cold directory: the capture isn't on disk, so routing falls back to
+	// the benchmark key.
+	if got := first.routeKey(cell); got != cell.RouteKey() {
+		t.Errorf("cold routeKey = %q, want fallback %q", got, cell.RouteKey())
+	}
+	res1, err := first.Submit(context.Background(), cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recorded: the cell now routes by its capture's digest, and a cell
+	// kind with no single capture keeps the fallback.
+	if got := first.routeKey(cell); !strings.HasPrefix(got, "digest:") {
+		t.Errorf("warm routeKey = %q, want digest-prefixed", got)
+	}
+	fig := Cell{Kind: "figure", Figure: "fig9"}
+	if got := first.routeKey(fig); got != fig.RouteKey() {
+		t.Errorf("figure routeKey = %q, want fallback %q", got, fig.RouteKey())
+	}
+	first.Close()
+
+	second := mustServer(t, cfg)
+	res2, err := second.Submit(context.Background(), cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res1.Payload) != string(res2.Payload) {
+		t.Fatalf("decoded-cache replay diverged:\n%s\nvs\n%s", res1.Payload, res2.Payload)
+	}
+	st := second.Stats()
+	if st.TraceReplays == 0 {
+		t.Error("second server replayed nothing")
+	}
+	if st.DecodedCache == nil {
+		t.Fatal("stats carry no decoded-cache snapshot")
+	}
+	if st.DecodedCache.Entries == 0 || st.DecodedCache.Bytes == 0 {
+		t.Errorf("decoded cache empty after a warm replay: %+v", *st.DecodedCache)
+	}
+
+	// The snapshot also renders over HTTP, and the cache's counters are on
+	// the shared registry for /metrics.
+	rec := httptest.NewRecorder()
+	second.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/stats", nil))
+	var got Stats
+	if err := json.NewDecoder(rec.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.DecodedCache == nil || got.DecodedCache.Entries == 0 {
+		t.Errorf("/v1/stats decoded cache = %+v", got.DecodedCache)
+	}
+	if second.reg.CounterValue("trace.decoded_cache.misses") == 0 {
+		t.Error("decoded-cache counters not attached to the server registry")
+	}
+}
+
 // TestServerTraceRoundTrip drives one cell through a trace-dir-backed
 // server twice across restarts: the second server replays the first's
 // capture bit-identically and reports the replay in its stats.

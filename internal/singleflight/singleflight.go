@@ -95,6 +95,17 @@ func (m *Memo[V]) Prime(key string, val V) {
 // key is computed once.
 func (m *Memo[V]) Computes() int64 { return m.computes.Load() }
 
+// Has reports whether key is present (computed, computing, or primed)
+// without blocking on an in-flight computation. Planners use it to skip
+// work that is already done or claimed; a false answer is only a hint —
+// another caller may insert the key immediately after.
+func (m *Memo[V]) Has(key string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.entries[key]
+	return ok
+}
+
 // Len reports how many keys are cached.
 func (m *Memo[V]) Len() int {
 	m.mu.Lock()

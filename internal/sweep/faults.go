@@ -59,7 +59,7 @@ func (r *Runner) FaultErrorContext(ctx context.Context, name, org string, rate f
 		if err != nil {
 			return 0, err
 		}
-		a, err := r.BaselineContext(ctx, name)
+		a, err := r.baselineScore(ctx, name)
 		if err != nil {
 			return 0, err
 		}
@@ -85,7 +85,7 @@ func (r *Runner) FaultErrorContext(ctx context.Context, name, org string, rate f
 			return 0, err
 		}
 		r.collect(key+"/func", child)
-		return a.bench.Error(a.run.Output, run.Output), nil
+		return a.bench.Error(a.out, run.Output), nil
 	})
 }
 

@@ -118,7 +118,7 @@ func (r *Runner) QualityErrorContext(ctx context.Context, name, org string, rate
 		if err != nil {
 			return nil, err
 		}
-		a, err := r.BaselineContext(ctx, name)
+		a, err := r.baselineScore(ctx, name)
 		if err != nil {
 			return nil, err
 		}
@@ -156,7 +156,7 @@ func (r *Runner) QualityErrorContext(ctx context.Context, name, org string, rate
 		r.collect(key+"/func", child)
 		s := qc.Stats()
 		return &QualityOutcome{
-			TrueErrorBits: math.Float64bits(a.bench.Error(a.run.Output, run.Output)),
+			TrueErrorBits: math.Float64bits(a.bench.Error(a.out, run.Output)),
 			EstimateBits:  math.Float64bits(qc.Estimate()),
 			FinalState:    qc.State(),
 			Trips:         s.Trips,

@@ -89,6 +89,23 @@ type Runner struct {
 	// cache — the fault-injection seam chaos tests drive. nil means the OS.
 	TraceFS trace.FS
 
+	// DecodedCache, when non-nil, is a bounded in-memory LRU of decoded
+	// captures keyed by file digest, layered above the on-disk trace store.
+	// Decoded captures are immutable and safe to share, so one cache can
+	// serve many Runners (the sweep server hands all its shards the same
+	// one): a capture any of them decoded is replayed by the rest without
+	// touching the file beyond its 16-byte digest preamble. While a decoded
+	// cache is attached, every capture load is a full decode — a cached
+	// capture must be able to serve both output-only and hierarchy-replay
+	// consumers.
+	DecodedCache *trace.DecodedCache
+	// ReplayBatch, when > 1, turns on single-pass multi-config replay for
+	// quality cells during Prewarm: up to ReplayBatch cells whose captures
+	// carry byte-identical access streams are driven through independent
+	// hierarchies in one walk of the decoded stream (see batch.go).
+	// Requires TraceDir and a DecodedCache.
+	ReplayBatch int
+
 	// Metrics, when non-nil, aggregates instrument totals across every
 	// simulation the runner performs; each memoized task also leaves a
 	// labeled per-task snapshot (see WriteMetricsJSONL). nil disables all
@@ -105,10 +122,19 @@ type Runner struct {
 	tracePIDs int
 
 	base         *singleflight.Memo[*baseArtifacts]
+	baseOut      *singleflight.Memo[*baseScore]
 	errCache     *singleflight.Memo[float64]
 	timeCache    *singleflight.Memo[*timesim.Result]
 	qualityCache *singleflight.Memo[*QualityOutcome]
 	traceCache   *singleflight.Memo[*trace.Capture]
+}
+
+// baseScore is the slice of the baseline artifacts every error cell scores
+// against: the benchmark instance (for its Error metric) and the precise
+// output vector.
+type baseScore struct {
+	bench *workloads.Benchmark
+	out   []float64
 }
 
 type baseArtifacts struct {
@@ -125,6 +151,7 @@ func NewRunner(scale float64) *Runner {
 		Cores:         4,
 		SnapshotEvery: 20000,
 		base:          singleflight.New[*baseArtifacts](),
+		baseOut:       singleflight.New[*baseScore](),
 		errCache:      singleflight.New[float64](),
 		timeCache:     singleflight.New[*timesim.Result](),
 		qualityCache:  singleflight.New[*QualityOutcome](),
@@ -264,6 +291,43 @@ func (r *Runner) BaselineTimingContext(ctx context.Context, name string) (*times
 	return a.timing, nil
 }
 
+// baselineScore returns the benchmark instance and precise baseline output
+// an error cell scores against. With a decoded cache over a warm trace
+// directory it is served from the baseline's own capture — PR 7's goldens
+// prove the recorded output is bit-identical to the live run's, so the full
+// baseline replay (hierarchy rebuild, snapshot analysis, timing simulation)
+// is skipped entirely on sweeps that only read error cells. Any miss —
+// cold directory, quarantined or unreadable capture, forced re-record —
+// falls back to the complete baseline artifacts.
+func (r *Runner) baselineScore(ctx context.Context, name string) (*baseScore, error) {
+	if r.DecodedCache == nil || r.TraceDir == "" || r.TraceCapture {
+		a, err := r.BaselineContext(ctx, name)
+		if err != nil {
+			return nil, err
+		}
+		return &baseScore{bench: a.bench, out: a.run.Output}, nil
+	}
+	return r.baseOut.Do(name, func() (*baseScore, error) {
+		f, err := workloads.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		// Someone already paid for (or is computing) the full artifacts in
+		// this Runner; share them instead of decoding the capture again.
+		if !r.base.Has(name) {
+			ident := workloads.CaptureIdent("base/"+name, r.Scale, r.Cores, "")
+			if c := r.loadDecoded(ident); c != nil {
+				return &baseScore{bench: f.New(r.Scale), out: c.Output}, nil
+			}
+		}
+		a, err := r.BaselineContext(ctx, name)
+		if err != nil {
+			return nil, err
+		}
+		return &baseScore{bench: a.bench, out: a.run.Output}, nil
+	})
+}
+
 func (r *Runner) timesimConfig() timesim.Config {
 	cfg := timesim.DefaultConfig()
 	cfg.Cores = r.Cores
@@ -294,7 +358,7 @@ func (r *Runner) SplitError(name string, m int, frac float64) (float64, error) {
 func (r *Runner) SplitErrorContext(ctx context.Context, name string, m int, frac float64) (float64, error) {
 	key := fmt.Sprintf("split/%s/%d/%g", name, m, frac)
 	return r.errDo(key, func() (float64, error) {
-		a, err := r.BaselineContext(ctx, name)
+		a, err := r.baselineScore(ctx, name)
 		if err != nil {
 			return 0, err
 		}
@@ -311,7 +375,7 @@ func (r *Runner) SplitErrorContext(ctx context.Context, name string, m int, frac
 			return 0, err
 		}
 		r.collect(key+"/func", child)
-		return a.bench.Error(a.run.Output, run.Output), nil
+		return a.bench.Error(a.out, run.Output), nil
 	})
 }
 
@@ -325,7 +389,7 @@ func (r *Runner) UnifiedError(name string, m int, frac float64) (float64, error)
 func (r *Runner) UnifiedErrorContext(ctx context.Context, name string, m int, frac float64) (float64, error) {
 	key := fmt.Sprintf("uni/%s/%d/%g", name, m, frac)
 	return r.errDo(key, func() (float64, error) {
-		a, err := r.BaselineContext(ctx, name)
+		a, err := r.baselineScore(ctx, name)
 		if err != nil {
 			return 0, err
 		}
@@ -342,7 +406,7 @@ func (r *Runner) UnifiedErrorContext(ctx context.Context, name string, m int, fr
 			return 0, err
 		}
 		r.collect(key+"/func", child)
-		return a.bench.Error(a.run.Output, run.Output), nil
+		return a.bench.Error(a.out, run.Output), nil
 	})
 }
 

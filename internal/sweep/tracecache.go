@@ -63,6 +63,65 @@ func (r *Runner) traceFS() trace.FS {
 	return trace.OS
 }
 
+// CellCaptureIdent maps one sweep cell (the server's wire vocabulary) to
+// the identity of the capture its functional work replays, so the sweep
+// server can route cells by trace digest: cells that replay the same file
+// land on the shard whose decoded cache already holds it. Timing cells
+// replay the benchmark's baseline recorder, so they map to the baseline
+// capture — co-locating a benchmark's timing cells with its baseline. ok is
+// false for cells with no single capture (whole figures, unknown kinds).
+func (r *Runner) CellCaptureIdent(kind, bench, org string, m int, frac, rate float64) (string, bool) {
+	var key, extra string
+	switch kind {
+	case "split-error":
+		key = fmt.Sprintf("split/%s/%d/%g", bench, m, frac)
+	case "uni-error":
+		key = fmt.Sprintf("uni/%s/%d/%g", bench, m, frac)
+	case "fault-error":
+		key = fmt.Sprintf("fault/%s/%s/%g", org, bench, rate)
+		extra = fmt.Sprintf("|fseed=%d|fmodel=%s", r.FaultSeed, r.FaultModel)
+	case "quality-error":
+		key = fmt.Sprintf("quality/%s/%s/%g", org, bench, rate)
+		extra = fmt.Sprintf("|fseed=%d|fmodel=%s|qseed=%d|budget=%g|canary=%g",
+			r.FaultSeed, r.FaultModel, r.QualitySeed, r.qualityBudget(), r.canaryRate())
+	case "split-timing", "uni-timing", "baseline-timing", "quality-timing":
+		key = "base/" + bench
+	default:
+		return "", false
+	}
+	return workloads.CaptureIdent(key, r.Scale, r.Cores, extra), true
+}
+
+// loadDecoded serves the fully decoded capture for ident from the shared
+// decoded-capture cache, falling back to — and populating the cache from —
+// the on-disk store. The probe costs only the 16-byte digest preamble on a
+// hit. Any miss (cold directory, stale or corrupt capture, storage trouble)
+// returns nil and leaves recovery to the caller's sequential path; a
+// quarantined file is counted and moved here, exactly as funcRun would
+// have, so net trace.* counters match a sequential sweep's.
+func (r *Runner) loadDecoded(ident string) *trace.Capture {
+	if r.DecodedCache == nil || r.TraceDir == "" {
+		return nil
+	}
+	fsys := r.traceFS()
+	path := r.tracePath(ident)
+	if d, err := trace.FileDigestFS(fsys, path); err == nil {
+		if c := r.DecodedCache.Get(d); c != nil && c.Header.ConfigKey == ident && c.Header.Cores == r.Cores {
+			return c
+		}
+	}
+	c, outcome, err := workloads.LoadCaptureRecover(fsys, r.TraceDir, path, ident, r.Cores, false)
+	switch outcome {
+	case workloads.LoadOK:
+		r.DecodedCache.Put(c.FileCRC, c)
+		return c
+	case workloads.LoadQuarantined:
+		r.Metrics.Counter("trace.quarantines").Add(1)
+		r.logf("capture %s unusable (%v); quarantined for re-recording", filepath.Base(path), err)
+	}
+	return nil
+}
+
 // funcRun is the gateway every functional cell goes through. Without a
 // trace directory it is exactly the live path. With one, the first run of a
 // cell executes live (recording) and persists a capture; later runs replay
@@ -94,12 +153,27 @@ func (r *Runner) funcRun(ctx context.Context, req funcReq) (*workloads.RunResult
 	capture, err := r.traceCache.Do(ident, func() (*trace.Capture, error) {
 		persist := true
 		if !r.TraceCapture {
+			if r.DecodedCache != nil {
+				// Shared decoded-capture cache: another Runner (or an earlier
+				// sweep over this Runner's cache) may already have decoded
+				// this file — the probe reads only the digest preamble.
+				if d, derr := trace.FileDigestFS(fsys, path); derr == nil {
+					if c := r.DecodedCache.Get(d); c != nil && c.Header.ConfigKey == ident && c.Header.Cores == r.Cores {
+						r.Metrics.Counter("trace.replays").Add(1)
+						r.logf("[%s] replaying decoded capture %s (%s)", req.name, filepath.Base(path), req.key)
+						return c, nil
+					}
+				}
+			}
 			// Output-only cells never rebuild a hierarchy, so skip
 			// materializing the memory image and trace streams they would
 			// not use (the file is still fully integrity-checked). An
 			// ident's fast-ness never varies between requests, so the memo
-			// can never hand a lite capture to a hierarchy replay.
-			c, outcome, lerr := workloads.LoadCaptureRecover(fsys, r.TraceDir, path, ident, r.Cores, req.fast)
+			// can never hand a lite capture to a hierarchy replay — and
+			// with a decoded cache attached every load is full, so the
+			// shared cache can serve any consumer.
+			lite := req.fast && r.DecodedCache == nil
+			c, outcome, lerr := workloads.LoadCaptureRecover(fsys, r.TraceDir, path, ident, r.Cores, lite)
 			if r.TraceReplay && outcome != workloads.LoadOK {
 				if lerr == nil {
 					lerr = os.ErrNotExist
@@ -110,6 +184,9 @@ func (r *Runner) funcRun(ctx context.Context, req funcReq) (*workloads.RunResult
 			case workloads.LoadOK:
 				r.Metrics.Counter("trace.replays").Add(1)
 				r.logf("[%s] replaying capture %s (%s)", req.name, filepath.Base(path), req.key)
+				if r.DecodedCache != nil {
+					r.DecodedCache.Put(c.FileCRC, c)
+				}
 				return c, nil
 			case workloads.LoadMiss:
 				// Cold cache: record below.
@@ -151,6 +228,11 @@ func (r *Runner) funcRun(ctx context.Context, req funcReq) (*workloads.RunResult
 				r.logf("[%s] capture %s not persisted (%v); serving live result", req.name, filepath.Base(path), perr)
 			} else {
 				r.Metrics.Counter("trace.records").Add(1)
+				if r.DecodedCache != nil {
+					// WriteFileFS stamped c.FileCRC; the freshly recorded
+					// capture is immediately servable to other Runners.
+					r.DecodedCache.Put(c.FileCRC, c)
+				}
 			}
 		}
 		return c, nil

@@ -1,0 +1,36 @@
+package trace
+
+import "doppelganger/internal/memdata"
+
+// Per-component cost estimates for SizeBytes. Exact accounting of a decoded
+// capture is impossible from outside the runtime (map internals, allocator
+// slack), so these only need to be stable and roughly proportional: the
+// decoded-capture cache's byte budget then bounds real memory within a small
+// constant factor.
+const (
+	sizeRecord = 24                     // trace.Record, padded
+	sizeBlock  = memdata.BlockSize + 16 // block data plus page-directory share
+	sizeRegion = 96                     // approx.Region plus name string
+	sizeFixed  = 4096                   // struct headers, slices, slack
+)
+
+// SizeBytes estimates the capture's decoded in-memory footprint: the
+// reconstructed memory image, the per-core record streams, the global order
+// index, the output vector and the annotation set. The decoded-capture
+// cache charges entries by this estimate against its byte budget.
+func (c *Capture) SizeBytes() int64 {
+	n := int64(sizeFixed)
+	n += int64(len(c.Header.Benchmark) + len(c.Header.ConfigKey))
+	if c.InitialMem != nil {
+		n += int64(c.InitialMem.Len()) * sizeBlock
+	}
+	if c.Annotations != nil {
+		n += int64(len(c.Annotations.Regions())) * sizeRegion
+	}
+	if c.Recorder != nil {
+		n += int64(c.Recorder.Len()) * sizeRecord
+		n += int64(len(c.Recorder.Order)) * 2
+	}
+	n += int64(len(c.Output)) * 8
+	return n
+}

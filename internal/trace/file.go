@@ -99,6 +99,20 @@ type Capture struct {
 	InitialMem  *memdata.Store
 	Recorder    *Recorder
 	Output      []float64
+
+	// FileCRC and StreamDigest are in-memory identity metadata, populated by
+	// the decoder and by WriteTo — they are derived from the serialized bytes,
+	// never stored in them. FileCRC is the preamble's whole-file CRC64-ECMA
+	// (the same value FileDigest reads from the first 16 bytes, so a cheap
+	// preamble probe can be matched against an already-decoded capture).
+	// StreamDigest is a CRC64-ECMA over the body bytes of every section
+	// EXCEPT the header: two captures whose replayable content (annotations,
+	// memory image, access streams, global order, output) is byte-identical
+	// share a StreamDigest even when their headers (cell identity, seed)
+	// differ — the grouping key batched replay uses to drive many cells from
+	// one decode.
+	FileCRC      uint64
+	StreamDigest uint64
 }
 
 // --- encoding ---
@@ -156,6 +170,10 @@ func (c *Capture) encode() ([]byte, error) {
 	}
 	var out bytes.Buffer
 	var w sectionWriter
+	// Every non-header section's payload also folds into the stream digest
+	// (see Capture.StreamDigest); computing it during encode means a freshly
+	// recorded capture is batch-groupable without re-reading its own file.
+	stream := uint64(0)
 
 	w.str(c.Header.Benchmark)
 	w.u64(math.Float64bits(c.Header.Scale))
@@ -175,6 +193,7 @@ func (c *Capture) encode() ([]byte, error) {
 		w.u64(math.Float64bits(rg.Min))
 		w.u64(math.Float64bits(rg.Max))
 	}
+	stream = crc64.Update(stream, crcTable, w.buf.Bytes())
 	appendSection(&out, secAnnotations, w.buf.Bytes())
 	w.buf.Reset()
 
@@ -197,6 +216,7 @@ func (c *Capture) encode() ([]byte, error) {
 		prevPN = pn
 		w.buf.Write(blk[:])
 	})
+	stream = crc64.Update(stream, crcTable, w.buf.Bytes())
 	appendSection(&out, secMemory, w.buf.Bytes())
 	w.buf.Reset()
 
@@ -222,6 +242,7 @@ func (c *Capture) encode() ([]byte, error) {
 			}
 		}
 	}
+	stream = crc64.Update(stream, crcTable, w.buf.Bytes())
 	appendSection(&out, secTraces, w.buf.Bytes())
 	w.buf.Reset()
 
@@ -229,6 +250,7 @@ func (c *Capture) encode() ([]byte, error) {
 	for _, core := range c.Recorder.Order {
 		w.uvarint(uint64(core))
 	}
+	stream = crc64.Update(stream, crcTable, w.buf.Bytes())
 	appendSection(&out, secOrder, w.buf.Bytes())
 	w.buf.Reset()
 
@@ -236,10 +258,12 @@ func (c *Capture) encode() ([]byte, error) {
 	for _, v := range c.Output {
 		w.u64(math.Float64bits(v))
 	}
+	stream = crc64.Update(stream, crcTable, w.buf.Bytes())
 	appendSection(&out, secOutput, w.buf.Bytes())
 	w.buf.Reset()
 
 	appendSection(&out, secEnd, nil)
+	c.StreamDigest = stream
 	return out.Bytes(), nil
 }
 
@@ -254,7 +278,8 @@ func (c *Capture) WriteTo(w io.Writer) (int64, error) {
 	copy(pre[:4], captureMagic)
 	binary.LittleEndian.PutUint16(pre[4:], CaptureVersion)
 	binary.LittleEndian.PutUint16(pre[6:], 0)
-	binary.LittleEndian.PutUint64(pre[8:], crc64.Checksum(body, crcTable))
+	c.FileCRC = crc64.Checksum(body, crcTable)
+	binary.LittleEndian.PutUint64(pre[8:], c.FileCRC)
 	n, err := w.Write(pre[:])
 	if err != nil {
 		return int64(n), err
@@ -459,6 +484,7 @@ func readCapture(r io.Reader, outputOnly bool) (*Capture, error) {
 
 	hr := &hashReader{r: r}
 	c := &Capture{}
+	stream := uint64(0)
 	want := []byte{secHeader, secAnnotations, secMemory, secTraces, secOrder, secOutput, secEnd}
 	for _, wantID := range want {
 		id, err := hr.ReadByte()
@@ -482,6 +508,14 @@ func readCapture(r io.Reader, outputOnly bool) (*Capture, error) {
 		}
 		if got, wantCRC := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(crcb[:]); got != wantCRC {
 			return nil, fmt.Errorf("trace: capture section %d crc mismatch (got %08x, want %08x)", id, got, wantCRC)
+		}
+		if id != secHeader {
+			// The stream digest (Capture.StreamDigest) spans every section but
+			// the header, so header-only differences (cell identity, seed)
+			// don't split otherwise-identical replay streams. Computed in both
+			// full and output-only modes: the batch planner groups captures it
+			// loaded either way.
+			stream = crc64.Update(stream, crcTable, body)
 		}
 		p := &payload{b: body}
 		skipped := false
@@ -533,6 +567,8 @@ func readCapture(r io.Reader, outputOnly bool) (*Capture, error) {
 			return nil, fmt.Errorf("trace: capture order index: %w", err)
 		}
 	}
+	c.FileCRC = wantDigest // == hr.sum, verified above
+	c.StreamDigest = stream
 	return c, nil
 }
 
